@@ -1,0 +1,91 @@
+//! Criterion microbenchmarks for the functional-equivalence algorithms
+//! (the per-pair unit costs behind paper Table 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sommelier_equiv::assessment::assess_replacement;
+use sommelier_equiv::segment::find_matched_segments;
+use sommelier_equiv::whole::{assess_whole, EquivConfig};
+use sommelier_graph::{Model, TaskKind};
+use sommelier_tensor::{Prng, Tensor};
+use sommelier_zoo::embed::{embed_model, BodyStyle, EmbedSpec};
+use sommelier_zoo::finetune::perturb_all;
+use sommelier_zoo::teacher::{DatasetBias, TaskSpec, Teacher};
+
+fn model_at(hidden: usize, depth: usize, seed: u64) -> Model {
+    let spec = TaskSpec {
+        task: TaskKind::ImageRecognition,
+        input_width: hidden * 2,
+        hidden,
+        output_width: 32,
+    };
+    let teacher = Teacher::new(spec, 42);
+    let bias = DatasetBias::new(&teacher, "imagenet", 0.1);
+    let mut rng = Prng::seed_from_u64(seed);
+    embed_model(
+        "bench",
+        &teacher,
+        &bias,
+        &EmbedSpec {
+            style: BodyStyle::Residual,
+            body_width: hidden,
+            depth,
+            noise: 0.01,
+        },
+        &mut rng,
+    )
+}
+
+fn bench_whole(c: &mut Criterion) {
+    let mut group = c.benchmark_group("whole_model_assessment");
+    group.sample_size(10);
+    for &hidden in &[64usize, 128, 256] {
+        let m = model_at(hidden, 4, 1);
+        let mut rng = Prng::seed_from_u64(2);
+        let v = perturb_all(&m, 0.02, &mut rng);
+        let mut prng = Prng::seed_from_u64(3);
+        let probe = Tensor::gaussian(128, m.input_width(), 1.0, &mut prng);
+        let cfg = EquivConfig::default();
+        group.bench_with_input(BenchmarkId::from_parameter(hidden), &hidden, |b, _| {
+            b.iter(|| assess_whole(&m, &v, &probe, &cfg).expect("comparable"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_segment_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("segment_matching");
+    for &depth in &[4usize, 8, 16] {
+        let a = model_at(96, depth, 1);
+        let b = model_at(96, depth, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |bch, _| {
+            bch.iter(|| find_matched_segments(&a, &b, 2))
+        });
+    }
+    group.finish();
+}
+
+fn bench_replacement_assessment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replacement_assessment");
+    group.sample_size(10);
+    for &hidden in &[64usize, 128] {
+        let host = model_at(hidden, 4, 1);
+        let donor = model_at(hidden, 4, 2);
+        let mut prng = Prng::seed_from_u64(3);
+        let probe = Tensor::gaussian(16, host.input_width(), 1.0, &mut prng);
+        group.bench_with_input(BenchmarkId::from_parameter(hidden), &hidden, |b, _| {
+            let mut rng = Prng::seed_from_u64(4);
+            b.iter(|| {
+                assess_replacement(&host, &donor, &probe, 0.25, &mut rng).expect("runs")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_whole,
+    bench_segment_matching,
+    bench_replacement_assessment
+);
+criterion_main!(benches);

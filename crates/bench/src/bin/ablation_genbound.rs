@@ -1,0 +1,132 @@
+//! Ablation: generalization bound on vs off (the Section 5.5 knob).
+//!
+//! An equivalence *verdict* ("is this candidate within ε of the
+//! reference?") should not depend on which validation set happened to be
+//! used. With the bound off, the verdict is made on the raw empirical
+//! difference and flips across dataset draws near the threshold; with the
+//! bound on, the certified verdict is stable and safe — whenever a model
+//! is certified equivalent from one draw, its empirical difference stays
+//! within ε on every other draw.
+//!
+//! ```sh
+//! cargo run --release -p sommelier-bench --bin ablation_genbound
+//! ```
+
+use serde::Serialize;
+use sommelier_bench::{print_table, write_json};
+use sommelier_equiv::whole::{assess_whole, EquivConfig, GenBoundMode};
+use sommelier_graph::TaskKind;
+use sommelier_tensor::{Prng, Tensor};
+use sommelier_zoo::families::{Family, FamilyScale};
+use sommelier_zoo::finetune::perturb_all;
+use sommelier_zoo::teacher::{DatasetBias, Teacher};
+
+#[derive(Serialize)]
+struct Row {
+    epsilon: f64,
+    off_flip_rate: f64,
+    on_flip_rate: f64,
+    on_unsafe_certifications: usize,
+}
+
+fn main() {
+    let teacher = Teacher::for_task(TaskKind::ImageRecognition, 42);
+    let bias = DatasetBias::new(&teacher, "imagenet", 0.08);
+    let mut rng = Prng::seed_from_u64(3);
+    let reference = Family::Resnetish.build_scaled(
+        "ref",
+        &teacher,
+        &bias,
+        &FamilyScale::new(1.0, 4, 0.004),
+        &mut rng,
+    );
+    // 24 variants at graded fine-tune levels spanning the thresholds.
+    let variants: Vec<_> = (0..24)
+        .map(|i| {
+            let mut vrng = Prng::seed_from_u64(100 + i);
+            perturb_all(&reference, 0.02 + 0.02 * i as f64, &mut vrng)
+        })
+        .collect();
+
+    let draws = 12;
+    let draw_rows = 256;
+    let mut results = Vec::new();
+    for &epsilon in &[0.15f64, 0.20, 0.30] {
+        let mut off_flips = 0usize;
+        let mut on_flips = 0usize;
+        let mut unsafe_certs = 0usize;
+        for v in &variants {
+            let mut off_verdicts = Vec::new();
+            let mut on_verdicts = Vec::new();
+            let mut empiricals = Vec::new();
+            for d in 0..draws {
+                let mut drng = Prng::seed_from_u64(5000 + d);
+                let x = Tensor::gaussian(draw_rows, reference.input_width(), 1.0, &mut drng);
+                let off = assess_whole(
+                    &reference,
+                    v,
+                    &x,
+                    &EquivConfig {
+                        epsilon,
+                        genbound: GenBoundMode::Off,
+                    },
+                )
+                .expect("comparable");
+                let on = assess_whole(
+                    &reference,
+                    v,
+                    &x,
+                    &EquivConfig {
+                        epsilon,
+                        ..EquivConfig::default()
+                    },
+                )
+                .expect("comparable");
+                off_verdicts.push(off.equivalent);
+                on_verdicts.push(on.equivalent);
+                empiricals.push(off.empirical_diff);
+            }
+            let flip = |v: &[bool]| v.iter().any(|&b| b) && !v.iter().all(|&b| b);
+            off_flips += usize::from(flip(&off_verdicts));
+            on_flips += usize::from(flip(&on_verdicts));
+            // Safety: a bound-certified verdict must hold empirically on
+            // every draw.
+            let certified = on_verdicts.iter().any(|&b| b);
+            if certified && empiricals.iter().any(|&e| e > epsilon) {
+                unsafe_certs += 1;
+            }
+        }
+        let row = Row {
+            epsilon,
+            off_flip_rate: off_flips as f64 / variants.len() as f64,
+            on_flip_rate: on_flips as f64 / variants.len() as f64,
+            on_unsafe_certifications: unsafe_certs,
+        };
+        println!(
+            "epsilon {:.2}: verdict flips across draws — bound off {:.0}%, bound on {:.0}%; unsafe certifications with bound: {}",
+            row.epsilon,
+            row.off_flip_rate * 100.0,
+            row.on_flip_rate * 100.0,
+            row.on_unsafe_certifications
+        );
+        results.push(row);
+    }
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.2}", r.epsilon),
+                format!("{:.0}%", r.off_flip_rate * 100.0),
+                format!("{:.0}%", r.on_flip_rate * 100.0),
+                r.on_unsafe_certifications.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Ablation: verdict stability across dataset draws",
+        &["Epsilon", "Flips (bound off)", "Flips (bound on)", "Unsafe certs (on)"],
+        &rows,
+    );
+    write_json("ablation_genbound", &results);
+}

@@ -1,0 +1,144 @@
+//! Ablation: sampled insertion vs full pairwise analysis.
+//!
+//! The semantic index analyzes each new model against only 5 random
+//! stored models and derives the rest transitively (paper Section 5.2:
+//! "this sampling approach dramatically improves scalability without
+//! degrading query quality much"). This ablation quantifies both halves
+//! of that claim: index build time and top-1-equivalent agreement with
+//! the exhaustive full-pairwise index, across sample sizes.
+//!
+//! ```sh
+//! cargo run --release -p sommelier-bench --bin ablation_sampling
+//! ```
+
+use serde::Serialize;
+use sommelier_bench::{print_table, timed, write_json};
+use sommelier_graph::TaskKind;
+use sommelier_index::CandidateKind;
+use sommelier_query::{Sommelier, SommelierConfig};
+use sommelier_repo::{InMemoryRepository, ModelRepository};
+use sommelier_tensor::Prng;
+use sommelier_zoo::families::{Family, FamilyScale};
+use sommelier_zoo::teacher::{DatasetBias, Teacher};
+use std::sync::Arc;
+
+#[derive(Serialize)]
+struct Row {
+    sample_size: usize,
+    build_seconds: f64,
+    top1_agreement_with_full: f64,
+    top5_overlap_with_full: f64,
+}
+
+fn build_engine(models: &[sommelier_graph::Model], sample_size: usize) -> (Sommelier, f64) {
+    let repo = Arc::new(InMemoryRepository::new());
+    let mut cfg = SommelierConfig::default();
+    cfg.validation_rows = 192;
+    cfg.index.segments = false;
+    cfg.index.sample_size = sample_size;
+    let mut engine = Sommelier::connect(Arc::clone(&repo) as Arc<dyn ModelRepository>, cfg);
+    let ((), secs) = timed(|| {
+        for m in models {
+            engine.register(m).expect("fresh");
+        }
+    });
+    (engine, secs)
+}
+
+fn top_k(engine: &Sommelier, key: &str, k: usize) -> Vec<String> {
+    engine
+        .semantic_index()
+        .candidates_of(key)
+        .iter()
+        .filter(|c| !matches!(c.kind, CandidateKind::Synthesized { .. }))
+        .take(k)
+        .map(|c| c.key.clone())
+        .collect()
+}
+
+fn main() {
+    // A 36-model pool: 6 families × 6 sizes over one task.
+    let teacher = Teacher::for_task(TaskKind::ImageRecognition, 42);
+    let bias = DatasetBias::new(&teacher, "imagenet", 0.10);
+    let mut rng = Prng::seed_from_u64(3);
+    let families = [
+        Family::Resnetish,
+        Family::Vggish,
+        Family::Mobilenetish,
+        Family::Inceptionish,
+        Family::Efficientnetish,
+        Family::Bertish,
+    ];
+    let mut models = Vec::new();
+    for (fi, family) in families.into_iter().enumerate() {
+        for size in 0..6 {
+            let t = size as f64 / 5.0;
+            let mut frng = rng.fork();
+            models.push(family.build_scaled(
+                format!("{}-{size}", family.slug()),
+                &teacher,
+                &bias,
+                &FamilyScale::new(0.6 + 0.8 * t, 3 + size, 0.02 - 0.015 * t),
+                &mut frng,
+            ));
+            let _ = fi;
+        }
+    }
+
+    // Oracle: the full pairwise index.
+    let (full, full_secs) = build_engine(&models, usize::MAX);
+    println!("full pairwise build: {full_secs:.1}s");
+
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for sample in [2usize, 5, 10, 20] {
+        let (engine, secs) = build_engine(&models, sample);
+        let mut top1_hits = 0usize;
+        let mut top5_overlap = 0.0f64;
+        for m in &models {
+            let got1 = top_k(&engine, &m.name, 1);
+            let want1 = top_k(&full, &m.name, 1);
+            if got1 == want1 {
+                top1_hits += 1;
+            }
+            let got5 = top_k(&engine, &m.name, 5);
+            let want5 = top_k(&full, &m.name, 5);
+            let overlap = got5.iter().filter(|k| want5.contains(k)).count();
+            top5_overlap += overlap as f64 / want5.len().max(1) as f64;
+        }
+        let row = Row {
+            sample_size: sample,
+            build_seconds: secs,
+            top1_agreement_with_full: top1_hits as f64 / models.len() as f64,
+            top5_overlap_with_full: top5_overlap / models.len() as f64,
+        };
+        println!(
+            "sample {:>2}: build {:>5.1}s ({:.1}x faster), top-1 agreement {:.0}%, top-5 overlap {:.0}%",
+            row.sample_size,
+            row.build_seconds,
+            full_secs / row.build_seconds.max(1e-9),
+            row.top1_agreement_with_full * 100.0,
+            row.top5_overlap_with_full * 100.0
+        );
+        rows.push(vec![
+            row.sample_size.to_string(),
+            format!("{:.1}", row.build_seconds),
+            format!("{:.0}%", row.top1_agreement_with_full * 100.0),
+            format!("{:.0}%", row.top5_overlap_with_full * 100.0),
+        ]);
+        results.push(row);
+    }
+    rows.push(vec![
+        "full".into(),
+        format!("{full_secs:.1}"),
+        "100%".into(),
+        "100%".into(),
+    ]);
+
+    print_table(
+        "Ablation: sampled insertion vs full pairwise",
+        &["Sample", "Build (s)", "Top-1 vs full", "Top-5 vs full"],
+        &rows,
+    );
+    write_json("ablation_sampling", &results);
+}

@@ -1,0 +1,137 @@
+//! Figure 12: effectiveness of the resource and semantic indices on the
+//! BiT + EfficientNet series (paper Section 7.3).
+//!
+//! (a) **Resource variation**: each BiT model's memory consumption varies
+//!     substantially (paper: ~25%) across execution settings (device ×
+//!     batch size); the resource index organizes models once per setting,
+//!     obviating per-setting manual profiling.
+//!
+//! (b) **Cross-series replacement**: with the largest BiT model
+//!     (bitish-r152x4) as the reference, the best replacement at roughly
+//!     one-eighth of its size comes from the *EfficientNet* series, not
+//!     from BiT itself — a cross-series relationship "hard to identify
+//!     manually".
+//!
+//! ```sh
+//! cargo run --release -p sommelier-bench --bin fig12_tfhub_index
+//! ```
+
+use serde::Serialize;
+use sommelier_bench::{print_table, write_json};
+use sommelier_query::{Sommelier, SommelierConfig};
+use sommelier_repo::{InMemoryRepository, ModelRepository};
+use sommelier_runtime::{ExecSetting, ResourceProfile};
+use sommelier_zoo::series::{bit_series, efficientnet_series};
+use std::sync::Arc;
+
+#[derive(Serialize)]
+struct Fig12a {
+    model: String,
+    min_mb: f64,
+    max_mb: f64,
+    variation_pct: f64,
+}
+
+#[derive(Serialize)]
+struct Fig12b {
+    candidate: String,
+    series: String,
+    score: f64,
+    memory_fraction_of_reference: f64,
+}
+
+fn main() {
+    let bit = bit_series(2024);
+    let eff = efficientnet_series(2024);
+
+    // ---------------- (a) memory variation across execution settings ---
+    let mut var_rows = Vec::new();
+    let mut fig_a = Vec::new();
+    for m in &bit.models {
+        let mems: Vec<f64> = ExecSetting::grid()
+            .iter()
+            .map(|s| ResourceProfile::under(m, s).memory_mb)
+            .collect();
+        let min = mems.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = mems.iter().cloned().fold(0.0f64, f64::max);
+        let variation = 100.0 * (max - min) / min;
+        var_rows.push(vec![
+            m.name.clone(),
+            format!("{min:.2}"),
+            format!("{max:.2}"),
+            format!("{variation:.0}%"),
+        ]);
+        fig_a.push(Fig12a {
+            model: m.name.clone(),
+            min_mb: min,
+            max_mb: max,
+            variation_pct: variation,
+        });
+    }
+    print_table(
+        "Figure 12(a): BiT memory consumption across execution settings",
+        &["Model", "min MB", "max MB", "variation"],
+        &var_rows,
+    );
+    println!("(paper: memory varies ~25% with the execution setting)");
+
+    // ---------------- (b) cross-series equivalents at 1/8 size ---------
+    let repo = Arc::new(InMemoryRepository::new());
+    let mut cfg = SommelierConfig::default();
+    cfg.index.sample_size = 16; // 13 models: analyze every pair
+    cfg.index.segments = false;
+    let mut engine = Sommelier::connect(Arc::clone(&repo) as Arc<dyn ModelRepository>, cfg);
+    for m in bit.models.iter().chain(&eff.models) {
+        engine.register(m).expect("fresh");
+    }
+
+    let reference = "bitish-r152x4";
+    let ref_mem = engine
+        .resource_index()
+        .profile_of(reference)
+        .expect("profiled")
+        .memory_mb;
+    // "a model that is one-eighth the size of R152x4": allow up to ~1/4
+    // so both series contribute candidates near the target.
+    let results = engine
+        .query(&format!(
+            "SELECT models 6 CORR {reference} ON memory <= 30% WITHIN 0.0 ORDER BY similarity"
+        ))
+        .expect("query runs");
+
+    let mut fig_b = Vec::new();
+    let mut rows = Vec::new();
+    for r in &results {
+        let series = if r.key.starts_with("bitish") { "BiT" } else { "EfficientNet" };
+        rows.push(vec![
+            r.key.clone(),
+            series.to_string(),
+            format!("{:.3}", r.score),
+            format!("{:.2}", r.profile.memory_mb / ref_mem),
+        ]);
+        fig_b.push(Fig12b {
+            candidate: r.key.clone(),
+            series: series.to_string(),
+            score: r.score,
+            memory_fraction_of_reference: r.profile.memory_mb / ref_mem,
+        });
+    }
+    print_table(
+        &format!("Figure 12(b): small replacements for {reference}, best first"),
+        &["Candidate", "Series", "Equivalence score", "Memory ÷ reference"],
+        &rows,
+    );
+    if let Some(best) = fig_b.first() {
+        println!(
+            "\nbest small replacement: {} (from the {} series) — {}",
+            best.candidate,
+            best.series,
+            if best.series == "EfficientNet" {
+                "cross-series, as the paper reports: hard to find manually"
+            } else {
+                "intra-series this time"
+            }
+        );
+    }
+    write_json("fig12_tfhub_index", &(fig_a, fig_b));
+}

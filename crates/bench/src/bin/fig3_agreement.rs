@@ -1,0 +1,112 @@
+//! Figure 3: extent of equivalence between DNN models.
+//!
+//! Five widely used image-classification models, all trained on the same
+//! dataset, are fed the same test inputs. The diagonal reports each
+//! model's own top-1 accuracy; off-diagonal entries report the fraction
+//! of inputs on which two models produce the same top-1 answer. The
+//! paper's observation: **inter-model agreement exceeds the models' own
+//! accuracies**, i.e. the models are interchangeable in practice while
+//! none is "the" definitive model.
+//!
+//! ```sh
+//! cargo run --release -p sommelier-bench --bin fig3_agreement
+//! ```
+
+use serde::Serialize;
+use sommelier_bench::{fmt, print_table, write_json};
+use sommelier_graph::TaskKind;
+use sommelier_runtime::execute;
+use sommelier_runtime::metrics::{agreement_ratio, top1_accuracy};
+use sommelier_tensor::{Prng, Tensor};
+use sommelier_zoo::families::Family;
+use sommelier_zoo::teacher::{DatasetBias, Teacher};
+
+#[derive(Serialize)]
+struct Fig3 {
+    models: Vec<String>,
+    /// `matrix[i][j]`: i==j → accuracy of i; else agreement(i, j).
+    matrix: Vec<Vec<f64>>,
+    min_agreement: f64,
+    max_accuracy: f64,
+}
+
+fn main() {
+    let teacher = Teacher::for_task(TaskKind::ImageRecognition, 42);
+    let bias = DatasetBias::new(&teacher, "imagenet", 0.22);
+    let mut rng = Prng::seed_from_u64(3);
+
+    let families = [
+        ("resnet50ish", Family::Resnetish),
+        ("inceptionish", Family::Inceptionish),
+        ("resnext101ish", Family::Resnextish),
+        ("vgg19ish", Family::Vggish),
+        ("mobilenetish", Family::Mobilenetish),
+    ];
+    let models: Vec<_> = families
+        .iter()
+        .map(|(name, family)| {
+            let mut frng = rng.fork();
+            family.build(*name, &teacher, &bias, &mut frng)
+        })
+        .collect();
+
+    let n = 2000;
+    let inputs = Tensor::gaussian(n, teacher.spec.input_width, 1.0, &mut rng);
+    let labels = teacher.labels(&inputs);
+    let outputs: Vec<Tensor> = models
+        .iter()
+        .map(|m| execute(m, &inputs).expect("model executes"))
+        .collect();
+
+    let k = models.len();
+    let mut matrix = vec![vec![0.0f64; k]; k];
+    for i in 0..k {
+        for j in 0..k {
+            matrix[i][j] = if i == j {
+                top1_accuracy(&outputs[i], &labels)
+            } else {
+                agreement_ratio(&outputs[i], &outputs[j])
+            };
+        }
+    }
+
+    let header: Vec<&str> = std::iter::once("")
+        .chain(families.iter().map(|(n, _)| *n))
+        .collect();
+    let rows: Vec<Vec<String>> = (0..k)
+        .map(|i| {
+            std::iter::once(families[i].0.to_string())
+                .chain((0..k).map(|j| fmt(matrix[i][j], 3)))
+                .collect()
+        })
+        .collect();
+    print_table(
+        "Figure 3: top-1 accuracy (diagonal) vs pairwise agreement (off-diagonal)",
+        &header,
+        &rows,
+    );
+
+    let max_accuracy = (0..k).map(|i| matrix[i][i]).fold(0.0f64, f64::max);
+    let min_agreement = (0..k)
+        .flat_map(|i| (0..k).filter(move |&j| j != i).map(move |j| (i, j)))
+        .map(|(i, j)| matrix[i][j])
+        .fold(1.0f64, f64::min);
+    println!(
+        "\nmax own accuracy = {:.3}; min inter-model agreement = {:.3}",
+        max_accuracy, min_agreement
+    );
+    println!(
+        "paper claim — agreement between models exceeds their accuracies: {}",
+        if min_agreement > max_accuracy { "REPRODUCED" } else { "NOT reproduced" }
+    );
+
+    write_json(
+        "fig3_agreement",
+        &Fig3 {
+            models: families.iter().map(|(n, _)| n.to_string()).collect(),
+            matrix,
+            min_agreement,
+            max_accuracy,
+        },
+    );
+}

@@ -1,0 +1,182 @@
+//! Figure 9(b): saving in time and manual effort.
+//!
+//! Three scenarios — model **D**esign, model **T**esting, and inference
+//! **S**erving — are solved twice: by the manual procedure a user without
+//! Sommelier runs (exhaustively load → execute → profile → compare every
+//! repository model), and by one Sommelier query against a pre-built
+//! index. Reported per scenario: wall-clock time ratio (paper: up to 30×)
+//! and lines of code (paper: hundreds of script lines → <10 query lines).
+//!
+//! The manual baselines live in their own source files and their LoC are
+//! counted from the actual source (`include_str!`), not estimated.
+//!
+//! ```sh
+//! cargo run --release -p sommelier-bench --bin fig9b_effort
+//! ```
+
+#[path = "../manual/mod.rs"]
+mod manual;
+
+use serde::Serialize;
+use sommelier_bench::{print_table, timed, write_json};
+use sommelier_graph::TaskKind;
+use sommelier_query::{Sommelier, SommelierConfig};
+use sommelier_repo::{InMemoryRepository, ModelRepository};
+use sommelier_tensor::Prng;
+use sommelier_zoo::families::{Family, FamilyScale};
+use sommelier_zoo::teacher::{DatasetBias, Teacher};
+use std::sync::Arc;
+
+#[derive(Serialize)]
+struct Scenario {
+    name: String,
+    manual_seconds: f64,
+    sommelier_seconds: f64,
+    time_ratio: f64,
+    manual_loc: usize,
+    sommelier_loc: usize,
+}
+
+fn main() {
+    // A repository of 40 models across sizes and families.
+    let teacher = Teacher::for_task(TaskKind::ImageRecognition, 42);
+    let bias = DatasetBias::new(&teacher, "imagenet", 0.10);
+    let repo = Arc::new(InMemoryRepository::new());
+    let mut cfg = SommelierConfig::default();
+    cfg.index.segments = false;
+    let mut engine = Sommelier::connect(Arc::clone(&repo) as Arc<dyn ModelRepository>, cfg);
+
+    let mut rng = Prng::seed_from_u64(5);
+    let families = [
+        Family::Resnetish,
+        Family::Vggish,
+        Family::Mobilenetish,
+        Family::Inceptionish,
+    ];
+    for i in 0..40usize {
+        let family = families[i % families.len()];
+        let t = (i / families.len()) as f64 / 9.0;
+        let mut frng = rng.fork();
+        let m = family.build_scaled(
+            format!("{}-{i:02}", family.slug()),
+            &teacher,
+            &bias,
+            &FamilyScale::new(1.3 - 0.8 * t, 3 + i % 3, 0.01 + 0.01 * t),
+            &mut frng,
+        );
+        engine.register(&m).expect("fresh");
+    }
+    let reference = "resnetish-00";
+
+    // ---- scenario runs ------------------------------------------------
+    let scenarios: Vec<Scenario> = vec![
+        {
+            let (manual_pick, manual_s) =
+                timed(|| manual::design::manual_model_design(repo.as_ref(), &teacher, 0.5));
+            let ((), _) = ((), ());
+            let (query_pick, query_s) = timed(|| {
+                engine
+                    .query(&format!(
+                        "SELECT model CORR {reference} ON memory <= 50% WITHIN 0.2 ORDER BY similarity"
+                    ))
+                    .expect("query runs")
+                    .first()
+                    .map(|r| r.key.clone())
+            });
+            println!(
+                "design:  manual pick {:?} in {:.2}s | sommelier pick {:?} in {:.4}s",
+                manual_pick, manual_s, query_pick, query_s
+            );
+            Scenario {
+                name: "design".into(),
+                manual_seconds: manual_s,
+                sommelier_seconds: query_s,
+                time_ratio: manual_s / query_s.max(1e-9),
+                manual_loc: loc(include_str!("../manual/design.rs")),
+                sommelier_loc: 1,
+            }
+        },
+        {
+            let (manual_set, manual_s) =
+                timed(|| manual::testing::manual_testing_ensemble(repo.as_ref(), reference, 4));
+            let (query_set, query_s) = timed(|| {
+                engine
+                    .query(&format!(
+                        "SELECT models 4 CORR {reference} WITHIN 0.3 ORDER BY similarity"
+                    ))
+                    .expect("query runs")
+                    .len()
+            });
+            println!(
+                "testing: manual ensemble of {} in {:.2}s | sommelier {} in {:.4}s",
+                manual_set.len(),
+                manual_s,
+                query_set,
+                query_s
+            );
+            Scenario {
+                name: "testing".into(),
+                manual_seconds: manual_s,
+                sommelier_seconds: query_s,
+                time_ratio: manual_s / query_s.max(1e-9),
+                manual_loc: loc(include_str!("../manual/testing.rs")),
+                sommelier_loc: 1,
+            }
+        },
+        {
+            let (manual_pick, manual_s) =
+                timed(|| manual::serving::manual_serving_reselect(repo.as_ref(), &teacher, 0.4));
+            let (query_pick, query_s) = timed(|| {
+                engine
+                    .query(&format!(
+                        "SELECT model CORR {reference} ON flops <= 40% WITHIN 0.1 ORDER BY latency"
+                    ))
+                    .expect("query runs")
+                    .first()
+                    .map(|r| r.key.clone())
+            });
+            println!(
+                "serving: manual pick {:?} in {:.2}s | sommelier pick {:?} in {:.4}s",
+                manual_pick, manual_s, query_pick, query_s
+            );
+            Scenario {
+                name: "serving".into(),
+                manual_seconds: manual_s,
+                sommelier_seconds: query_s,
+                time_ratio: manual_s / query_s.max(1e-9),
+                manual_loc: loc(include_str!("../manual/serving.rs")),
+                sommelier_loc: 1,
+            }
+        },
+    ];
+
+    let rows: Vec<Vec<String>> = scenarios
+        .iter()
+        .map(|s| {
+            vec![
+                s.name.clone(),
+                format!("{:.2}s", s.manual_seconds),
+                format!("{:.4}s", s.sommelier_seconds),
+                format!("{:.0}x", s.time_ratio),
+                format!("{}", s.manual_loc),
+                format!("{}", s.sommelier_loc),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 9(b): manual profiling vs Sommelier query",
+        &["Scenario", "Manual time", "Query time", "Speedup", "Manual LoC", "Query LoC"],
+        &rows,
+    );
+    println!("\n(paper: up to 30x profiling-time reduction; hundreds of LoC → <10)");
+    write_json("fig9b_effort", &scenarios);
+}
+
+/// Non-empty, non-comment source lines.
+fn loc(source: &str) -> usize {
+    source
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with("//"))
+        .count()
+}

@@ -1,0 +1,171 @@
+//! Table 3: run-time query latency vs repository size.
+//!
+//! Indices are populated with 100 / 1k / 10k / 100k model records and
+//! queried 20 times each with (i) a resource predicate alone, (ii) a
+//! semantic predicate alone, and (iii) both. The paper's claims: queries
+//! stay in the low-millisecond range even at 100K records, the semantic
+//! lookup is far cheaper than the resource range search, and both-
+//! predicate queries cost roughly the sum.
+//!
+//! Populating a 100K-model semantic index with *real* pairwise analysis is
+//! an offline job (Table 2 measures its unit cost); here the index
+//! structures themselves are exercised with synthetic-but-realistic
+//! records, exactly what a query touches at run time.
+//!
+//! ```sh
+//! cargo run --release -p sommelier-bench --bin table3_query_latency
+//! ```
+
+use serde::Serialize;
+use sommelier_bench::{print_table, write_json};
+use sommelier_graph::{Model, ModelBuilder, TaskKind};
+use sommelier_index::lsh::LshConfig;
+use sommelier_index::semantic::{PairAnalyzer, SemanticIndexConfig};
+use sommelier_index::{ResourceConstraint, ResourceIndex, SemanticIndex};
+use sommelier_runtime::ResourceProfile;
+use sommelier_tensor::{Prng, Shape, Tensor};
+use std::time::Instant;
+
+/// A stand-in analyzer with plausible diff values — the index structure,
+/// not the analysis, is under test here.
+struct SyntheticAnalyzer {
+    rng: Prng,
+}
+
+impl PairAnalyzer for SyntheticAnalyzer {
+    fn whole_diff(&mut self, _: &Model, _: &Model) -> Option<f64> {
+        Some(self.rng.uniform() * 0.3)
+    }
+}
+
+/// A tiny model with a unique fingerprint per index `i`.
+fn record_model(i: usize) -> Model {
+    let mut w = Tensor::zeros(2, 2);
+    w.set(0, 0, i as f32 + 1.0);
+    w.set(1, 1, 1.0);
+    ModelBuilder::new(format!("m{i:06}"), TaskKind::Other, Shape::vector(2))
+        .dense_with(w, None)
+        .build()
+        .expect("valid")
+}
+
+fn profile(rng: &mut Prng) -> ResourceProfile {
+    ResourceProfile {
+        memory_mb: 10.0 * rng.uniform().exp2() * 50.0,
+        gflops: rng.uniform() * 20.0,
+        latency_ms: rng.uniform() * 100.0,
+    }
+}
+
+#[derive(Serialize)]
+struct Row {
+    records: usize,
+    resource_ms: f64,
+    semantic_ms: f64,
+    both_ms: f64,
+}
+
+fn main() {
+    let sizes = [100usize, 1_000, 10_000, 100_000];
+    let queries = 20;
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+
+    for &n in &sizes {
+        let mut rng = Prng::seed_from_u64(42);
+        let mut resource = ResourceIndex::new(LshConfig::default(), 1);
+        let mut semantic = SemanticIndex::new(
+            SemanticIndexConfig {
+                sample_size: 5,
+                segments: false,
+                max_candidates: 64,
+            },
+            1,
+        );
+        let mut analyzer = SyntheticAnalyzer {
+            rng: Prng::seed_from_u64(7),
+        };
+        // Resolver keeps a window of recent models (sampling only ever
+        // touches stored names; rebuild on demand by parsing the index).
+        let resolve = |k: &str| {
+            let i: usize = k.trim_start_matches('m').parse().ok()?;
+            Some(record_model(i))
+        };
+        for i in 0..n {
+            let m = record_model(i);
+            semantic.insert(&m, &resolve, &mut analyzer);
+            resource.insert(&m.name, profile(&mut rng));
+        }
+
+        // (i) resource predicate alone.
+        let mut qrng = Prng::seed_from_u64(9);
+        let start = Instant::now();
+        let mut found = 0usize;
+        for _ in 0..queries {
+            let c = ResourceConstraint {
+                max_memory_mb: Some(100.0 + qrng.uniform() * 2000.0),
+                max_gflops: Some(qrng.uniform() * 20.0),
+                max_latency_ms: None,
+            };
+            found += resource.query(&c).len();
+        }
+        let resource_ms = start.elapsed().as_secs_f64() * 1e3 / queries as f64;
+
+        // (ii) semantic predicate alone.
+        let start = Instant::now();
+        for q in 0..queries {
+            let key = format!("m{:06}", (q * 37) % n);
+            found += semantic.lookup_key(&key, 0.8).len();
+        }
+        let semantic_ms = start.elapsed().as_secs_f64() * 1e3 / queries as f64;
+
+        // (iii) both: semantic lookup intersected with the admitted set.
+        let mut qrng = Prng::seed_from_u64(9);
+        let start = Instant::now();
+        for q in 0..queries {
+            let c = ResourceConstraint {
+                max_memory_mb: Some(100.0 + qrng.uniform() * 2000.0),
+                max_gflops: Some(qrng.uniform() * 20.0),
+                max_latency_ms: None,
+            };
+            let admitted: std::collections::HashSet<String> =
+                resource.query(&c).into_iter().collect();
+            let key = format!("m{:06}", (q * 37) % n);
+            found += semantic
+                .lookup_key(&key, 0.8)
+                .into_iter()
+                .filter(|cand| admitted.contains(&cand.key))
+                .count();
+        }
+        let both_ms = start.elapsed().as_secs_f64() * 1e3 / queries as f64;
+        std::hint::black_box(found);
+
+        println!(
+            "{n:>7} records: resource {resource_ms:.3} ms, semantic {semantic_ms:.3} ms, both {both_ms:.3} ms"
+        );
+        rows.push(vec![
+            format!("{n}"),
+            format!("{resource_ms:.3}"),
+            format!("{semantic_ms:.3}"),
+            format!("{both_ms:.3}"),
+        ]);
+        results.push(Row {
+            records: n,
+            resource_ms,
+            semantic_ms,
+            both_ms,
+        });
+    }
+
+    print_table(
+        "Table 3: run-time query latency (ms)",
+        &["Records", "Resource", "Semantic", "Both"],
+        &rows,
+    );
+    let last = results.last().expect("non-empty");
+    println!(
+        "\n100K-record combined query: {:.2} ms (paper: ~6.7 ms) — orders of magnitude below inference time",
+        last.both_ms
+    );
+    write_json("table3_query_latency", &results);
+}

@@ -1,0 +1,106 @@
+//! Manual model-design selection: what a designer does against a bare
+//! repository to find "an accurate base model within half the flagship's
+//! memory" (paper Figure 8, right, gray block). Everything is rebuilt
+//! from primitives — download each model, hand-roll a validation set,
+//! hand-roll resource profiling by walking the graph — because without
+//! Sommelier none of this is provided.
+
+use sommelier_graph::{LayerId, Model, Op};
+use sommelier_repo::ModelRepository;
+use sommelier_runtime::execute;
+use sommelier_tensor::{Prng, Tensor};
+use sommelier_zoo::teacher::Teacher;
+
+/// Exhaustively profile every repository model and return the name of the
+/// most accurate one whose memory estimate is within `mem_frac` of the
+/// largest model's.
+pub fn manual_model_design(
+    repo: &dyn ModelRepository,
+    teacher: &Teacher,
+    mem_frac: f64,
+) -> Option<String> {
+    // Step 1: enumerate the repository; there is no metadata, so every
+    // model must be downloaded to learn anything about it.
+    let keys = repo.keys();
+    let mut downloaded: Vec<(String, Model)> = Vec::new();
+    for key in &keys {
+        match repo.load(key) {
+            Ok(model) => downloaded.push((key.clone(), model)),
+            Err(_) => continue,
+        }
+    }
+
+    // Step 2: hand-roll a validation set for the task.
+    let mut rng = Prng::seed_from_u64(0xfeed);
+    let n = 1024;
+    let inputs = Tensor::gaussian(n, teacher.spec.input_width, 1.0, &mut rng);
+    let labels = teacher.labels(&inputs);
+
+    // Step 3: profile memory by manually walking each model's layers and
+    // summing parameter and activation sizes.
+    let mut mem_estimates: Vec<(String, f64)> = Vec::new();
+    for (key, model) in &downloaded {
+        let mut bytes = 0usize;
+        for (i, layer) in model.layers().iter().enumerate() {
+            if let Some(w) = &layer.params.weight {
+                bytes += w.len() * 4;
+            }
+            if let Some(b) = &layer.params.bias {
+                bytes += b.len() * 4;
+            }
+            bytes += model.width_of(LayerId(i)) * 4;
+            // Convolutions keep an im2col scratch buffer in most
+            // frameworks; account for it the way a careful script would.
+            if let Op::Conv1d { kernel_size, .. } = layer.op {
+                bytes += kernel_size * model.width_of(LayerId(i)) * 4;
+            }
+        }
+        mem_estimates.push((key.clone(), bytes as f64));
+    }
+    let largest = mem_estimates
+        .iter()
+        .map(|(_, b)| *b)
+        .fold(0.0f64, f64::max);
+    let budget = largest * mem_frac;
+
+    // Step 4: run every candidate over the validation set and score it.
+    let mut scored: Vec<(String, f64)> = Vec::new();
+    for (key, model) in &downloaded {
+        let mem = mem_estimates
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, b)| *b)
+            .unwrap_or(f64::INFINITY);
+        if mem > budget {
+            continue;
+        }
+        // Batch the inference the way a script would, 128 rows at a time.
+        let mut correct = 0usize;
+        let mut seen = 0usize;
+        let mut row = 0usize;
+        while row < n {
+            let end = (row + 128).min(n);
+            let batch_rows: Vec<Tensor> = (row..end).map(|r| inputs.row_tensor(r)).collect();
+            let batch = Tensor::stack_rows(&batch_rows);
+            let Ok(out) = execute(model, &batch) else {
+                break;
+            };
+            for (j, r) in (row..end).enumerate() {
+                if out.argmax_row(j) == labels[r] {
+                    correct += 1;
+                }
+                seen += 1;
+            }
+            row = end;
+        }
+        if seen > 0 {
+            scored.push((key.clone(), correct as f64 / seen as f64));
+        }
+    }
+
+    // Step 5: pick the winner.
+    scored
+        .into_iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .map(|(k, _)| k)
+}

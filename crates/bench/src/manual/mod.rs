@@ -1,0 +1,11 @@
+//! The manual-profiling baselines of Figure 9(b).
+//!
+//! Each submodule is the script a user *without* Sommelier writes against
+//! the bare repository interface (paper Figure 8, gray blocks): enumerate
+//! keys, download every model, rebuild a validation pipeline, profile
+//! resources by hand, and compare. The experiment binary times these
+//! functions and counts their source lines verbatim.
+
+pub mod design;
+pub mod serving;
+pub mod testing;

@@ -1,0 +1,79 @@
+//! Manual run-time model re-selection for inference serving: the
+//! hard-coded "exhaustively try every model until one fits the current
+//! resource quota" loop of paper Figure 8 (left, gray block). The server
+//! is under load, yet each re-selection downloads and profiles candidates
+//! from scratch because the repository offers nothing else.
+
+use sommelier_graph::{LayerId, Op};
+use sommelier_repo::ModelRepository;
+use sommelier_runtime::execute;
+use sommelier_tensor::{Prng, Tensor};
+use sommelier_zoo::teacher::Teacher;
+
+/// Re-select a serving model under a compute quota of `flops_frac` of the
+/// largest model's per-inference FLOPs, keeping quality acceptable.
+pub fn manual_serving_reselect(
+    repo: &dyn ModelRepository,
+    teacher: &Teacher,
+    flops_frac: f64,
+) -> Option<String> {
+    // Enumerate and download everything — again.
+    let keys = repo.keys();
+
+    // Manual FLOPs estimation: walk each model's layers and count
+    // multiply-accumulates by operator type.
+    let mut flops_by_key: Vec<(String, f64)> = Vec::new();
+    for key in &keys {
+        let Ok(model) = repo.load(key) else { continue };
+        let mut flops = 0f64;
+        for (i, layer) in model.layers().iter().enumerate() {
+            let out_w = model.width_of(LayerId(i)) as f64;
+            match &layer.op {
+                Op::Dense { units } => {
+                    let in_w = model.width_of(layer.inputs[0]) as f64;
+                    flops += 2.0 * in_w * (*units as f64);
+                }
+                Op::Conv1d { kernel_size, .. } => {
+                    flops += 2.0 * (*kernel_size as f64) * out_w;
+                }
+                Op::Softmax => flops += 5.0 * out_w,
+                Op::Tanh | Op::Sigmoid => flops += 4.0 * out_w,
+                _ => flops += out_w,
+            }
+        }
+        flops_by_key.push((key.clone(), flops));
+    }
+    let heaviest = flops_by_key
+        .iter()
+        .map(|(_, f)| *f)
+        .fold(0.0f64, f64::max);
+    let quota = heaviest * flops_frac;
+
+    // Validate the quality of every candidate under quota; the serving
+    // loop cannot ship a model it has never scored.
+    let mut rng = Prng::seed_from_u64(0x5e11);
+    let n = 768;
+    let inputs = Tensor::gaussian(n, teacher.spec.input_width, 1.0, &mut rng);
+    let labels = teacher.labels(&inputs);
+    let mut best: Option<(String, f64)> = None;
+    for (key, flops) in &flops_by_key {
+        if *flops > quota {
+            continue;
+        }
+        let Ok(model) = repo.load(key) else { continue };
+        let Ok(out) = execute(&model, &inputs) else {
+            continue;
+        };
+        let mut correct = 0usize;
+        for (r, &label) in labels.iter().enumerate() {
+            if out.argmax_row(r) == label {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / n as f64;
+        if best.as_ref().is_none_or(|(_, b)| acc > *b) {
+            best = Some((key.clone(), acc));
+        }
+    }
+    best.map(|(k, _)| k)
+}

@@ -1,0 +1,70 @@
+//! Manual DNN-testing ensemble construction: without Sommelier, the
+//! adversarial-input detector is assembled by hand for every tested model
+//! (paper Sections 2.1 and 6) — download candidates, check input/output
+//! compatibility manually, measure pairwise agreement, and keep the N
+//! most-agreeing-but-distinct models.
+
+use sommelier_graph::Model;
+use sommelier_repo::ModelRepository;
+use sommelier_runtime::execute;
+use sommelier_tensor::{Prng, Tensor};
+
+/// Build an ensemble of `n` models similar to (but distinct from) the
+/// model under test, by exhaustive pairwise agreement measurement.
+pub fn manual_testing_ensemble(
+    repo: &dyn ModelRepository,
+    under_test: &str,
+    n: usize,
+) -> Vec<String> {
+    let Ok(tested) = repo.load(under_test) else {
+        return Vec::new();
+    };
+
+    // Download everything; no metadata exists to pre-filter with.
+    let mut candidates: Vec<(String, Model)> = Vec::new();
+    for key in repo.keys() {
+        if key == under_test {
+            continue;
+        }
+        if let Ok(model) = repo.load(&key) {
+            candidates.push((key, model));
+        }
+    }
+
+    // Manual compatibility check: identical input and output widths.
+    candidates.retain(|(_, m)| {
+        m.input_width() == tested.input_width() && m.output_width() == tested.output_width()
+    });
+
+    // Probe agreement on a hand-rolled input sweep.
+    let mut rng = Prng::seed_from_u64(0x7e57);
+    let probes = 768;
+    let inputs = Tensor::gaussian(probes, tested.input_width(), 1.0, &mut rng);
+    let Ok(base_out) = execute(&tested, &inputs) else {
+        return Vec::new();
+    };
+    let base_top: Vec<usize> = (0..probes).map(|r| base_out.argmax_row(r)).collect();
+
+    let mut scored: Vec<(String, f64)> = Vec::new();
+    for (key, model) in &candidates {
+        let Ok(out) = execute(model, &inputs) else {
+            continue;
+        };
+        let mut agree = 0usize;
+        for (r, &top) in base_top.iter().enumerate() {
+            if out.argmax_row(r) == top {
+                agree += 1;
+            }
+        }
+        let ratio = agree as f64 / probes as f64;
+        // A useful detector member agrees broadly but not perfectly —
+        // identical copies explore no new decision boundary.
+        if ratio < 0.9999 {
+            scored.push((key.clone(), ratio));
+        }
+    }
+
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    scored.truncate(n);
+    scored.into_iter().map(|(k, _)| k).collect()
+}

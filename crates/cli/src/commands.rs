@@ -1,0 +1,322 @@
+//! Implementation of the CLI subcommands.
+
+use sommelier_equiv::explain::explain;
+use sommelier_equiv::whole::EquivConfig;
+use sommelier_graph::{serde_model, TaskKind};
+use sommelier_query::{Sommelier, SommelierConfig};
+use sommelier_repo::{ModelRepository, OnDiskRepository};
+use sommelier_runtime::ResourceProfile;
+use sommelier_tensor::{Prng, Tensor};
+use sommelier_zoo::series::build_series;
+use sommelier_zoo::families::Family;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// File name (inside the repository directory) of the persisted indices.
+const INDEX_FILE: &str = "sommelier.index.json";
+
+type CmdResult = Result<(), String>;
+
+fn fail(e: impl std::fmt::Display) -> String {
+    e.to_string()
+}
+
+/// Positional arguments and `(name, value)` flag pairs.
+type ParsedArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>);
+
+/// Parse `--flag value` pairs out of an argument list, returning the
+/// remaining positional arguments.
+fn split_flags(args: &[String]) -> Result<ParsedArgs<'_>, String> {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if let Some(name) = a.strip_prefix("--") {
+            if name.is_empty() {
+                return Err("empty flag name".into());
+            }
+            // Boolean flags take no value; known ones are listed here.
+            if name == "no-segments" {
+                flags.push((name, "true"));
+                i += 1;
+                continue;
+            }
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            flags.push((name, value.as_str()));
+            i += 2;
+        } else {
+            positional.push(a);
+            i += 1;
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn repo_dir(positional: &[&str]) -> Result<PathBuf, String> {
+    positional
+        .first()
+        .map(PathBuf::from)
+        .ok_or_else(|| "missing repository directory argument".into())
+}
+
+fn open_repo(dir: &Path) -> Result<Arc<OnDiskRepository>, String> {
+    if !dir.exists() {
+        return Err(format!(
+            "repository '{}' does not exist (run `sommelier init` first)",
+            dir.display()
+        ));
+    }
+    Ok(Arc::new(OnDiskRepository::open(dir).map_err(fail)?))
+}
+
+fn index_path(dir: &Path) -> PathBuf {
+    dir.join(INDEX_FILE)
+}
+
+fn engine_config(flags: &[(&str, &str)]) -> Result<SommelierConfig, String> {
+    let mut cfg = SommelierConfig::default();
+    for (name, value) in flags {
+        match *name {
+            "sample" => {
+                cfg.index.sample_size = value
+                    .parse()
+                    .map_err(|_| format!("--sample needs an integer, got '{value}'"))?;
+            }
+            "no-segments" => cfg.index.segments = false,
+            _ => return Err(format!("unknown flag --{name}")),
+        }
+    }
+    Ok(cfg)
+}
+
+/// `sommelier init <dir>`
+pub fn init(args: &[String]) -> CmdResult {
+    let (positional, _) = split_flags(args)?;
+    let dir = repo_dir(&positional)?;
+    std::fs::create_dir_all(&dir).map_err(fail)?;
+    OnDiskRepository::open(&dir).map_err(fail)?;
+    println!("initialized empty repository at {}", dir.display());
+    Ok(())
+}
+
+/// `sommelier seed <dir> [--series N] [--seed S]`
+pub fn seed(args: &[String]) -> CmdResult {
+    let (positional, flags) = split_flags(args)?;
+    let dir = repo_dir(&positional)?;
+    let mut n_series = 3usize;
+    let mut seed = 2024u64;
+    for (name, value) in &flags {
+        match *name {
+            "series" => {
+                n_series = value
+                    .parse()
+                    .map_err(|_| format!("--series needs an integer, got '{value}'"))?
+            }
+            "seed" => {
+                seed = value
+                    .parse()
+                    .map_err(|_| format!("--seed needs an integer, got '{value}'"))?
+            }
+            other => return Err(format!("unknown flag --{other}")),
+        }
+    }
+    let repo = open_repo(&dir)?;
+    let families = [
+        Family::Bitish,
+        Family::Efficientnetish,
+        Family::Resnetish,
+        Family::Mobilenetish,
+        Family::Vggish,
+        Family::Inceptionish,
+    ];
+    let mut rng = Prng::seed_from_u64(seed);
+    let mut published = 0usize;
+    for i in 0..n_series {
+        let family = families[i % families.len()];
+        let series = build_series(
+            &format!("{}-v{}", family.slug(), i / families.len() + 1),
+            family,
+            TaskKind::ImageRecognition,
+            "imagenet",
+            5,
+            seed,
+            0.12,
+            &mut rng,
+        );
+        for m in &series.models {
+            repo.publish(&m.name, m, true).map_err(fail)?;
+            published += 1;
+        }
+    }
+    println!(
+        "seeded {} with {published} models across {n_series} series",
+        dir.display()
+    );
+    println!("(run `sommelier index {}` to build the indices)", dir.display());
+    Ok(())
+}
+
+/// `sommelier add <dir> <model.json> [--key K]`
+pub fn add(args: &[String]) -> CmdResult {
+    let (positional, flags) = split_flags(args)?;
+    let dir = repo_dir(&positional)?;
+    let file = positional
+        .get(1)
+        .ok_or("missing model file argument")?;
+    let model = serde_model::load(Path::new(file)).map_err(fail)?;
+    let key = flags
+        .iter()
+        .find(|(n, _)| *n == "key")
+        .map(|(_, v)| v.to_string())
+        .unwrap_or_else(|| model.name.clone());
+    let repo = open_repo(&dir)?;
+    repo.publish(&key, &model, false).map_err(fail)?;
+    println!("published '{key}' ({} parameters)", model.param_count());
+    Ok(())
+}
+
+/// `sommelier list <dir>`
+pub fn list(args: &[String]) -> CmdResult {
+    let (positional, _) = split_flags(args)?;
+    let dir = repo_dir(&positional)?;
+    let repo = open_repo(&dir)?;
+    let keys = repo.keys();
+    if keys.is_empty() {
+        println!("(repository is empty)");
+        return Ok(());
+    }
+    for key in keys {
+        println!("{key}");
+    }
+    Ok(())
+}
+
+/// `sommelier show <dir> <key>`
+pub fn show(args: &[String]) -> CmdResult {
+    let (positional, _) = split_flags(args)?;
+    let dir = repo_dir(&positional)?;
+    let key = positional.get(1).ok_or("missing model key argument")?;
+    let repo = open_repo(&dir)?;
+    let model = repo.load(key).map_err(fail)?;
+    let profile = ResourceProfile::of(&model);
+    println!("key:        {key}");
+    println!("name:       {}", model.name);
+    println!("version:    {}", model.version);
+    println!("task:       {}", model.task);
+    println!("input:      {}", model.input_shape);
+    println!("output:     {} dims", model.output_width());
+    println!("layers:     {}", model.num_layers());
+    println!("parameters: {}", model.param_count());
+    println!("memory:     {:.3} MB", profile.memory_mb);
+    println!("compute:    {:.6} GFLOPs", profile.gflops);
+    println!("latency:    {:.3} ms (cpu, batch 1)", profile.latency_ms);
+    if !model.metadata.is_empty() {
+        println!("metadata:");
+        for (k, v) in &model.metadata {
+            println!("  {k} = {v}");
+        }
+    }
+    Ok(())
+}
+
+/// `sommelier index <dir> [--sample N] [--no-segments]`
+pub fn index(args: &[String]) -> CmdResult {
+    let (positional, flags) = split_flags(args)?;
+    let dir = repo_dir(&positional)?;
+    let cfg = engine_config(&flags)?;
+    let repo = open_repo(&dir)?;
+    let mut engine = Sommelier::connect(repo as Arc<dyn ModelRepository>, cfg);
+    let start = std::time::Instant::now();
+    let added = engine.index_existing().map_err(fail)?;
+    let secs = start.elapsed().as_secs_f64();
+    engine.save_indices(&index_path(&dir)).map_err(fail)?;
+    println!(
+        "indexed {added} models in {secs:.1}s → {}",
+        index_path(&dir).display()
+    );
+    Ok(())
+}
+
+fn load_engine(dir: &Path) -> Result<Sommelier, String> {
+    let repo = open_repo(dir)?;
+    let path = index_path(dir);
+    if !path.exists() {
+        return Err(format!(
+            "no index at {} (run `sommelier index {}` first)",
+            path.display(),
+            dir.display()
+        ));
+    }
+    Sommelier::connect_with_indices(
+        repo as Arc<dyn ModelRepository>,
+        SommelierConfig::default(),
+        &path,
+    )
+    .map_err(fail)
+}
+
+/// `sommelier query <dir> <query-text>`
+pub fn query(args: &[String]) -> CmdResult {
+    let (positional, _) = split_flags(args)?;
+    let dir = repo_dir(&positional)?;
+    let text = positional
+        .get(1..)
+        .filter(|rest| !rest.is_empty())
+        .map(|rest| rest.join(" "))
+        .ok_or("missing query text")?;
+    let engine = load_engine(&dir)?;
+    let results = engine.query(&text).map_err(fail)?;
+    if results.is_empty() {
+        println!("(no model satisfies all predicates)");
+        return Ok(());
+    }
+    println!(
+        "{:<28} {:>7} {:>10} {:>12} {:>10}",
+        "key", "score", "mem (MB)", "GFLOPs", "lat (ms)"
+    );
+    for r in &results {
+        println!(
+            "{:<28} {:>7.3} {:>10.3} {:>12.6} {:>10.3}",
+            r.key, r.score, r.profile.memory_mb, r.profile.gflops, r.profile.latency_ms
+        );
+    }
+    Ok(())
+}
+
+/// `sommelier diff <dir> <reference> <candidate>`
+///
+/// Prints the full equivalence explanation (the paper's "explanation
+/// database" view): I/O check, empirical/bounded differences, matched
+/// segments with their propagation bounds, and the verdict.
+pub fn diff(args: &[String]) -> CmdResult {
+    let (positional, _) = split_flags(args)?;
+    let dir = repo_dir(&positional)?;
+    let reference_key = positional.get(1).ok_or("missing reference key")?;
+    let candidate_key = positional.get(2).ok_or("missing candidate key")?;
+    let repo = open_repo(&dir)?;
+    let reference = repo.load(reference_key).map_err(fail)?;
+    let candidate = repo.load(candidate_key).map_err(fail)?;
+    let mut rng = Prng::seed_from_u64(0xd1ff);
+    let probe = Tensor::gaussian(512, reference.input_width(), 1.0, &mut rng);
+    let cfg = EquivConfig {
+        epsilon: 0.15,
+        ..EquivConfig::default()
+    };
+    let explanation = explain(&reference, &candidate, &probe, &cfg, 0.15, &mut rng);
+    print!("{explanation}");
+    Ok(())
+}
+
+/// `sommelier dot <dir> <key>` — Graphviz export of a model's graph.
+pub fn dot(args: &[String]) -> CmdResult {
+    let (positional, _) = split_flags(args)?;
+    let dir = repo_dir(&positional)?;
+    let key = positional.get(1).ok_or("missing model key argument")?;
+    let repo = open_repo(&dir)?;
+    let model = repo.load(key).map_err(fail)?;
+    print!("{}", sommelier_graph::dot::to_dot(&model, &[]));
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! `sommelier` — command-line interface to the Sommelier query engine.
+//!
+//! A repository is a directory of `*.model.json` files (the bare-bone
+//! filesystem of paper Section 2.1); the indices live next to them in
+//! `sommelier.index.json`. Typical session:
+//!
+//! ```sh
+//! sommelier init hub/
+//! sommelier seed hub/ --series 4 --seed 7      # populate from the zoo
+//! sommelier index hub/                         # build + persist indices
+//! sommelier list hub/
+//! sommelier query hub/ "SELECT model CORR bitish-r152x4 ON memory <= 40% WITHIN 0.3"
+//! sommelier show hub/ efficientnetish-b5
+//! sommelier diff hub/ bitish-r152x4 efficientnetish-b5
+//! ```
+
+mod commands;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+sommelier — DNN model repository query engine (SIGMOD'22 reproduction)
+
+USAGE:
+    sommelier <COMMAND> [ARGS]
+
+COMMANDS:
+    init   <dir>                        create an empty repository
+    seed   <dir> [--series N] [--seed S]
+                                        populate with synthetic zoo series
+    add    <dir> <model.json> [--key K] publish a model file
+    list   <dir>                        list stored model keys
+    show   <dir> <key>                  metadata + resource profile
+    index  <dir> [--sample N] [--no-segments]
+                                        build and persist the indices
+    query  <dir> <query-text>           run a SELECT … CORR … query
+    diff   <dir> <reference> <candidate>
+                                        full equivalence explanation
+    dot    <dir> <key>                  Graphviz export of the model graph
+    help                                print this message
+
+Queries use the paper's Figure 7 syntax, e.g.:
+    SELECT models 3 CORR resnetish-50 ON memory <= 80% WITHIN 0.5 ORDER BY similarity
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(String::as_str) else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match command {
+        "init" => commands::init(rest),
+        "seed" => commands::seed(rest),
+        "add" => commands::add(rest),
+        "list" => commands::list(rest),
+        "show" => commands::show(rest),
+        "index" => commands::index(rest),
+        "query" => commands::query(rest),
+        "diff" => commands::diff(rest),
+        "dot" => commands::dot(rest),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

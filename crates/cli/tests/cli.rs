@@ -1,0 +1,146 @@
+//! End-to-end tests driving the `sommelier` binary as a subprocess.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_sommelier")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin())
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn temp_repo(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sommelier-cli-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = run(&["help"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("USAGE"));
+}
+
+#[test]
+fn no_command_fails_with_usage() {
+    let out = run(&[]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_is_an_error() {
+    let out = run(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown command"));
+}
+
+#[test]
+fn query_without_index_explains_what_to_do() {
+    let dir = temp_repo("noindex");
+    assert!(run(&["init", dir.to_str().unwrap()]).status.success());
+    let out = run(&["query", dir.to_str().unwrap(), "SELECT model CORR x"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("sommelier index"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn full_session_init_seed_index_query_show_diff() {
+    let dir = temp_repo("session");
+    let d = dir.to_str().unwrap();
+
+    assert!(run(&["init", d]).status.success());
+
+    let out = run(&["seed", d, "--series", "2", "--seed", "7"]);
+    assert!(out.status.success(), "seed failed: {}", stderr(&out));
+    assert!(stdout(&out).contains("seeded"));
+
+    let out = run(&["list", d]);
+    assert!(out.status.success());
+    let listing = stdout(&out);
+    let keys: Vec<&str> = listing.lines().collect();
+    assert_eq!(keys.len(), 10, "2 series x 5 models: {listing}");
+
+    let out = run(&["index", d, "--sample", "16", "--no-segments"]);
+    assert!(out.status.success(), "index failed: {}", stderr(&out));
+
+    // Query for a small equivalent of the largest first-series model.
+    let reference = keys
+        .iter()
+        .find(|k| k.contains("r152x4"))
+        .expect("bitish series is seeded first");
+    let out = run(&[
+        "query",
+        d,
+        &format!("SELECT models 3 CORR {reference} ON memory <= 60% WITHIN 0.0 ORDER BY memory"),
+    ]);
+    assert!(out.status.success(), "query failed: {}", stderr(&out));
+    let table = stdout(&out);
+    assert!(table.contains("score"), "no result table: {table}");
+    assert!(table.lines().count() >= 2, "no results: {table}");
+
+    let out = run(&["show", d, keys[0]]);
+    assert!(out.status.success());
+    let shown = stdout(&out);
+    assert!(shown.contains("parameters:"));
+    assert!(shown.contains("memory:"));
+
+    let out = run(&["diff", d, keys[0], keys[1]]);
+    assert!(out.status.success(), "diff failed: {}", stderr(&out));
+    let explanation = stdout(&out);
+    assert!(explanation.contains("diff bound"));
+    assert!(explanation.contains("i/o check"));
+    assert!(explanation.contains("verdict"));
+
+    let out = run(&["dot", d, keys[0]]);
+    assert!(out.status.success(), "dot failed: {}", stderr(&out));
+    let dot = stdout(&out);
+    assert!(dot.starts_with("digraph"));
+    assert!(dot.contains("->"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn add_rejects_missing_file_and_duplicate_keys() {
+    let dir = temp_repo("add");
+    let d = dir.to_str().unwrap();
+    assert!(run(&["init", d]).status.success());
+    let out = run(&["add", d, "/nonexistent/model.json"]);
+    assert!(!out.status.success());
+
+    // Round-trip a real model file through `add`.
+    let out = run(&["seed", d, "--series", "1"]);
+    assert!(out.status.success());
+    let listing = stdout(&run(&["list", d]));
+    let first = listing.lines().next().expect("seeded").to_string();
+    // Export by copying the stored file, then re-add under a new key.
+    let src = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .find(|e| e.file_name().to_string_lossy().ends_with(".model.json"))
+        .expect("stored model file");
+    let copy = dir.join("export.json");
+    std::fs::copy(src.path(), &copy).unwrap();
+    let out = run(&["add", d, copy.to_str().unwrap(), "--key", "reimported"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let out = run(&["add", d, copy.to_str().unwrap(), "--key", "reimported"]);
+    assert!(!out.status.success(), "duplicate key must fail");
+    let _ = first;
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,425 @@
+//! Layer-wise error propagation bounds (paper Section 4.2).
+//!
+//! Given two structurally identical segments `S` (host) and `S'` (donor),
+//! we bound the output difference of splicing `S'` into the host in place
+//! of `S`, inductively from the segment entry to its tail. The inductive
+//! state is the difference bound `Δⁱ = max‖ΔXⁱ‖`; each step additionally
+//! needs `Xⁱ = max‖Xⁱ‖`, a bound on the activation magnitude entering the
+//! layer.
+//!
+//! Per operator category:
+//!
+//! * **linear** (`W` host, `W'` donor):
+//!   `Δ' ≤ λ_max(W)·Δ + λ_max(W′−W)·X` (plus the bias-difference norm) —
+//!   the paper's displayed inequality, with convolutions handled through
+//!   their dense-equivalent 2-D matrix;
+//! * **activation**: 1-Lipschitz and `|act(x)| ≤ |x|` for the ReLU family
+//!   and tanh (sigmoid is ¼-Lipschitz), so `Δ' ≤ L·Δ`;
+//! * **pooling**: non-expansive in l2 → `Δ' ≤ Δ`;
+//! * **normalization**: outputs live on the unit sphere; the difference is
+//!   rescaled by the input magnitude: `Δ' = Δ / max(X, ε)`;
+//! * **multi-source**: the non-segment inputs are identical on both sides,
+//!   so `add`/`concat` pass `Δ` through; `multiply` scales the difference
+//!   by the magnitude of the other operand.
+//!
+//! The activation-magnitude series `Xⁱ` can be obtained two ways:
+//! analytically ([`analytic_norms`], `Xⁱ⁺¹ = λ_max(W)·Xⁱ`, fully
+//! dataset-independent but loose over deep segments) or from a recorded
+//! execution trace of the *host* ([`measured_norms`]) — still sound,
+//! because the `(ΔW)·X` term acts on the host's actual activations, and
+//! much tighter. The index-building assessment uses measured norms.
+
+use crate::segment::MatchedSegment;
+use sommelier_graph::{LayerId, Model, Op};
+use sommelier_tensor::linalg::{self, spectral_norm_default};
+use sommelier_tensor::Tensor;
+
+/// Spectral norm of the difference of two same-shaped weight tensors.
+fn diff_spectral(host_w: &Tensor, donor_w: &Tensor) -> f64 {
+    let d = donor_w.zip_with(host_w, |a, b| a - b);
+    spectral_norm_default(&d)
+}
+
+/// Advance the difference bound through one aligned layer pair.
+///
+/// `delta` bounds the activation difference entering the layer;
+/// `input_norm` bounds the (host) activation magnitude entering it.
+pub fn step(
+    host: &Model,
+    host_id: LayerId,
+    donor: &Model,
+    donor_id: LayerId,
+    delta: f64,
+    input_norm: f64,
+) -> f64 {
+    let hl = host.layer(host_id);
+    let dl = donor.layer(donor_id);
+    debug_assert_eq!(hl.op.type_tag(), dl.op.type_tag(), "segments must align");
+    match &hl.op {
+        Op::Input { .. } => delta,
+        Op::Dense { .. } | Op::Conv1d { .. } | Op::Scale => {
+            let w = host
+                .dense_equivalent(host_id)
+                .expect("linear layer has dense equivalent");
+            let w2 = donor
+                .dense_equivalent(donor_id)
+                .expect("linear layer has dense equivalent");
+            let lambda = spectral_norm_default(&w);
+            let lambda_diff = diff_spectral(&w, &w2);
+            let bias_diff = match (&hl.params.bias, &dl.params.bias) {
+                (Some(a), Some(b)) => b.zip_with(a, |x, y| x - y).frobenius_norm(),
+                (None, None) => 0.0,
+                (Some(a), None) | (None, Some(a)) => a.frobenius_norm(),
+            };
+            lambda * delta + lambda_diff * input_norm + bias_diff
+        }
+        Op::Relu | Op::Tanh | Op::Softmax => delta,
+        Op::LeakyRelu { slope } => delta * f64::from(slope.abs().max(1.0)),
+        Op::Sigmoid => 0.25 * delta,
+        Op::MaxPool { .. } | Op::MeanPool { .. } => delta,
+        Op::L2Normalize => delta / input_norm.max(1e-9),
+        Op::Add | Op::Concat => delta,
+        Op::Multiply => delta * input_norm,
+    }
+}
+
+/// How one (host) layer transforms an activation-magnitude bound — the
+/// analytic `Xⁱ⁺¹` update.
+pub fn norm_step(host: &Model, host_id: LayerId, input_norm: f64) -> f64 {
+    let hl = host.layer(host_id);
+    match &hl.op {
+        Op::Input { .. } => input_norm,
+        Op::Dense { .. } | Op::Conv1d { .. } | Op::Scale => {
+            let w = host
+                .dense_equivalent(host_id)
+                .expect("linear layer has dense equivalent");
+            let bias = hl
+                .params
+                .bias
+                .as_ref()
+                .map_or(0.0, Tensor::frobenius_norm);
+            spectral_norm_default(&w) * input_norm + bias
+        }
+        // |act(x)| ≤ |x| for the ReLU family and tanh; softmax outputs lie
+        // in the simplex (‖·‖₂ ≤ 1); sigmoid is bounded by 1 per element.
+        Op::Relu | Op::LeakyRelu { .. } | Op::Tanh => input_norm,
+        Op::Softmax => input_norm.min(1.0),
+        Op::Sigmoid => {
+            let width = host.width_of(host_id) as f64;
+            input_norm.min(width.sqrt())
+        }
+        Op::MaxPool { .. } | Op::MeanPool { .. } => input_norm,
+        Op::L2Normalize => 1.0,
+        Op::Add => hl.inputs.len() as f64 * input_norm,
+        Op::Concat => (hl.inputs.len() as f64).sqrt() * input_norm,
+        Op::Multiply => input_norm * input_norm,
+    }
+}
+
+/// The analytic activation-magnitude series along a segment: entry norm at
+/// position 0, then `norm_step` per layer. Returns one value per segment
+/// layer (the norm *entering* that layer).
+pub fn analytic_norms(host: &Model, seg: &MatchedSegment, entry_norm: f64) -> Vec<f64> {
+    let mut norms = Vec::with_capacity(seg.len());
+    let mut n = entry_norm.max(0.0);
+    for &id in &seg.host_layers {
+        norms.push(n);
+        n = norm_step(host, id, n);
+    }
+    norms
+}
+
+/// Measured activation-magnitude series from a host execution trace
+/// (`sommelier-runtime::execute_traced` output): the max row-l2 of the
+/// activation *entering* each segment layer.
+pub fn measured_norms(host: &Model, seg: &MatchedSegment, trace: &[Tensor]) -> Vec<f64> {
+    seg.host_layers
+        .iter()
+        .map(|&id| {
+            let input = host.layer(id).inputs.first().copied();
+            let act = match input {
+                Some(prev) => &trace[prev.index()],
+                None => &trace[0],
+            };
+            (0..act.rows())
+                .map(|r| linalg::l2_norm(act.row(r)))
+                .fold(0.0f64, f64::max)
+        })
+        .collect()
+}
+
+/// Output-difference bound of replacing the host segment with the donor's
+/// counterpart, given the activation-magnitude series (one bound per
+/// segment layer, as produced by [`analytic_norms`] or
+/// [`measured_norms`]).
+///
+/// Propagation follows the segment's *graph*, not just its layer order: a
+/// layer's incoming difference is the sum of the difference bounds of its
+/// in-segment inputs (inputs outside the segment are identical on both
+/// sides and contribute zero). For purely sequential segments this
+/// reduces to a chain walk; for residual segments it correctly carries
+/// the trunk's error through `Add` merges instead of losing it down the
+/// low-gain branch.
+pub fn segment_diff_bound_with_norms(
+    host: &Model,
+    donor: &Model,
+    seg: &MatchedSegment,
+    norms: &[f64],
+) -> f64 {
+    assert_eq!(norms.len(), seg.len(), "one norm per segment layer");
+    let mut delta: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+    for ((h, d), &norm) in seg
+        .host_layers
+        .iter()
+        .zip(&seg.donor_layers)
+        .zip(norms)
+    {
+        let incoming: f64 = host
+            .layer(*h)
+            .inputs
+            .iter()
+            .map(|i| delta.get(&i.index()).copied().unwrap_or(0.0))
+            .sum();
+        let out = step(host, *h, donor, *d, incoming, norm);
+        delta.insert(h.index(), out);
+    }
+    delta
+        .get(&seg.host_tail().index())
+        .copied()
+        .unwrap_or(0.0)
+}
+
+/// Trace-measured variant of [`segment_diff_bound_with_norms`]: the
+/// weight-difference injection term of each linear layer is measured
+/// directly on the host's recorded activations —
+/// `max_r ‖x_r·(W′−W)‖ (+ bias diff)` — instead of the looser
+/// `λ_max(W′−W) · max_r ‖x_r‖`. Both dominate the true per-layer
+/// injection on the probe; the measured form avoids the spectral norm's
+/// worst-case alignment assumption and is what the index-building
+/// assessment uses.
+pub fn segment_diff_bound_traced(
+    host: &Model,
+    donor: &Model,
+    seg: &MatchedSegment,
+    trace: &[Tensor],
+) -> f64 {
+    use sommelier_graph::Op;
+    let norms = measured_norms(host, seg, trace);
+    let mut delta: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+    for ((h, d), &norm) in seg
+        .host_layers
+        .iter()
+        .zip(&seg.donor_layers)
+        .zip(&norms)
+    {
+        let incoming: f64 = host
+            .layer(*h)
+            .inputs
+            .iter()
+            .map(|i| delta.get(&i.index()).copied().unwrap_or(0.0))
+            .sum();
+        let hl = host.layer(*h);
+        let out = match &hl.op {
+            Op::Dense { .. } | Op::Conv1d { .. } | Op::Scale => {
+                let w = host
+                    .dense_equivalent(*h)
+                    .expect("linear layer has dense equivalent");
+                let w2 = donor
+                    .dense_equivalent(*d)
+                    .expect("linear layer has dense equivalent");
+                let lambda = spectral_norm_default(&w);
+                let dw = w2.zip_with(&w, |a, b| a - b);
+                // Measured injection: the real activations entering the
+                // layer, pushed through ΔW.
+                let x_in = &trace[hl.inputs[0].index()];
+                let injected = sommelier_tensor::ops::matmul(x_in, &dw);
+                let inj = (0..injected.rows())
+                    .map(|r| linalg::l2_norm(injected.row(r)))
+                    .fold(0.0f64, f64::max);
+                let bias_diff = match (&hl.params.bias, &donor.layer(*d).params.bias) {
+                    (Some(a), Some(b)) => b.zip_with(a, |x, y| x - y).frobenius_norm(),
+                    (None, None) => 0.0,
+                    (Some(a), None) | (None, Some(a)) => a.frobenius_norm(),
+                };
+                lambda * incoming + inj + bias_diff
+            }
+            _ => step(host, *h, donor, *d, incoming, norm),
+        };
+        delta.insert(h.index(), out);
+    }
+    delta
+        .get(&seg.host_tail().index())
+        .copied()
+        .unwrap_or(0.0)
+}
+
+/// Fully dataset-independent bound: identical inputs of magnitude at most
+/// `entry_norm`, analytic norm propagation.
+pub fn segment_diff_bound(
+    host: &Model,
+    donor: &Model,
+    seg: &MatchedSegment,
+    entry_norm: f64,
+) -> f64 {
+    let norms = analytic_norms(host, seg, entry_norm);
+    segment_diff_bound_with_norms(host, donor, seg, &norms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::find_matched_segments;
+    use sommelier_graph::{ModelBuilder, TaskKind};
+    use sommelier_runtime::{execute, execute_traced};
+    use sommelier_tensor::{Prng, Shape};
+
+    fn mlp(seed: u64, perturb: f32) -> Model {
+        // Same structure for any seed; weights differ by `perturb`.
+        let mut r = Prng::seed_from_u64(7); // common base weights
+        let mut b = ModelBuilder::new("m", TaskKind::Other, Shape::vector(12));
+        b.dense(12, &mut r).relu().dense(12, &mut r).relu();
+        let m = b.build().unwrap();
+        if perturb == 0.0 {
+            return m;
+        }
+        let mut pr = Prng::seed_from_u64(seed);
+        let mut out = m.clone();
+        for id in m.linear_layers() {
+            let mut p = m.layer(id).params.clone();
+            let w = p.weight.take().unwrap();
+            let noise = Tensor::gaussian(w.rows(), w.cols(), perturb as f64, &mut pr);
+            p.weight = Some(w.zip_with(&noise, |a, b| a + b));
+            out.set_params(id, p).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn identical_segments_have_zero_bound() {
+        let a = mlp(1, 0.0);
+        let b = mlp(2, 0.0);
+        let segs = find_matched_segments(&a, &b, 2);
+        assert!(!segs.is_empty());
+        for s in &segs {
+            assert_eq!(segment_diff_bound(&a, &b, s, 3.0), 0.0);
+        }
+    }
+
+    #[test]
+    fn bound_grows_with_weight_difference() {
+        let a = mlp(1, 0.0);
+        let small = mlp(2, 0.01);
+        let large = mlp(2, 0.2);
+        let segs_s = find_matched_segments(&a, &small, 2);
+        let segs_l = find_matched_segments(&a, &large, 2);
+        let bs = segment_diff_bound(&a, &small, &segs_s[0], 3.0);
+        let bl = segment_diff_bound(&a, &large, &segs_l[0], 3.0);
+        assert!(bl > bs, "bl={bl} bs={bs}");
+        assert!(bs > 0.0);
+    }
+
+    #[test]
+    fn bound_scales_with_entry_norm() {
+        let a = mlp(1, 0.0);
+        let b = mlp(2, 0.05);
+        let segs = find_matched_segments(&a, &b, 2);
+        let b1 = segment_diff_bound(&a, &b, &segs[0], 1.0);
+        let b2 = segment_diff_bound(&a, &b, &segs[0], 2.0);
+        assert!((b2 / b1 - 2.0).abs() < 1e-9, "linear in entry norm");
+    }
+
+    #[test]
+    fn analytic_and_measured_bounds_are_sound() {
+        // For random inputs, the actual output difference between the two
+        // segments never exceeds either bound, and the measured-norm bound
+        // is at least as tight as the analytic one.
+        let a = mlp(1, 0.0);
+        let b = mlp(2, 0.05);
+        let segs = find_matched_segments(&a, &b, 2);
+        let seg = &segs[0];
+
+        let mut rng = Prng::seed_from_u64(3);
+        let x = Tensor::gaussian(64, 12, 1.0, &mut rng);
+        let entry_norm = (0..x.rows())
+            .map(|r| linalg::l2_norm(x.row(r)))
+            .fold(0.0f64, f64::max);
+        let analytic = segment_diff_bound(&a, &b, seg, entry_norm);
+        let trace = execute_traced(&a, &x).unwrap();
+        let norms = measured_norms(&a, seg, &trace);
+        let measured = segment_diff_bound_with_norms(&a, &b, seg, &norms);
+
+        let oa = execute(&a, &x).unwrap();
+        let ob = execute(&b, &x).unwrap();
+        let worst = (0..x.rows())
+            .map(|r| {
+                let d: f64 = oa
+                    .row(r)
+                    .iter()
+                    .zip(ob.row(r))
+                    .map(|(p, q)| ((p - q) as f64).powi(2))
+                    .sum();
+                d.sqrt()
+            })
+            .fold(0.0f64, f64::max);
+        assert!(measured >= worst, "measured {measured} vs actual {worst}");
+        assert!(analytic >= measured, "analytic {analytic} < measured {measured}");
+        assert!(analytic < worst * 500.0, "bound {analytic} is vacuous vs {worst}");
+    }
+
+    #[test]
+    fn sigmoid_contracts_and_normalize_rescales() {
+        let mut r = Prng::seed_from_u64(1);
+        let host = ModelBuilder::new("h", TaskKind::Other, Shape::vector(4))
+            .dense(4, &mut r)
+            .sigmoid()
+            .l2_normalize()
+            .build()
+            .unwrap();
+        let after_sigmoid = step(&host, LayerId(2), &host, LayerId(2), 1.0, 4.0);
+        assert_eq!(after_sigmoid, 0.25);
+        let after_norm = step(&host, LayerId(3), &host, LayerId(3), 0.25, 4.0);
+        assert_eq!(after_norm, 0.0625);
+        assert_eq!(norm_step(&host, LayerId(3), 4.0), 1.0);
+    }
+
+    #[test]
+    fn norm_step_caps_bounded_activations() {
+        let mut r = Prng::seed_from_u64(2);
+        let host = ModelBuilder::new("h", TaskKind::Other, Shape::vector(4))
+            .dense(4, &mut r)
+            .softmax()
+            .build()
+            .unwrap();
+        // Softmax outputs have l2 norm ≤ 1 regardless of input magnitude.
+        assert_eq!(norm_step(&host, LayerId(2), 100.0), 1.0);
+        assert_eq!(norm_step(&host, LayerId(2), 0.5), 0.5);
+    }
+
+    #[test]
+    fn scale_layer_bounds_follow_diagonal() {
+        // Scale with all-ones host and a donor differing by +0.5 on one
+        // feature: λ(W)=1, λ(ΔW)=0.5 → delta' = delta + 0.5·norm.
+        let host = ModelBuilder::new("h", TaskKind::Other, Shape::vector(3))
+            .scale_with(Tensor::ones(1, 3), None)
+            .build()
+            .unwrap();
+        let mut donor_scale = Tensor::ones(1, 3);
+        donor_scale.set(0, 1, 1.5);
+        let donor = ModelBuilder::new("d", TaskKind::Other, Shape::vector(3))
+            .scale_with(donor_scale, None)
+            .build()
+            .unwrap();
+        let out = step(&host, LayerId(1), &donor, LayerId(1), 0.2, 4.0);
+        assert!((out - (0.2 + 0.5 * 4.0)).abs() < 1e-3, "got {out}");
+    }
+
+    #[test]
+    fn analytic_norms_one_per_layer() {
+        let a = mlp(1, 0.0);
+        let b = mlp(2, 0.01);
+        let segs = find_matched_segments(&a, &b, 2);
+        let norms = analytic_norms(&a, &segs[0], 5.0);
+        assert_eq!(norms.len(), segs[0].len());
+        assert_eq!(norms[0], 5.0);
+    }
+}

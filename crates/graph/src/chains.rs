@@ -1,0 +1,213 @@
+//! Maximal linear chain extraction.
+//!
+//! Segment equivalence (paper Section 4.2, Figure 4) operates on
+//! *operational sequences*: runs of layers connected head-to-tail with no
+//! branching. Optimal common-subgraph detection is NP-hard, but DNNs
+//! connect layers mostly sequentially with a few local parallel branches,
+//! so the paper extracts the longest operator sequences from each DAG and
+//! intersects them in `O(N²)` via longest-common-subsequence matching
+//! (that matching lives in `sommelier-equiv`; this module supplies the
+//! chains).
+//!
+//! A *chain* here is a maximal path `l₁ → l₂ → … → lₖ` such that every
+//! interior edge is the sole connection on both sides: each `lᵢ` (i > 1)
+//! has exactly one input, and each `lᵢ` (i < k) has exactly one consumer.
+//! Branch points terminate chains, which reproduces the recursive
+//! decomposition of Figure 4 (`S1` on the trunk, `S2`/`S3` inside the
+//! parallel operator).
+
+use crate::layer::LayerId;
+use crate::model::Model;
+use crate::op::OpKind;
+use serde::{Deserialize, Serialize};
+
+/// A maximal sequential run of layers within one model.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Chain {
+    /// Layer ids in execution order.
+    pub layers: Vec<LayerId>,
+}
+
+impl Chain {
+    /// Number of layers in the chain.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// The operator type tags along the chain — the signature used for
+    /// structural matching between models.
+    pub fn signature(&self, model: &Model) -> Vec<String> {
+        self.layers
+            .iter()
+            .map(|id| model.layer(*id).op.type_tag())
+            .collect()
+    }
+}
+
+/// Extract every maximal chain of length ≥ `min_len` from the model.
+///
+/// The `Input` source never participates in a chain (replacing it is
+/// meaningless), and chains are reported in ascending order of their first
+/// layer id, making the output deterministic.
+pub fn extract_chains(model: &Model, min_len: usize) -> Vec<Chain> {
+    let consumers = model.consumers();
+    let n = model.num_layers();
+    // A layer can sit mid-chain only with exactly one input and one
+    // consumer; it can start a chain regardless of its input fan-in.
+    let single_input = |i: usize| model.layer(LayerId(i)).inputs.len() == 1;
+    let single_consumer = |i: usize| consumers[i].len() == 1;
+    let eligible = |i: usize| model.layer(LayerId(i)).op.kind() != OpKind::Source;
+
+    let mut chains = Vec::new();
+    let mut claimed = vec![false; n];
+    for start in 0..n {
+        if claimed[start] || !eligible(start) {
+            continue;
+        }
+        // `start` begins a chain if its predecessor cannot extend into it:
+        // predecessor is a source, is branching (multiple consumers), or
+        // `start` has multiple inputs.
+        let pred_extends = single_input(start) && {
+            let p = model.layer(LayerId(start)).inputs[0].index();
+            eligible(p) && single_consumer(p) && !claimed[p]
+        };
+        if pred_extends {
+            continue; // it will be claimed when we walk from the true start
+        }
+        let mut chain = vec![LayerId(start)];
+        claimed[start] = true;
+        let mut cur = start;
+        loop {
+            if !single_consumer(cur) {
+                break;
+            }
+            let next = consumers[cur][0].index();
+            if !eligible(next) || !single_input(next) || claimed[next] {
+                break;
+            }
+            chain.push(LayerId(next));
+            claimed[next] = true;
+            cur = next;
+        }
+        if chain.len() >= min_len {
+            chains.push(Chain { layers: chain });
+        }
+    }
+    chains
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModelBuilder;
+    use crate::task::TaskKind;
+    use sommelier_tensor::{Prng, Shape};
+
+    fn rng() -> Prng {
+        Prng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn sequential_model_is_one_chain() {
+        let mut r = rng();
+        let m = ModelBuilder::new("m", TaskKind::Other, Shape::vector(8))
+            .dense(4, &mut r)
+            .relu()
+            .dense(2, &mut r)
+            .softmax()
+            .build()
+            .unwrap();
+        let chains = extract_chains(&m, 1);
+        assert_eq!(chains.len(), 1);
+        assert_eq!(chains[0].len(), 4); // input excluded
+        assert_eq!(
+            chains[0].signature(&m),
+            vec!["dense:4", "relu", "dense:2", "softmax"]
+        );
+    }
+
+    #[test]
+    fn residual_block_splits_chains() {
+        let mut r = rng();
+        let m = ModelBuilder::new("res", TaskKind::Other, Shape::vector(8))
+            .residual_block(&mut r)
+            .build()
+            .unwrap();
+        // Graph: input → [dense relu dense] → add(input, ·) → relu
+        // input has two consumers (dense and add) → branch point.
+        let chains = extract_chains(&m, 1);
+        // chain A: dense, relu, dense; chain B: add, relu
+        assert_eq!(chains.len(), 2);
+        let sigs: Vec<Vec<String>> = chains.iter().map(|c| c.signature(&m)).collect();
+        assert!(sigs.contains(&vec![
+            "dense:8".to_string(),
+            "relu".to_string(),
+            "dense:8".to_string()
+        ]));
+        assert!(sigs.iter().any(|s| s[0] == "add"));
+    }
+
+    #[test]
+    fn min_len_filters_short_chains() {
+        let mut r = rng();
+        let m = ModelBuilder::new("res", TaskKind::Other, Shape::vector(8))
+            .residual_block(&mut r)
+            .build()
+            .unwrap();
+        let chains = extract_chains(&m, 3);
+        assert_eq!(chains.len(), 1);
+        assert_eq!(chains[0].len(), 3);
+    }
+
+    #[test]
+    fn parallel_branches_yield_separate_chains() {
+        let mut r = rng();
+        let mut b = ModelBuilder::new("inc", TaskKind::Other, Shape::vector(8));
+        let stem = b.cursor();
+        b.dense(4, &mut r).relu();
+        let a = b.cursor();
+        b.goto(stem).dense(4, &mut r).tanh();
+        let c = b.cursor();
+        let m = b.add_from(&[a, c]).build().unwrap();
+        let chains = extract_chains(&m, 1);
+        assert_eq!(chains.len(), 3); // two branches + the add tail
+        let lens: Vec<usize> = chains.iter().map(Chain::len).collect();
+        assert_eq!(lens.iter().filter(|&&l| l == 2).count(), 2);
+    }
+
+    #[test]
+    fn chains_never_include_the_input_source() {
+        let mut r = rng();
+        let m = ModelBuilder::new("m", TaskKind::Other, Shape::vector(4))
+            .dense(4, &mut r)
+            .build()
+            .unwrap();
+        for chain in extract_chains(&m, 1) {
+            assert!(chain.layers.iter().all(|id| id.index() != 0));
+        }
+    }
+
+    #[test]
+    fn chains_partition_eligible_layers() {
+        // Every non-source layer appears in exactly one chain (min_len 1).
+        let mut r = rng();
+        let m = ModelBuilder::new("res", TaskKind::Other, Shape::vector(8))
+            .residual_block(&mut r)
+            .residual_block(&mut r)
+            .dense(3, &mut r)
+            .build()
+            .unwrap();
+        let chains = extract_chains(&m, 1);
+        let mut seen = std::collections::BTreeSet::new();
+        for chain in &chains {
+            for id in &chain.layers {
+                assert!(seen.insert(id.index()), "layer {id:?} in two chains");
+            }
+        }
+        assert_eq!(seen.len(), m.num_layers() - 1);
+    }
+}

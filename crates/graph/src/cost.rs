@@ -1,0 +1,188 @@
+//! Hardware-independent cost accounting.
+//!
+//! The paper's resource profiles are "actually computational complexity
+//! profiles: TFLOPS captures the time complexity whereas memory usage
+//! measures space complexity" (Sections 1 and 5.5). This module computes
+//! both from the graph alone: floating-point operations per single-item
+//! inference, parameter bytes, and intermediate activation bytes. The
+//! hardware-*dependent* latency estimate built on top of these lives in
+//! `sommelier-runtime::latency`.
+
+use crate::layer::{Layer, LayerId};
+use crate::model::Model;
+use crate::op::Op;
+use serde::{Deserialize, Serialize};
+
+/// Bytes per scalar (all tensors are f32).
+pub const BYTES_PER_SCALAR: usize = 4;
+
+/// Cost of executing one layer on a single input row.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LayerCost {
+    /// Floating-point operations (multiply-accumulate counted as 2).
+    pub flops: u64,
+    /// Bytes of trainable parameters.
+    pub param_bytes: u64,
+    /// Bytes of the layer's output activation.
+    pub activation_bytes: u64,
+}
+
+/// Aggregate cost of a whole model (per single-item inference).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ModelCost {
+    pub flops: u64,
+    pub param_bytes: u64,
+    pub activation_bytes: u64,
+}
+
+impl ModelCost {
+    /// Total memory footprint: parameters plus every intermediate
+    /// activation, following the paper's "sum up the TFLOPS and
+    /// intermediate data sizes of all computation-intensive operators"
+    /// (Section 5.3).
+    pub fn memory_bytes(&self) -> u64 {
+        self.param_bytes + self.activation_bytes
+    }
+
+    /// FLOPs expressed in GFLOPs.
+    pub fn gflops(&self) -> f64 {
+        self.flops as f64 / 1e9
+    }
+
+    /// Memory expressed in MB.
+    pub fn memory_mb(&self) -> f64 {
+        self.memory_bytes() as f64 / 1e6
+    }
+}
+
+/// Cost of a single layer given the widths of its inputs and output.
+pub fn layer_cost(layer: &Layer, input_widths: &[usize], output_width: usize) -> LayerCost {
+    let out = output_width as u64;
+    let flops = match &layer.op {
+        Op::Input { .. } => 0,
+        // MAC = 2 flops; bias add = 1 per output.
+        Op::Dense { units } => {
+            let inputs = input_widths[0] as u64;
+            2 * inputs * (*units as u64) + layer.params.bias.as_ref().map_or(0, |_| *units as u64)
+        }
+        Op::Conv1d { kernel_size, .. } => 2 * (*kernel_size as u64) * out,
+        Op::Relu | Op::LeakyRelu { .. } => out,
+        // exp + sub + div (+max scan) per element.
+        Op::Softmax => 5 * out,
+        // tanh/sigmoid ≈ a handful of flops per element.
+        Op::Tanh | Op::Sigmoid => 4 * out,
+        // Each output scans its window once.
+        Op::MaxPool { .. } | Op::MeanPool { .. } => input_widths[0] as u64,
+        // Norm computation + scale.
+        Op::L2Normalize => 3 * out,
+        // Multiply by the scale and add the shift per feature.
+        Op::Scale => 2 * out,
+        Op::Add | Op::Multiply => (input_widths.len() as u64).saturating_sub(1) * out,
+        Op::Concat => 0,
+    };
+    LayerCost {
+        flops,
+        param_bytes: (layer.param_count() * BYTES_PER_SCALAR) as u64,
+        activation_bytes: (output_width * BYTES_PER_SCALAR) as u64,
+    }
+}
+
+/// Cost of a single layer within its model context.
+pub fn layer_cost_in(model: &Model, id: LayerId) -> LayerCost {
+    let layer = model.layer(id);
+    let input_widths: Vec<usize> = layer
+        .inputs
+        .iter()
+        .map(|i| model.width_of(*i))
+        .collect();
+    layer_cost(layer, &input_widths, model.width_of(id))
+}
+
+/// Aggregate cost of a model.
+pub fn model_cost(model: &Model) -> ModelCost {
+    let mut total = ModelCost::default();
+    for i in 0..model.num_layers() {
+        let c = layer_cost_in(model, LayerId(i));
+        total.flops += c.flops;
+        total.param_bytes += c.param_bytes;
+        total.activation_bytes += c.activation_bytes;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModelBuilder;
+    use crate::task::TaskKind;
+    use sommelier_tensor::{Prng, Shape};
+
+    #[test]
+    fn dense_flops_count_macs_and_bias() {
+        let mut r = Prng::seed_from_u64(1);
+        let m = ModelBuilder::new("m", TaskKind::Other, Shape::vector(8))
+            .dense(4, &mut r)
+            .build()
+            .unwrap();
+        let c = layer_cost_in(&m, LayerId(1));
+        assert_eq!(c.flops, 2 * 8 * 4 + 4);
+        assert_eq!(c.param_bytes, ((8 * 4 + 4) * 4) as u64);
+        assert_eq!(c.activation_bytes, 16);
+    }
+
+    #[test]
+    fn conv_flops_scale_with_output() {
+        let mut r = Prng::seed_from_u64(1);
+        let m = ModelBuilder::new("m", TaskKind::Other, Shape::vector(10))
+            .conv1d(3, 4, 2, &mut r)
+            .build()
+            .unwrap();
+        // windows = 4, out = 12, per-output 2*4 flops
+        let c = layer_cost_in(&m, LayerId(1));
+        assert_eq!(c.flops, 2 * 4 * 12);
+    }
+
+    #[test]
+    fn model_cost_sums_layers() {
+        let mut r = Prng::seed_from_u64(1);
+        let m = ModelBuilder::new("m", TaskKind::Other, Shape::vector(8))
+            .dense(8, &mut r)
+            .relu()
+            .dense(4, &mut r)
+            .build()
+            .unwrap();
+        let total = model_cost(&m);
+        let by_hand: u64 = (0..m.num_layers())
+            .map(|i| layer_cost_in(&m, LayerId(i)).flops)
+            .sum();
+        assert_eq!(total.flops, by_hand);
+        assert_eq!(total.param_bytes as usize, m.param_count() * 4);
+    }
+
+    #[test]
+    fn bigger_models_cost_more() {
+        let mut r = Prng::seed_from_u64(1);
+        let small = ModelBuilder::new("s", TaskKind::Other, Shape::vector(16))
+            .dense(16, &mut r)
+            .build()
+            .unwrap();
+        let large = ModelBuilder::new("l", TaskKind::Other, Shape::vector(16))
+            .dense(256, &mut r)
+            .dense(256, &mut r)
+            .build()
+            .unwrap();
+        assert!(model_cost(&large).flops > model_cost(&small).flops);
+        assert!(model_cost(&large).memory_bytes() > model_cost(&small).memory_bytes());
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let c = ModelCost {
+            flops: 3_000_000_000,
+            param_bytes: 2_000_000,
+            activation_bytes: 1_000_000,
+        };
+        assert!((c.gflops() - 3.0).abs() < 1e-12);
+        assert!((c.memory_mb() - 3.0).abs() < 1e-12);
+    }
+}

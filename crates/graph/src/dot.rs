@@ -1,0 +1,118 @@
+//! Graphviz (DOT) export of model graphs.
+//!
+//! Visual inspection of the DAG is invaluable when debugging segment
+//! matching or explaining why two models share structure. The export
+//! renders one node per layer — labeled with its operator tag, output
+//! width, and parameter count — and one edge per dataflow dependency.
+
+use crate::layer::LayerId;
+use crate::model::Model;
+use crate::op::OpKind;
+use std::fmt::Write as _;
+
+/// Render the model as a Graphviz `digraph`.
+///
+/// Optionally, a set of layer ids can be highlighted (e.g. a matched
+/// segment): those nodes are drawn filled.
+pub fn to_dot(model: &Model, highlight: &[LayerId]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", sanitize(&model.name));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    for (i, layer) in model.layers().iter().enumerate() {
+        let id = LayerId(i);
+        let params = layer.param_count();
+        let label = if params > 0 {
+            format!(
+                "{}\\n[{} wide, {} params]",
+                layer.op.type_tag(),
+                model.width_of(id),
+                params
+            )
+        } else {
+            format!("{}\\n[{} wide]", layer.op.type_tag(), model.width_of(id))
+        };
+        let mut attrs = format!("label=\"{label}\"");
+        if layer.op.kind() == OpKind::Source {
+            attrs.push_str(", shape=ellipse");
+        }
+        if highlight.contains(&id) {
+            attrs.push_str(", style=filled, fillcolor=lightblue");
+        }
+        let _ = writeln!(out, "  n{i} [{attrs}];");
+    }
+    for (i, layer) in model.layers().iter().enumerate() {
+        for input in &layer.inputs {
+            let _ = writeln!(out, "  n{} -> n{i};", input.index());
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c == '"' || c == '\\' { '_' } else { c })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModelBuilder;
+    use crate::task::TaskKind;
+    use sommelier_tensor::{Prng, Shape};
+
+    fn model() -> Model {
+        let mut rng = Prng::seed_from_u64(1);
+        let mut b = ModelBuilder::new("dot-test", TaskKind::Other, Shape::vector(8));
+        let stem = b.cursor();
+        b.dense(4, &mut rng).relu();
+        let a = b.cursor();
+        b.goto(stem).dense(4, &mut rng);
+        let c = b.cursor();
+        b.add_from(&[a, c]).softmax();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dot_contains_every_node_and_edge() {
+        let m = model();
+        let dot = to_dot(&m, &[]);
+        assert!(dot.starts_with("digraph \"dot-test\""));
+        for i in 0..m.num_layers() {
+            assert!(dot.contains(&format!("n{i} [")), "missing node {i}");
+        }
+        // The add layer has two incoming edges.
+        let add_idx = m
+            .op_tags()
+            .iter()
+            .position(|t| t == "add")
+            .expect("add exists");
+        let edge_count = dot.matches(&format!("-> n{add_idx};")).count();
+        assert_eq!(edge_count, 2);
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn highlight_fills_selected_nodes() {
+        let m = model();
+        let dot = to_dot(&m, &[LayerId(1)]);
+        assert!(dot.contains("n1 [label=\"dense:4"));
+        assert!(dot.contains("fillcolor=lightblue"));
+        assert_eq!(dot.matches("fillcolor").count(), 1);
+    }
+
+    #[test]
+    fn quotes_in_names_are_sanitized() {
+        let m = model().renamed("evil\"name");
+        let dot = to_dot(&m, &[]);
+        assert!(dot.contains("digraph \"evil_name\""));
+    }
+
+    #[test]
+    fn source_node_is_an_ellipse() {
+        let dot = to_dot(&model(), &[]);
+        assert!(dot.contains("shape=ellipse"));
+    }
+}

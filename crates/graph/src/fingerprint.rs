@@ -1,0 +1,198 @@
+//! Stable model fingerprints.
+//!
+//! The semantic index (paper Section 5.2) is a hashtable whose keys are
+//! "hash fingerprints" of DNN models. We provide two flavours:
+//!
+//! * [`Fingerprint::of_model`] — hashes structure *and* parameters, so two
+//!   models differing only in weights (e.g. fine-tuned variants) get
+//!   distinct keys;
+//! * [`Fingerprint::structural`] — hashes operator types and edges only,
+//!   used to detect structurally identical models/segments (Section 4.2
+//!   requires segment counterparts to be structurally identical).
+//!
+//! The hash is FNV-1a over a canonical byte serialization; it is stable
+//! across processes and platforms (no `DefaultHasher` seeds involved).
+
+use crate::model::Model;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A 64-bit stable content hash.
+///
+/// ```
+/// use sommelier_graph::{Fingerprint, ModelBuilder, TaskKind};
+/// use sommelier_tensor::{Prng, Shape};
+///
+/// let mut rng = Prng::seed_from_u64(1);
+/// let m = ModelBuilder::new("m", TaskKind::Other, Shape::vector(4))
+///     .dense(2, &mut rng)
+///     .build()
+///     .unwrap();
+/// // Renaming never changes the fingerprint; it keys the semantic index.
+/// assert_eq!(Fingerprint::of_model(&m), Fingerprint::of_model(&m.renamed("x")));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Fingerprint(pub u64);
+
+/// Incremental FNV-1a hasher over byte chunks.
+#[derive(Clone, Debug)]
+pub struct FnvHasher {
+    state: u64,
+}
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher { state: FNV_OFFSET }
+    }
+}
+
+impl FnvHasher {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorb raw bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorb a usize as little-endian u64.
+    pub fn update_usize(&mut self, v: usize) {
+        self.update(&(v as u64).to_le_bytes());
+    }
+
+    /// Absorb an f32's bit pattern.
+    pub fn update_f32(&mut self, v: f32) {
+        self.update(&v.to_bits().to_le_bytes());
+    }
+
+    /// Finish.
+    pub fn finish(&self) -> Fingerprint {
+        Fingerprint(self.state)
+    }
+}
+
+impl Fingerprint {
+    /// Full fingerprint: structure plus every parameter value.
+    pub fn of_model(model: &Model) -> Fingerprint {
+        let mut h = Self::hash_structure(model);
+        for layer in model.layers() {
+            if let Some(w) = &layer.params.weight {
+                for &v in w.as_slice() {
+                    h.update_f32(v);
+                }
+            }
+            if let Some(b) = &layer.params.bias {
+                for &v in b.as_slice() {
+                    h.update_f32(v);
+                }
+            }
+        }
+        h.finish()
+    }
+
+    /// Structure-only fingerprint: operator type tags and edges, ignoring
+    /// parameter values, the model name, and metadata.
+    pub fn structural(model: &Model) -> Fingerprint {
+        Self::hash_structure(model).finish()
+    }
+
+    fn hash_structure(model: &Model) -> FnvHasher {
+        let mut h = FnvHasher::new();
+        h.update_usize(model.num_layers());
+        for layer in model.layers() {
+            let tag = layer.op.type_tag();
+            h.update_usize(tag.len());
+            h.update(tag.as_bytes());
+            h.update_usize(layer.inputs.len());
+            for input in &layer.inputs {
+                h.update_usize(input.index());
+            }
+        }
+        h
+    }
+}
+
+impl fmt::Debug for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModelBuilder;
+    use crate::task::TaskKind;
+    use sommelier_tensor::{Prng, Shape};
+
+    fn model(seed: u64) -> Model {
+        let mut rng = Prng::seed_from_u64(seed);
+        ModelBuilder::new("m", TaskKind::Other, Shape::vector(8))
+            .dense(4, &mut rng)
+            .relu()
+            .dense(2, &mut rng)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn identical_models_share_fingerprints() {
+        let a = model(1);
+        let b = model(1);
+        assert_eq!(Fingerprint::of_model(&a), Fingerprint::of_model(&b));
+        assert_eq!(Fingerprint::structural(&a), Fingerprint::structural(&b));
+    }
+
+    #[test]
+    fn weights_change_full_but_not_structural() {
+        let a = model(1);
+        let b = model(2); // different weight init, same structure
+        assert_ne!(Fingerprint::of_model(&a), Fingerprint::of_model(&b));
+        assert_eq!(Fingerprint::structural(&a), Fingerprint::structural(&b));
+    }
+
+    #[test]
+    fn structure_change_changes_both() {
+        let a = model(1);
+        let mut rng = Prng::seed_from_u64(1);
+        let c = ModelBuilder::new("m", TaskKind::Other, Shape::vector(8))
+            .dense(4, &mut rng)
+            .tanh() // relu → tanh
+            .dense(2, &mut rng)
+            .build()
+            .unwrap();
+        assert_ne!(Fingerprint::structural(&a), Fingerprint::structural(&c));
+        assert_ne!(Fingerprint::of_model(&a), Fingerprint::of_model(&c));
+    }
+
+    #[test]
+    fn name_does_not_affect_fingerprint() {
+        let a = model(1);
+        let renamed = a.renamed("other-name");
+        assert_eq!(Fingerprint::of_model(&a), Fingerprint::of_model(&renamed));
+    }
+
+    #[test]
+    fn hex_display_is_sixteen_chars() {
+        let fp = Fingerprint(0xdead_beef);
+        assert_eq!(fp.to_string(), "00000000deadbeef");
+    }
+
+    #[test]
+    fn fnv_empty_input_is_offset_basis() {
+        assert_eq!(FnvHasher::new().finish(), Fingerprint(super::FNV_OFFSET));
+    }
+}

@@ -1,0 +1,118 @@
+//! Layers: operators plus attributes and parameters.
+//!
+//! Following paper Figure 2, a layer couples an operator with its
+//! *attributes* (which layers feed it; widths are inferred by the model)
+//! and *parameters* (weight/bias tensors for linear operators).
+
+use crate::op::Op;
+use serde::{Deserialize, Serialize};
+use sommelier_tensor::Tensor;
+
+/// Index of a layer within its model. Layers are stored in topological
+/// order, so a layer's inputs always have smaller ids.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LayerId(pub usize);
+
+impl LayerId {
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// Trainable parameters of a layer.
+#[derive(Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
+pub struct Params {
+    /// Main weight tensor: `[in, units]` for `Dense`,
+    /// `[out_channels, kernel_size]` for `Conv1d`.
+    pub weight: Option<Tensor>,
+    /// Bias row vector `[1, units]` (Dense only; optional).
+    pub bias: Option<Tensor>,
+}
+
+impl Params {
+    /// Empty parameter set (for non-linear operators).
+    pub fn none() -> Self {
+        Params::default()
+    }
+
+    /// Weight-only parameters.
+    pub fn with_weight(weight: Tensor) -> Self {
+        Params {
+            weight: Some(weight),
+            bias: None,
+        }
+    }
+
+    /// Weight and bias.
+    pub fn with_weight_bias(weight: Tensor, bias: Tensor) -> Self {
+        Params {
+            weight: Some(weight),
+            bias: Some(bias),
+        }
+    }
+
+    /// Total number of scalar parameters.
+    pub fn count(&self) -> usize {
+        self.weight.as_ref().map_or(0, Tensor::len) + self.bias.as_ref().map_or(0, Tensor::len)
+    }
+}
+
+/// A single node in the model DAG.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Layer {
+    /// Human-readable name (unique within a model is conventional but not
+    /// required; ids are the identity).
+    pub name: String,
+    /// The operator this layer applies.
+    pub op: Op,
+    /// Ids of the layers feeding this one, in positional order.
+    pub inputs: Vec<LayerId>,
+    /// Trainable parameters (empty for non-linear operators).
+    pub params: Params,
+}
+
+impl Layer {
+    /// Construct a layer.
+    pub fn new(name: impl Into<String>, op: Op, inputs: Vec<LayerId>, params: Params) -> Self {
+        Layer {
+            name: name.into(),
+            op,
+            inputs,
+            params,
+        }
+    }
+
+    /// Number of scalar parameters in this layer.
+    pub fn param_count(&self) -> usize {
+        self.params.count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_count_sums_weight_and_bias() {
+        let p = Params::with_weight_bias(Tensor::zeros(3, 4), Tensor::zeros(1, 4));
+        assert_eq!(p.count(), 16);
+        assert_eq!(Params::none().count(), 0);
+    }
+
+    #[test]
+    fn layer_param_count_delegates() {
+        let l = Layer::new(
+            "d",
+            Op::Dense { units: 4 },
+            vec![LayerId(0)],
+            Params::with_weight(Tensor::zeros(2, 4)),
+        );
+        assert_eq!(l.param_count(), 8);
+    }
+
+    #[test]
+    fn layer_ids_order() {
+        assert!(LayerId(1) < LayerId(2));
+        assert_eq!(LayerId(3).index(), 3);
+    }
+}

@@ -1,0 +1,271 @@
+//! The operator taxonomy.
+//!
+//! Paper Section 4.2 classifies DNN layers into *linear* operators
+//! (everything that multiplies by a weight matrix), *non-linear* operators
+//! (activations, pooling, normalization), and *multi-source combinations*
+//! (add, multiply, concat). Recurrent cells are compositions of these and
+//! are therefore not separate primitives. The classification drives both
+//! the error-propagation bounds and the per-operator latency table.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An atomic DNN operator. Parameters (weights) live on the layer, not the
+/// operator; the operator records only structural attributes.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Op {
+    /// Source node publishing the model input; `width` is the flattened
+    /// feature width.
+    Input { width: usize },
+    /// Fully-connected layer producing `units` features. Weight is
+    /// `[in, units]`, bias `[1, units]`.
+    Dense { units: usize },
+    /// 1-D local convolution over the feature axis: `out_channels` kernels
+    /// of `kernel_size` slide with `stride`. Kernel tensor is
+    /// `[out_channels, kernel_size]`.
+    Conv1d {
+        out_channels: usize,
+        kernel_size: usize,
+        stride: usize,
+    },
+    /// Rectified linear unit.
+    Relu,
+    /// Leaky ReLU with the given negative-side slope (serialized as f32).
+    LeakyRelu { slope: f32 },
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Row-wise softmax.
+    Softmax,
+    /// Non-overlapping max pooling with the given window.
+    MaxPool { window: usize },
+    /// Non-overlapping mean pooling with the given window.
+    MeanPool { window: usize },
+    /// Row-wise l2 normalization.
+    L2Normalize,
+    /// Per-feature affine transform `x·diag(scale) + shift` — the
+    /// inference-time form of batch normalization. Weight is the
+    /// `[1, width]` scale row; bias the `[1, width]` shift row.
+    Scale,
+    /// Element-wise sum of all inputs (equal widths).
+    Add,
+    /// Element-wise product of all inputs (equal widths).
+    Multiply,
+    /// Feature-axis concatenation of all inputs.
+    Concat,
+}
+
+/// Coarse operator category, per the paper's Section 4.2 taxonomy. The
+/// error-propagation analysis dispatches on this.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// The model input source.
+    Source,
+    /// Matrix-multiplication kernels (Dense, Conv1d, Embedding, …).
+    Linear,
+    /// Point-wise activations (ReLU family, tanh, sigmoid, softmax).
+    Activation,
+    /// Pooling reductions.
+    Pooling,
+    /// Normalization layers.
+    Normalization,
+    /// Multi-input combinations (add, multiply, concat).
+    MultiSource,
+}
+
+impl Op {
+    /// The taxonomy category of this operator.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            Op::Input { .. } => OpKind::Source,
+            Op::Dense { .. } | Op::Conv1d { .. } | Op::Scale => OpKind::Linear,
+            Op::Relu | Op::LeakyRelu { .. } | Op::Tanh | Op::Sigmoid | Op::Softmax => {
+                OpKind::Activation
+            }
+            Op::MaxPool { .. } | Op::MeanPool { .. } => OpKind::Pooling,
+            Op::L2Normalize => OpKind::Normalization,
+            Op::Add | Op::Multiply | Op::Concat => OpKind::MultiSource,
+        }
+    }
+
+    /// Whether the operator carries trainable parameters.
+    pub fn has_params(&self) -> bool {
+        self.kind() == OpKind::Linear
+    }
+
+    /// Number of inputs the operator expects: `0` for the source, `None`
+    /// for variadic multi-source operators, `Some(1)` otherwise.
+    pub fn arity(&self) -> Option<usize> {
+        match self.kind() {
+            OpKind::Source => Some(0),
+            OpKind::MultiSource => None,
+            _ => Some(1),
+        }
+    }
+
+    /// Output feature width given the widths of all inputs, or `None` if
+    /// the inputs are invalid for this operator (wrong count, mismatched
+    /// widths, or a kernel larger than its input).
+    pub fn output_width(&self, input_widths: &[usize]) -> Option<usize> {
+        match self {
+            Op::Input { width } => input_widths.is_empty().then_some(*width),
+            Op::Dense { units } => (input_widths.len() == 1).then_some(*units),
+            Op::Conv1d {
+                out_channels,
+                kernel_size,
+                stride,
+            } => {
+                let [input] = input_widths else {
+                    return None;
+                };
+                if *kernel_size > *input || *stride == 0 {
+                    return None;
+                }
+                Some(out_channels * ((input - kernel_size) / stride + 1))
+            }
+            Op::Relu | Op::LeakyRelu { .. } | Op::Tanh | Op::Sigmoid | Op::Softmax
+            | Op::L2Normalize | Op::Scale => (input_widths.len() == 1).then(|| input_widths[0]),
+            Op::MaxPool { window } | Op::MeanPool { window } => {
+                if input_widths.len() != 1 || *window == 0 {
+                    return None;
+                }
+                Some(input_widths[0].div_ceil(*window))
+            }
+            Op::Add | Op::Multiply => {
+                let first = *input_widths.first()?;
+                input_widths.iter().all(|&w| w == first).then_some(first)
+            }
+            Op::Concat => {
+                if input_widths.is_empty() {
+                    return None;
+                }
+                Some(input_widths.iter().sum())
+            }
+        }
+    }
+
+    /// A short stable mnemonic for the operator type (weights excluded).
+    /// Used in structural fingerprints and chain signatures.
+    pub fn type_tag(&self) -> String {
+        match self {
+            Op::Input { width } => format!("input:{width}"),
+            Op::Dense { units } => format!("dense:{units}"),
+            Op::Conv1d {
+                out_channels,
+                kernel_size,
+                stride,
+            } => format!("conv1d:{out_channels}x{kernel_size}s{stride}"),
+            Op::Relu => "relu".into(),
+            Op::LeakyRelu { slope } => format!("lrelu:{slope}"),
+            Op::Tanh => "tanh".into(),
+            Op::Sigmoid => "sigmoid".into(),
+            Op::Softmax => "softmax".into(),
+            Op::MaxPool { window } => format!("maxpool:{window}"),
+            Op::MeanPool { window } => format!("meanpool:{window}"),
+            Op::L2Normalize => "l2norm".into(),
+            Op::Scale => "scale".into(),
+            Op::Add => "add".into(),
+            Op::Multiply => "multiply".into(),
+            Op::Concat => "concat".into(),
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.type_tag())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_follow_paper_taxonomy() {
+        assert_eq!(Op::Dense { units: 4 }.kind(), OpKind::Linear);
+        assert_eq!(
+            Op::Conv1d {
+                out_channels: 2,
+                kernel_size: 3,
+                stride: 1
+            }
+            .kind(),
+            OpKind::Linear
+        );
+        assert_eq!(Op::Relu.kind(), OpKind::Activation);
+        assert_eq!(Op::Softmax.kind(), OpKind::Activation);
+        assert_eq!(Op::MaxPool { window: 2 }.kind(), OpKind::Pooling);
+        assert_eq!(Op::L2Normalize.kind(), OpKind::Normalization);
+        assert_eq!(Op::Add.kind(), OpKind::MultiSource);
+        assert_eq!(Op::Input { width: 8 }.kind(), OpKind::Source);
+    }
+
+    #[test]
+    fn only_linear_ops_have_params() {
+        assert!(Op::Dense { units: 4 }.has_params());
+        assert!(!Op::Relu.has_params());
+        assert!(!Op::Concat.has_params());
+    }
+
+    #[test]
+    fn arity_rules() {
+        assert_eq!(Op::Input { width: 8 }.arity(), Some(0));
+        assert_eq!(Op::Relu.arity(), Some(1));
+        assert_eq!(Op::Add.arity(), None);
+    }
+
+    #[test]
+    fn dense_output_width_is_units() {
+        assert_eq!(Op::Dense { units: 10 }.output_width(&[7]), Some(10));
+        assert_eq!(Op::Dense { units: 10 }.output_width(&[7, 7]), None);
+    }
+
+    #[test]
+    fn conv_output_width_matches_geometry() {
+        let op = Op::Conv1d {
+            out_channels: 3,
+            kernel_size: 4,
+            stride: 2,
+        };
+        // windows = (10-4)/2+1 = 4 → 12 outputs
+        assert_eq!(op.output_width(&[10]), Some(12));
+        // kernel larger than input is invalid
+        assert_eq!(op.output_width(&[3]), None);
+    }
+
+    #[test]
+    fn elementwise_preserves_width() {
+        assert_eq!(Op::Relu.output_width(&[9]), Some(9));
+        assert_eq!(Op::L2Normalize.output_width(&[9]), Some(9));
+    }
+
+    #[test]
+    fn pool_width_rounds_up() {
+        assert_eq!(Op::MaxPool { window: 2 }.output_width(&[5]), Some(3));
+        assert_eq!(Op::MeanPool { window: 4 }.output_width(&[8]), Some(2));
+        assert_eq!(Op::MaxPool { window: 0 }.output_width(&[8]), None);
+    }
+
+    #[test]
+    fn add_requires_equal_widths() {
+        assert_eq!(Op::Add.output_width(&[4, 4, 4]), Some(4));
+        assert_eq!(Op::Add.output_width(&[4, 5]), None);
+        assert_eq!(Op::Add.output_width(&[]), None);
+    }
+
+    #[test]
+    fn concat_sums_widths() {
+        assert_eq!(Op::Concat.output_width(&[2, 3, 4]), Some(9));
+    }
+
+    #[test]
+    fn type_tags_are_distinct_per_config() {
+        assert_ne!(
+            Op::Dense { units: 4 }.type_tag(),
+            Op::Dense { units: 8 }.type_tag()
+        );
+        assert_eq!(Op::Relu.type_tag(), "relu");
+    }
+}

@@ -1,0 +1,133 @@
+//! Inference task categories.
+//!
+//! The paper's evaluation spans six task categories — three computer-vision
+//! and three NLP (Section 7, "DNN model benchmarks"). A task category is
+//! used to (a) pick a default reference model when a query does not name
+//! one (Section 5.1), and (b) decide how model outputs define semantics:
+//! *classification* reads the arg-max dimension; *regression* reads the
+//! whole output vector (Section 4.1).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An inference task category.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// Image classification (e.g. ImageNet-style object recognition).
+    ImageRecognition,
+    /// Object detection (regression-style box outputs).
+    ObjectDetection,
+    /// Semantic segmentation.
+    SemanticSegmentation,
+    /// Sentiment analysis over text.
+    SentimentAnalysis,
+    /// Extractive question answering.
+    QuestionAnswering,
+    /// Named entity recognition.
+    NamedEntityRecognition,
+    /// Anything else; compared structurally only.
+    Other,
+}
+
+/// How a task's output defines semantics (paper Section 4.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OutputStyle {
+    /// Semantics carried by the highest-valued output dimension.
+    Classification,
+    /// Semantics carried by the whole output vector.
+    Regression,
+}
+
+impl TaskKind {
+    /// All concrete task categories (excluding `Other`).
+    pub const ALL: [TaskKind; 6] = [
+        TaskKind::ImageRecognition,
+        TaskKind::ObjectDetection,
+        TaskKind::SemanticSegmentation,
+        TaskKind::SentimentAnalysis,
+        TaskKind::QuestionAnswering,
+        TaskKind::NamedEntityRecognition,
+    ];
+
+    /// Whether this is one of the paper's computer-vision tasks.
+    pub fn is_vision(&self) -> bool {
+        matches!(
+            self,
+            TaskKind::ImageRecognition
+                | TaskKind::ObjectDetection
+                | TaskKind::SemanticSegmentation
+        )
+    }
+
+    /// How outputs carry semantics for this task.
+    pub fn output_style(&self) -> OutputStyle {
+        match self {
+            TaskKind::ImageRecognition
+            | TaskKind::SentimentAnalysis
+            | TaskKind::NamedEntityRecognition => OutputStyle::Classification,
+            TaskKind::ObjectDetection
+            | TaskKind::SemanticSegmentation
+            | TaskKind::QuestionAnswering
+            | TaskKind::Other => OutputStyle::Regression,
+        }
+    }
+
+    /// Stable lowercase name, used in query syntax and repository keys.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            TaskKind::ImageRecognition => "image-recognition",
+            TaskKind::ObjectDetection => "object-detection",
+            TaskKind::SemanticSegmentation => "semantic-segmentation",
+            TaskKind::SentimentAnalysis => "sentiment-analysis",
+            TaskKind::QuestionAnswering => "question-answering",
+            TaskKind::NamedEntityRecognition => "named-entity-recognition",
+            TaskKind::Other => "other",
+        }
+    }
+
+    /// Parse a slug back into a task kind.
+    pub fn from_slug(s: &str) -> Option<TaskKind> {
+        TaskKind::ALL
+            .iter()
+            .copied()
+            .chain(std::iter::once(TaskKind::Other))
+            .find(|t| t.slug() == s)
+    }
+}
+
+impl fmt::Display for TaskKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.slug())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vision_split() {
+        assert!(TaskKind::ImageRecognition.is_vision());
+        assert!(!TaskKind::SentimentAnalysis.is_vision());
+    }
+
+    #[test]
+    fn output_styles() {
+        assert_eq!(
+            TaskKind::ImageRecognition.output_style(),
+            OutputStyle::Classification
+        );
+        assert_eq!(
+            TaskKind::ObjectDetection.output_style(),
+            OutputStyle::Regression
+        );
+    }
+
+    #[test]
+    fn slug_round_trip() {
+        for t in TaskKind::ALL.iter().chain([&TaskKind::Other]) {
+            assert_eq!(TaskKind::from_slug(t.slug()), Some(*t));
+        }
+        assert_eq!(TaskKind::from_slug("nope"), None);
+    }
+}

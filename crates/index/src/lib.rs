@@ -1,0 +1,28 @@
+//! Index structures of the Sommelier query engine (paper Section 5).
+//!
+//! Two complementary indices let queries run without per-query model
+//! analysis:
+//!
+//! * the **semantic index** ([`semantic`]) — a hashtable keyed by model
+//!   fingerprint whose values are candidate lists sorted by functional-
+//!   equivalence score. Insertion analyzes the new model against a small
+//!   random sample of stored models and derives the remaining relations
+//!   *transitively* (`|A−B| ≤ d ≤ A+B`), which is what makes indexing
+//!   scale (Section 5.2);
+//! * the **resource index** ([`resource`]) — resource-profile vectors
+//!   organized with cosine-family locality-sensitive hashing ([`lsh`]) for
+//!   fast distance-based range search (Section 5.3).
+//!
+//! [`footprint`] accounts for the memory both structures occupy (Table 4),
+//! and [`persist`] serializes them (Section 5.5 "Persistence": indices are
+//! lightweight and can be populated to disk).
+
+pub mod footprint;
+pub mod lsh;
+pub mod persist;
+pub mod resource;
+pub mod semantic;
+
+pub use lsh::CosineLsh;
+pub use resource::{ResourceConstraint, ResourceIndex};
+pub use semantic::{CandidateKind, CandidateRecord, PairAnalyzer, SemanticIndex};

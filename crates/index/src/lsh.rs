@@ -1,0 +1,207 @@
+//! Locality-sensitive hashing with a cosine (random-hyperplane) family.
+//!
+//! The resource index organizes profile vectors with "LSH with a cosine
+//! hash family \[19\] … for fast distance-based range search" (paper
+//! Section 5.3). Each of `L` tables hashes a vector to `k` sign bits
+//! against random hyperplanes; vectors colliding in any table are
+//! candidates. Parameters trade recall for probe cost and are exposed as
+//! configuration knobs (Section 5.5).
+
+use serde::{Deserialize, Serialize};
+use sommelier_tensor::Prng;
+use std::collections::HashMap;
+
+/// LSH parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LshConfig {
+    /// Hash bits (hyperplanes) per table.
+    pub bits: usize,
+    /// Number of independent tables.
+    pub tables: usize,
+}
+
+impl Default for LshConfig {
+    fn default() -> Self {
+        LshConfig { bits: 8, tables: 4 }
+    }
+}
+
+/// A cosine-family LSH over fixed-dimension vectors, storing `usize` ids.
+///
+/// ```
+/// use sommelier_index::CosineLsh;
+/// let mut lsh = CosineLsh::new(3, Default::default(), 42);
+/// lsh.insert(&[1.0, 2.0, 3.0], 7);
+/// // The cosine family is scale-free: a parallel probe collides.
+/// assert_eq!(lsh.candidates(&[2.0, 4.0, 6.0]), vec![7]);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CosineLsh {
+    dim: usize,
+    config: LshConfig,
+    /// `tables × bits` hyperplane normals, row-major.
+    planes: Vec<Vec<f64>>,
+    buckets: Vec<HashMap<u64, Vec<usize>>>,
+    len: usize,
+}
+
+impl CosineLsh {
+    /// Create an index for `dim`-dimensional vectors.
+    pub fn new(dim: usize, config: LshConfig, seed: u64) -> Self {
+        assert!(dim > 0 && config.bits > 0 && config.bits <= 64 && config.tables > 0);
+        let mut rng = Prng::seed_from_u64(seed ^ 0x15a9);
+        let planes = (0..config.tables * config.bits)
+            .map(|_| (0..dim).map(|_| rng.gaussian()).collect())
+            .collect();
+        CosineLsh {
+            dim,
+            config,
+            planes,
+            buckets: vec![HashMap::new(); config.tables],
+            len: 0,
+        }
+    }
+
+    /// Number of inserted vectors.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn signature(&self, table: usize, v: &[f64]) -> u64 {
+        let mut sig = 0u64;
+        for bit in 0..self.config.bits {
+            let plane = &self.planes[table * self.config.bits + bit];
+            let dot: f64 = plane.iter().zip(v).map(|(p, x)| p * x).sum();
+            if dot >= 0.0 {
+                sig |= 1 << bit;
+            }
+        }
+        sig
+    }
+
+    /// Insert a vector under an id.
+    pub fn insert(&mut self, v: &[f64], id: usize) {
+        assert_eq!(v.len(), self.dim, "vector dimensionality mismatch");
+        for t in 0..self.config.tables {
+            let sig = self.signature(t, v);
+            self.buckets[t].entry(sig).or_default().push(id);
+        }
+        self.len += 1;
+    }
+
+    /// Candidate ids colliding with the probe in at least one table
+    /// (deduplicated, ascending).
+    pub fn candidates(&self, v: &[f64]) -> Vec<usize> {
+        assert_eq!(v.len(), self.dim, "vector dimensionality mismatch");
+        let mut out: Vec<usize> = Vec::new();
+        for t in 0..self.config.tables {
+            let sig = self.signature(t, v);
+            if let Some(ids) = self.buckets[t].get(&sig) {
+                out.extend_from_slice(ids);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Approximate in-memory footprint in bytes (planes + bucket tables).
+    pub fn footprint_bytes(&self) -> usize {
+        let planes = self.planes.len() * self.dim * std::mem::size_of::<f64>();
+        let bucket_entries: usize = self
+            .buckets
+            .iter()
+            .map(|b| {
+                b.len() * (std::mem::size_of::<u64>() + std::mem::size_of::<Vec<usize>>())
+                    + b.values().map(|v| v.len() * std::mem::size_of::<usize>()).sum::<usize>()
+            })
+            .sum();
+        planes + bucket_entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(dim: usize, hot: usize) -> Vec<f64> {
+        let mut v = vec![0.0; dim];
+        v[hot] = 1.0;
+        v
+    }
+
+    #[test]
+    fn identical_vectors_always_collide() {
+        let mut lsh = CosineLsh::new(3, LshConfig::default(), 1);
+        lsh.insert(&[1.0, 2.0, 3.0], 7);
+        assert_eq!(lsh.candidates(&[1.0, 2.0, 3.0]), vec![7]);
+    }
+
+    #[test]
+    fn parallel_vectors_collide_scale_free() {
+        let mut lsh = CosineLsh::new(3, LshConfig::default(), 1);
+        lsh.insert(&[1.0, 2.0, 3.0], 1);
+        // Cosine family only sees direction.
+        assert_eq!(lsh.candidates(&[10.0, 20.0, 30.0]), vec![1]);
+    }
+
+    #[test]
+    fn nearby_vectors_collide_more_than_orthogonal() {
+        let dim = 16;
+        let mut lsh = CosineLsh::new(dim, LshConfig { bits: 10, tables: 6 }, 3);
+        let mut rng = Prng::seed_from_u64(5);
+        let base: Vec<f64> = (0..dim).map(|_| rng.gaussian()).collect();
+        let near: Vec<f64> = base.iter().map(|x| x + 0.05 * rng.gaussian()).collect();
+        lsh.insert(&base, 0);
+        let near_hits = (0..50)
+            .filter(|_| !lsh.candidates(&near).is_empty())
+            .count();
+        // Insert orthogonal-ish probes and count how often a random far
+        // vector collides.
+        let far_hits = (0..50)
+            .filter(|_| {
+                let far: Vec<f64> = (0..dim).map(|_| rng.gaussian()).collect();
+                !lsh.candidates(&far).is_empty()
+            })
+            .count();
+        assert!(near_hits > far_hits, "near={near_hits} far={far_hits}");
+    }
+
+    #[test]
+    fn multiple_ids_deduplicated_and_sorted() {
+        let mut lsh = CosineLsh::new(4, LshConfig::default(), 1);
+        lsh.insert(&unit(4, 0), 3);
+        lsh.insert(&unit(4, 0), 1);
+        let c = lsh.candidates(&unit(4, 0));
+        assert_eq!(c, vec![1, 3]);
+        assert_eq!(lsh.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn wrong_dimension_rejected() {
+        let mut lsh = CosineLsh::new(4, LshConfig::default(), 1);
+        lsh.insert(&[1.0, 2.0], 0);
+    }
+
+    #[test]
+    fn footprint_grows_with_content() {
+        let mut lsh = CosineLsh::new(8, LshConfig::default(), 1);
+        let empty = lsh.footprint_bytes();
+        let mut rng = Prng::seed_from_u64(2);
+        for i in 0..100 {
+            let v: Vec<f64> = (0..8).map(|_| rng.gaussian()).collect();
+            lsh.insert(&v, i);
+        }
+        assert!(lsh.footprint_bytes() > empty);
+    }
+}

@@ -1,0 +1,164 @@
+//! Index persistence (paper Section 5.5).
+//!
+//! "As the two indices use vanilla data structures such as hashtables and
+//! LSH, both indices are lightweight and can be populated to disk when
+//! they grow large." Both index types serialize to a single JSON snapshot;
+//! models themselves are *not* stored here — only keys, scores, and
+//! profile vectors, matching the paper's note that models stay in the
+//! storage system.
+
+use crate::resource::ResourceIndex;
+use crate::semantic::SemanticIndex;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// A persisted snapshot of both indices.
+#[derive(Serialize, Deserialize)]
+pub struct IndexSnapshot {
+    /// Snapshot format version.
+    pub version: u32,
+    /// The semantic index.
+    pub semantic: SemanticIndex,
+    /// The resource index.
+    pub resource: ResourceIndex,
+}
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Persistence failures.
+#[derive(Debug)]
+pub enum PersistError {
+    /// File I/O failed.
+    Io(std::io::Error),
+    /// JSON (de)serialization failed or version unsupported.
+    Format(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "index snapshot I/O error: {e}"),
+            PersistError::Format(e) => write!(f, "malformed index snapshot: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Write both indices to a snapshot file.
+pub fn save(semantic: &SemanticIndex, resource: &ResourceIndex, path: &Path) -> Result<(), PersistError> {
+    let snapshot = IndexSnapshot {
+        version: SNAPSHOT_VERSION,
+        semantic: semantic.clone(),
+        resource: resource.clone(),
+    };
+    let json = serde_json::to_string(&snapshot).map_err(|e| PersistError::Format(e.to_string()))?;
+    fs::write(path, json)?;
+    Ok(())
+}
+
+/// Load both indices from a snapshot file.
+pub fn load(path: &Path) -> Result<(SemanticIndex, ResourceIndex), PersistError> {
+    let json = fs::read_to_string(path)?;
+    let snapshot: IndexSnapshot =
+        serde_json::from_str(&json).map_err(|e| PersistError::Format(e.to_string()))?;
+    if snapshot.version != SNAPSHOT_VERSION {
+        return Err(PersistError::Format(format!(
+            "unsupported snapshot version {}",
+            snapshot.version
+        )));
+    }
+    Ok((snapshot.semantic, snapshot.resource))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lsh::LshConfig;
+    use crate::resource::ResourceConstraint;
+    use crate::semantic::{PairAnalyzer, SemanticIndexConfig};
+    use sommelier_graph::{Model, ModelBuilder, TaskKind};
+    use sommelier_runtime::ResourceProfile;
+    use sommelier_tensor::{Prng, Shape};
+
+    struct ConstAnalyzer;
+    impl PairAnalyzer for ConstAnalyzer {
+        fn whole_diff(&mut self, _: &Model, _: &Model) -> Option<f64> {
+            Some(0.07)
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let mut sem = SemanticIndex::new(SemanticIndexConfig::default(), 1);
+        let mut res = ResourceIndex::new(LshConfig::default(), 1);
+        let models: Vec<Model> = (0..4)
+            .map(|i| {
+                let mut rng = Prng::seed_from_u64(i);
+                ModelBuilder::new(format!("m{i}"), TaskKind::Other, Shape::vector(4))
+                    .dense(2, &mut rng)
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let pool = models.clone();
+        let resolve = move |k: &str| pool.iter().find(|m| m.name == k).cloned();
+        for (i, m) in models.iter().enumerate() {
+            sem.insert(m, &resolve, &mut ConstAnalyzer);
+            res.insert(
+                &m.name,
+                ResourceProfile {
+                    memory_mb: i as f64 + 1.0,
+                    gflops: 1.0,
+                    latency_ms: 1.0,
+                },
+            );
+        }
+
+        let path = std::env::temp_dir().join(format!("sommelier-snap-{}.json", std::process::id()));
+        save(&sem, &res, &path).unwrap();
+        let (sem2, res2) = load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(sem2.len(), sem.len());
+        // Scores may lose a final ulp through JSON; compare structure and
+        // the exact diff bounds.
+        let (a, b) = (sem2.candidates_of("m3"), sem.candidates_of("m3"));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.key, y.key);
+            assert_eq!(x.kind, y.kind);
+            assert!((x.diff_bound - y.diff_bound).abs() < 1e-12);
+            assert!((x.score - y.score).abs() < 1e-12);
+        }
+        let c = ResourceConstraint {
+            max_memory_mb: Some(2.5),
+            ..Default::default()
+        };
+        assert_eq!(res2.query(&c), res.query(&c));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load(Path::new("/nonexistent/snap.json")).unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)));
+    }
+
+    #[test]
+    fn garbage_is_format_error() {
+        let path = std::env::temp_dir().join(format!("sommelier-garbage-{}.json", std::process::id()));
+        std::fs::write(&path, "not json").unwrap();
+        let err = load(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, PersistError::Format(_)));
+    }
+}

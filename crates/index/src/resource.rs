@@ -1,0 +1,291 @@
+//! The resource profile index (paper Section 5.3).
+//!
+//! Each entry maps a resource-profile vector `(memory, GFLOPs, latency)`
+//! to a model key. Vectors are organized with cosine-family LSH for fast
+//! distance-based range search; a query converts its constraints into a
+//! probe vector, collects LSH candidates, and exact-filters them against
+//! the per-dimension bounds ("among the returned models with closest
+//! resource profile, those that satisfy the constraints in all dimensions
+//! will be the outputs"). An exhaustive mode (linear scan) is provided for
+//! the LSH ablation and as a correctness oracle.
+
+use crate::lsh::{CosineLsh, LshConfig};
+use serde::{Deserialize, Serialize};
+use sommelier_runtime::ResourceProfile;
+
+/// Per-dimension upper bounds; `None` means unconstrained.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResourceConstraint {
+    /// Maximum memory in MB.
+    pub max_memory_mb: Option<f64>,
+    /// Maximum computational complexity in GFLOPs.
+    pub max_gflops: Option<f64>,
+    /// Maximum estimated latency in ms.
+    pub max_latency_ms: Option<f64>,
+}
+
+impl ResourceConstraint {
+    /// Whether a profile satisfies every bound.
+    pub fn admits(&self, p: &ResourceProfile) -> bool {
+        p.within(self.max_memory_mb, self.max_gflops, self.max_latency_ms)
+    }
+
+    /// The probe vector used for LSH candidate collection: unconstrained
+    /// dimensions probe at the constrained dimensions' scale midpoint.
+    fn probe_vector(&self) -> Vec<f64> {
+        let fallback = [
+            self.max_memory_mb,
+            self.max_gflops,
+            self.max_latency_ms,
+        ]
+        .iter()
+        .flatten()
+        .copied()
+        .fold(0.0, f64::max)
+        .max(1.0);
+        vec![
+            self.max_memory_mb.unwrap_or(fallback),
+            self.max_gflops.unwrap_or(fallback),
+            self.max_latency_ms.unwrap_or(fallback),
+        ]
+    }
+
+    /// True when no dimension is constrained.
+    pub fn is_unconstrained(&self) -> bool {
+        self.max_memory_mb.is_none() && self.max_gflops.is_none() && self.max_latency_ms.is_none()
+    }
+}
+
+/// The resource index.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ResourceIndex {
+    entries: Vec<(String, ResourceProfile)>,
+    /// Tombstones for removed entries (aligned with `entries`); LSH
+    /// buckets are append-only, so removal marks instead of rebuilding.
+    removed: Vec<bool>,
+    lsh: CosineLsh,
+    /// When true, queries linear-scan instead of probing the LSH — the
+    /// correctness oracle and the ablation baseline.
+    pub exhaustive: bool,
+}
+
+impl ResourceIndex {
+    /// Create an empty index.
+    pub fn new(config: LshConfig, seed: u64) -> Self {
+        ResourceIndex {
+            entries: Vec::new(),
+            removed: Vec::new(),
+            lsh: CosineLsh::new(3, config, seed),
+            exhaustive: false,
+        }
+    }
+
+    /// Number of live (non-removed) profiles.
+    pub fn len(&self) -> usize {
+        self.removed.iter().filter(|r| !**r).count()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Insert a model's resource profile.
+    pub fn insert(&mut self, key: impl Into<String>, profile: ResourceProfile) {
+        let id = self.entries.len();
+        self.lsh.insert(&profile.as_vector(), id);
+        self.entries.push((key.into(), profile));
+        self.removed.push(false);
+    }
+
+    /// Remove a key's profile (tombstoned; LSH buckets are append-only).
+    pub fn remove(&mut self, key: &str) -> bool {
+        let mut hit = false;
+        for (i, (k, _)) in self.entries.iter().enumerate() {
+            if k == key && !self.removed[i] {
+                self.removed[i] = true;
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// The stored profile for a key, if present (and not removed).
+    pub fn profile_of(&self, key: &str) -> Option<&ResourceProfile> {
+        self.entries
+            .iter()
+            .enumerate()
+            .find(|(i, (k, _))| k == key && !self.removed[*i])
+            .map(|(_, (_, p))| p)
+    }
+
+    /// Keys of all models admitted by the constraint.
+    ///
+    /// LSH mode collects hash-collision candidates around the constraint's
+    /// probe vector and widens with a scan of small profiles (every model
+    /// cheaper than the probe in all dimensions trivially satisfies upper
+    /// bounds; LSH alone would miss distant-but-admissible vectors).
+    pub fn query(&self, constraint: &ResourceConstraint) -> Vec<String> {
+        if self.exhaustive || constraint.is_unconstrained() {
+            return self
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|(i, (_, p))| !self.removed[*i] && constraint.admits(p))
+                .map(|(_, (k, _))| k.clone())
+                .collect();
+        }
+        let probe = constraint.probe_vector();
+        let mut included = vec![false; self.entries.len()];
+        for id in self.lsh.candidates(&probe) {
+            included[id] = true;
+        }
+        // Upper-bound constraints admit everything dominated by the probe;
+        // sweep those in as well (single linear pass).
+        for (id, (_, p)) in self.entries.iter().enumerate() {
+            if constraint.admits(p) {
+                included[id] = true;
+            }
+        }
+        included
+            .into_iter()
+            .enumerate()
+            .filter(|(id, inc)| {
+                *inc && !self.removed[*id] && constraint.admits(&self.entries[*id].1)
+            })
+            .map(|(id, _)| self.entries[id].0.clone())
+            .collect()
+    }
+
+    /// The `k` entries with profiles closest (l2 on the raw vectors) to a
+    /// target profile — used by Figure 12(b)-style "similar resource
+    /// profile" probes.
+    pub fn nearest(&self, target: &ResourceProfile, k: usize) -> Vec<(String, ResourceProfile)> {
+        let tv = target.as_vector();
+        let mut scored: Vec<(f64, usize)> = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.removed[*i])
+            .map(|(i, (_, p))| {
+                let pv = p.as_vector();
+                let d: f64 = tv
+                    .iter()
+                    .zip(&pv)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                (d, i)
+            })
+            .collect();
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("distances are finite"));
+        scored
+            .into_iter()
+            .take(k)
+            .map(|(_, i)| self.entries[i].clone())
+            .collect()
+    }
+
+    /// Approximate in-memory footprint in bytes.
+    pub fn footprint_bytes(&self) -> usize {
+        let entries: usize = self
+            .entries
+            .iter()
+            .map(|(k, _)| k.len() + std::mem::size_of::<ResourceProfile>())
+            .sum();
+        entries + self.lsh.footprint_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(mem: f64, gf: f64, lat: f64) -> ResourceProfile {
+        ResourceProfile {
+            memory_mb: mem,
+            gflops: gf,
+            latency_ms: lat,
+        }
+    }
+
+    fn populated(exhaustive: bool) -> ResourceIndex {
+        let mut idx = ResourceIndex::new(LshConfig::default(), 3);
+        idx.exhaustive = exhaustive;
+        idx.insert("tiny", profile(1.0, 0.1, 0.5));
+        idx.insert("small", profile(10.0, 1.0, 2.0));
+        idx.insert("medium", profile(100.0, 10.0, 10.0));
+        idx.insert("large", profile(1000.0, 100.0, 50.0));
+        idx
+    }
+
+    #[test]
+    fn query_filters_by_all_dimensions() {
+        for exhaustive in [true, false] {
+            let idx = populated(exhaustive);
+            let mut got = idx.query(&ResourceConstraint {
+                max_memory_mb: Some(50.0),
+                max_gflops: Some(5.0),
+                max_latency_ms: None,
+            });
+            got.sort();
+            assert_eq!(got, vec!["small", "tiny"], "exhaustive={exhaustive}");
+        }
+    }
+
+    #[test]
+    fn unconstrained_query_returns_everything() {
+        let idx = populated(false);
+        assert_eq!(idx.query(&ResourceConstraint::default()).len(), 4);
+    }
+
+    #[test]
+    fn lsh_and_exhaustive_agree_on_upper_bounds() {
+        let lsh = populated(false);
+        let ex = populated(true);
+        for mem in [0.5, 5.0, 50.0, 5000.0] {
+            let c = ResourceConstraint {
+                max_memory_mb: Some(mem),
+                ..Default::default()
+            };
+            let mut a = lsh.query(&c);
+            let mut b = ex.query(&c);
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "divergence at mem={mem}");
+        }
+    }
+
+    #[test]
+    fn nearest_orders_by_profile_distance() {
+        let idx = populated(true);
+        let near = idx.nearest(&profile(9.0, 1.1, 2.1), 2);
+        assert_eq!(near[0].0, "small");
+        assert_eq!(near.len(), 2);
+    }
+
+    #[test]
+    fn profile_of_finds_keys() {
+        let idx = populated(true);
+        assert!(idx.profile_of("medium").is_some());
+        assert!(idx.profile_of("ghost").is_none());
+    }
+
+    #[test]
+    fn removal_tombstones_hide_entries_everywhere() {
+        let mut idx = populated(false);
+        assert!(idx.remove("small"));
+        assert_eq!(idx.len(), 3);
+        assert!(idx.profile_of("small").is_none());
+        let all = idx.query(&ResourceConstraint::default());
+        assert!(!all.contains(&"small".to_string()));
+        let near = idx.nearest(&profile(10.0, 1.0, 2.0), 4);
+        assert!(near.iter().all(|(k, _)| k != "small"));
+        assert!(!idx.remove("small"), "double removal is a no-op");
+    }
+
+    #[test]
+    fn footprint_grows_with_entries() {
+        let empty = ResourceIndex::new(LshConfig::default(), 1);
+        let idx = populated(false);
+        assert!(idx.footprint_bytes() > empty.footprint_bytes());
+    }
+}

@@ -1,0 +1,632 @@
+//! The semantic index (paper Section 5.2).
+//!
+//! "The top-level structure of the index is a hashtable. For each entry …
+//! the key is the hash fingerprint of a DNN, and the value is a list of
+//! candidate records, each of which consists of a candidate DNN and its
+//! functional equivalence score …, maintained in a descending order."
+//!
+//! Insertion analyzes the new model against only a small random sample of
+//! stored models (default 5) and derives relations to everything else
+//! transitively: if `X↔Y` differ by `A` and `Y↔Z` by `B`, then `X↔Z` lies
+//! in `[|A−B|, A+B]`; the conservative upper end `A+B` is recorded. The
+//! sample size is a knob ([`SemanticIndexConfig::sample_size`]); the
+//! full-pairwise ablation sets it to `usize::MAX`.
+//!
+//! The analyzer itself is pluggable through [`PairAnalyzer`] so the index
+//! structure stays independent of how equivalence is measured; the default
+//! production analyzer (wired to `sommelier-equiv`) lives in
+//! `sommelier-query::engine`.
+
+use serde::{Deserialize, Serialize};
+use sommelier_graph::{Fingerprint, Model};
+use sommelier_tensor::Prng;
+use std::collections::HashMap;
+
+/// The transitive interval of paper Section 5.2: if models `X↔Y` differ
+/// by `a` and `Y↔Z` by `b`, the `X↔Z` difference lies in
+/// `[|a − b|, a + b]`. The index records the conservative upper end; the
+/// lower end is useful for pruning (a candidate whose lower bound already
+/// exceeds a threshold can be rejected without measurement).
+pub fn transitive_interval(a: f64, b: f64) -> (f64, f64) {
+    ((a - b).abs(), a + b)
+}
+
+/// How a candidate relates to the keyed model.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum CandidateKind {
+    /// A stored model, holistically equivalent (paper Section 5.2 case i).
+    Whole,
+    /// A stored model whose relation was derived transitively through a
+    /// sampled intermediary rather than measured directly.
+    Transitive { via: String },
+    /// A synthesized model: the keyed model with one of its segments
+    /// replaced by `donor`'s counterpart (case ii).
+    Synthesized { donor: String },
+}
+
+/// One entry of a candidate list.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CandidateRecord {
+    /// Candidate model key (repository name).
+    pub key: String,
+    /// Dataset-independent QoR difference bound to the keyed model.
+    pub diff_bound: f64,
+    /// Functional equivalence score: `max(0, 1 − diff_bound)`.
+    pub score: f64,
+    /// Provenance of the relation.
+    pub kind: CandidateKind,
+}
+
+impl CandidateRecord {
+    fn new(key: String, diff_bound: f64, kind: CandidateKind) -> Self {
+        CandidateRecord {
+            key,
+            diff_bound,
+            score: (1.0 - diff_bound).max(0.0),
+            kind,
+        }
+    }
+}
+
+/// Pluggable pairwise analysis. Returns `None` when the pair is
+/// incomparable (failed I/O check).
+pub trait PairAnalyzer {
+    /// Dataset-independent QoR difference bound of `candidate` w.r.t.
+    /// `reference` (whole-model analysis, Section 4.1).
+    fn whole_diff(&mut self, reference: &Model, candidate: &Model) -> Option<f64>;
+
+    /// Segment-replacement analysis (Section 4.2): the QoR difference of
+    /// `host` with its best replaceable segments taken from `donor`, if
+    /// any segments match.
+    fn segment_diff(&mut self, host: &Model, donor: &Model) -> Option<f64> {
+        let _ = (host, donor);
+        None
+    }
+}
+
+/// Configuration knobs of the semantic index.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SemanticIndexConfig {
+    /// Number of stored models sampled for direct pairwise analysis on
+    /// each insertion (paper default: 5).
+    pub sample_size: usize,
+    /// Whether to run the segment analysis and record synthesized
+    /// candidates.
+    pub segments: bool,
+    /// Maximum candidate records kept per entry. Bounding the lists keeps
+    /// the index memory at `O(models × max_candidates)` — the paper's
+    /// Table 4 footprints (≈0.7 KB per model at 100K models) imply the
+    /// same discipline — and caps per-insert transitive work.
+    pub max_candidates: usize,
+}
+
+impl Default for SemanticIndexConfig {
+    fn default() -> Self {
+        SemanticIndexConfig {
+            sample_size: 5,
+            segments: true,
+            max_candidates: 64,
+        }
+    }
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct Entry {
+    key: String,
+    /// Candidate records in descending score order.
+    candidates: Vec<CandidateRecord>,
+}
+
+/// The semantic index.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SemanticIndex {
+    config: SemanticIndexConfig,
+    /// Fingerprint → entry.
+    entries: HashMap<Fingerprint, Entry>,
+    /// Key → fingerprint (reverse lookup for by-name references).
+    by_key: HashMap<String, Fingerprint>,
+    /// Insertion order of keys (stable sampling).
+    order: Vec<String>,
+    seed_state: u64,
+}
+
+impl SemanticIndex {
+    /// Create an empty index.
+    pub fn new(config: SemanticIndexConfig, seed: u64) -> Self {
+        SemanticIndex {
+            config,
+            entries: HashMap::new(),
+            by_key: HashMap::new(),
+            order: Vec::new(),
+            seed_state: seed,
+        }
+    }
+
+    /// Number of indexed models.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Fingerprint registered for a key, if present.
+    pub fn fingerprint_of(&self, key: &str) -> Option<Fingerprint> {
+        self.by_key.get(key).copied()
+    }
+
+    /// Whether a key is indexed.
+    pub fn contains(&self, key: &str) -> bool {
+        self.by_key.contains_key(key)
+    }
+
+    /// All indexed keys in insertion order.
+    pub fn keys(&self) -> &[String] {
+        &self.order
+    }
+
+    /// The recorded diff bound between two keys, if a candidate record
+    /// links them (in the `key → other` direction).
+    pub fn recorded_diff(&self, key: &str, other: &str) -> Option<f64> {
+        let fp = self.by_key.get(key)?;
+        self.entries[fp]
+            .candidates
+            .iter()
+            .find(|c| c.key == other)
+            .map(|c| c.diff_bound)
+    }
+
+    fn push_record(&mut self, key: &str, record: CandidateRecord) {
+        let fp = self.by_key[key];
+        let entry = self.entries.get_mut(&fp).expect("entry exists");
+        // Keep the best record per (candidate, kind-class) pair.
+        if let Some(existing) = entry
+            .candidates
+            .iter_mut()
+            .find(|c| c.key == record.key && synth_class(&c.kind) == synth_class(&record.kind))
+        {
+            if record.diff_bound < existing.diff_bound {
+                *existing = record;
+            }
+        } else {
+            entry.candidates.push(record);
+        }
+        entry
+            .candidates
+            .sort_by(|a, b| b.score.partial_cmp(&a.score).expect("scores are finite"));
+        entry.candidates.truncate(self.config.max_candidates);
+    }
+
+    /// Insert a model, running the sampled pairwise analysis through
+    /// `models` (key → model resolver) and `analyzer`.
+    ///
+    /// `models` must be able to resolve every previously indexed key.
+    pub fn insert(
+        &mut self,
+        model: &Model,
+        resolve: &dyn Fn(&str) -> Option<Model>,
+        analyzer: &mut dyn PairAnalyzer,
+    ) {
+        let key = model.name.clone();
+        assert!(
+            !self.by_key.contains_key(&key),
+            "key '{key}' is already indexed"
+        );
+        let fp = Fingerprint::of_model(model);
+        self.entries.insert(
+            fp,
+            Entry {
+                key: key.clone(),
+                candidates: Vec::new(),
+            },
+        );
+        self.by_key.insert(key.clone(), fp);
+
+        // Sample existing models for direct analysis.
+        let n_existing = self.order.len();
+        self.order.push(key.clone());
+        if n_existing == 0 {
+            return;
+        }
+        let mut rng = Prng::seed_from_u64(self.seed_state ^ fp.0);
+        self.seed_state = self.seed_state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let sample_n = self.config.sample_size.min(n_existing);
+        let sampled: Vec<String> = rng
+            .sample_indices(n_existing, sample_n)
+            .into_iter()
+            .map(|i| self.order[i].clone())
+            .collect();
+
+        // Direct pairwise analysis against the sample, both directions.
+        let mut direct: Vec<(String, f64)> = Vec::new();
+        for s in &sampled {
+            let Some(other) = resolve(s) else { continue };
+            if let Some(d_rn) = analyzer.whole_diff(model, &other) {
+                // other as a candidate for the new model's entry
+                self.push_record(
+                    &key,
+                    CandidateRecord::new(s.clone(), d_rn, CandidateKind::Whole),
+                );
+                direct.push((s.clone(), d_rn));
+            }
+            if let Some(d_nr) = analyzer.whole_diff(&other, model) {
+                self.push_record(
+                    s,
+                    CandidateRecord::new(key.clone(), d_nr, CandidateKind::Whole),
+                );
+            }
+            if self.config.segments {
+                if let Some(seg_diff) = analyzer.segment_diff(model, &other) {
+                    self.push_record(
+                        &key,
+                        CandidateRecord::new(
+                            format!("{key}+{s}"),
+                            seg_diff,
+                            CandidateKind::Synthesized { donor: s.clone() },
+                        ),
+                    );
+                }
+                if let Some(seg_diff) = analyzer.segment_diff(&other, model) {
+                    self.push_record(
+                        s,
+                        CandidateRecord::new(
+                            format!("{s}+{key}"),
+                            seg_diff,
+                            CandidateKind::Synthesized { donor: key.clone() },
+                        ),
+                    );
+                }
+            }
+        }
+
+        // Transitive derivation through the sampled intermediaries:
+        // d(new, other) ≤ min over sampled s of d(new, s) + d(s, other),
+        // where `other` ranges over each sampled model's candidate list
+        // (not the whole repository — candidate lists are bounded, so this
+        // is O(sample × max_candidates) per insertion).
+        let mut derived: std::collections::HashMap<String, (f64, String)> =
+            std::collections::HashMap::new();
+        for (s, d_ns) in &direct {
+            let fp = self.by_key[s];
+            for cand in &self.entries[&fp].candidates {
+                if cand.key == key || sampled.contains(&cand.key) {
+                    continue;
+                }
+                if matches!(cand.kind, CandidateKind::Synthesized { .. }) {
+                    continue;
+                }
+                if !self.by_key.contains_key(&cand.key) {
+                    continue;
+                }
+                let bound = d_ns + cand.diff_bound;
+                let entry = derived.entry(cand.key.clone());
+                use std::collections::hash_map::Entry;
+                match entry {
+                    Entry::Occupied(mut o) => {
+                        if bound < o.get().0 {
+                            o.insert((bound, s.clone()));
+                        }
+                    }
+                    Entry::Vacant(v) => {
+                        v.insert((bound, s.clone()));
+                    }
+                }
+            }
+        }
+        for (other, (bound, via)) in derived {
+            self.push_record(
+                &key,
+                CandidateRecord::new(
+                    other.clone(),
+                    bound,
+                    CandidateKind::Transitive { via: via.clone() },
+                ),
+            );
+            self.push_record(
+                &other,
+                CandidateRecord::new(key.clone(), bound, CandidateKind::Transitive { via }),
+            );
+        }
+    }
+
+    /// Remove a model from the index: its entry is dropped and every
+    /// candidate record referring to it (directly or as a synthesis donor)
+    /// is purged from other entries.
+    pub fn remove(&mut self, key: &str) -> bool {
+        let Some(fp) = self.by_key.remove(key) else {
+            return false;
+        };
+        self.entries.remove(&fp);
+        self.order.retain(|k| k != key);
+        for entry in self.entries.values_mut() {
+            entry.candidates.retain(|c| {
+                if c.key == key {
+                    return false;
+                }
+                match &c.kind {
+                    CandidateKind::Synthesized { donor } => donor != key,
+                    CandidateKind::Transitive { via } => via != key,
+                    CandidateKind::Whole => true,
+                }
+            });
+        }
+        true
+    }
+
+    /// Lookup: all candidates of the keyed model whose equivalence score
+    /// meets `min_score`, best first (paper Section 5.2, "collect as the
+    /// output all the models whose equivalence level exceeds the
+    /// threshold").
+    pub fn lookup(&self, reference: Fingerprint, min_score: f64) -> Vec<&CandidateRecord> {
+        match self.entries.get(&reference) {
+            Some(entry) => entry
+                .candidates
+                .iter()
+                .take_while(|c| c.score >= min_score)
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Lookup by key instead of fingerprint.
+    pub fn lookup_key(&self, key: &str, min_score: f64) -> Vec<&CandidateRecord> {
+        match self.by_key.get(key) {
+            Some(fp) => self.lookup(*fp, min_score),
+            None => Vec::new(),
+        }
+    }
+
+    /// The full candidate list of a key (no threshold).
+    pub fn candidates_of(&self, key: &str) -> &[CandidateRecord] {
+        match self.by_key.get(key) {
+            Some(fp) => &self.entries[fp].candidates,
+            None => &[],
+        }
+    }
+}
+
+fn synth_class(kind: &CandidateKind) -> bool {
+    matches!(kind, CandidateKind::Synthesized { .. })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sommelier_graph::{ModelBuilder, TaskKind};
+    use sommelier_tensor::{Prng, Shape};
+    use std::collections::HashMap as Map;
+
+    /// A mock analyzer with a fixed distance table.
+    struct TableAnalyzer {
+        diffs: Map<(String, String), f64>,
+        calls: usize,
+    }
+
+    impl TableAnalyzer {
+        fn new(pairs: &[(&str, &str, f64)]) -> Self {
+            let mut diffs = Map::new();
+            for (a, b, d) in pairs {
+                diffs.insert((a.to_string(), b.to_string()), *d);
+                diffs.insert((b.to_string(), a.to_string()), *d);
+            }
+            TableAnalyzer { diffs, calls: 0 }
+        }
+    }
+
+    impl PairAnalyzer for TableAnalyzer {
+        fn whole_diff(&mut self, reference: &Model, candidate: &Model) -> Option<f64> {
+            self.calls += 1;
+            self.diffs
+                .get(&(reference.name.clone(), candidate.name.clone()))
+                .copied()
+        }
+    }
+
+    fn model(name: &str) -> Model {
+        let mut rng = Prng::seed_from_u64(crate::semantic::tests::name_hash(name));
+        ModelBuilder::new(name, TaskKind::Other, Shape::vector(4))
+            .dense(2, &mut rng)
+            .build()
+            .unwrap()
+    }
+
+    pub(crate) fn name_hash(s: &str) -> u64 {
+        s.bytes().fold(7u64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64))
+    }
+
+    fn resolver(models: Vec<Model>) -> impl Fn(&str) -> Option<Model> {
+        move |k: &str| models.iter().find(|m| m.name == k).cloned()
+    }
+
+    #[test]
+    fn first_insert_has_no_candidates() {
+        let mut idx = SemanticIndex::new(SemanticIndexConfig::default(), 1);
+        let a = model("a");
+        idx.insert(&a, &resolver(vec![]), &mut TableAnalyzer::new(&[]));
+        assert_eq!(idx.len(), 1);
+        assert!(idx.candidates_of("a").is_empty());
+    }
+
+    #[test]
+    fn pairwise_records_appear_in_both_entries() {
+        let mut idx = SemanticIndex::new(SemanticIndexConfig::default(), 1);
+        let a = model("a");
+        let b = model("b");
+        let mut an = TableAnalyzer::new(&[("a", "b", 0.1)]);
+        let all = vec![a.clone(), b.clone()];
+        idx.insert(&a, &resolver(all.clone()), &mut an);
+        idx.insert(&b, &resolver(all), &mut an);
+        assert_eq!(idx.candidates_of("a").len(), 1);
+        assert_eq!(idx.candidates_of("b").len(), 1);
+        assert!((idx.candidates_of("b")[0].score - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn candidates_sorted_descending_by_score() {
+        let mut idx = SemanticIndex::new(
+            SemanticIndexConfig {
+                sample_size: 10,
+                segments: false,
+                max_candidates: 64,
+            },
+            1,
+        );
+        let names = ["a", "b", "c", "d"];
+        let models: Vec<Model> = names.iter().map(|n| model(n)).collect();
+        let mut an = TableAnalyzer::new(&[
+            ("a", "b", 0.30),
+            ("a", "c", 0.10),
+            ("a", "d", 0.20),
+            ("b", "c", 0.25),
+            ("b", "d", 0.25),
+            ("c", "d", 0.05),
+        ]);
+        let res = resolver(models.clone());
+        for m in &models {
+            idx.insert(m, &res, &mut an);
+        }
+        let cands = idx.candidates_of("a");
+        let scores: Vec<f64> = cands.iter().map(|c| c.score).collect();
+        assert!(scores.windows(2).all(|w| w[0] >= w[1]), "{scores:?}");
+        assert_eq!(cands[0].key, "c"); // smallest diff 0.10
+    }
+
+    #[test]
+    fn lookup_respects_threshold() {
+        let mut idx = SemanticIndex::new(
+            SemanticIndexConfig {
+                sample_size: 10,
+                segments: false,
+                max_candidates: 64,
+            },
+            1,
+        );
+        let models: Vec<Model> = ["a", "b", "c"].iter().map(|n| model(n)).collect();
+        let mut an = TableAnalyzer::new(&[("a", "b", 0.02), ("a", "c", 0.5), ("b", "c", 0.5)]);
+        let res = resolver(models.clone());
+        for m in &models {
+            idx.insert(m, &res, &mut an);
+        }
+        let strict = idx.lookup_key("a", 0.95);
+        assert_eq!(strict.len(), 1);
+        assert_eq!(strict[0].key, "b");
+        let loose = idx.lookup_key("a", 0.0);
+        assert_eq!(loose.len(), 2);
+    }
+
+    #[test]
+    fn sampling_caps_direct_analysis_and_fills_transitively() {
+        let mut idx = SemanticIndex::new(
+            SemanticIndexConfig {
+                sample_size: 2,
+                segments: false,
+                max_candidates: 64,
+            },
+            42,
+        );
+        let names = ["a", "b", "c", "d", "e", "f", "g", "h"];
+        let models: Vec<Model> = names.iter().map(|n| model(n)).collect();
+        // Uniform diffs so transitivity is well-defined.
+        let mut pairs = Vec::new();
+        for (i, x) in names.iter().enumerate() {
+            for y in names.iter().skip(i + 1) {
+                pairs.push((*x, *y, 0.05));
+            }
+        }
+        let mut an = TableAnalyzer::new(&pairs);
+        let res = resolver(models.clone());
+        for m in &models {
+            idx.insert(m, &res, &mut an);
+        }
+        // With sampling 2, the last insert does ≤ 2×2 whole_diff calls,
+        // far fewer than full pairwise (7×2); candidate lists still cover
+        // the rest transitively.
+        let cands = idx.candidates_of("h");
+        assert!(cands.len() >= 5, "transitive fill produced {}", cands.len());
+        let transitive = cands
+            .iter()
+            .filter(|c| matches!(c.kind, CandidateKind::Transitive { .. }))
+            .count();
+        assert!(transitive > 0, "expected transitive records");
+        // Transitive bounds are conservative: diff 0.05+0.05.
+        for c in cands {
+            if matches!(c.kind, CandidateKind::Transitive { .. }) {
+                assert!((c.diff_bound - 0.10).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        let mut idx = SemanticIndex::new(SemanticIndexConfig::default(), 1);
+        let a = model("a");
+        idx.insert(&a, &resolver(vec![]), &mut TableAnalyzer::new(&[]));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            idx.insert(&a, &resolver(vec![]), &mut TableAnalyzer::new(&[]));
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn transitive_interval_matches_the_paper_formula() {
+        assert_eq!(transitive_interval(0.3, 0.1), (0.19999999999999998, 0.4));
+        let (lo, hi) = transitive_interval(0.1, 0.3);
+        assert!((lo - 0.2).abs() < 1e-12 && (hi - 0.4).abs() < 1e-12);
+        // Degenerate: equal diffs → the pair could be identical.
+        assert_eq!(transitive_interval(0.2, 0.2).0, 0.0);
+    }
+
+    #[test]
+    fn remove_purges_entry_and_references() {
+        let mut idx = SemanticIndex::new(
+            SemanticIndexConfig {
+                sample_size: 10,
+                segments: false,
+                max_candidates: 64,
+            },
+            1,
+        );
+        let models: Vec<Model> = ["a", "b", "c"].iter().map(|n| model(n)).collect();
+        let mut an = TableAnalyzer::new(&[("a", "b", 0.1), ("a", "c", 0.2), ("b", "c", 0.1)]);
+        let res = resolver(models.clone());
+        for m in &models {
+            idx.insert(m, &res, &mut an);
+        }
+        assert!(idx.contains("b"));
+        assert!(idx.remove("b"));
+        assert!(!idx.contains("b"));
+        assert_eq!(idx.len(), 2);
+        for key in ["a", "c"] {
+            assert!(idx.candidates_of(key).iter().all(|c| c.key != "b"));
+        }
+        assert!(!idx.remove("b"), "double removal is a no-op");
+    }
+
+    #[test]
+    fn better_measurement_replaces_transitive_record() {
+        // A direct measurement later should not be shadowed by an earlier
+        // transitive bound if it is tighter.
+        let mut idx = SemanticIndex::new(
+            SemanticIndexConfig {
+                sample_size: 1,
+                segments: false,
+                max_candidates: 64,
+            },
+            7,
+        );
+        let models: Vec<Model> = ["a", "b", "c"].iter().map(|n| model(n)).collect();
+        let mut an = TableAnalyzer::new(&[("a", "b", 0.05), ("a", "c", 0.05), ("b", "c", 0.01)]);
+        let res = resolver(models.clone());
+        for m in &models {
+            idx.insert(m, &res, &mut an);
+        }
+        // Whatever the sampling chose, all records must carry the tightest
+        // known bound ≤ transitive worst case 0.10.
+        for key in ["a", "b", "c"] {
+            for c in idx.candidates_of(key) {
+                assert!(c.diff_bound <= 0.10 + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! The query abstract syntax tree.
+//!
+//! A parsed query carries the three lookup components of paper
+//! Section 5.1: the *semantic constraint* (reference model + equivalence
+//! threshold), the *resource budget* (relative or absolute per-dimension
+//! bounds), and the *final selection criteria*. An optional `EXEC` clause
+//! carries execution settings (hardware, batch size) as key–value pairs,
+//! mirroring Figure 7's `exec-spec`.
+
+use serde::{Deserialize, Serialize};
+use sommelier_graph::TaskKind;
+use std::collections::BTreeMap;
+
+/// What the query returns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SelectKind {
+    /// The single best model.
+    Model,
+    /// The best `n` models.
+    Models(usize),
+}
+
+/// The reference anchoring the semantic constraint.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RefSpec {
+    /// A model the user knows, by repository key.
+    Named(String),
+    /// A task category; the engine substitutes its default reference
+    /// model (paper Section 5.1: "If the user has no prior knowledge of a
+    /// suitable reference model, they can specify the inference task
+    /// category instead").
+    Task(TaskKind),
+}
+
+/// A resource dimension.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceDim {
+    Memory,
+    Flops,
+    Latency,
+}
+
+/// A bound value: relative to the reference model or absolute.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum BoundValue {
+    /// Percentage of the reference model's usage (e.g. `80%`).
+    RelativePercent(f64),
+    /// Absolute value in the dimension's canonical unit (MB / GFLOPs /
+    /// ms).
+    Absolute(f64),
+}
+
+/// One `ON` predicate: `dimension (< | <=) value`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ResourcePredicate {
+    pub dim: ResourceDim,
+    pub value: BoundValue,
+}
+
+/// The final selection criterion among candidates surviving both filters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FinalSelection {
+    /// Highest functional-equivalence score first (default).
+    #[default]
+    Similarity,
+    /// Smallest memory footprint first.
+    Memory,
+    /// Fewest FLOPs first.
+    Flops,
+    /// Lowest latency first.
+    Latency,
+}
+
+/// A parsed query.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    pub select: SelectKind,
+    pub reference: RefSpec,
+    /// Minimum functional-equivalence score in `[0, 1]` (`WITHIN`).
+    pub threshold: f64,
+    pub predicates: Vec<ResourcePredicate>,
+    pub selection: FinalSelection,
+    /// Execution settings from the `EXEC` clause.
+    pub exec_spec: BTreeMap<String, String>,
+}
+
+impl Query {
+    /// A programmatic query builder starting from a named reference with
+    /// the default threshold 0.95.
+    pub fn corr(reference: impl Into<String>) -> Query {
+        Query {
+            select: SelectKind::Model,
+            reference: RefSpec::Named(reference.into()),
+            threshold: 0.95,
+            predicates: Vec::new(),
+            selection: FinalSelection::default(),
+            exec_spec: BTreeMap::new(),
+        }
+    }
+
+    /// Set the equivalence threshold.
+    pub fn within(mut self, threshold: f64) -> Query {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Add a relative memory bound (fraction of the reference, e.g. 0.8).
+    pub fn memory_at_most_frac(mut self, frac: f64) -> Query {
+        self.predicates.push(ResourcePredicate {
+            dim: ResourceDim::Memory,
+            value: BoundValue::RelativePercent(frac * 100.0),
+        });
+        self
+    }
+
+    /// Add a relative FLOPs bound.
+    pub fn flops_at_most_frac(mut self, frac: f64) -> Query {
+        self.predicates.push(ResourcePredicate {
+            dim: ResourceDim::Flops,
+            value: BoundValue::RelativePercent(frac * 100.0),
+        });
+        self
+    }
+
+    /// Add an absolute latency bound in ms.
+    pub fn latency_at_most_ms(mut self, ms: f64) -> Query {
+        self.predicates.push(ResourcePredicate {
+            dim: ResourceDim::Latency,
+            value: BoundValue::Absolute(ms),
+        });
+        self
+    }
+
+    /// Return the best `n` models rather than one.
+    pub fn top(mut self, n: usize) -> Query {
+        self.select = SelectKind::Models(n);
+        self
+    }
+
+    /// Set the final selection criterion.
+    pub fn order_by(mut self, sel: FinalSelection) -> Query {
+        self.selection = sel;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_composes() {
+        let q = Query::corr("resnetish-50")
+            .within(0.9)
+            .memory_at_most_frac(0.8)
+            .flops_at_most_frac(0.5)
+            .top(3)
+            .order_by(FinalSelection::Memory);
+        assert_eq!(q.reference, RefSpec::Named("resnetish-50".into()));
+        assert_eq!(q.threshold, 0.9);
+        assert_eq!(q.predicates.len(), 2);
+        assert_eq!(q.select, SelectKind::Models(3));
+        assert_eq!(q.selection, FinalSelection::Memory);
+        assert!(matches!(
+            q.predicates[0].value,
+            BoundValue::RelativePercent(p) if (p - 80.0).abs() < 1e-9
+        ));
+    }
+
+    #[test]
+    fn default_selection_is_similarity() {
+        assert_eq!(FinalSelection::default(), FinalSelection::Similarity);
+        assert_eq!(Query::corr("x").selection, FinalSelection::Similarity);
+    }
+}

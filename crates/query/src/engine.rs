@@ -1,0 +1,960 @@
+//! The `Sommelier` engine facade (paper Section 6).
+//!
+//! "Sommelier connects with a user-specified DNN model repository during
+//! initialization \[and\] exposes a `query()` API in place of the original
+//! interfaces between users and the model repository." Registration
+//! publishes a model to the underlying repository, profiles its resources
+//! under the configured execution setting, and inserts it into both
+//! indices; queries are parsed, planned, and executed as the Section 5.4
+//! filter pipeline.
+//!
+//! [`EquivAnalyzer`] is the production [`PairAnalyzer`]: whole-model
+//! analysis via `sommelier-equiv::assess_whole` on seeded probe batches
+//! (with the per-model architecture factor of the generalization bound
+//! cached by fingerprint), and segment analysis via `assess_replacement`.
+
+use crate::ast::{FinalSelection, Query, RefSpec};
+use crate::parser::{parse, ParseError};
+use crate::plan::{plan, QueryPlan};
+use sommelier_equiv::genbound::architecture_factor;
+use sommelier_equiv::whole::{AssessError, GenBoundMode};
+use sommelier_equiv::{assess_whole, EquivConfig};
+use sommelier_graph::{Fingerprint, Model, TaskKind};
+use sommelier_index::lsh::LshConfig;
+use sommelier_index::semantic::SemanticIndexConfig;
+use sommelier_index::{CandidateKind, PairAnalyzer, ResourceIndex, SemanticIndex};
+use sommelier_repo::{ModelRepository, RepoError};
+use sommelier_runtime::metrics::qor_difference;
+use sommelier_runtime::{DeviceProfile, ExecSetting, ResourceProfile};
+use sommelier_tensor::{Prng, Tensor};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Engine configuration (the knob surface of paper Section 5.5).
+#[derive(Clone, Debug)]
+pub struct SommelierConfig {
+    /// Whole-model equivalence settings (threshold is per-query; this
+    /// carries the generalization-bound mode).
+    pub equiv: EquivConfig,
+    /// Acceptable QoR difference for segment replacements recorded as
+    /// synthesized candidates.
+    pub segment_epsilon: f64,
+    /// Semantic index knobs (sampling, segment analysis on/off).
+    pub index: SemanticIndexConfig,
+    /// Resource index LSH knobs.
+    pub lsh: LshConfig,
+    /// Rows in the seeded validation probe used for pairwise analysis.
+    pub validation_rows: usize,
+    /// Execution setting under which resource profiles are taken.
+    pub exec_setting: ExecSetting,
+    /// Master seed for probes and index sampling.
+    pub seed: u64,
+}
+
+impl Default for SommelierConfig {
+    fn default() -> Self {
+        SommelierConfig {
+            equiv: EquivConfig::default(),
+            segment_epsilon: 0.10,
+            index: SemanticIndexConfig::default(),
+            lsh: LshConfig::default(),
+            validation_rows: 256,
+            exec_setting: ExecSetting::default_cpu(),
+            seed: 0x50_4d_4d_31,
+        }
+    }
+}
+
+/// One query answer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryResult {
+    /// Model key (a repository key, or `host+donor` for synthesized
+    /// models).
+    pub key: String,
+    /// Functional-equivalence score to the reference.
+    pub score: f64,
+    /// QoR difference bound behind the score.
+    pub diff_bound: f64,
+    /// The candidate's resource profile.
+    pub profile: ResourceProfile,
+    /// Relation provenance (whole / transitive / synthesized).
+    pub kind: CandidateKind,
+}
+
+/// Query/processing failures.
+#[derive(Debug)]
+pub enum QueryError {
+    /// The query text failed to parse.
+    Parse(ParseError),
+    /// The named reference model is not registered.
+    UnknownReference(String),
+    /// No default reference is registered for the task.
+    NoDefaultReference(TaskKind),
+    /// Repository failure during registration.
+    Repo(RepoError),
+    /// The model could not be analyzed (e.g. failed execution).
+    Analysis(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse(e) => write!(f, "{e}"),
+            QueryError::UnknownReference(k) => {
+                write!(f, "reference model '{k}' is not registered")
+            }
+            QueryError::NoDefaultReference(t) => {
+                write!(f, "no default reference model for task '{t}'")
+            }
+            QueryError::Repo(e) => write!(f, "{e}"),
+            QueryError::Analysis(e) => write!(f, "analysis failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<ParseError> for QueryError {
+    fn from(e: ParseError) -> Self {
+        QueryError::Parse(e)
+    }
+}
+
+impl From<RepoError> for QueryError {
+    fn from(e: RepoError) -> Self {
+        QueryError::Repo(e)
+    }
+}
+
+/// The production pairwise analyzer.
+pub struct EquivAnalyzer {
+    equiv: EquivConfig,
+    segment_epsilon: f64,
+    validation_rows: usize,
+    probes: HashMap<usize, Tensor>,
+    arch_factors: HashMap<Fingerprint, f64>,
+    rng: Prng,
+    seed: u64,
+}
+
+impl EquivAnalyzer {
+    /// Create an analyzer with the given settings.
+    pub fn new(
+        equiv: EquivConfig,
+        segment_epsilon: f64,
+        validation_rows: usize,
+        seed: u64,
+    ) -> Self {
+        EquivAnalyzer {
+            equiv,
+            segment_epsilon,
+            validation_rows,
+            probes: HashMap::new(),
+            arch_factors: HashMap::new(),
+            rng: Prng::seed_from_u64(seed ^ 0xa11a),
+            seed,
+        }
+    }
+
+    /// The seeded probe batch for a given input width (cached).
+    pub fn probe(&mut self, input_width: usize) -> Tensor {
+        let rows = self.validation_rows;
+        let seed = self.seed;
+        self.probes
+            .entry(input_width)
+            .or_insert_with(|| {
+                let mut rng = Prng::seed_from_u64(seed ^ (input_width as u64).rotate_left(17));
+                Tensor::gaussian(rows, input_width, 1.0, &mut rng)
+            })
+            .clone()
+    }
+
+    fn cached_factor(&mut self, model: &Model, probe: &Tensor) -> f64 {
+        let fp = Fingerprint::of_model(model);
+        if let Some(f) = self.arch_factors.get(&fp) {
+            return *f;
+        }
+        let cfg = match self.equiv.genbound {
+            GenBoundMode::On(c) => c,
+            GenBoundMode::Off => return 0.0,
+        };
+        let f = architecture_factor(model, probe, &cfg);
+        self.arch_factors.insert(fp, f);
+        f
+    }
+}
+
+impl PairAnalyzer for EquivAnalyzer {
+    fn whole_diff(&mut self, reference: &Model, candidate: &Model) -> Option<f64> {
+        let probe = self.probe(reference.input_width());
+        // Empirical difference without the (expensive, uncached) built-in
+        // bound path; the bound term is recomposed from cached factors.
+        let empirical_cfg = EquivConfig {
+            epsilon: self.equiv.epsilon,
+            genbound: GenBoundMode::Off,
+        };
+        let report = match assess_whole(reference, candidate, &probe, &empirical_cfg) {
+            Ok(r) => r,
+            Err(AssessError::Incompatible(_)) => return None,
+            Err(AssessError::Exec(_)) => return None,
+        };
+        let term = match self.equiv.genbound {
+            GenBoundMode::Off => 0.0,
+            GenBoundMode::On(gb) => {
+                let fa = self.cached_factor(reference, &probe);
+                let fb = self.cached_factor(candidate, &probe);
+                let n = (probe.rows().max(1) as f64).sqrt();
+                gb.constant * 0.5 * (fa + fb) / (gb.gamma * n) + gb.concentration / n
+            }
+        };
+        Some(report.empirical_diff + term)
+    }
+
+    fn segment_diff(&mut self, host: &Model, donor: &Model) -> Option<f64> {
+        if host.input_width() != donor.input_width() {
+            // Still allowed by the paper (segments are internal), but our
+            // probe-driven assessment runs the host end-to-end.
+        }
+        let probe = self.probe(host.input_width());
+        // A small slice suffices for noise-injection estimation.
+        let rows = probe.rows().min(16);
+        let small = if probe.rows() > rows {
+            let slice: Vec<Tensor> = (0..rows).map(|r| probe.row_tensor(r)).collect();
+            Tensor::stack_rows(&slice)
+        } else {
+            probe
+        };
+        let assessment = sommelier_equiv::assessment::assess_replacement(
+            host,
+            donor,
+            &small,
+            self.segment_epsilon,
+            &mut self.rng,
+        )
+        .ok()?;
+        assessment.equivalent.then_some(assessment.qor_diff)
+    }
+}
+
+/// The Sommelier query engine.
+pub struct Sommelier {
+    repo: Arc<dyn ModelRepository>,
+    semantic: SemanticIndex,
+    resource: ResourceIndex,
+    analyzer: EquivAnalyzer,
+    default_refs: HashMap<TaskKind, String>,
+    config: SommelierConfig,
+}
+
+impl Sommelier {
+    /// Connect to a repository. Models already present can be indexed with
+    /// [`Sommelier::index_existing`].
+    pub fn connect(repo: Arc<dyn ModelRepository>, config: SommelierConfig) -> Self {
+        Sommelier {
+            semantic: SemanticIndex::new(config.index, config.seed),
+            resource: ResourceIndex::new(config.lsh, config.seed),
+            analyzer: EquivAnalyzer::new(
+                config.equiv,
+                config.segment_epsilon,
+                config.validation_rows,
+                config.seed,
+            ),
+            default_refs: HashMap::new(),
+            repo,
+            config,
+        }
+    }
+
+    /// Connect with default configuration.
+    pub fn connect_default(repo: Arc<dyn ModelRepository>) -> Self {
+        Self::connect(repo, SommelierConfig::default())
+    }
+
+    /// Number of indexed models.
+    pub fn len(&self) -> usize {
+        self.semantic.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.semantic.is_empty()
+    }
+
+    /// Immutable access to the semantic index (for inspection/experiments).
+    pub fn semantic_index(&self) -> &SemanticIndex {
+        &self.semantic
+    }
+
+    /// Immutable access to the resource index.
+    pub fn resource_index(&self) -> &ResourceIndex {
+        &self.resource
+    }
+
+    /// Publish a model to the repository and index it.
+    pub fn register(&mut self, model: &Model) -> Result<(), QueryError> {
+        self.repo.publish(&model.name, model, false)?;
+        self.index_model(model)
+    }
+
+    /// Index every repository model that is not yet indexed.
+    pub fn index_existing(&mut self) -> Result<usize, QueryError> {
+        let mut added = 0;
+        for key in self.repo.keys() {
+            if self.semantic.contains(&key) {
+                continue;
+            }
+            let model = self.repo.load(&key)?;
+            self.index_model(&model)?;
+            added += 1;
+        }
+        Ok(added)
+    }
+
+    fn index_model(&mut self, model: &Model) -> Result<(), QueryError> {
+        let profile = ResourceProfile::under(model, &self.config.exec_setting);
+        self.resource.insert(&model.name, profile);
+        let repo = Arc::clone(&self.repo);
+        let resolve = move |k: &str| repo.load(k).ok();
+        self.semantic.insert(model, &resolve, &mut self.analyzer);
+        self.default_refs
+            .entry(model.task)
+            .or_insert_with(|| model.name.clone());
+        Ok(())
+    }
+
+    /// Replace a model under an existing key: the old index entries are
+    /// purged, the repository copy is overwritten, and the new version is
+    /// re-analyzed and re-indexed (a published model update, e.g. a new
+    /// fine-tune under the same name).
+    pub fn reregister(&mut self, model: &Model) -> Result<(), QueryError> {
+        self.unregister(&model.name);
+        self.repo.publish(&model.name, model, true)?;
+        self.index_model(model)
+    }
+
+    /// Remove a model from both indices (the repository file is left in
+    /// place; `publish` can re-register it later). Returns whether the key
+    /// was indexed.
+    pub fn unregister(&mut self, key: &str) -> bool {
+        let in_semantic = self.semantic.remove(key);
+        let in_resource = self.resource.remove(key);
+        self.default_refs.retain(|_, v| v != key);
+        // Re-derive default references for tasks that lost theirs.
+        for k in self.semantic.keys() {
+            if let Ok(model) = self.repo.load(k) {
+                self.default_refs
+                    .entry(model.task)
+                    .or_insert_with(|| k.clone());
+            }
+        }
+        in_semantic || in_resource
+    }
+
+    /// Override the default reference model for a task.
+    pub fn set_default_reference(&mut self, task: TaskKind, key: impl Into<String>) {
+        self.default_refs.insert(task, key.into());
+    }
+
+    /// Execute a textual query (paper Figure 7 syntax).
+    pub fn query(&self, text: &str) -> Result<Vec<QueryResult>, QueryError> {
+        let ast = parse(text)?;
+        self.query_ast(&ast)
+    }
+
+    /// Execute a programmatically built query.
+    pub fn query_ast(&self, query: &Query) -> Result<Vec<QueryResult>, QueryError> {
+        let reference_key = match &query.reference {
+            RefSpec::Named(k) => {
+                if !self.semantic.contains(k) {
+                    return Err(QueryError::UnknownReference(k.clone()));
+                }
+                k.clone()
+            }
+            RefSpec::Task(t) => self
+                .default_refs
+                .get(t)
+                .cloned()
+                .ok_or(QueryError::NoDefaultReference(*t))?,
+        };
+        // An EXEC clause overrides the indexed profiles: models are
+        // re-profiled under the requested execution setting (paper
+        // Section 5.3: hardware-dependent metrics are collected per
+        // platform; Figure 7's exec-spec).
+        if let Some(setting) = self.exec_setting_of(query)? {
+            return self.query_with_setting(query, &reference_key, &setting);
+        }
+        let ref_profile = *self
+            .resource
+            .profile_of(&reference_key)
+            .ok_or_else(|| QueryError::UnknownReference(reference_key.clone()))?;
+        let plan = plan(query, &reference_key, &ref_profile);
+        Ok(self.execute_plan(&plan, &ref_profile, None))
+    }
+
+    /// Parse the query's `EXEC` clause into an execution setting.
+    /// Recognized keys: `device` (`cpu` / `gpu` / `edge`), `batch`
+    /// (positive integer), `workspace` (float multiplier ≥ 1).
+    fn exec_setting_of(&self, query: &Query) -> Result<Option<ExecSetting>, QueryError> {
+        if query.exec_spec.is_empty() {
+            return Ok(None);
+        }
+        let mut setting = self.config.exec_setting.clone();
+        for (key, value) in &query.exec_spec {
+            match key.as_str() {
+                "device" => {
+                    setting.device = match value.as_str() {
+                        "cpu" => DeviceProfile::cpu(),
+                        "gpu" => DeviceProfile::gpu(),
+                        "edge" => DeviceProfile::edge(),
+                        other => {
+                            return Err(QueryError::Analysis(format!(
+                                "unknown EXEC device '{other}' (expected cpu/gpu/edge)"
+                            )))
+                        }
+                    }
+                }
+                "batch" => {
+                    setting.batch_size = value.parse::<f64>().ok().map(|v| v as usize).filter(|&b| b >= 1).ok_or_else(
+                        || {
+                            QueryError::Analysis(format!(
+                                "EXEC batch must be a positive integer, got '{value}'"
+                            ))
+                        },
+                    )?;
+                }
+                "workspace" => {
+                    setting.workspace_factor = value.parse::<f64>().ok().filter(|w| *w >= 1.0).ok_or_else(|| {
+                        QueryError::Analysis(format!(
+                            "EXEC workspace must be a multiplier >= 1, got '{value}'"
+                        ))
+                    })?;
+                }
+                other => {
+                    return Err(QueryError::Analysis(format!(
+                        "unknown EXEC setting '{other}' (expected device/batch/workspace)"
+                    )))
+                }
+            }
+        }
+        Ok(Some(setting))
+    }
+
+    /// Execute a query re-profiling models under an explicit execution
+    /// setting (models are loaded from the repository and profiled on the
+    /// fly — the per-platform measurement path of Section 5.3).
+    fn query_with_setting(
+        &self,
+        query: &Query,
+        reference_key: &str,
+        setting: &ExecSetting,
+    ) -> Result<Vec<QueryResult>, QueryError> {
+        let ref_model = self.repo.load(reference_key)?;
+        let ref_profile = ResourceProfile::under(&ref_model, setting);
+        let plan = plan(query, reference_key, &ref_profile);
+        Ok(self.execute_plan(&plan, &ref_profile, Some(setting)))
+    }
+
+    fn execute_plan(
+        &self,
+        plan: &QueryPlan,
+        ref_profile: &ResourceProfile,
+        setting: Option<&ExecSetting>,
+    ) -> Vec<QueryResult> {
+        // Stage 1: semantic filter.
+        let candidates = self.semantic.lookup_key(&plan.reference_key, plan.min_score);
+
+        // Stage 2: resource filter. With an explicit execution setting the
+        // candidates are re-profiled on the fly; otherwise the prebuilt
+        // index answers the range query.
+        let admitted: Option<std::collections::HashSet<String>> = match setting {
+            Some(_) => None,
+            None => Some(self.resource.query(&plan.constraint).into_iter().collect()),
+        };
+        let profile_of = |key: &str| -> Option<ResourceProfile> {
+            match setting {
+                Some(s) => {
+                    let model = self.repo.load(key).ok()?;
+                    Some(ResourceProfile::under(&model, s))
+                }
+                None => self.resource.profile_of(key).copied(),
+            }
+        };
+        let mut results: Vec<QueryResult> = candidates
+            .into_iter()
+            .filter(|c| c.key != plan.reference_key)
+            .filter_map(|c| {
+                let profile = match &c.kind {
+                    // Synthesized models share the host's (= reference's)
+                    // structure, hence its resource profile.
+                    CandidateKind::Synthesized { .. } => {
+                        if !plan.constraint.admits(ref_profile) {
+                            return None;
+                        }
+                        *ref_profile
+                    }
+                    _ => {
+                        if let Some(admitted) = &admitted {
+                            if !admitted.contains(&c.key) {
+                                return None;
+                            }
+                        }
+                        let p = profile_of(&c.key)?;
+                        if !plan.constraint.admits(&p) {
+                            return None;
+                        }
+                        p
+                    }
+                };
+                Some(QueryResult {
+                    key: c.key.clone(),
+                    score: c.score,
+                    diff_bound: c.diff_bound,
+                    profile,
+                    kind: c.kind.clone(),
+                })
+            })
+            .collect();
+
+        // Stage 3: final selection.
+        match plan.selection {
+            FinalSelection::Similarity => {
+                results.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite"))
+            }
+            FinalSelection::Memory => results.sort_by(|a, b| {
+                a.profile
+                    .memory_mb
+                    .partial_cmp(&b.profile.memory_mb)
+                    .expect("finite")
+            }),
+            FinalSelection::Flops => results.sort_by(|a, b| {
+                a.profile
+                    .gflops
+                    .partial_cmp(&b.profile.gflops)
+                    .expect("finite")
+            }),
+            FinalSelection::Latency => results.sort_by(|a, b| {
+                a.profile
+                    .latency_ms
+                    .partial_cmp(&b.profile.latency_ms)
+                    .expect("finite")
+            }),
+        }
+        results.truncate(plan.limit);
+        results
+    }
+
+    /// Materialize a query result into a runnable model.
+    ///
+    /// Plain keys load from the repository. Synthesized keys
+    /// (`host+donor`, paper Section 5.2 case ii) are built on demand:
+    /// the donor's matched segments are spliced into the host.
+    pub fn materialize(&self, key: &str) -> Result<Model, QueryError> {
+        if let Ok(model) = self.repo.load(key) {
+            return Ok(model);
+        }
+        let Some((host_key, donor_key)) = key.split_once('+') else {
+            return Err(QueryError::UnknownReference(key.to_string()));
+        };
+        let host = self.repo.load(host_key)?;
+        let donor = self.repo.load(donor_key)?;
+        // The index certified the replacement when it recorded the
+        // candidate; materialization just re-derives the structural match
+        // and splices every matched segment.
+        let segments =
+            sommelier_equiv::segment::find_matched_segments(&host, &donor, 2);
+        if segments.is_empty() {
+            return Err(QueryError::Analysis(format!(
+                "no structurally matched segments between '{host_key}' and '{donor_key}'"
+            )));
+        }
+        let seg_refs: Vec<&sommelier_equiv::MatchedSegment> = segments.iter().collect();
+        let mut model =
+            sommelier_equiv::assessment::replace_segments(&host, &donor, &seg_refs);
+        model.name = key.to_string();
+        Ok(model)
+    }
+
+    /// Persist both indices to a snapshot file (paper Section 5.5:
+    /// indices are lightweight and can be populated to disk).
+    pub fn save_indices(&self, path: &std::path::Path) -> Result<(), QueryError> {
+        sommelier_index::persist::save(&self.semantic, &self.resource, path)
+            .map_err(|e| QueryError::Analysis(e.to_string()))
+    }
+
+    /// Connect to a repository restoring previously persisted indices —
+    /// registration analysis does not have to be repeated after a
+    /// restart. Default reference models are re-derived from the indexed
+    /// order.
+    pub fn connect_with_indices(
+        repo: Arc<dyn ModelRepository>,
+        config: SommelierConfig,
+        path: &std::path::Path,
+    ) -> Result<Self, QueryError> {
+        let (semantic, resource) = sommelier_index::persist::load(path)
+            .map_err(|e| QueryError::Analysis(e.to_string()))?;
+        let mut default_refs = HashMap::new();
+        for key in semantic.keys() {
+            if let Ok(model) = repo.load(key) {
+                default_refs.entry(model.task).or_insert_with(|| key.clone());
+            }
+        }
+        Ok(Sommelier {
+            semantic,
+            resource,
+            analyzer: EquivAnalyzer::new(
+                config.equiv,
+                config.segment_epsilon,
+                config.validation_rows,
+                config.seed,
+            ),
+            default_refs,
+            repo,
+            config,
+        })
+    }
+
+    /// Directly measure the empirical QoR difference between two
+    /// registered models on the engine's probe — a convenience for
+    /// experiments and the serving integration.
+    pub fn measure_diff(&mut self, reference: &str, candidate: &str) -> Result<f64, QueryError> {
+        let a = self.repo.load(reference)?;
+        let b = self.repo.load(candidate)?;
+        let probe = self.analyzer.probe(a.input_width());
+        let oa = sommelier_runtime::execute(&a, &probe)
+            .map_err(|e| QueryError::Analysis(e.to_string()))?;
+        let ob = sommelier_runtime::execute(&b, &probe)
+            .map_err(|e| QueryError::Analysis(e.to_string()))?;
+        Ok(qor_difference(a.task.output_style(), &oa, &ob))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sommelier_repo::InMemoryRepository;
+    use sommelier_zoo::families::{Family, FamilyScale};
+    use sommelier_zoo::teacher::{DatasetBias, Teacher};
+
+    fn engine_with_variants() -> (Sommelier, Vec<String>) {
+        let teacher = Teacher::for_task(TaskKind::ImageRecognition, 51);
+        let bias = DatasetBias::new(&teacher, "imagenet", 0.05);
+        let repo = Arc::new(InMemoryRepository::new());
+        let mut cfg = SommelierConfig {
+            validation_rows: 128,
+            ..SommelierConfig::default()
+        };
+        cfg.index.sample_size = 16; // small pool: analyze everything
+        let mut engine = Sommelier::connect(repo, cfg);
+        let mut rng = Prng::seed_from_u64(1);
+        let mut names = Vec::new();
+        // A ladder of sizes: accurate-and-big down to cheap-and-small.
+        for (i, width_factor) in [1.5, 1.0, 0.75, 0.5].into_iter().enumerate() {
+            let name = format!("resnetish-v{i}");
+            let mut frng = rng.fork();
+            let m = Family::Resnetish.build_scaled(
+                &name,
+                &teacher,
+                &bias,
+                &FamilyScale::new(width_factor, 3 + i, 0.01),
+                &mut frng,
+            );
+            engine.register(&m).unwrap();
+            names.push(name);
+        }
+        (engine, names)
+    }
+
+    #[test]
+    fn register_and_lookup_round_trip() {
+        let (engine, names) = engine_with_variants();
+        assert_eq!(engine.len(), 4);
+        for n in &names {
+            assert!(engine.semantic_index().contains(n));
+            assert!(engine.resource_index().profile_of(n).is_some());
+        }
+    }
+
+    #[test]
+    fn query_returns_equivalent_cheaper_model() {
+        let (engine, names) = engine_with_variants();
+        let q = format!(
+            "SELECT model CORR {} ON memory <= 90% WITHIN 0.5 ORDER BY similarity",
+            names[0]
+        );
+        let results = engine.query(&q).unwrap();
+        assert!(!results.is_empty(), "no results");
+        let top = &results[0];
+        assert_ne!(top.key, names[0]);
+        let ref_mem = engine
+            .resource_index()
+            .profile_of(&names[0])
+            .unwrap()
+            .memory_mb;
+        assert!(top.profile.memory_mb <= 0.9 * ref_mem);
+        assert!(top.score >= 0.5);
+    }
+
+    #[test]
+    fn order_by_memory_prefers_cheapest() {
+        let (engine, names) = engine_with_variants();
+        let q = format!(
+            "SELECT models 3 CORR {} WITHIN 0.3 ORDER BY memory",
+            names[0]
+        );
+        let results = engine.query(&q).unwrap();
+        assert!(results.len() >= 2);
+        assert!(results
+            .windows(2)
+            .all(|w| w[0].profile.memory_mb <= w[1].profile.memory_mb));
+    }
+
+    #[test]
+    fn unknown_reference_is_an_error() {
+        let (engine, _) = engine_with_variants();
+        let err = engine.query("SELECT model CORR ghost").unwrap_err();
+        assert!(matches!(err, QueryError::UnknownReference(_)));
+    }
+
+    #[test]
+    fn task_reference_uses_default() {
+        let (engine, names) = engine_with_variants();
+        let results = engine
+            .query("SELECT models 2 CORR TASK image-recognition WITHIN 0.3")
+            .unwrap();
+        assert!(!results.is_empty());
+        // Default reference is the first registered model; it must not be
+        // returned as its own equivalent.
+        assert!(results.iter().all(|r| r.key != names[0]));
+    }
+
+    #[test]
+    fn no_default_reference_for_unseen_task() {
+        let (engine, _) = engine_with_variants();
+        let err = engine
+            .query("SELECT model CORR TASK question-answering")
+            .unwrap_err();
+        assert!(matches!(err, QueryError::NoDefaultReference(_)));
+    }
+
+    #[test]
+    fn impossible_resource_budget_returns_empty() {
+        let (engine, names) = engine_with_variants();
+        let q = format!("SELECT model CORR {} ON memory <= 0.000001 MB", names[0]);
+        let results = engine.query(&q).unwrap();
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn strict_threshold_prunes_more_than_loose() {
+        let (engine, names) = engine_with_variants();
+        let strict = engine
+            .query(&format!("SELECT models 10 CORR {} WITHIN 0.98", names[0]))
+            .unwrap();
+        let loose = engine
+            .query(&format!("SELECT models 10 CORR {} WITHIN 0.2", names[0]))
+            .unwrap();
+        assert!(strict.len() <= loose.len());
+        assert!(!loose.is_empty());
+    }
+
+    #[test]
+    fn exec_clause_reprofiles_candidates() {
+        let (engine, names) = engine_with_variants();
+        // Under batch 32, activation memory scales up ~32x while
+        // parameters stay put — the admitted set under an absolute bound
+        // must shrink relative to batch 1.
+        let q1 = format!("SELECT models 10 CORR {} WITHIN 0.0 EXEC batch = 1", names[0]);
+        let q32 = format!("SELECT models 10 CORR {} WITHIN 0.0 EXEC batch = 32", names[0]);
+        let r1 = engine.query(&q1).unwrap();
+        let r32 = engine.query(&q32).unwrap();
+        assert_eq!(r1.len(), r32.len());
+        for (a, b) in r1.iter().zip(&r32) {
+            assert!(
+                b.profile.memory_mb > a.profile.memory_mb,
+                "batch-32 memory must exceed batch-1 for {}",
+                a.key
+            );
+        }
+        // Device selection changes the latency estimate.
+        let qgpu = format!("SELECT model CORR {} WITHIN 0.0 EXEC device = gpu", names[0]);
+        let rgpu = engine.query(&qgpu).unwrap();
+        assert!(!rgpu.is_empty());
+    }
+
+    #[test]
+    fn exec_clause_rejects_unknown_settings() {
+        let (engine, names) = engine_with_variants();
+        let err = engine
+            .query(&format!("SELECT model CORR {} EXEC turbo = yes", names[0]))
+            .unwrap_err();
+        assert!(matches!(err, QueryError::Analysis(_)));
+        let err = engine
+            .query(&format!("SELECT model CORR {} EXEC batch = 0", names[0]))
+            .unwrap_err();
+        assert!(matches!(err, QueryError::Analysis(_)));
+    }
+
+    #[test]
+    fn indices_persist_and_restore_through_engine() {
+        let (engine, names) = engine_with_variants();
+        let path = std::env::temp_dir().join(format!(
+            "somm-engine-snap-{}.json",
+            std::process::id()
+        ));
+        engine.save_indices(&path).unwrap();
+
+        // A fresh engine restored from the snapshot answers identically
+        // without re-analysis. The repository must be shared.
+        let repo = engine.repo.clone();
+        let restored = Sommelier::connect_with_indices(
+            repo,
+            SommelierConfig::default(),
+            &path,
+        )
+        .unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(restored.len(), engine.len());
+        let q = format!("SELECT models 5 CORR {} WITHIN 0.2", names[0]);
+        let a = engine.query(&q).unwrap();
+        let b = restored.query(&q).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.key, y.key);
+        }
+        // Default references were re-derived.
+        assert!(restored
+            .query("SELECT model CORR TASK image-recognition WITHIN 0.0")
+            .is_ok());
+    }
+
+    #[test]
+    fn reregister_replaces_a_model_version() {
+        let (mut engine, names) = engine_with_variants();
+        let teacher = Teacher::for_task(TaskKind::ImageRecognition, 51);
+        let bias = DatasetBias::new(&teacher, "imagenet", 0.05);
+        let mut rng = Prng::seed_from_u64(77);
+        // Publish a very different model under an existing key.
+        let replacement = Family::Vggish.build_scaled(
+            &names[2],
+            &teacher,
+            &bias,
+            &FamilyScale::new(0.5, 2, 0.05),
+            &mut rng,
+        );
+        let before = *engine.resource_index().profile_of(&names[2]).unwrap();
+        engine.reregister(&replacement).unwrap();
+        let after = *engine.resource_index().profile_of(&names[2]).unwrap();
+        assert_ne!(before.memory_mb, after.memory_mb);
+        assert_eq!(engine.len(), 4, "model count unchanged after update");
+        // The repository holds the new version.
+        let stored = engine.repo.load(&names[2]).unwrap();
+        assert_eq!(stored.metadata["family"], "vggish");
+    }
+
+    #[test]
+    fn synthesized_results_materialize_into_runnable_models() {
+        let (engine, names) = engine_with_variants();
+        // Find a synthesized candidate in the raw index.
+        let synth_key = engine
+            .semantic_index()
+            .candidates_of(&names[0])
+            .iter()
+            .find(|c| matches!(c.kind, CandidateKind::Synthesized { .. }))
+            .map(|c| c.key.clone())
+            .expect("segment analysis produced synthesized candidates");
+        let model = engine.materialize(&synth_key).unwrap();
+        assert_eq!(model.name, synth_key);
+        // It runs and matches the host's geometry.
+        let mut rng = Prng::seed_from_u64(1);
+        let x = Tensor::gaussian(4, model.input_width(), 1.0, &mut rng);
+        let out = sommelier_runtime::execute(&model, &x).unwrap();
+        assert_eq!(out.rows(), 4);
+        // Plain keys still load directly; garbage keys fail.
+        assert!(engine.materialize(&names[1]).is_ok());
+        assert!(engine.materialize("no-such+pair").is_err());
+        assert!(engine.materialize("nonsense").is_err());
+    }
+
+    #[test]
+    fn unregister_removes_model_from_results() {
+        let (mut engine, names) = engine_with_variants();
+        let q = format!("SELECT models 10 CORR {} WITHIN 0.0", names[0]);
+        let before = engine.query(&q).unwrap();
+        assert!(before.iter().any(|r| r.key == names[2]));
+        assert!(engine.unregister(&names[2]));
+        let after = engine.query(&q).unwrap();
+        assert!(after.iter().all(|r| r.key != names[2]));
+        // Synthesized entries built from the removed donor vanish too.
+        assert!(after
+            .iter()
+            .all(|r| !matches!(&r.kind, CandidateKind::Synthesized { donor } if donor == &names[2])));
+        assert!(!engine.unregister(&names[2]), "second removal is a no-op");
+        assert!(engine.resource_index().profile_of(&names[2]).is_none());
+    }
+
+    #[test]
+    fn multi_task_repository_keeps_tasks_separate() {
+        // One index serves the whole repository (paper Section 5.2); the
+        // I/O check keeps incomparable tasks from cross-contaminating
+        // candidate lists, and default references resolve per task.
+        let repo = Arc::new(InMemoryRepository::new());
+        let mut cfg = SommelierConfig {
+            validation_rows: 96,
+            ..SommelierConfig::default()
+        };
+        cfg.index.sample_size = 16;
+        cfg.index.segments = false;
+        let mut engine = Sommelier::connect(repo, cfg);
+        let mut rng = Prng::seed_from_u64(3);
+        for task in [TaskKind::ImageRecognition, TaskKind::SentimentAnalysis] {
+            let teacher = Teacher::for_task(task, 60);
+            let ds = sommelier_zoo::Dataset::default_name_for(task);
+            let bias = DatasetBias::new(&teacher, ds, 0.05);
+            for i in 0..2 {
+                let mut frng = rng.fork();
+                let m = Family::Resnetish.build_scaled(
+                    format!("{}-{i}", task.slug()),
+                    &teacher,
+                    &bias,
+                    &FamilyScale::new(1.0 - 0.3 * i as f64, 3, 0.01),
+                    &mut frng,
+                );
+                engine.register(&m).unwrap();
+            }
+        }
+        // Image-recognition candidates never include sentiment models
+        // (their I/O contracts differ) and vice versa.
+        let vision = engine
+            .query("SELECT models 10 CORR image-recognition-0 WITHIN 0.0")
+            .unwrap();
+        assert!(!vision.is_empty());
+        assert!(vision.iter().all(|r| !r.key.contains("sentiment")));
+        let nlp = engine
+            .query("SELECT models 10 CORR TASK sentiment-analysis WITHIN 0.0")
+            .unwrap();
+        assert!(!nlp.is_empty());
+        assert!(nlp.iter().all(|r| !r.key.contains("image")));
+    }
+
+    #[test]
+    fn query_errors_have_readable_messages() {
+        let (engine, _) = engine_with_variants();
+        let parse = engine.query("garbage !").unwrap_err();
+        assert!(parse.to_string().contains("lex error"));
+        let unknown = engine.query("SELECT model CORR ghost").unwrap_err();
+        assert!(unknown.to_string().contains("not registered"));
+        let no_default = engine
+            .query("SELECT model CORR TASK named-entity-recognition")
+            .unwrap_err();
+        assert!(no_default.to_string().contains("no default reference"));
+    }
+
+    #[test]
+    fn measure_diff_is_zero_for_self() {
+        let (mut engine, names) = engine_with_variants();
+        let d = engine.measure_diff(&names[0], &names[0]).unwrap();
+        assert_eq!(d, 0.0);
+        let d2 = engine.measure_diff(&names[0], &names[3]).unwrap();
+        assert!(d2 > 0.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Tokenization of the query language.
+//!
+//! Keywords are case-insensitive; identifiers admit the characters that
+//! appear in repository keys (`-`, `.`, `/`, `:`); numbers are decimal
+//! with an optional fraction; units (`%`, `mb`, `gflops`, `ms`) are
+//! recognized as dedicated tokens so the parser can resolve bound values.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    // keywords
+    Select,
+    Model,
+    Models,
+    Corr,
+    Task,
+    On,
+    And,
+    Within,
+    Order,
+    By,
+    Exec,
+    // dimensions / criteria
+    Memory,
+    Flops,
+    Latency,
+    Similarity,
+    // units
+    Percent,
+    Mb,
+    Gflops,
+    Ms,
+    // punctuation
+    Lt,
+    Le,
+    Eq,
+    Comma,
+    // values
+    Number(f64),
+    Ident(String),
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Number(n) => write!(f, "{n}"),
+            Token::Ident(s) => write!(f, "{s}"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// A lexing failure at a byte offset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LexError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn ident_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '-' | '_' | '.' | '/' | ':' | '+')
+}
+
+/// Tokenize a query string.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let bytes: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        match c {
+            '<' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token::Percent);
+                i += 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == '.') {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let n: f64 = text.parse().map_err(|_| LexError {
+                    offset: start,
+                    message: format!("malformed number '{text}'"),
+                })?;
+                tokens.push(Token::Number(n));
+            }
+            c if ident_char(c) => {
+                let start = i;
+                while i < bytes.len() && ident_char(bytes[i]) {
+                    i += 1;
+                }
+                let word: String = bytes[start..i].iter().collect();
+                tokens.push(keyword_or_ident(&word));
+            }
+            other => {
+                return Err(LexError {
+                    offset: i,
+                    message: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn keyword_or_ident(word: &str) -> Token {
+    match word.to_ascii_lowercase().as_str() {
+        "select" => Token::Select,
+        "model" => Token::Model,
+        "models" => Token::Models,
+        "corr" => Token::Corr,
+        "task" => Token::Task,
+        "on" => Token::On,
+        "and" => Token::And,
+        "within" => Token::Within,
+        "order" => Token::Order,
+        "by" => Token::By,
+        "exec" => Token::Exec,
+        "memory" | "mem" => Token::Memory,
+        "flops" => Token::Flops,
+        "latency" => Token::Latency,
+        "similarity" => Token::Similarity,
+        "mb" => Token::Mb,
+        "gflops" => Token::Gflops,
+        "ms" => Token::Ms,
+        _ => Token::Ident(word.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let t = lex("SELECT select SeLeCt").unwrap();
+        assert_eq!(t, vec![Token::Select, Token::Select, Token::Select]);
+    }
+
+    #[test]
+    fn full_query_tokenizes() {
+        let t = lex("SELECT model CORR resnetish-50 ON memory <= 80% AND flops < 0.5 GFLOPS WITHIN 0.95").unwrap();
+        assert!(t.contains(&Token::Corr));
+        assert!(t.contains(&Token::Ident("resnetish-50".into())));
+        assert!(t.contains(&Token::Le));
+        assert!(t.contains(&Token::Percent));
+        assert!(t.contains(&Token::Gflops));
+        assert!(t.contains(&Token::Number(0.95)));
+    }
+
+    #[test]
+    fn identifiers_allow_repo_key_characters() {
+        let t = lex("hub/google:bit-r50x1.v2").unwrap();
+        assert_eq!(t, vec![Token::Ident("hub/google:bit-r50x1.v2".into())]);
+    }
+
+    #[test]
+    fn numbers_parse_with_fractions() {
+        assert_eq!(lex("0.25").unwrap(), vec![Token::Number(0.25)]);
+        assert_eq!(lex("100").unwrap(), vec![Token::Number(100.0)]);
+    }
+
+    #[test]
+    fn malformed_number_is_an_error() {
+        let err = lex("1.2.3").unwrap_err();
+        assert!(err.message.contains("malformed number"));
+    }
+
+    #[test]
+    fn unexpected_character_reports_offset() {
+        let err = lex("select !").unwrap_err();
+        assert_eq!(err.offset, 7);
+    }
+
+    #[test]
+    fn mem_is_an_alias_for_memory() {
+        assert_eq!(lex("mem").unwrap(), vec![Token::Memory]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Query planning (paper Section 5.4).
+//!
+//! A query is executed as a pipeline of filtering operations: the
+//! *semantic filter* (candidate lookup on the semantic index), the
+//! *resource filter* (range query on the resource index), and the *final
+//! selection*. Planning resolves what the AST leaves symbolic: the
+//! reference key (task references resolve to the default reference
+//! model), and relative resource bounds against the reference model's
+//! profile, producing the concrete multi-dimensional constraint vector
+//! the paper describes ("memory less than 200 MB, computation complexity
+//! less than 50 GFLOPS, and latency less than 30 ms is simply represented
+//! as a vector (200, 50, 30)").
+
+use crate::ast::{BoundValue, FinalSelection, Query, ResourceDim, SelectKind};
+use serde::{Deserialize, Serialize};
+use sommelier_index::ResourceConstraint;
+use sommelier_runtime::ResourceProfile;
+
+/// A fully resolved query plan.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QueryPlan {
+    /// Resolved reference model key.
+    pub reference_key: String,
+    /// Minimum functional-equivalence score.
+    pub min_score: f64,
+    /// Resolved absolute resource bounds.
+    pub constraint: ResourceConstraint,
+    /// Final ordering criterion.
+    pub selection: FinalSelection,
+    /// Number of results to return.
+    pub limit: usize,
+}
+
+/// Resolve a query against a reference key and its resource profile.
+pub fn plan(query: &Query, reference_key: &str, reference_profile: &ResourceProfile) -> QueryPlan {
+    let mut constraint = ResourceConstraint::default();
+    for pred in &query.predicates {
+        let bound = match (pred.dim, pred.value) {
+            (ResourceDim::Memory, BoundValue::RelativePercent(p)) => {
+                reference_profile.memory_mb * p / 100.0
+            }
+            (ResourceDim::Flops, BoundValue::RelativePercent(p)) => {
+                reference_profile.gflops * p / 100.0
+            }
+            (ResourceDim::Latency, BoundValue::RelativePercent(p)) => {
+                reference_profile.latency_ms * p / 100.0
+            }
+            (_, BoundValue::Absolute(v)) => v,
+        };
+        let slot = match pred.dim {
+            ResourceDim::Memory => &mut constraint.max_memory_mb,
+            ResourceDim::Flops => &mut constraint.max_gflops,
+            ResourceDim::Latency => &mut constraint.max_latency_ms,
+        };
+        // Multiple predicates on the same dimension intersect (tightest
+        // bound wins).
+        *slot = Some(match *slot {
+            Some(existing) => existing.min(bound),
+            None => bound,
+        });
+    }
+    QueryPlan {
+        reference_key: reference_key.to_string(),
+        min_score: query.threshold,
+        constraint,
+        selection: query.selection,
+        limit: match query.select {
+            SelectKind::Model => 1,
+            SelectKind::Models(n) => n,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Query;
+
+    fn profile() -> ResourceProfile {
+        ResourceProfile {
+            memory_mb: 100.0,
+            gflops: 10.0,
+            latency_ms: 20.0,
+        }
+    }
+
+    #[test]
+    fn relative_bounds_resolve_against_reference() {
+        let q = Query::corr("ref")
+            .memory_at_most_frac(0.8)
+            .flops_at_most_frac(0.5);
+        let p = plan(&q, "ref", &profile());
+        assert_eq!(p.constraint.max_memory_mb, Some(80.0));
+        assert_eq!(p.constraint.max_gflops, Some(5.0));
+        assert_eq!(p.constraint.max_latency_ms, None);
+        assert_eq!(p.limit, 1);
+        assert_eq!(p.min_score, 0.95);
+    }
+
+    #[test]
+    fn absolute_bounds_pass_through() {
+        let q = Query::corr("ref").latency_at_most_ms(30.0);
+        let p = plan(&q, "ref", &profile());
+        assert_eq!(p.constraint.max_latency_ms, Some(30.0));
+    }
+
+    #[test]
+    fn repeated_dimension_takes_tightest() {
+        let q = Query::corr("ref")
+            .memory_at_most_frac(0.8)
+            .memory_at_most_frac(0.5);
+        let p = plan(&q, "ref", &profile());
+        assert_eq!(p.constraint.max_memory_mb, Some(50.0));
+    }
+
+    #[test]
+    fn limit_tracks_select_kind() {
+        let q = Query::corr("ref").top(7);
+        assert_eq!(plan(&q, "ref", &profile()).limit, 7);
+    }
+}

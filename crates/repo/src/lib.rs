@@ -1,0 +1,17 @@
+//! The bare-bone model repository substrate.
+//!
+//! This crate reproduces what the paper says existing model repositories
+//! *are*: "a remote filesystem only, with primitive APIs to publish and
+//! load a model" (Section 2.1). A [`ModelRepository`] maps URL-like keys to
+//! stored models and nothing more — no query support, no indices. That is
+//! deliberately spartan: Sommelier interposes on top of this interface
+//! (Figure 1), and the bench harness's "manual profiling" baselines use it
+//! exactly the way a user without Sommelier would.
+//!
+//! Two backends are provided: in-memory (the default for experiments) and
+//! on-disk (models serialized through `sommelier-graph::serde_model`,
+//! mirroring TF-Hub's file downloads).
+
+pub mod store;
+
+pub use store::{InMemoryRepository, ModelRepository, OnDiskRepository, RepoError};

@@ -1,0 +1,249 @@
+//! Publish/load model storage.
+
+use parking_lot::RwLock;
+use sommelier_graph::serde_model;
+use sommelier_graph::Model;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Repository failures.
+#[derive(Debug)]
+pub enum RepoError {
+    /// No model is stored under the requested key.
+    NotFound { key: String },
+    /// A model is already stored under the key (publish without
+    /// `overwrite`).
+    AlreadyExists { key: String },
+    /// Storage-layer failure (I/O, serialization).
+    Storage(String),
+}
+
+impl fmt::Display for RepoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepoError::NotFound { key } => write!(f, "no model stored under '{key}'"),
+            RepoError::AlreadyExists { key } => {
+                write!(f, "a model is already stored under '{key}'")
+            }
+            RepoError::Storage(e) => write!(f, "storage failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RepoError {}
+
+/// The primitive repository interface: exactly publish, load, and list.
+/// This is the entire API surface a pre-Sommelier repository offers
+/// (paper Section 2.1) — retrieval requires knowing the precise key.
+pub trait ModelRepository: Send + Sync {
+    /// Store a model under a key. Fails with [`RepoError::AlreadyExists`]
+    /// unless `overwrite` is set.
+    fn publish(&self, key: &str, model: &Model, overwrite: bool) -> Result<(), RepoError>;
+
+    /// Retrieve the model stored under `key`.
+    fn load(&self, key: &str) -> Result<Model, RepoError>;
+
+    /// All stored keys, sorted.
+    fn keys(&self) -> Vec<String>;
+
+    /// Number of stored models.
+    fn len(&self) -> usize {
+        self.keys().len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// In-memory repository (the default for experiments).
+#[derive(Clone, Default)]
+pub struct InMemoryRepository {
+    models: Arc<RwLock<BTreeMap<String, Model>>>,
+}
+
+impl InMemoryRepository {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bulk-publish a collection of models keyed by their names.
+    pub fn publish_all<'a>(
+        &self,
+        models: impl IntoIterator<Item = &'a Model>,
+    ) -> Result<(), RepoError> {
+        for m in models {
+            self.publish(&m.name, m, false)?;
+        }
+        Ok(())
+    }
+}
+
+impl ModelRepository for InMemoryRepository {
+    fn publish(&self, key: &str, model: &Model, overwrite: bool) -> Result<(), RepoError> {
+        let mut map = self.models.write();
+        if !overwrite && map.contains_key(key) {
+            return Err(RepoError::AlreadyExists { key: key.into() });
+        }
+        map.insert(key.to_string(), model.clone());
+        Ok(())
+    }
+
+    fn load(&self, key: &str) -> Result<Model, RepoError> {
+        self.models
+            .read()
+            .get(key)
+            .cloned()
+            .ok_or_else(|| RepoError::NotFound { key: key.into() })
+    }
+
+    fn keys(&self) -> Vec<String> {
+        self.models.read().keys().cloned().collect()
+    }
+
+    fn len(&self) -> usize {
+        self.models.read().len()
+    }
+}
+
+/// On-disk repository: one JSON model file per key under a root directory
+/// (keys are sanitized into file names).
+pub struct OnDiskRepository {
+    root: PathBuf,
+}
+
+impl OnDiskRepository {
+    /// Open (creating if needed) a repository rooted at `root`.
+    pub fn open(root: &Path) -> Result<Self, RepoError> {
+        std::fs::create_dir_all(root).map_err(|e| RepoError::Storage(e.to_string()))?;
+        Ok(OnDiskRepository { root: root.into() })
+    }
+
+    fn path_for(&self, key: &str) -> PathBuf {
+        let safe: String = key
+            .chars()
+            .map(|c| if c.is_alphanumeric() || c == '-' || c == '.' { c } else { '_' })
+            .collect();
+        self.root.join(format!("{safe}.model.json"))
+    }
+}
+
+impl ModelRepository for OnDiskRepository {
+    fn publish(&self, key: &str, model: &Model, overwrite: bool) -> Result<(), RepoError> {
+        let path = self.path_for(key);
+        if !overwrite && path.exists() {
+            return Err(RepoError::AlreadyExists { key: key.into() });
+        }
+        serde_model::save(model, &path).map_err(|e| RepoError::Storage(e.to_string()))
+    }
+
+    fn load(&self, key: &str) -> Result<Model, RepoError> {
+        let path = self.path_for(key);
+        if !path.exists() {
+            return Err(RepoError::NotFound { key: key.into() });
+        }
+        serde_model::load(&path).map_err(|e| RepoError::Storage(e.to_string()))
+    }
+
+    fn keys(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if let Ok(entries) = std::fs::read_dir(&self.root) {
+            for entry in entries.flatten() {
+                if let Some(name) = entry.file_name().to_str() {
+                    if let Some(stripped) = name.strip_suffix(".model.json") {
+                        out.push(stripped.to_string());
+                    }
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sommelier_graph::{ModelBuilder, TaskKind};
+    use sommelier_tensor::{Prng, Shape};
+
+    fn model(name: &str) -> Model {
+        let mut rng = Prng::seed_from_u64(1);
+        ModelBuilder::new(name, TaskKind::Other, Shape::vector(4))
+            .dense(2, &mut rng)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn publish_then_load_round_trips() {
+        let repo = InMemoryRepository::new();
+        let m = model("a");
+        repo.publish("a", &m, false).unwrap();
+        assert_eq!(repo.load("a").unwrap(), m);
+    }
+
+    #[test]
+    fn load_missing_key_fails() {
+        let repo = InMemoryRepository::new();
+        assert!(matches!(
+            repo.load("nope"),
+            Err(RepoError::NotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn double_publish_requires_overwrite() {
+        let repo = InMemoryRepository::new();
+        let m = model("a");
+        repo.publish("a", &m, false).unwrap();
+        assert!(matches!(
+            repo.publish("a", &m, false),
+            Err(RepoError::AlreadyExists { .. })
+        ));
+        repo.publish("a", &m.renamed("a2"), true).unwrap();
+        assert_eq!(repo.load("a").unwrap().name, "a2");
+    }
+
+    #[test]
+    fn keys_are_sorted() {
+        let repo = InMemoryRepository::new();
+        for k in ["zeta", "alpha", "mid"] {
+            repo.publish(k, &model(k), false).unwrap();
+        }
+        assert_eq!(repo.keys(), vec!["alpha", "mid", "zeta"]);
+        assert_eq!(repo.len(), 3);
+    }
+
+    #[test]
+    fn publish_all_uses_model_names() {
+        let repo = InMemoryRepository::new();
+        let models = vec![model("x"), model("y")];
+        repo.publish_all(&models).unwrap();
+        assert_eq!(repo.keys(), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn on_disk_round_trip() {
+        let dir = std::env::temp_dir().join(format!("sommelier-repo-{}", std::process::id()));
+        let repo = OnDiskRepository::open(&dir).unwrap();
+        let m = model("disk/one:v1");
+        repo.publish("disk/one:v1", &m, false).unwrap();
+        assert_eq!(repo.load("disk/one:v1").unwrap(), m);
+        assert_eq!(repo.keys().len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn on_disk_missing_key() {
+        let dir = std::env::temp_dir().join(format!("sommelier-repo2-{}", std::process::id()));
+        let repo = OnDiskRepository::open(&dir).unwrap();
+        assert!(matches!(
+            repo.load("ghost"),
+            Err(RepoError::NotFound { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,225 @@
+//! Per-operator latency estimation.
+//!
+//! Paper Section 5.3: "*Sommelier* follows the typical practice of
+//! separately maintaining a per-operator latency table … its estimated
+//! latency is essentially the sum of the individual latency of all
+//! operators along the longest sequence between the input and the output"
+//! — sequences sum, parallel branches take the max (critical path). This
+//! module implements that estimator over device profiles; it is the
+//! hardware-*dependent* layer on top of the FLOP/memory accounting in
+//! `sommelier-graph::cost`.
+
+use serde::{Deserialize, Serialize};
+use sommelier_graph::cost::layer_cost_in;
+use sommelier_graph::{LayerId, Model, OpKind};
+
+/// An execution platform's throughput characteristics. These are the
+/// "locally available hardware platforms" the paper profiles against
+/// (Section 5.5); a small set covers the vast majority of workloads.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Device name, e.g. `"cpu-xeon"`, `"gpu-rtx2070"`.
+    pub name: String,
+    /// Sustained floating-point throughput in GFLOP/s.
+    pub gflops_per_sec: f64,
+    /// Fixed per-operator dispatch overhead in microseconds (kernel
+    /// launches, framework bookkeeping).
+    pub op_overhead_us: f64,
+    /// Fixed per-inference overhead in microseconds (input staging).
+    pub invocation_overhead_us: f64,
+}
+
+impl DeviceProfile {
+    /// A modest 4-core server CPU.
+    pub fn cpu() -> Self {
+        DeviceProfile {
+            name: "cpu-xeon".into(),
+            gflops_per_sec: 50.0,
+            op_overhead_us: 2.0,
+            invocation_overhead_us: 30.0,
+        }
+    }
+
+    /// A consumer GPU (higher throughput, higher per-op dispatch cost).
+    pub fn gpu() -> Self {
+        DeviceProfile {
+            name: "gpu-rtx2070".into(),
+            gflops_per_sec: 4000.0,
+            op_overhead_us: 8.0,
+            invocation_overhead_us: 80.0,
+        }
+    }
+
+    /// An edge-class device.
+    pub fn edge() -> Self {
+        DeviceProfile {
+            name: "edge-arm".into(),
+            gflops_per_sec: 8.0,
+            op_overhead_us: 1.0,
+            invocation_overhead_us: 10.0,
+        }
+    }
+}
+
+/// The per-operator latency table plus critical-path estimator.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Device the estimates are for.
+    pub device: DeviceProfile,
+}
+
+impl LatencyModel {
+    pub fn new(device: DeviceProfile) -> Self {
+        LatencyModel { device }
+    }
+
+    /// Estimated latency of one layer on a single input, in microseconds.
+    /// This is one entry of the paper's "per-operator latency table".
+    pub fn layer_latency_us(&self, model: &Model, id: LayerId) -> f64 {
+        let layer = model.layer(id);
+        if layer.op.kind() == OpKind::Source {
+            return 0.0;
+        }
+        let cost = layer_cost_in(model, id);
+        self.device.op_overhead_us + cost.flops as f64 / (self.device.gflops_per_sec * 1e3)
+    }
+
+    /// Estimated single-item inference latency in microseconds: the
+    /// invocation overhead plus the longest (weighted) path from input to
+    /// output, where sequential operators add and parallel branches take
+    /// the maximum.
+    pub fn model_latency_us(&self, model: &Model) -> f64 {
+        let n = model.num_layers();
+        let mut finish = vec![0.0f64; n];
+        for i in 0..n {
+            let id = LayerId(i);
+            let ready = model
+                .layer(id)
+                .inputs
+                .iter()
+                .map(|p| finish[p.index()])
+                .fold(0.0f64, f64::max);
+            finish[i] = ready + self.layer_latency_us(model, id);
+        }
+        self.device.invocation_overhead_us + finish.last().copied().unwrap_or(0.0)
+    }
+
+    /// Estimated latency for a batch of `batch` items, in microseconds.
+    /// Work scales linearly; dispatch overheads are paid once per batch.
+    pub fn batch_latency_us(&self, model: &Model, batch: usize) -> f64 {
+        let single = self.model_latency_us(model);
+        let overheads = self.device.invocation_overhead_us
+            + self.device.op_overhead_us * (model.num_layers() as f64 - 1.0);
+        let work = (single - overheads).max(0.0);
+        overheads + work * batch as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sommelier_graph::{ModelBuilder, TaskKind};
+    use sommelier_tensor::{Prng, Shape};
+
+    fn rng() -> Prng {
+        Prng::seed_from_u64(21)
+    }
+
+    fn seq_model(units: usize) -> Model {
+        let mut r = rng();
+        ModelBuilder::new("m", TaskKind::Other, Shape::vector(64))
+            .dense(units, &mut r)
+            .relu()
+            .dense(units, &mut r)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn source_layer_is_free() {
+        let m = seq_model(8);
+        let lm = LatencyModel::new(DeviceProfile::cpu());
+        assert_eq!(lm.layer_latency_us(&m, LayerId(0)), 0.0);
+        assert!(lm.layer_latency_us(&m, LayerId(1)) > 0.0);
+    }
+
+    #[test]
+    fn bigger_layers_take_longer() {
+        let small = seq_model(8);
+        let big = seq_model(512);
+        let lm = LatencyModel::new(DeviceProfile::cpu());
+        assert!(lm.model_latency_us(&big) > lm.model_latency_us(&small));
+    }
+
+    #[test]
+    fn faster_device_is_faster_on_heavy_models() {
+        let mut r = rng();
+        let m = ModelBuilder::new("heavy", TaskKind::Other, Shape::vector(1024))
+            .dense(2048, &mut r)
+            .relu()
+            .dense(2048, &mut r)
+            .build()
+            .unwrap();
+        let cpu = LatencyModel::new(DeviceProfile::cpu());
+        let gpu = LatencyModel::new(DeviceProfile::gpu());
+        assert!(gpu.model_latency_us(&m) < cpu.model_latency_us(&m));
+    }
+
+    #[test]
+    fn gpu_overhead_dominates_tiny_models() {
+        // For a tiny model the GPU's dispatch overhead outweighs its
+        // throughput advantage — the effect that makes edge-class models
+        // attractive under load (paper Section 7.1 footnote).
+        let m = seq_model(4);
+        let cpu = LatencyModel::new(DeviceProfile::cpu());
+        let gpu = LatencyModel::new(DeviceProfile::gpu());
+        assert!(gpu.model_latency_us(&m) > cpu.model_latency_us(&m));
+    }
+
+    #[test]
+    fn sequential_latency_sums_layers() {
+        let m = seq_model(16);
+        let lm = LatencyModel::new(DeviceProfile::cpu());
+        let sum: f64 = (0..m.num_layers())
+            .map(|i| lm.layer_latency_us(&m, LayerId(i)))
+            .sum();
+        let total = lm.model_latency_us(&m);
+        assert!((total - (sum + lm.device.invocation_overhead_us)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_branches_take_critical_path() {
+        let mut r = rng();
+        // Two parallel branches from the stem: a cheap one and an expensive
+        // one; the estimate must track the expensive one, not the sum.
+        let mut b = ModelBuilder::new("par", TaskKind::Other, Shape::vector(64));
+        let stem = b.cursor();
+        b.dense(8, &mut r); // cheap branch
+        let cheap = b.cursor();
+        b.goto(stem).dense(512, &mut r).relu().dense(64, &mut r);
+        let exp_branch = b.cursor();
+        b.goto(cheap).dense(64, &mut r); // align widths
+        let cheap_out = b.cursor();
+        let m = b.add_from(&[cheap_out, exp_branch]).build().unwrap();
+
+        let lm = LatencyModel::new(DeviceProfile::cpu());
+        let total = lm.model_latency_us(&m);
+        let sum_all: f64 = (0..m.num_layers())
+            .map(|i| lm.layer_latency_us(&m, LayerId(i)))
+            .sum::<f64>()
+            + lm.device.invocation_overhead_us;
+        assert!(total < sum_all, "critical path must be below the flat sum");
+    }
+
+    #[test]
+    fn batch_latency_grows_linearly_in_work() {
+        let m = seq_model(256);
+        let lm = LatencyModel::new(DeviceProfile::cpu());
+        let b1 = lm.batch_latency_us(&m, 1);
+        let b4 = lm.batch_latency_us(&m, 4);
+        let b8 = lm.batch_latency_us(&m, 8);
+        assert!(b4 > b1 && b8 > b4);
+        // Work quadruples but overheads don't: b4 < 4*b1.
+        assert!(b4 < 4.0 * b1);
+    }
+}

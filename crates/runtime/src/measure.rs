@@ -1,0 +1,191 @@
+//! Measured (wall-clock) latency profiling.
+//!
+//! The estimated latency table (see [`crate::latency`]) is
+//! hardware-independent; the paper additionally "prepares the inference
+//! engine runtime for each new incoming model on locally available
+//! hardware platforms … and collects the actual performance numbers"
+//! (Section 5.5). This module measures real per-layer and per-model wall
+//! times on the current machine and can calibrate a [`DeviceProfile`]
+//! from them, closing the loop between estimates and reality.
+
+use crate::executor::execute_layer_public as execute_layer;
+use crate::latency::DeviceProfile;
+use crate::ExecError;
+use sommelier_graph::cost::layer_cost_in;
+use sommelier_graph::{LayerId, Model, OpKind};
+use sommelier_tensor::Tensor;
+use std::time::Instant;
+
+/// Wall-clock measurement of a single model.
+#[derive(Clone, Debug)]
+pub struct MeasuredLatency {
+    /// Mean per-layer wall time in microseconds (indexed by layer id).
+    pub per_layer_us: Vec<f64>,
+    /// Mean end-to-end wall time per inference in microseconds.
+    pub total_us: f64,
+    /// Number of timed repetitions.
+    pub reps: usize,
+}
+
+/// Measure per-layer and end-to-end wall times by executing the model
+/// `reps` times on `input` (after one untimed warm-up pass).
+pub fn measure(model: &Model, input: &Tensor, reps: usize) -> Result<MeasuredLatency, ExecError> {
+    assert!(reps > 0, "need at least one repetition");
+    let n = model.num_layers();
+    let mut per_layer = vec![0.0f64; n];
+    let mut total = 0.0f64;
+
+    // Warm-up (allocators, caches).
+    run_once(model, input, &mut vec![0.0; n])?;
+
+    for _ in 0..reps {
+        let mut layer_times = vec![0.0f64; n];
+        let start = Instant::now();
+        run_once(model, input, &mut layer_times)?;
+        total += start.elapsed().as_secs_f64() * 1e6;
+        for (acc, t) in per_layer.iter_mut().zip(&layer_times) {
+            *acc += t;
+        }
+    }
+    for t in &mut per_layer {
+        *t /= reps as f64;
+    }
+    Ok(MeasuredLatency {
+        per_layer_us: per_layer,
+        total_us: total / reps as f64,
+        reps,
+    })
+}
+
+fn run_once(model: &Model, input: &Tensor, layer_times: &mut [f64]) -> Result<(), ExecError> {
+    if input.cols() != model.input_width() {
+        return Err(ExecError::InputWidthMismatch {
+            expected: model.input_width(),
+            actual: input.cols(),
+        });
+    }
+    let mut acts: Vec<Tensor> = Vec::with_capacity(model.num_layers());
+    for i in 0..model.num_layers() {
+        let start = Instant::now();
+        let out = execute_layer(model, i, input, &acts);
+        layer_times[i] = start.elapsed().as_secs_f64() * 1e6;
+        acts.push(out);
+    }
+    Ok(())
+}
+
+/// Calibrate a [`DeviceProfile`] for the current machine from a measured
+/// run: sustained throughput is estimated from the FLOP-heavy layers and
+/// the per-operator overhead from the cheap ones.
+pub fn calibrate_device(
+    name: impl Into<String>,
+    model: &Model,
+    measured: &MeasuredLatency,
+) -> DeviceProfile {
+    let mut heavy_flops = 0.0f64;
+    let mut heavy_time_us = 0.0f64;
+    let mut light_time_us = 0.0f64;
+    let mut light_count = 0usize;
+    for i in 0..model.num_layers() {
+        let id = LayerId(i);
+        if model.layer(id).op.kind() == OpKind::Source {
+            continue;
+        }
+        let flops = layer_cost_in(model, id).flops as f64;
+        let t = measured.per_layer_us[i];
+        if model.layer(id).op.kind() == OpKind::Linear && flops > 0.0 {
+            heavy_flops += flops;
+            heavy_time_us += t;
+        } else {
+            light_time_us += t;
+            light_count += 1;
+        }
+    }
+    // Throughput from the linear layers; overhead from the rest.
+    let gflops_per_sec = if heavy_time_us > 0.0 {
+        (heavy_flops / 1e9) / (heavy_time_us / 1e6)
+    } else {
+        1.0
+    };
+    let op_overhead_us = if light_count > 0 {
+        light_time_us / light_count as f64
+    } else {
+        1.0
+    };
+    DeviceProfile {
+        name: name.into(),
+        gflops_per_sec: gflops_per_sec.max(1e-3),
+        op_overhead_us: op_overhead_us.max(1e-3),
+        invocation_overhead_us: 5.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::LatencyModel;
+    use sommelier_graph::{ModelBuilder, TaskKind};
+    use sommelier_tensor::{Prng, Shape};
+
+    fn model(units: usize) -> Model {
+        let mut rng = Prng::seed_from_u64(1);
+        ModelBuilder::new("m", TaskKind::Other, Shape::vector(128))
+            .dense(units, &mut rng)
+            .relu()
+            .dense(units, &mut rng)
+            .relu()
+            .dense(16, &mut rng)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn measure_produces_positive_times() {
+        let m = model(128);
+        let mut rng = Prng::seed_from_u64(2);
+        let x = Tensor::gaussian(8, 128, 1.0, &mut rng);
+        let lat = measure(&m, &x, 3).unwrap();
+        assert_eq!(lat.per_layer_us.len(), m.num_layers());
+        assert!(lat.total_us > 0.0);
+        assert!(lat.per_layer_us.iter().skip(1).all(|&t| t >= 0.0));
+        // The sum of per-layer times roughly accounts for the total.
+        let sum: f64 = lat.per_layer_us.iter().sum();
+        assert!(sum <= lat.total_us * 2.0 + 50.0);
+    }
+
+    #[test]
+    fn bigger_layers_measure_slower() {
+        let mut rng = Prng::seed_from_u64(3);
+        let x = Tensor::gaussian(16, 128, 1.0, &mut rng);
+        let small = measure(&model(32), &x, 3).unwrap();
+        let big = measure(&model(512), &x, 3).unwrap();
+        assert!(big.total_us > small.total_us);
+    }
+
+    #[test]
+    fn input_mismatch_is_reported() {
+        let m = model(32);
+        let x = Tensor::zeros(1, 5);
+        assert!(measure(&m, &x, 1).is_err());
+    }
+
+    #[test]
+    fn calibrated_device_predicts_same_order_of_magnitude() {
+        let m = model(256);
+        let mut rng = Prng::seed_from_u64(4);
+        let x = Tensor::gaussian(1, 128, 1.0, &mut rng);
+        let measured = measure(&m, &x, 5).unwrap();
+        let device = calibrate_device("local", &m, &measured);
+        assert!(device.gflops_per_sec > 0.0);
+        let lm = LatencyModel::new(device);
+        let predicted = lm.model_latency_us(&m);
+        // The calibrated estimator must land within ~20x of the measured
+        // wall time (CI machines are noisy; we check order of magnitude).
+        let ratio = predicted / measured.total_us.max(1e-9);
+        assert!(
+            (0.05..20.0).contains(&ratio),
+            "predicted {predicted:.1}us vs measured {:.1}us",
+            measured.total_us
+        );
+    }
+}

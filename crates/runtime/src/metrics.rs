@@ -1,0 +1,187 @@
+//! Quality-of-result (QoR) measurement.
+//!
+//! Paper Section 4.1: "the QoR goal is just the optimization objective for
+//! model training. Otherwise, we compute the l2 distance between the
+//! outputs from the two models on the same input, then average this
+//! distance over the dataset as the default QoR difference." For
+//! classification tasks QoR is top-1 accuracy and the inter-model metric
+//! is the *agreement ratio* — the statistic behind Figure 3's observation
+//! that models agree with each other more than they agree with the ground
+//! truth.
+
+use sommelier_graph::task::OutputStyle;
+use sommelier_tensor::{ops, Tensor};
+
+/// Top-1 predictions for a batch of classification outputs.
+pub fn top1_predictions(outputs: &Tensor) -> Vec<usize> {
+    (0..outputs.rows()).map(|r| outputs.argmax_row(r)).collect()
+}
+
+/// Fraction of rows whose top-1 prediction matches the label.
+/// Panics if lengths disagree; returns 1.0 for an empty batch.
+pub fn top1_accuracy(outputs: &Tensor, labels: &[usize]) -> f64 {
+    assert_eq!(outputs.rows(), labels.len(), "labels must match batch");
+    if labels.is_empty() {
+        return 1.0;
+    }
+    let correct = top1_predictions(outputs)
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    correct as f64 / labels.len() as f64
+}
+
+/// Fraction of rows where two models produce the same top-1 prediction
+/// (the off-diagonal entries of paper Figure 3).
+pub fn agreement_ratio(a: &Tensor, b: &Tensor) -> f64 {
+    assert_eq!(a.rows(), b.rows(), "batches must match");
+    if a.rows() == 0 {
+        return 1.0;
+    }
+    let pa = top1_predictions(a);
+    let pb = top1_predictions(b);
+    let same = pa.iter().zip(&pb).filter(|(x, y)| x == y).count();
+    same as f64 / a.rows() as f64
+}
+
+/// The default QoR *difference* between two models' outputs on the same
+/// inputs, per the task's output style:
+///
+/// * classification → disagreement ratio (1 − agreement);
+/// * regression → mean row-wise l2 distance, normalized by the mean output
+///   norm so thresholds are scale-free.
+pub fn qor_difference(style: OutputStyle, a: &Tensor, b: &Tensor) -> f64 {
+    match style {
+        OutputStyle::Classification => 1.0 - agreement_ratio(a, b),
+        OutputStyle::Regression => {
+            let raw = ops::mean_row_l2_distance(a, b);
+            let scale = mean_row_norm(a).max(1e-12);
+            raw / scale
+        }
+    }
+}
+
+fn mean_row_norm(t: &Tensor) -> f64 {
+    if t.rows() == 0 {
+        return 0.0;
+    }
+    let total: f64 = (0..t.rows())
+        .map(|r| {
+            t.row(r)
+                .iter()
+                .map(|&x| (x as f64) * (x as f64))
+                .sum::<f64>()
+                .sqrt()
+        })
+        .sum();
+    total / t.rows() as f64
+}
+
+/// QoR (higher is better) of outputs against ground truth, per style:
+/// classification → accuracy; regression → `1 / (1 + normalized error)` so
+/// it lands in `(0, 1]`.
+pub fn qor_against_truth(style: OutputStyle, outputs: &Tensor, truth: &GroundTruth) -> f64 {
+    match (style, truth) {
+        (OutputStyle::Classification, GroundTruth::Labels(labels)) => {
+            top1_accuracy(outputs, labels)
+        }
+        (OutputStyle::Regression, GroundTruth::Targets(targets)) => {
+            let err = qor_difference(OutputStyle::Regression, targets, outputs);
+            1.0 / (1.0 + err)
+        }
+        _ => panic!("ground-truth kind does not match the task's output style"),
+    }
+}
+
+/// Ground truth for a validation batch.
+#[derive(Clone, Debug)]
+pub enum GroundTruth {
+    /// Class labels for classification tasks.
+    Labels(Vec<usize>),
+    /// Target vectors for regression tasks.
+    Targets(Tensor),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(rows: usize, cols: usize, v: Vec<f32>) -> Tensor {
+        Tensor::from_vec(rows, cols, v)
+    }
+
+    #[test]
+    fn top1_accuracy_counts_matches() {
+        let out = t(3, 2, vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4]);
+        assert!((top1_accuracy(&out, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((top1_accuracy(&out, &[0, 1, 0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agreement_is_symmetric_and_reflexive() {
+        let a = t(2, 2, vec![0.9, 0.1, 0.2, 0.8]);
+        let b = t(2, 2, vec![0.7, 0.3, 0.9, 0.1]);
+        assert_eq!(agreement_ratio(&a, &a), 1.0);
+        assert_eq!(agreement_ratio(&a, &b), agreement_ratio(&b, &a));
+        assert!((agreement_ratio(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classification_qor_difference_is_disagreement() {
+        let a = t(2, 2, vec![0.9, 0.1, 0.2, 0.8]);
+        let b = t(2, 2, vec![0.7, 0.3, 0.9, 0.1]);
+        assert!(
+            (qor_difference(OutputStyle::Classification, &a, &b) - 0.5).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn regression_qor_difference_is_scale_free() {
+        let a = t(1, 2, vec![3.0, 4.0]); // norm 5
+        let b = t(1, 2, vec![3.0, 3.0]); // distance 1
+        let d = qor_difference(OutputStyle::Regression, &a, &b);
+        assert!((d - 0.2).abs() < 1e-6);
+        // Scaling both outputs leaves the normalized difference unchanged.
+        let a10 = a.map(|x| x * 10.0);
+        let b10 = b.map(|x| x * 10.0);
+        let d10 = qor_difference(OutputStyle::Regression, &a10, &b10);
+        assert!((d - d10).abs() < 1e-6);
+    }
+
+    #[test]
+    fn qor_against_truth_regression_in_unit_interval() {
+        let target = t(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let perfect = qor_against_truth(
+            OutputStyle::Regression,
+            &target,
+            &GroundTruth::Targets(target.clone()),
+        );
+        assert!((perfect - 1.0).abs() < 1e-12);
+        let noisy = t(2, 2, vec![0.5, 0.5, 0.5, 0.5]);
+        let q = qor_against_truth(
+            OutputStyle::Regression,
+            &noisy,
+            &GroundTruth::Targets(target),
+        );
+        assert!(q > 0.0 && q < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn mismatched_ground_truth_panics() {
+        let out = t(1, 2, vec![1.0, 0.0]);
+        let _ = qor_against_truth(
+            OutputStyle::Classification,
+            &out,
+            &GroundTruth::Targets(out.clone()),
+        );
+    }
+
+    #[test]
+    fn empty_batches_are_vacuously_perfect() {
+        let e = Tensor::zeros(0, 3);
+        assert_eq!(top1_accuracy(&e, &[]), 1.0);
+        assert_eq!(agreement_ratio(&e, &e), 1.0);
+    }
+}

@@ -1,0 +1,27 @@
+//! Discrete-event inference-serving simulator (paper Section 7.1).
+//!
+//! Reproduces the end-to-end serving experiment of Figure 9(c): an
+//! inference server under bursty load, compared across four policies —
+//! a fixed model (baseline), ideal scale-out with a standby twin server,
+//! automated model switching via Sommelier, and the combination. The
+//! simulator is a classic event-driven queueing model: requests arrive by
+//! a workload process, wait in FIFO order, and occupy a server for the
+//! latency of whichever model the policy selects.
+//!
+//! Modules:
+//! * [`workload`] — arrival processes (Poisson and bursty phases);
+//! * [`server`] — the event loop and queueing simulation;
+//! * [`policies`] — model-selection policies, including the
+//!   Sommelier-driven switcher that consults resource-indexed equivalent
+//!   models as queue pressure rises;
+//! * [`stats`] — latency distributions and percentile extraction.
+
+pub mod policies;
+pub mod server;
+pub mod stats;
+pub mod workload;
+
+pub use policies::{ModelChoice, Policy};
+pub use server::{simulate, ClusterConfig, SimResult};
+pub use stats::LatencyStats;
+pub use workload::{Workload, WorkloadPhase};

@@ -1,0 +1,126 @@
+//! Latency statistics.
+//!
+//! Figure 9(c) reports inference latency *distributions*; the headline
+//! number is the 90th-percentile (tail) latency, which model switching
+//! cuts by ~6×. This module extracts percentiles and CDF series from raw
+//! latency samples.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a latency sample.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Sample size.
+    pub count: usize,
+    /// Mean latency.
+    pub mean: f64,
+    /// Median (p50).
+    pub p50: f64,
+    /// 90th percentile — the paper's headline tail metric.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl LatencyStats {
+    /// Compute statistics from raw samples (empty input → all zeros).
+    pub fn from(samples: &[f64]) -> LatencyStats {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        LatencyStats {
+            count: sorted.len(),
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50: percentile_sorted(&sorted, 0.50),
+            p90: percentile_sorted(&sorted, 0.90),
+            p99: percentile_sorted(&sorted, 0.99),
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Percentile of an ascending-sorted slice via the nearest-rank method.
+/// `p` in `[0, 1]`. Panics on an empty slice.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty sample");
+    let p = p.clamp(0.0, 1.0);
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Evenly spaced CDF points `(latency, fraction ≤ latency)` for plotting;
+/// returns up to `points` entries.
+pub fn cdf_points(samples: &[f64], points: usize) -> Vec<(f64, f64)> {
+    if samples.is_empty() || points == 0 {
+        return Vec::new();
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = sorted.len();
+    (1..=points)
+        .map(|i| {
+            let frac = i as f64 / points as f64;
+            let idx = ((frac * n as f64).ceil() as usize).clamp(1, n) - 1;
+            (sorted[idx], frac)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_known_sample() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = LatencyStats::from(&v);
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p90, 90.0);
+        assert_eq!(s.p99, 99.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert_eq!(s.count, 100);
+    }
+
+    #[test]
+    fn single_sample_percentiles() {
+        let s = LatencyStats::from(&[7.0]);
+        assert_eq!(s.p50, 7.0);
+        assert_eq!(s.p90, 7.0);
+        assert_eq!(s.max, 7.0);
+    }
+
+    #[test]
+    fn empty_sample_is_zeros() {
+        let s = LatencyStats::from(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p90, 0.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let s = LatencyStats::from(&[3.0, 1.0, 2.0]);
+        assert_eq!(s.p50, 2.0);
+        assert_eq!(s.max, 3.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_max() {
+        let v: Vec<f64> = (1..=50).map(|i| i as f64).collect();
+        let cdf = cdf_points(&v, 10);
+        assert_eq!(cdf.len(), 10);
+        assert!(cdf.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 < w[1].1));
+        assert_eq!(cdf.last().unwrap().0, 50.0);
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn percentile_of_empty_panics() {
+        percentile_sorted(&[], 0.5);
+    }
+}

@@ -1,0 +1,130 @@
+//! Arrival-process generation.
+//!
+//! The serving experiment stresses the system with fluctuating load
+//! ("the runtime execution environment … fluctuate\[s\]", paper Section 2.1).
+//! A [`Workload`] is a sequence of phases, each a Poisson arrival process
+//! at a phase-specific rate; the canonical shape is light → burst → light,
+//! which produces the queueing tail that model switching then cuts.
+
+use serde::{Deserialize, Serialize};
+use sommelier_tensor::Prng;
+
+/// One constant-rate phase of a workload.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadPhase {
+    /// Phase duration in seconds.
+    pub duration_s: f64,
+    /// Mean arrival rate in requests/second.
+    pub rate_per_s: f64,
+}
+
+/// A multi-phase Poisson workload.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Phases executed back to back.
+    pub phases: Vec<WorkloadPhase>,
+}
+
+impl Workload {
+    /// A steady workload: one phase.
+    pub fn steady(duration_s: f64, rate_per_s: f64) -> Workload {
+        Workload {
+            phases: vec![WorkloadPhase {
+                duration_s,
+                rate_per_s,
+            }],
+        }
+    }
+
+    /// The canonical bursty shape: `base` rate, a burst at `burst` rate in
+    /// the middle third, then back to `base`.
+    pub fn bursty(total_s: f64, base_rate: f64, burst_rate: f64) -> Workload {
+        let third = total_s / 3.0;
+        Workload {
+            phases: vec![
+                WorkloadPhase {
+                    duration_s: third,
+                    rate_per_s: base_rate,
+                },
+                WorkloadPhase {
+                    duration_s: third,
+                    rate_per_s: burst_rate,
+                },
+                WorkloadPhase {
+                    duration_s: third,
+                    rate_per_s: base_rate,
+                },
+            ],
+        }
+    }
+
+    /// Total duration.
+    pub fn duration_s(&self) -> f64 {
+        self.phases.iter().map(|p| p.duration_s).sum()
+    }
+
+    /// Generate sorted arrival timestamps for the whole workload.
+    pub fn arrivals(&self, rng: &mut Prng) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut offset = 0.0;
+        for phase in &self.phases {
+            if phase.rate_per_s > 0.0 {
+                let mut t = offset + rng.exponential(phase.rate_per_s);
+                while t < offset + phase.duration_s {
+                    out.push(t);
+                    t += rng.exponential(phase.rate_per_s);
+                }
+            }
+            offset += phase.duration_s;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_rate_produces_expected_count() {
+        let w = Workload::steady(100.0, 10.0);
+        let mut rng = Prng::seed_from_u64(1);
+        let arrivals = w.arrivals(&mut rng);
+        let n = arrivals.len() as f64;
+        assert!((n - 1000.0).abs() < 150.0, "n = {n}");
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_within_duration() {
+        let w = Workload::bursty(90.0, 5.0, 50.0);
+        let mut rng = Prng::seed_from_u64(2);
+        let arrivals = w.arrivals(&mut rng);
+        assert!(arrivals.windows(2).all(|p| p[0] <= p[1]));
+        assert!(arrivals.iter().all(|&t| (0.0..90.0).contains(&t)));
+    }
+
+    #[test]
+    fn burst_phase_is_denser() {
+        let w = Workload::bursty(90.0, 5.0, 50.0);
+        let mut rng = Prng::seed_from_u64(3);
+        let arrivals = w.arrivals(&mut rng);
+        let in_burst = arrivals
+            .iter()
+            .filter(|&&t| (30.0..60.0).contains(&t))
+            .count();
+        let in_base = arrivals.iter().filter(|&&t| t < 30.0).count();
+        assert!(in_burst > 4 * in_base, "burst={in_burst} base={in_base}");
+    }
+
+    #[test]
+    fn zero_rate_phase_is_silent() {
+        let w = Workload::steady(10.0, 0.0);
+        let mut rng = Prng::seed_from_u64(4);
+        assert!(w.arrivals(&mut rng).is_empty());
+    }
+
+    #[test]
+    fn duration_sums_phases() {
+        assert!((Workload::bursty(90.0, 1.0, 2.0).duration_s() - 90.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,186 @@
+//! Linear-algebra helpers for the equivalence analysis.
+//!
+//! The per-layer error-propagation bound of the paper (Section 4.2) scales
+//! error vectors by the largest singular value `λ_max(W)` of each linear
+//! layer's weight matrix. We compute `λ_max` with power iteration on
+//! `WᵀW` — accurate to a relative tolerance, cheap, and dependency-free.
+
+use crate::rng::Prng;
+use crate::tensor::Tensor;
+
+/// Matrix–vector product `m · v` for `m: [r, c]`, `v: [c]`.
+pub fn matvec(m: &Tensor, v: &[f32]) -> Vec<f32> {
+    assert_eq!(m.cols(), v.len(), "matvec dimension mismatch");
+    (0..m.rows())
+        .map(|r| m.row(r).iter().zip(v).map(|(a, b)| a * b).sum())
+        .collect()
+}
+
+/// Matrix-transpose–vector product `mᵀ · v` for `m: [r, c]`, `v: [r]`.
+pub fn matvec_t(m: &Tensor, v: &[f32]) -> Vec<f32> {
+    assert_eq!(m.rows(), v.len(), "matvec_t dimension mismatch");
+    let mut out = vec![0.0f32; m.cols()];
+    for (r, &vr) in v.iter().enumerate() {
+        if vr == 0.0 {
+            continue;
+        }
+        for (o, &a) in out.iter_mut().zip(m.row(r)) {
+            *o += a * vr;
+        }
+    }
+    out
+}
+
+/// Euclidean norm of a vector.
+pub fn l2_norm(v: &[f32]) -> f64 {
+    v.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt()
+}
+
+/// Scale a vector to unit norm in place; returns the pre-scaling norm.
+fn normalize(v: &mut [f32]) -> f64 {
+    let n = l2_norm(v);
+    if n > 0.0 {
+        let inv = (1.0 / n) as f32;
+        for x in v {
+            *x *= inv;
+        }
+    }
+    n
+}
+
+/// Largest singular value of `m`, estimated by power iteration on `mᵀm`.
+///
+/// Converges to relative tolerance `tol` or after `max_iters` iterations,
+/// whichever comes first. Deterministic for a fixed `seed`. Returns 0 for a
+/// zero or empty matrix.
+pub fn spectral_norm(m: &Tensor, tol: f64, max_iters: usize, seed: u64) -> f64 {
+    if m.rows() == 0 || m.cols() == 0 {
+        return 0.0;
+    }
+    let mut rng = Prng::seed_from_u64(seed);
+    let mut v: Vec<f32> = (0..m.cols()).map(|_| rng.gaussian() as f32).collect();
+    if normalize(&mut v) == 0.0 {
+        v[0] = 1.0;
+    }
+    let mut sigma = 0.0f64;
+    for _ in 0..max_iters {
+        // v ← normalize(mᵀ (m v)); σ ← ‖m v‖
+        let mv = matvec(m, &v);
+        let new_sigma = l2_norm(&mv);
+        if new_sigma == 0.0 {
+            return 0.0;
+        }
+        let mut next = matvec_t(m, &mv);
+        normalize(&mut next);
+        v = next;
+        let rel = (new_sigma - sigma).abs() / new_sigma.max(1e-30);
+        sigma = new_sigma;
+        if rel < tol {
+            break;
+        }
+    }
+    sigma
+}
+
+/// Largest singular value with default tolerances (1e-6, 200 iterations).
+///
+/// ```
+/// use sommelier_tensor::{linalg, Tensor};
+/// let m = Tensor::identity(4).map(|x| x * 3.0);
+/// assert!((linalg::spectral_norm_default(&m) - 3.0).abs() < 1e-3);
+/// ```
+pub fn spectral_norm_default(m: &Tensor) -> f64 {
+    spectral_norm(m, 1e-6, 200, 0x5eed)
+}
+
+/// Dot product of two equal-length slices.
+pub fn dot(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| (x as f64) * (y as f64)).sum()
+}
+
+/// Cosine similarity between two vectors; 0 when either is all-zero.
+/// This is the comparator ModelDiff uses over decision-distance vectors
+/// (paper Section 7.2).
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f64 {
+    let na = l2_norm(a);
+    let nb = l2_norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot(a, b) / (na * nb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_basics() {
+        let m = Tensor::from_vec(2, 3, vec![1., 0., 2., 0., 1., 0.]);
+        assert_eq!(matvec(&m, &[1., 2., 3.]), vec![7., 2.]);
+        assert_eq!(matvec_t(&m, &[1., 1.]), vec![1., 1., 2.]);
+    }
+
+    #[test]
+    fn l2_norm_pythagoras() {
+        assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(l2_norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn spectral_norm_of_identity_is_one() {
+        let m = Tensor::identity(8);
+        assert!((spectral_norm_default(&m) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn spectral_norm_of_diagonal_is_max_entry() {
+        let mut m = Tensor::zeros(4, 4);
+        for (i, v) in [0.5f32, 3.0, 1.0, 2.0].iter().enumerate() {
+            m.set(i, i, *v);
+        }
+        assert!((spectral_norm_default(&m) - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn spectral_norm_of_scaled_identity_scales() {
+        let m = Tensor::identity(5).map(|x| x * 7.0);
+        assert!((spectral_norm_default(&m) - 7.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn spectral_norm_rectangular_rank_one() {
+        // rank-1 matrix u vᵀ with ‖u‖=2, ‖v‖=3 → σ = 6
+        let u = [2.0f32, 0.0];
+        let v = [0.0f32, 3.0, 0.0];
+        let m = Tensor::from_fn(2, 3, |r, c| u[r] * v[c]);
+        assert!((spectral_norm_default(&m) - 6.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn spectral_norm_zero_matrix() {
+        assert_eq!(spectral_norm_default(&Tensor::zeros(3, 3)), 0.0);
+    }
+
+    #[test]
+    fn cosine_similarity_bounds() {
+        assert!((cosine_similarity(&[1., 0.], &[1., 0.]) - 1.0).abs() < 1e-12);
+        assert!((cosine_similarity(&[1., 0.], &[0., 1.])).abs() < 1e-12);
+        assert!((cosine_similarity(&[1., 0.], &[-1., 0.]) + 1.0).abs() < 1e-12);
+        assert_eq!(cosine_similarity(&[0., 0.], &[1., 2.]), 0.0);
+    }
+
+    #[test]
+    fn spectral_norm_bounds_matvec_amplification() {
+        // ‖m v‖ ≤ σ_max ‖v‖ must hold for arbitrary v.
+        let mut rng = crate::rng::Prng::seed_from_u64(42);
+        let m = Tensor::gaussian(6, 9, 1.0, &mut rng);
+        let sigma = spectral_norm_default(&m);
+        for _ in 0..20 {
+            let v: Vec<f32> = (0..9).map(|_| rng.gaussian() as f32).collect();
+            let amplified = l2_norm(&matvec(&m, &v));
+            assert!(amplified <= sigma * l2_norm(&v) * (1.0 + 1e-3));
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Synthetic labeled datasets.
+//!
+//! Stand-ins for the validation datasets of the paper's evaluation
+//! (ImageNet, Caltech256, SUN397, PascalVOC, MSCOCO, Ade20k, SQuAD, IMDB,
+//! CoNLL03 — Section 7 "Datasets"). A dataset is a batch of inputs plus
+//! ground truth derived from the task's [`Teacher`]; its *name* seeds both
+//! the sampling and the dataset's consensus bias, so "the same dataset"
+//! is bit-identical across experiments.
+
+use crate::teacher::Teacher;
+use sommelier_graph::task::OutputStyle;
+use sommelier_graph::TaskKind;
+use sommelier_runtime::metrics::GroundTruth;
+use sommelier_tensor::{Prng, Tensor};
+
+/// A named batch of inputs with ground truth.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Dataset name (e.g. `"imagenet"`).
+    pub name: String,
+    /// Task the ground truth pertains to.
+    pub task: TaskKind,
+    /// `[n, input_width]` input batch.
+    pub inputs: Tensor,
+    /// Ground truth, matching the task's output style.
+    pub truth: GroundTruth,
+}
+
+/// Stable 64-bit hash of a dataset name (FNV-1a), used to seed sampling.
+pub fn name_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl Dataset {
+    /// Sample `n` records for `teacher`'s task. The same
+    /// `(name, teacher, n)` always produces the same dataset; different
+    /// `salt`s produce disjoint draws from the same distribution (used by
+    /// experiments that need many independent validation sets, e.g. the
+    /// ModelDiff variance study of Figure 11).
+    pub fn synthetic(name: &str, teacher: &Teacher, n: usize, salt: u64) -> Dataset {
+        let mut rng = Prng::seed_from_u64(name_seed(name) ^ salt.wrapping_mul(0x9e37_79b9));
+        let inputs = Tensor::gaussian(n, teacher.spec.input_width, 1.0, &mut rng);
+        let truth = match teacher.spec.output_style() {
+            OutputStyle::Classification => GroundTruth::Labels(teacher.labels(&inputs)),
+            OutputStyle::Regression => GroundTruth::Targets(teacher.outputs(&inputs)),
+        };
+        Dataset {
+            name: name.to_string(),
+            task: teacher.spec.task,
+            inputs,
+            truth,
+        }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.inputs.rows()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The canonical dataset names for each task, mirroring the paper's
+    /// benchmark/tuning sets (Section 7).
+    pub fn names_for(task: TaskKind) -> &'static [&'static str] {
+        match task {
+            TaskKind::ImageRecognition => &["imagenet", "caltech256", "sun397"],
+            TaskKind::ObjectDetection => &["pascalvoc", "mscoco"],
+            TaskKind::SemanticSegmentation => &["ade20k"],
+            TaskKind::QuestionAnswering => &["squad1.1"],
+            TaskKind::SentimentAnalysis => &["imdb"],
+            TaskKind::NamedEntityRecognition => &["conll03"],
+            TaskKind::Other => &["generic"],
+        }
+    }
+
+    /// The default (first-listed) dataset name for a task.
+    pub fn default_name_for(task: TaskKind) -> &'static str {
+        Self::names_for(task)[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_is_deterministic() {
+        let t = Teacher::for_task(TaskKind::ImageRecognition, 1);
+        let a = Dataset::synthetic("imagenet", &t, 32, 0);
+        let b = Dataset::synthetic("imagenet", &t, 32, 0);
+        assert_eq!(a.inputs, b.inputs);
+    }
+
+    #[test]
+    fn salt_changes_the_draw() {
+        let t = Teacher::for_task(TaskKind::ImageRecognition, 1);
+        let a = Dataset::synthetic("imagenet", &t, 32, 0);
+        let b = Dataset::synthetic("imagenet", &t, 32, 1);
+        assert_ne!(a.inputs, b.inputs);
+    }
+
+    #[test]
+    fn classification_truth_is_labels() {
+        let t = Teacher::for_task(TaskKind::ImageRecognition, 1);
+        let d = Dataset::synthetic("imagenet", &t, 16, 0);
+        match &d.truth {
+            GroundTruth::Labels(l) => assert_eq!(l.len(), 16),
+            _ => panic!("expected labels"),
+        }
+    }
+
+    #[test]
+    fn regression_truth_is_targets() {
+        let t = Teacher::for_task(TaskKind::ObjectDetection, 1);
+        let d = Dataset::synthetic("mscoco", &t, 16, 0);
+        match &d.truth {
+            GroundTruth::Targets(t) => assert_eq!(t.rows(), 16),
+            _ => panic!("expected targets"),
+        }
+    }
+
+    #[test]
+    fn every_task_has_named_datasets() {
+        for task in TaskKind::ALL {
+            assert!(!Dataset::names_for(task).is_empty());
+            assert_eq!(
+                Dataset::default_name_for(task),
+                Dataset::names_for(task)[0]
+            );
+        }
+    }
+
+    #[test]
+    fn name_seed_is_stable_and_distinct() {
+        assert_eq!(name_seed("imagenet"), name_seed("imagenet"));
+        assert_ne!(name_seed("imagenet"), name_seed("mscoco"));
+    }
+}

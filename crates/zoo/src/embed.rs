@@ -1,0 +1,394 @@
+//! Function embedding: building a model of a given architectural style
+//! that approximately computes a dataset's consensus function.
+//!
+//! Real pre-trained models are the product of training different
+//! architectures on the same data; what matters to Sommelier is the
+//! *result*: models whose input/output behaviour is highly (but not
+//! perfectly) correlated, with fidelity degrading as architectures shrink.
+//! We manufacture that result directly. A model is assembled as
+//!
+//! ```text
+//! input ─ Dense(W₁ᶜ+η) ─ ReLU ─ project(h→w) ─ body blocks ─ project(w→h)
+//!       ─ Dense(W₂ᶜ+η) ─ [Softmax]
+//! ```
+//!
+//! where `(W₁ᶜ, W₂ᶜ)` are the dataset's consensus weights, `η` is the
+//! model's private noise, and the *body* is a family-styled stack of
+//! near-identity blocks at internal width `w`. When `w < h` the projection
+//! is lossy, so narrow (cheap) models are genuinely less accurate — the
+//! size/accuracy gradient of EfficientNet/BiT series. Body styles span the
+//! operator vocabulary (residual adds, plain stacks, pooling bottlenecks,
+//! parallel branches, normalization, convolutions) so segment extraction
+//! and error-propagation analysis see realistic structural diversity.
+
+use crate::teacher::{DatasetBias, Teacher};
+use serde::{Deserialize, Serialize};
+use sommelier_graph::task::OutputStyle;
+use sommelier_graph::{Model, ModelBuilder};
+use sommelier_tensor::{Prng, Shape, Tensor};
+
+/// Architectural idiom of a model body.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BodyStyle {
+    /// Small-branch residual blocks (ResNet/BiT/EfficientNet idiom).
+    Residual,
+    /// Plain dense+ReLU stacks (VGG idiom).
+    Plain,
+    /// Mean-pool bottleneck + expansion (MobileNet-style cheap blocks;
+    /// inherently lossy).
+    Bottleneck,
+    /// Parallel half-width branches concatenated (Inception/ResNeXt idiom).
+    Branchy,
+    /// L2-normalized residual blocks (transformer/BERT idiom).
+    Normalized,
+    /// Convolution + realignment stacks (AlexNet idiom).
+    ConvStack,
+}
+
+/// Geometry and fidelity of an embedded model.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EmbedSpec {
+    /// Body style.
+    pub style: BodyStyle,
+    /// Internal body width `w`; lossy when smaller than the task's hidden
+    /// width.
+    pub body_width: usize,
+    /// Number of body blocks.
+    pub depth: usize,
+    /// Private weight-noise scale (relative to each layer's weight scale).
+    pub noise: f64,
+}
+
+/// Rectangular identity: ones on the main diagonal.
+pub fn rect_identity(rows: usize, cols: usize) -> Tensor {
+    let mut t = Tensor::zeros(rows, cols);
+    for i in 0..rows.min(cols) {
+        t.set(i, i, 1.0);
+    }
+    t
+}
+
+/// Rectangular identity plus i.i.d. Gaussian noise of scale
+/// `eta / sqrt(rows)` (so the noise's spectral contribution stays
+/// proportional to `eta` regardless of size).
+pub fn noisy_identity(rows: usize, cols: usize, eta: f64, rng: &mut Prng) -> Tensor {
+    let base = rect_identity(rows, cols);
+    if eta == 0.0 {
+        return base;
+    }
+    let std = eta / (rows as f64).sqrt();
+    let noise = Tensor::gaussian(rows, cols, std, rng);
+    base.zip_with(&noise, |a, b| a + b)
+}
+
+fn perturbed(weights: &Tensor, noise: f64, rng: &mut Prng) -> Tensor {
+    if noise == 0.0 {
+        return weights.clone();
+    }
+    let n = weights.len().max(1);
+    let std = noise * weights.frobenius_norm() / (n as f64).sqrt();
+    let delta = Tensor::gaussian(weights.rows(), weights.cols(), std, rng);
+    weights.zip_with(&delta, |a, b| a + b)
+}
+
+/// Build a model that approximates the dataset consensus function with the
+/// given architecture. The caller supplies a fork of its RNG; the same
+/// fork reproduces the same model.
+pub fn embed_model(
+    name: impl Into<String>,
+    teacher: &Teacher,
+    bias: &DatasetBias,
+    spec: &EmbedSpec,
+    rng: &mut Prng,
+) -> Model {
+    let task_spec = teacher.spec;
+    let (w1c, w2c) = bias.consensus(teacher);
+    let w1m = perturbed(&w1c, spec.noise, rng);
+    let w2m = perturbed(&w2c, spec.noise, rng);
+
+    let h = task_spec.hidden;
+    let w = spec.body_width;
+    let mut b = ModelBuilder::new(
+        name,
+        task_spec.task,
+        Shape::vector(task_spec.input_width),
+    );
+    b.dense_with(w1m, Some(Tensor::zeros(1, h))).relu();
+
+    // Project into the body width (lossy when w < h).
+    if w != h {
+        b.dense_with(noisy_identity(h, w, spec.noise, rng), None);
+    }
+    for _ in 0..spec.depth {
+        push_block(&mut b, spec, rng);
+    }
+    // Project back to the hidden width for the readout.
+    if b.current_width() != h {
+        b.dense_with(noisy_identity(b.current_width(), h, spec.noise, rng), None);
+    }
+    b.dense_with(w2m, Some(Tensor::zeros(1, task_spec.output_width)));
+    if task_spec.output_style() == OutputStyle::Classification {
+        b.softmax();
+    }
+    let mut model = b.build().expect("embedding produces a valid graph");
+    model
+        .metadata
+        .insert("style".into(), format!("{:?}", spec.style));
+    model
+}
+
+/// Append one body block of the given style at the current width.
+fn push_block(b: &mut ModelBuilder, spec: &EmbedSpec, rng: &mut Prng) {
+    let w = b.current_width();
+    let eta = spec.noise;
+    match spec.style {
+        BodyStyle::Residual => {
+            // trunk + small perturbation branch
+            let entry = b.cursor();
+            let branch_scale = (eta.max(1e-3)) / (w as f64).sqrt();
+            let wa = Tensor::gaussian(w, w, branch_scale, rng);
+            let wb = Tensor::gaussian(w, w, branch_scale, rng);
+            b.dense_with(wa, None).relu().dense_with(wb, None);
+            let branch = b.cursor();
+            b.add_from(&[entry, branch]).relu();
+        }
+        BodyStyle::Plain => {
+            // dense + batch-norm(affine) + relu, the VGG-era idiom.
+            b.dense_with(noisy_identity(w, w, eta, rng), None)
+                .scale(eta * 0.3, rng)
+                .relu();
+        }
+        BodyStyle::Bottleneck => {
+            // Squeeze into the leading half of the feature space, then
+            // expand back. Dropping the trailing (least informative under
+            // the zoo's decaying feature spectrum) half is idempotent
+            // across stacked blocks — the cheap-but-lossy character of
+            // depthwise-separable designs.
+            let half = (w / 2).max(1);
+            b.dense_with(noisy_identity(w, half, eta, rng), None).relu();
+            b.dense_with(noisy_identity(half, w, eta, rng), None).relu();
+        }
+        BodyStyle::Branchy => {
+            assert!(w >= 2, "branchy blocks need width >= 2");
+            let left_w = w / 2;
+            let right_w = w - left_w;
+            let entry = b.cursor();
+            // Left branch selects the first half of the features…
+            let mut left = Tensor::zeros(w, left_w);
+            for i in 0..left_w {
+                left.set(i, i, 1.0);
+            }
+            // …right branch the second half.
+            let mut right = Tensor::zeros(w, right_w);
+            for i in 0..right_w {
+                right.set(left_w + i, i, 1.0);
+            }
+            let jitter = |t: Tensor, rng: &mut Prng| {
+                if eta > 0.0 {
+                    let std = eta / (w as f64).sqrt();
+                    let n = Tensor::gaussian(t.rows(), t.cols(), std, rng);
+                    t.zip_with(&n, |a, b| a + b)
+                } else {
+                    t
+                }
+            };
+            b.dense_with(jitter(left, rng), None).relu();
+            let lb = b.cursor();
+            b.goto(entry).dense_with(jitter(right, rng), None).relu();
+            let rb = b.cursor();
+            b.concat_from(&[lb, rb]);
+        }
+        BodyStyle::Normalized => {
+            // norm → affine → projection branch + residual add, the
+            // transformer block idiom (LayerNorm = l2norm + learned
+            // affine).
+            let entry = b.cursor();
+            let branch_scale = (eta.max(1e-3)) / (w as f64).sqrt();
+            let wa = Tensor::gaussian(w, w, branch_scale, rng);
+            b.l2_normalize().scale(eta * 0.3, rng).dense_with(wa, None);
+            let branch = b.cursor();
+            b.add_from(&[entry, branch]).relu();
+        }
+        BodyStyle::ConvStack => {
+            // Near-identity 3-tap convolution followed by a realignment
+            // projection restoring the width. The kernel is a delta at
+            // tap 0, so conv output `i` holds feature `i`; only the two
+            // trailing (least informative) features are clipped by the
+            // valid-convolution shrink.
+            let mut kernel = Tensor::zeros(1, 3);
+            kernel.set(0, 0, 1.0);
+            let kernel = if eta > 0.0 {
+                let n = Tensor::gaussian(1, 3, eta * 0.3, rng);
+                kernel.zip_with(&n, |a, b| a + b)
+            } else {
+                kernel
+            };
+            b.conv1d_with(kernel, 1);
+            let shrunk = b.current_width();
+            b.dense_with(noisy_identity(shrunk, w, eta, rng), None).relu();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sommelier_graph::TaskKind;
+    use sommelier_runtime::metrics::top1_accuracy;
+    use sommelier_runtime::execute;
+
+    fn setup() -> (Teacher, DatasetBias, Tensor, Vec<usize>) {
+        let teacher = Teacher::for_task(TaskKind::ImageRecognition, 42);
+        let bias = DatasetBias::new(&teacher, "imagenet", 0.05);
+        let mut rng = Prng::seed_from_u64(7);
+        let x = Tensor::gaussian(200, teacher.spec.input_width, 1.0, &mut rng);
+        let labels = teacher.labels(&x);
+        (teacher, bias, x, labels)
+    }
+
+    fn spec(style: BodyStyle) -> EmbedSpec {
+        EmbedSpec {
+            style,
+            body_width: 96,
+            depth: 3,
+            noise: 0.01,
+        }
+    }
+
+    #[test]
+    fn rect_identity_shapes() {
+        let t = rect_identity(3, 5);
+        assert_eq!(t.get(2, 2), 1.0);
+        assert_eq!(t.get(2, 4), 0.0);
+    }
+
+    #[test]
+    fn all_styles_produce_valid_accurate_models() {
+        let (teacher, bias, x, labels) = setup();
+        for style in [
+            BodyStyle::Residual,
+            BodyStyle::Plain,
+            BodyStyle::Bottleneck,
+            BodyStyle::Branchy,
+            BodyStyle::Normalized,
+            BodyStyle::ConvStack,
+        ] {
+            let mut rng = Prng::seed_from_u64(99);
+            let m = embed_model("m", &teacher, &bias, &spec(style), &mut rng);
+            let out = execute(&m, &x).unwrap();
+            let acc = top1_accuracy(&out, &labels);
+            // Bottleneck halves the feature space, so it is allowed to be
+            // rough; everything else must track the teacher closely.
+            let floor = if style == BodyStyle::Bottleneck { 0.30 } else { 0.70 };
+            assert!(acc >= floor, "{style:?} accuracy {acc} below {floor}");
+        }
+    }
+
+    #[test]
+    fn zero_noise_full_width_residual_is_near_perfect() {
+        let (teacher, _, x, labels) = setup();
+        let no_bias = DatasetBias::new(&teacher, "imagenet", 0.0);
+        let mut rng = Prng::seed_from_u64(1);
+        let m = embed_model(
+            "exact",
+            &teacher,
+            &no_bias,
+            &EmbedSpec {
+                style: BodyStyle::Residual,
+                body_width: 96,
+                depth: 2,
+                noise: 0.0,
+            },
+            &mut rng,
+        );
+        let out = execute(&m, &x).unwrap();
+        let acc = top1_accuracy(&out, &labels);
+        assert!(acc > 0.97, "zero-noise embedding accuracy {acc}");
+    }
+
+    #[test]
+    fn narrower_bodies_are_less_accurate() {
+        let (teacher, bias, x, labels) = setup();
+        let acc_at = |width: usize| {
+            let mut rng = Prng::seed_from_u64(5);
+            let m = embed_model(
+                "m",
+                &teacher,
+                &bias,
+                &EmbedSpec {
+                    style: BodyStyle::Residual,
+                    body_width: width,
+                    depth: 3,
+                    noise: 0.02,
+                },
+                &mut rng,
+            );
+            top1_accuracy(&execute(&m, &x).unwrap(), &labels)
+        };
+        let wide = acc_at(96);
+        let narrow = acc_at(24);
+        assert!(
+            wide > narrow + 0.05,
+            "wide={wide} should beat narrow={narrow}"
+        );
+    }
+
+    #[test]
+    fn more_noise_is_less_accurate() {
+        let (teacher, bias, x, labels) = setup();
+        let acc_at = |noise: f64| {
+            let mut rng = Prng::seed_from_u64(5);
+            let m = embed_model(
+                "m",
+                &teacher,
+                &bias,
+                &EmbedSpec {
+                    style: BodyStyle::Plain,
+                    body_width: 96,
+                    depth: 3,
+                    noise,
+                },
+                &mut rng,
+            );
+            top1_accuracy(&execute(&m, &x).unwrap(), &labels)
+        };
+        assert!(acc_at(0.005) > acc_at(0.6));
+    }
+
+    #[test]
+    fn models_sharing_a_dataset_agree_more_than_they_score() {
+        // The Figure 3 phenomenon: two models embedding the same dataset
+        // consensus agree with each other more than either agrees with the
+        // ground truth.
+        let teacher = Teacher::for_task(TaskKind::ImageRecognition, 42);
+        let bias = DatasetBias::new(&teacher, "imagenet", 0.35);
+        let mut rng = Prng::seed_from_u64(8);
+        let x = Tensor::gaussian(400, teacher.spec.input_width, 1.0, &mut rng);
+        let labels = teacher.labels(&x);
+        let mut r1 = Prng::seed_from_u64(100);
+        let mut r2 = Prng::seed_from_u64(200);
+        let m1 = embed_model("a", &teacher, &bias, &spec(BodyStyle::Residual), &mut r1);
+        let m2 = embed_model("b", &teacher, &bias, &spec(BodyStyle::Plain), &mut r2);
+        let o1 = execute(&m1, &x).unwrap();
+        let o2 = execute(&m2, &x).unwrap();
+        let acc1 = top1_accuracy(&o1, &labels);
+        let acc2 = top1_accuracy(&o2, &labels);
+        let agree = sommelier_runtime::metrics::agreement_ratio(&o1, &o2);
+        assert!(
+            agree > acc1.max(acc2),
+            "agreement {agree} must exceed accuracies {acc1}/{acc2}"
+        );
+    }
+
+    #[test]
+    fn regression_tasks_skip_softmax() {
+        let teacher = Teacher::for_task(TaskKind::ObjectDetection, 3);
+        let bias = DatasetBias::new(&teacher, "mscoco", 0.05);
+        let mut rng = Prng::seed_from_u64(2);
+        let m = embed_model("det", &teacher, &bias, &spec(BodyStyle::Residual), &mut rng);
+        assert!(!m
+            .op_tags()
+            .iter()
+            .any(|t| t == "softmax"));
+    }
+}

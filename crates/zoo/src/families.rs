@@ -1,0 +1,230 @@
+//! Model families.
+//!
+//! Named architectural families mirroring the models the paper evaluates:
+//! ResNet50, InceptionV3, ResNeXt101, VGG19, MobileNet (Figure 3 and
+//! Table 1), AlexNet and BERT (Table 2), and the BiT / EfficientNet series
+//! of the TF-Hub case study (Section 7.3). Family names carry an `-ish`
+//! suffix as a reminder that these are synthetic look-alikes: same
+//! structural idioms and relative cost profiles, not the original weights.
+
+use crate::embed::{embed_model, BodyStyle, EmbedSpec};
+use crate::teacher::{DatasetBias, Teacher};
+use serde::{Deserialize, Serialize};
+use sommelier_graph::Model;
+use sommelier_tensor::Prng;
+use std::fmt;
+
+/// An architectural family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Family {
+    /// Deep residual network (ResNet).
+    Resnetish,
+    /// Plain very deep stack (VGG).
+    Vggish,
+    /// Cheap bottlenecked network (MobileNet).
+    Mobilenetish,
+    /// Parallel-branch network (Inception).
+    Inceptionish,
+    /// Grouped-branch residual network (ResNeXt).
+    Resnextish,
+    /// Compound-scaled residual network (EfficientNet).
+    Efficientnetish,
+    /// Big Transfer: very wide residual network (BiT).
+    Bitish,
+    /// Early convolutional network (AlexNet).
+    Alexnetish,
+    /// Transformer-style normalized residual network (BERT).
+    Bertish,
+}
+
+impl Family {
+    /// All families.
+    pub const ALL: [Family; 9] = [
+        Family::Resnetish,
+        Family::Vggish,
+        Family::Mobilenetish,
+        Family::Inceptionish,
+        Family::Resnextish,
+        Family::Efficientnetish,
+        Family::Bitish,
+        Family::Alexnetish,
+        Family::Bertish,
+    ];
+
+    /// The body style each family builds with.
+    pub fn style(&self) -> BodyStyle {
+        match self {
+            Family::Resnetish | Family::Efficientnetish | Family::Bitish => BodyStyle::Residual,
+            Family::Vggish => BodyStyle::Plain,
+            Family::Mobilenetish => BodyStyle::Bottleneck,
+            Family::Inceptionish | Family::Resnextish => BodyStyle::Branchy,
+            Family::Alexnetish => BodyStyle::ConvStack,
+            Family::Bertish => BodyStyle::Normalized,
+        }
+    }
+
+    /// Canonical lowercase name.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            Family::Resnetish => "resnetish",
+            Family::Vggish => "vggish",
+            Family::Mobilenetish => "mobilenetish",
+            Family::Inceptionish => "inceptionish",
+            Family::Resnextish => "resnextish",
+            Family::Efficientnetish => "efficientnetish",
+            Family::Bitish => "bitish",
+            Family::Alexnetish => "alexnetish",
+            Family::Bertish => "bertish",
+        }
+    }
+
+    /// Default geometry relative to the task's hidden width `h`:
+    /// `(body_width_factor, depth, noise)`. Factors express each family's
+    /// character: BiT is wide and deep, MobileNet narrow and shallow, etc.
+    pub fn default_scale(&self) -> FamilyScale {
+        match self {
+            Family::Resnetish => FamilyScale::new(1.0, 6, 0.010),
+            Family::Vggish => FamilyScale::new(1.0, 8, 0.012),
+            Family::Mobilenetish => FamilyScale::new(0.8, 3, 0.020),
+            Family::Inceptionish => FamilyScale::new(1.0, 5, 0.012),
+            Family::Resnextish => FamilyScale::new(1.25, 6, 0.010),
+            Family::Efficientnetish => FamilyScale::new(0.75, 5, 0.012),
+            Family::Bitish => FamilyScale::new(1.5, 8, 0.008),
+            Family::Alexnetish => FamilyScale::new(1.0, 4, 0.015),
+            Family::Bertish => FamilyScale::new(1.0, 6, 0.010),
+        }
+    }
+
+    /// Build a model of this family for the given teacher/dataset with
+    /// explicit geometry.
+    pub fn build_scaled(
+        &self,
+        name: impl Into<String>,
+        teacher: &Teacher,
+        bias: &DatasetBias,
+        scale: &FamilyScale,
+        rng: &mut Prng,
+    ) -> Model {
+        let spec = scale.to_embed_spec(self.style(), teacher.spec.hidden);
+        let mut model = embed_model(name, teacher, bias, &spec, rng);
+        model.metadata.insert("family".into(), self.slug().into());
+        model
+    }
+
+    /// Build with the family's default geometry.
+    pub fn build(
+        &self,
+        name: impl Into<String>,
+        teacher: &Teacher,
+        bias: &DatasetBias,
+        rng: &mut Prng,
+    ) -> Model {
+        self.build_scaled(name, teacher, bias, &self.default_scale(), rng)
+    }
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.slug())
+    }
+}
+
+/// Geometry knobs of one family instance, expressed relative to the task.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FamilyScale {
+    /// Body width as a multiple of the task's hidden width.
+    pub width_factor: f64,
+    /// Number of body blocks.
+    pub depth: usize,
+    /// Private weight-noise scale.
+    pub noise: f64,
+}
+
+impl FamilyScale {
+    pub fn new(width_factor: f64, depth: usize, noise: f64) -> FamilyScale {
+        FamilyScale {
+            width_factor,
+            depth,
+            noise,
+        }
+    }
+
+    /// Resolve against a hidden width (body width is floored at 4 and
+    /// rounded to even so Branchy/Bottleneck blocks stay well-formed).
+    pub fn to_embed_spec(&self, style: BodyStyle, hidden: usize) -> EmbedSpec {
+        let mut w = ((hidden as f64 * self.width_factor).round() as usize).max(4);
+        if w % 2 == 1 {
+            w += 1;
+        }
+        EmbedSpec {
+            style,
+            body_width: w,
+            depth: self.depth,
+            noise: self.noise,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sommelier_graph::cost::model_cost;
+    use sommelier_graph::TaskKind;
+    use sommelier_runtime::execute;
+    use sommelier_runtime::metrics::top1_accuracy;
+    use sommelier_tensor::Tensor;
+
+    fn setup() -> (Teacher, DatasetBias) {
+        let teacher = Teacher::for_task(TaskKind::ImageRecognition, 11);
+        let bias = DatasetBias::new(&teacher, "imagenet", 0.1);
+        (teacher, bias)
+    }
+
+    #[test]
+    fn every_family_builds_and_predicts() {
+        let (teacher, bias) = setup();
+        let mut rng = Prng::seed_from_u64(1);
+        let x = Tensor::gaussian(100, teacher.spec.input_width, 1.0, &mut rng);
+        let labels = teacher.labels(&x);
+        for family in Family::ALL {
+            let mut frng = rng.fork();
+            let m = family.build(format!("{family}-test"), &teacher, &bias, &mut frng);
+            assert_eq!(m.metadata["family"], family.slug());
+            let acc = top1_accuracy(&execute(&m, &x).unwrap(), &labels);
+            assert!(acc > 0.25, "{family} collapsed: accuracy {acc}");
+        }
+    }
+
+    #[test]
+    fn mobilenetish_is_cheaper_than_bitish() {
+        let (teacher, bias) = setup();
+        let mut r1 = Prng::seed_from_u64(2);
+        let mut r2 = Prng::seed_from_u64(3);
+        let mobile = Family::Mobilenetish.build("m", &teacher, &bias, &mut r1);
+        let bit = Family::Bitish.build("b", &teacher, &bias, &mut r2);
+        let cm = model_cost(&mobile);
+        let cb = model_cost(&bit);
+        assert!(cb.flops > 2 * cm.flops, "BiT should dominate on FLOPs");
+        assert!(cb.memory_bytes() > cm.memory_bytes());
+    }
+
+    #[test]
+    fn family_scale_resolves_width() {
+        let spec = FamilyScale::new(0.5, 3, 0.01).to_embed_spec(BodyStyle::Plain, 96);
+        assert_eq!(spec.body_width, 48);
+        assert_eq!(spec.depth, 3);
+        // Odd widths round to even, tiny widths floor at 4.
+        let odd = FamilyScale::new(0.33, 1, 0.0).to_embed_spec(BodyStyle::Plain, 97);
+        assert_eq!(odd.body_width % 2, 0);
+        let tiny = FamilyScale::new(0.001, 1, 0.0).to_embed_spec(BodyStyle::Plain, 96);
+        assert!(tiny.body_width >= 4);
+    }
+
+    #[test]
+    fn slugs_are_unique() {
+        let mut slugs: Vec<&str> = Family::ALL.iter().map(Family::slug).collect();
+        slugs.sort_unstable();
+        slugs.dedup();
+        assert_eq!(slugs.len(), Family::ALL.len());
+    }
+}

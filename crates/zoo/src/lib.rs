@@ -1,0 +1,36 @@
+//! Synthetic model hub — the reproduction's stand-in for TF-Hub.
+//!
+//! The paper evaluates Sommelier on (i) a synthetic repository of 200+
+//! models transferred from six pre-trained bases, and (ii) 163 real TF-Hub
+//! models from 30 series (Section 7). Real pre-trained weights are not
+//! loadable here, so this crate manufactures models whose *functional
+//! relationships* mirror the real ecosystem's:
+//!
+//! * every task has a hidden ground-truth [`teacher`] function;
+//! * every dataset carries a shared *consensus bias* — the systematic
+//!   deviation all models trained on that data inherit. This reproduces
+//!   the paper's Figure 3 observation that distinct models agree with each
+//!   other more than with the ground truth;
+//! * a model of a given *family* ([`families`]) embeds the consensus
+//!   function inside a family-specific near-identity body ([`embed`]) with
+//!   a controllable fidelity knob, so accuracy degrades smoothly with the
+//!   body's width, depth, and noise — the size/accuracy tradeoff of
+//!   BiT/EfficientNet-style series;
+//! * [`transfer`] derives downstream-task models that share base segments
+//!   with their origin (the scenario of paper Section 4.2), and
+//!   [`finetune`] perturbs weights to emulate tuning levels;
+//! * [`series`] assembles TF-Hub-style catalogs: 30 series / 163 models,
+//!   plus the 200-model synthetic repository of Figure 9(a).
+
+pub mod dataset;
+pub mod embed;
+pub mod families;
+pub mod finetune;
+pub mod series;
+pub mod teacher;
+pub mod transfer;
+
+pub use dataset::Dataset;
+pub use embed::{BodyStyle, EmbedSpec};
+pub use families::Family;
+pub use teacher::{DatasetBias, TaskSpec, Teacher};

@@ -1,0 +1,391 @@
+//! TF-Hub-style catalogs.
+//!
+//! The paper's two benchmark sets (Section 7, "DNN model benchmarks"):
+//!
+//! 1. a *synthetic repository* of 200+ models transferred from six widely
+//!    used pre-trained bases, with fine-grained control over functional
+//!    equivalence levels — [`synthetic_repository`];
+//! 2. 163 widely used TF-Hub models from the top 30 series, where each
+//!    series is "a family of models derived from a common basis" ranging
+//!    from small to large — [`tfhub_catalog`], including the named
+//!    [`bit_series`] (5 models) and [`efficientnet_series`] (8 models)
+//!    that Figure 12 examines.
+
+use crate::families::{Family, FamilyScale};
+use crate::finetune;
+use crate::teacher::{DatasetBias, Teacher};
+use crate::transfer;
+use crate::Dataset;
+use sommelier_graph::{Model, TaskKind};
+use sommelier_tensor::Prng;
+
+/// A family of models derived from a common basis, small to large.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Series name (e.g. `"bitish"`).
+    pub name: String,
+    /// Architectural family.
+    pub family: Family,
+    /// Task the series targets.
+    pub task: TaskKind,
+    /// Dataset the series was "trained" on.
+    pub dataset: String,
+    /// Member models, ordered small → large.
+    pub models: Vec<Model>,
+}
+
+impl Series {
+    /// Total number of member models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+}
+
+/// Geometry ladder for a series of `n` sizes: width grows, depth grows,
+/// private noise shrinks — so larger members are more accurate, the
+/// "sequence of increasingly large and accurate models" of Section 7.3.
+///
+/// Families scale down with different grace: BiT ("Big Transfer") is
+/// engineered for the large end and degrades steeply when shrunk, whereas
+/// EfficientNet's compound scaling keeps small members competitive — the
+/// asymmetry behind the paper's Figure 12(b) observation that the best
+/// one-eighth-size replacement for BiT-R152x4 comes from EfficientNet.
+fn ladder(family: Family, base: &FamilyScale, n: usize) -> Vec<FamilyScale> {
+    let (noise_hi, noise_slope) = match family {
+        Family::Bitish => (22.0, 21.0),
+        Family::Efficientnetish => (1.3, 0.9),
+        _ => (1.8, 1.4),
+    };
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / (n.max(2) - 1) as f64; // 0 → 1
+            FamilyScale {
+                width_factor: base.width_factor * (0.35 + 1.35 * t),
+                depth: base.depth + i,
+                noise: base.noise * (noise_hi - noise_slope * t),
+            }
+        })
+        .collect()
+}
+
+/// Build one series of `n` models.
+#[allow(clippy::too_many_arguments)]
+pub fn build_series(
+    name: &str,
+    family: Family,
+    task: TaskKind,
+    dataset: &str,
+    n: usize,
+    teacher_seed: u64,
+    bias_strength: f64,
+    rng: &mut Prng,
+) -> Series {
+    let teacher = Teacher::for_task(task, teacher_seed);
+    // Series identity: members share the dataset consensus *and* a
+    // series-specific deviation (common basis, common training recipe),
+    // so intra-series models agree more than cross-series ones — the
+    // structure Figure 13 measures.
+    let bias = DatasetBias::new(&teacher, dataset, bias_strength)
+        .compose(&DatasetBias::new(&teacher, &format!("series/{name}"), 0.10));
+    let scales = ladder(family, &family.default_scale(), n);
+    let models = scales
+        .iter()
+        .enumerate()
+        .map(|(i, scale)| {
+            let mut frng = rng.fork();
+            let mut m = family.build_scaled(
+                format!("{name}-{}", size_tag(family, i)),
+                &teacher,
+                &bias,
+                scale,
+                &mut frng,
+            );
+            m.metadata.insert("series".into(), name.to_string());
+            m.metadata.insert("dataset".into(), dataset.to_string());
+            m.metadata.insert("size-index".into(), i.to_string());
+            m.metadata
+                .insert("base".into(), format!("{name}-{}", size_tag(family, 0)));
+            m
+        })
+        .collect();
+    Series {
+        name: name.to_string(),
+        family,
+        task,
+        dataset: dataset.to_string(),
+        models,
+    }
+}
+
+fn size_tag(family: Family, i: usize) -> String {
+    match family {
+        Family::Bitish => ["r50x1", "r101x1", "r50x3", "r101x3", "r152x4"]
+            .get(i)
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| format!("r{}", i)),
+        Family::Efficientnetish => format!("b{i}"),
+        _ => format!("s{i}"),
+    }
+}
+
+/// The BiT series of Figure 12: five increasingly large models.
+pub fn bit_series(seed: u64) -> Series {
+    let mut rng = Prng::seed_from_u64(seed ^ 0xb17);
+    build_series(
+        "bitish",
+        Family::Bitish,
+        TaskKind::ImageRecognition,
+        "imagenet",
+        5,
+        seed,
+        0.12,
+        &mut rng,
+    )
+}
+
+/// The EfficientNet series of Figure 12: eight models b0–b7.
+pub fn efficientnet_series(seed: u64) -> Series {
+    let mut rng = Prng::seed_from_u64(seed ^ 0xeff);
+    build_series(
+        "efficientnetish",
+        Family::Efficientnetish,
+        TaskKind::ImageRecognition,
+        "imagenet",
+        8,
+        seed, // same teacher seed: same task ground truth as BiT
+        0.12,
+        &mut rng,
+    )
+}
+
+/// The 30-series / 163-model TF-Hub catalog of Section 7.3.
+///
+/// Series cycle through the architectural families and the six task
+/// categories; all series of the same task share that task's teacher
+/// (seeded by `seed`), and series are spread over the task's canonical
+/// datasets — so cross-series functional correlation arises exactly the
+/// way the paper observes it in TF-Hub: common tasks, common data, common
+/// structures.
+pub fn tfhub_catalog(seed: u64) -> Vec<Series> {
+    let mut rng = Prng::seed_from_u64(seed ^ 0x7f4b);
+    let mut out = Vec::with_capacity(30);
+    out.push(bit_series(seed));
+    out.push(efficientnet_series(seed));
+    // Remaining 28 series hold 150 models (20×5 + 6×6 + 2×7), landing
+    // the catalog exactly on the paper's 163 models over 30 series.
+    let sizes = [
+        5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 6, 6, 6, 6, 6, 6, 7, 7,
+    ];
+    debug_assert_eq!(sizes.iter().sum::<usize>(), 150);
+    let families = [
+        Family::Resnetish,
+        Family::Vggish,
+        Family::Mobilenetish,
+        Family::Inceptionish,
+        Family::Resnextish,
+        Family::Alexnetish,
+        Family::Bertish,
+    ];
+    for (i, &n) in sizes.iter().enumerate() {
+        let family = families[i % families.len()];
+        let task = TaskKind::ALL[i % TaskKind::ALL.len()];
+        let datasets = Dataset::names_for(task);
+        let dataset = datasets[i % datasets.len()];
+        let name = format!("{}-{}-v{}", family.slug(), task.slug(), i / 7 + 1);
+        out.push(build_series(
+            &name,
+            family,
+            task,
+            dataset,
+            n,
+            seed,
+            0.12,
+            &mut rng,
+        ));
+    }
+    out
+}
+
+/// Total model count across a catalog.
+pub fn catalog_model_count(catalog: &[Series]) -> usize {
+    catalog.iter().map(Series::len).sum()
+}
+
+/// The synthetic repository of Figure 9(a): `per_base` variants derived
+/// from each of six pre-trained bases (three vision, three NLP), with
+/// fine-tune levels swept so pairwise functional differences spread over
+/// `[0, max_level]`.
+pub fn synthetic_repository(per_base: usize, max_level: f64, seed: u64) -> Vec<Model> {
+    let mut rng = Prng::seed_from_u64(seed ^ 0x5e9);
+    let mut out = Vec::with_capacity(per_base * 6);
+    for (t, task) in TaskKind::ALL.into_iter().enumerate() {
+        let teacher = Teacher::for_task(task, seed);
+        let dataset = Dataset::default_name_for(task);
+        let bias = DatasetBias::new(&teacher, dataset, 0.10);
+        let family = if task.is_vision() {
+            Family::Resnetish
+        } else {
+            Family::Bertish
+        };
+        let mut brng = rng.fork();
+        let base = family.build_scaled(
+            format!("{}-{}-base", family.slug(), task.slug()),
+            &teacher,
+            &bias,
+            &FamilyScale::new(1.0, 5, 0.005),
+            &mut brng,
+        );
+        for i in 0..per_base {
+            let level = if per_base > 1 {
+                max_level * i as f64 / (per_base - 1) as f64
+            } else {
+                0.0
+            };
+            let mut vrng = rng.fork();
+            let mut v = finetune::perturb_all(&base, level, &mut vrng);
+            v.name = format!("{}-{}-v{:03}", family.slug(), task.slug(), i);
+            v.metadata.insert("base".into(), base.name.clone());
+            v.metadata.insert("dataset".into(), dataset.to_string());
+            v.metadata
+                .insert("finetune-level".into(), format!("{level:.4}"));
+            v.metadata.insert("task-index".into(), t.to_string());
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Six transferred downstream models from a shared vision base — the
+/// "six widely used pre-trained models: three for vision … and three for
+/// NLP" setup, linked by transfer so segment-level equivalence exists.
+pub fn transfer_suite(seed: u64) -> (Model, Vec<Model>) {
+    let teacher = Teacher::for_task(TaskKind::ImageRecognition, seed);
+    let bias = DatasetBias::new(&teacher, "imagenet", 0.08);
+    let mut rng = Prng::seed_from_u64(seed ^ 0x7a5);
+    let base = Family::Resnetish.build_scaled(
+        "resnetish-50",
+        &teacher,
+        &bias,
+        &FamilyScale::new(1.0, 6, 0.005),
+        &mut rng,
+    );
+    let downstream_specs: [(TaskKind, usize, &str); 3] = [
+        (TaskKind::ObjectDetection, 24, "mscoco"),
+        (TaskKind::SemanticSegmentation, 64, "ade20k"),
+        (TaskKind::QuestionAnswering, 32, "squad1.1"),
+    ];
+    let mut derived = Vec::new();
+    for (i, (task, width, ds)) in downstream_specs.into_iter().enumerate() {
+        let d = transfer::derive_teacher(&teacher, task, width, seed + i as u64);
+        let dbias = DatasetBias::new(&d, ds, 0.08);
+        let mut trng = rng.fork();
+        derived.push(transfer::transfer(
+            format!("{}-from-resnetish", task.slug()),
+            &base,
+            &d,
+            &dbias,
+            0.01,
+            0.25,
+            0.05,
+            &mut trng,
+        ));
+    }
+    (base, derived)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sommelier_graph::cost::model_cost;
+    use sommelier_runtime::execute;
+    use sommelier_runtime::metrics::top1_accuracy;
+    use sommelier_tensor::Tensor;
+
+    #[test]
+    fn bit_series_has_five_increasing_models() {
+        let s = bit_series(1);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.models[4].name, "bitish-r152x4");
+        let costs: Vec<u64> = s.models.iter().map(|m| model_cost(m).flops).collect();
+        for w in costs.windows(2) {
+            assert!(w[1] > w[0], "series must grow: {costs:?}");
+        }
+    }
+
+    #[test]
+    fn efficientnet_series_has_eight_models() {
+        let s = efficientnet_series(1);
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.models[0].name, "efficientnetish-b0");
+    }
+
+    #[test]
+    fn larger_series_members_are_more_accurate() {
+        let s = bit_series(3);
+        let teacher = Teacher::for_task(TaskKind::ImageRecognition, 3);
+        let mut rng = Prng::seed_from_u64(9);
+        let x = Tensor::gaussian(300, teacher.spec.input_width, 1.0, &mut rng);
+        let labels = teacher.labels(&x);
+        let accs: Vec<f64> = s
+            .models
+            .iter()
+            .map(|m| top1_accuracy(&execute(m, &x).unwrap(), &labels))
+            .collect();
+        assert!(
+            accs[4] > accs[0],
+            "largest must beat smallest: {accs:?}"
+        );
+    }
+
+    #[test]
+    fn catalog_has_thirty_series_and_163_models() {
+        let catalog = tfhub_catalog(7);
+        assert_eq!(catalog.len(), 30);
+        assert_eq!(catalog_model_count(&catalog), 163);
+        // Metadata is attached everywhere.
+        for s in &catalog {
+            for m in &s.models {
+                assert_eq!(m.metadata["series"], s.name);
+                assert!(m.metadata.contains_key("dataset"));
+            }
+        }
+    }
+
+    #[test]
+    fn catalog_series_names_are_unique() {
+        let catalog = tfhub_catalog(7);
+        let mut names: Vec<&str> = catalog.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 30);
+    }
+
+    #[test]
+    fn synthetic_repository_spans_tasks_and_levels() {
+        let repo = synthetic_repository(5, 0.4, 11);
+        assert_eq!(repo.len(), 30);
+        let tasks: std::collections::BTreeSet<_> = repo.iter().map(|m| m.task).collect();
+        assert_eq!(tasks.len(), 6);
+        // Levels ascend within a task's block.
+        let levels: Vec<f64> = repo[..5]
+            .iter()
+            .map(|m| m.metadata["finetune-level"].parse::<f64>().unwrap())
+            .collect();
+        assert!(levels.windows(2).all(|w| w[1] >= w[0]));
+        assert_eq!(levels[0], 0.0);
+    }
+
+    #[test]
+    fn transfer_suite_links_downstream_models_to_base() {
+        let (base, derived) = transfer_suite(13);
+        assert_eq!(derived.len(), 3);
+        for m in &derived {
+            assert_eq!(m.metadata["base"], base.name);
+            assert_ne!(m.task, base.task);
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Ground-truth teacher functions and dataset consensus biases.
+//!
+//! Each inference task is defined by a hidden *teacher*: a fixed two-layer
+//! random network `T(x) = relu(x·W₁)·W₂` that supplies ground-truth labels
+//! (classification: arg-max of `T(x)`) or targets (regression: `T(x)`
+//! itself). A teacher plays the role ImageNet/SQuAD annotations play in
+//! the paper: the unknowable function every model approximates.
+//!
+//! Models never see the teacher exactly. Everything "trained on" a given
+//! dataset inherits that dataset's [`DatasetBias`] — a shared perturbation
+//! of the teacher's weights. This shared systematic error is what makes
+//! distinct models agree with one another more than with the ground truth
+//! (paper Figure 3 / Section 3.2: "the common training data … generate
+//! implicit correlation between feature extraction in distinct DNNs").
+
+use serde::{Deserialize, Serialize};
+use sommelier_graph::task::OutputStyle;
+use sommelier_graph::TaskKind;
+use sommelier_tensor::{ops, Prng, Tensor};
+
+/// Dimensional contract of a task: what its models consume and produce.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Task category.
+    pub task: TaskKind,
+    /// Flattened input width.
+    pub input_width: usize,
+    /// Hidden feature width shared by the teacher and all embedded models.
+    pub hidden: usize,
+    /// Output width (class count, or regression vector width).
+    pub output_width: usize,
+}
+
+impl TaskSpec {
+    /// The default specs used throughout the evaluation, one per paper
+    /// task category. Widths are chosen so experiments run in seconds while
+    /// keeping realistic proportions (inputs ≫ hidden ≫ output).
+    pub fn default_for(task: TaskKind) -> TaskSpec {
+        let (input_width, hidden, output_width) = match task {
+            TaskKind::ImageRecognition => (192, 96, 48),
+            TaskKind::ObjectDetection => (192, 96, 24),
+            TaskKind::SemanticSegmentation => (192, 96, 64),
+            TaskKind::SentimentAnalysis => (128, 64, 8),
+            TaskKind::QuestionAnswering => (160, 80, 32),
+            TaskKind::NamedEntityRecognition => (128, 64, 16),
+            TaskKind::Other => (64, 32, 8),
+        };
+        TaskSpec {
+            task,
+            input_width,
+            hidden,
+            output_width,
+        }
+    }
+
+    /// Output style inherited from the task.
+    pub fn output_style(&self) -> OutputStyle {
+        self.task.output_style()
+    }
+}
+
+/// The hidden ground-truth function of a task.
+#[derive(Clone, Debug)]
+pub struct Teacher {
+    /// Dimensional contract.
+    pub spec: TaskSpec,
+    /// First-layer weights `[input, hidden]`.
+    pub w1: Tensor,
+    /// Readout weights `[hidden, output]`.
+    pub w2: Tensor,
+}
+
+impl Teacher {
+    /// Exponent of the feature-importance decay: hidden feature `j` is
+    /// scaled by `(j+1)^(-DECAY)`. Trained networks concentrate
+    /// information in a low-dimensional leading subspace (their feature
+    /// spectra decay); without this, truncating a quarter of the features
+    /// would flip most arg-max decisions and no two differently-sized
+    /// models would ever agree the way paper Figure 3 observes.
+    pub const FEATURE_DECAY: f64 = 0.85;
+
+    /// Deterministically derive the teacher for a task from a seed.
+    pub fn new(spec: TaskSpec, seed: u64) -> Teacher {
+        let mut rng = Prng::seed_from_u64(seed ^ 0x7eac_4e2d);
+        let base_std = (2.0 / spec.input_width as f64).sqrt();
+        let mut w1 = Tensor::gaussian(spec.input_width, spec.hidden, base_std, &mut rng);
+        // Impose the decaying importance spectrum column-wise.
+        for r in 0..w1.rows() {
+            let row = w1.row_mut(r);
+            for (j, v) in row.iter_mut().enumerate() {
+                *v *= ((j + 1) as f32).powf(-(Self::FEATURE_DECAY as f32));
+            }
+        }
+        let w2 = Tensor::gaussian(
+            spec.hidden,
+            spec.output_width,
+            (2.0 / spec.hidden as f64).sqrt(),
+            &mut rng,
+        );
+        Teacher { spec, w1, w2 }
+    }
+
+    /// Teacher with the default spec for a task.
+    pub fn for_task(task: TaskKind, seed: u64) -> Teacher {
+        Teacher::new(TaskSpec::default_for(task), seed)
+    }
+
+    /// Raw teacher outputs `relu(x·W₁)·W₂`.
+    pub fn outputs(&self, x: &Tensor) -> Tensor {
+        let h = ops::relu(&ops::matmul(x, &self.w1));
+        ops::matmul(&h, &self.w2)
+    }
+
+    /// Ground-truth class labels (arg-max of the outputs).
+    pub fn labels(&self, x: &Tensor) -> Vec<usize> {
+        let out = self.outputs(x);
+        (0..out.rows()).map(|r| out.argmax_row(r)).collect()
+    }
+}
+
+/// The shared systematic deviation a dataset imparts to every model
+/// trained on it.
+#[derive(Clone, Debug)]
+pub struct DatasetBias {
+    /// Additive perturbation to the teacher's `W₁`.
+    pub d1: Tensor,
+    /// Additive perturbation to the teacher's `W₂`.
+    pub d2: Tensor,
+    /// Scale of the bias relative to the weight magnitudes.
+    pub strength: f64,
+}
+
+impl DatasetBias {
+    /// Derive a dataset's bias deterministically from its name.
+    pub fn new(teacher: &Teacher, dataset_name: &str, strength: f64) -> DatasetBias {
+        let mut h: u64 = 0xda7a_b1a5;
+        for b in dataset_name.bytes() {
+            h = h.wrapping_mul(0x100000001b3).wrapping_add(u64::from(b));
+        }
+        let mut rng = Prng::seed_from_u64(h);
+        let spec = teacher.spec;
+        let s1 = strength * (2.0 / spec.input_width as f64).sqrt();
+        let s2 = strength * (2.0 / spec.hidden as f64).sqrt();
+        let mut d1 = Tensor::gaussian(spec.input_width, spec.hidden, s1, &mut rng);
+        // The bias perturbs each feature proportionally to its importance
+        // (same decaying spectrum as the teacher), so "training bias" is a
+        // relative, not absolute, distortion.
+        for r in 0..d1.rows() {
+            let row = d1.row_mut(r);
+            for (j, v) in row.iter_mut().enumerate() {
+                *v *= ((j + 1) as f32).powf(-(Teacher::FEATURE_DECAY as f32));
+            }
+        }
+        DatasetBias {
+            d1,
+            d2: Tensor::gaussian(spec.hidden, spec.output_width, s2, &mut rng),
+            strength,
+        }
+    }
+
+    /// The consensus weights: teacher weights with this dataset's shared
+    /// deviation applied. Every model trained on the dataset embeds these
+    /// (plus its own private noise).
+    pub fn consensus(&self, teacher: &Teacher) -> (Tensor, Tensor) {
+        (
+            teacher.w1.zip_with(&self.d1, |w, d| w + d),
+            teacher.w2.zip_with(&self.d2, |w, d| w + d),
+        )
+    }
+
+    /// Stack another bias on top of this one (deviations add). Used to
+    /// layer a *series identity* over a dataset bias: members of one
+    /// model series share a common basis and training recipe, so they
+    /// deviate from the dataset consensus together — which is what makes
+    /// intra-series models more interchangeable than cross-series ones.
+    pub fn compose(&self, other: &DatasetBias) -> DatasetBias {
+        DatasetBias {
+            d1: self.d1.zip_with(&other.d1, |a, b| a + b),
+            d2: self.d2.zip_with(&other.d2, |a, b| a + b),
+            strength: self.strength + other.strength,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn teacher_is_deterministic_per_seed() {
+        let a = Teacher::for_task(TaskKind::ImageRecognition, 1);
+        let b = Teacher::for_task(TaskKind::ImageRecognition, 1);
+        assert_eq!(a.w1, b.w1);
+        let c = Teacher::for_task(TaskKind::ImageRecognition, 2);
+        assert_ne!(a.w1, c.w1);
+    }
+
+    #[test]
+    fn labels_are_argmax_of_outputs() {
+        let t = Teacher::for_task(TaskKind::SentimentAnalysis, 3);
+        let mut rng = Prng::seed_from_u64(4);
+        let x = Tensor::gaussian(10, t.spec.input_width, 1.0, &mut rng);
+        let out = t.outputs(&x);
+        let labels = t.labels(&x);
+        for (r, &l) in labels.iter().enumerate() {
+            assert_eq!(out.argmax_row(r), l);
+            assert!(l < t.spec.output_width);
+        }
+    }
+
+    #[test]
+    fn dataset_bias_is_stable_per_name() {
+        let t = Teacher::for_task(TaskKind::ImageRecognition, 1);
+        let a = DatasetBias::new(&t, "imagenet", 0.1);
+        let b = DatasetBias::new(&t, "imagenet", 0.1);
+        let c = DatasetBias::new(&t, "caltech256", 0.1);
+        assert_eq!(a.d1, b.d1);
+        assert_ne!(a.d1, c.d1);
+    }
+
+    #[test]
+    fn consensus_shifts_teacher_weights() {
+        let t = Teacher::for_task(TaskKind::ImageRecognition, 1);
+        let bias = DatasetBias::new(&t, "imagenet", 0.2);
+        let (w1c, _) = bias.consensus(&t);
+        assert_ne!(w1c, t.w1);
+        // Zero-strength bias is exactly the teacher.
+        let zero = DatasetBias::new(&t, "imagenet", 0.0);
+        let (w1z, w2z) = zero.consensus(&t);
+        assert_eq!(w1z, t.w1);
+        assert_eq!(w2z, t.w2);
+    }
+
+    #[test]
+    fn stronger_bias_lowers_consensus_accuracy() {
+        // Accuracy of the consensus function against teacher labels must
+        // decrease as the dataset bias grows — this is the control knob
+        // for the Figure 3 phenomenon.
+        let t = Teacher::for_task(TaskKind::ImageRecognition, 1);
+        let mut rng = Prng::seed_from_u64(9);
+        let x = Tensor::gaussian(400, t.spec.input_width, 1.0, &mut rng);
+        let labels = t.labels(&x);
+        let acc_at = |strength: f64| {
+            let bias = DatasetBias::new(&t, "imagenet", strength);
+            let (w1, w2) = bias.consensus(&t);
+            let out = ops::matmul(&ops::relu(&ops::matmul(&x, &w1)), &w2);
+            sommelier_runtime::metrics::top1_accuracy(&out, &labels)
+        };
+        let high = acc_at(0.0);
+        let mid = acc_at(0.3);
+        let low = acc_at(1.0);
+        assert_eq!(high, 1.0);
+        assert!(mid < 1.0 && mid > low, "mid={mid} low={low}");
+    }
+
+    #[test]
+    fn default_specs_have_sane_proportions() {
+        for task in TaskKind::ALL {
+            let s = TaskSpec::default_for(task);
+            assert!(s.input_width >= s.hidden);
+            assert!(s.hidden >= s.output_width);
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! Transfer-learning derivation.
+//!
+//! "Model variants are frequently derived from a common model base, but
+//! *transferred* and *fine-tuned* to different downstream tasks"
+//! (paper Section 4). This module reproduces that lineage: a downstream
+//! model keeps the base model's feature extractor (input projection and
+//! body) verbatim, swaps the readout for the downstream task's head, and
+//! optionally fine-tunes a suffix of the copied layers. The resulting pair
+//! shares structurally identical segments — exactly the scenario the
+//! segment-equivalence analysis of Section 4.2 targets.
+//!
+//! Downstream teachers are *derived* from the base task's teacher: they
+//! share its feature extractor (`W₁`) and differ only in their readout.
+//! This mirrors the empirical premise of transfer learning — base features
+//! transfer because downstream ground truth is (approximately) a function
+//! of them.
+
+use crate::finetune;
+use crate::teacher::{DatasetBias, Teacher};
+use sommelier_graph::layer::{Layer, LayerId, Params};
+use sommelier_graph::task::OutputStyle;
+use sommelier_graph::{Model, Op, TaskKind};
+use sommelier_tensor::{Prng, Tensor};
+
+/// Derive a downstream task's teacher from a base teacher: shared `W₁`
+/// feature extractor, fresh readout of the given width.
+pub fn derive_teacher(
+    base: &Teacher,
+    task: TaskKind,
+    output_width: usize,
+    seed: u64,
+) -> Teacher {
+    derive_teacher_shifted(base, task, output_width, 0.0, seed)
+}
+
+/// Derive a downstream teacher whose feature extractor is *shifted* away
+/// from the base's by relative magnitude `shift` (same decaying
+/// importance spectrum). With `shift > 0` the base features are good but
+/// not optimal for the downstream task — fine-tuning toward the
+/// downstream features genuinely improves QoR, and undoing it (replacing
+/// the tuned segment with the original, paper Figure 10) genuinely costs.
+pub fn derive_teacher_shifted(
+    base: &Teacher,
+    task: TaskKind,
+    output_width: usize,
+    shift: f64,
+    seed: u64,
+) -> Teacher {
+    let mut rng = Prng::seed_from_u64(seed ^ 0xd04a_57a5_4e11_0b1e);
+    let mut spec = base.spec;
+    spec.task = task;
+    spec.output_width = output_width;
+    let w1 = if shift > 0.0 {
+        let std = shift * (2.0 / spec.input_width as f64).sqrt();
+        let mut delta = Tensor::gaussian(spec.input_width, spec.hidden, std, &mut rng);
+        for r in 0..delta.rows() {
+            let row = delta.row_mut(r);
+            for (j, v) in row.iter_mut().enumerate() {
+                *v *= ((j + 1) as f32).powf(-(Teacher::FEATURE_DECAY as f32));
+            }
+        }
+        base.w1.zip_with(&delta, |a, b| a + b)
+    } else {
+        base.w1.clone()
+    };
+    let w2 = Tensor::gaussian(
+        spec.hidden,
+        output_width,
+        (2.0 / spec.hidden as f64).sqrt(),
+        &mut rng,
+    );
+    Teacher { spec, w1, w2 }
+}
+
+/// Interpolate a transferred model's feature extractor toward the
+/// downstream consensus: the first copied linear layer's weights become
+/// `(1 − adapt)·current + adapt·downstream`, emulating fine-tuning that
+/// adapts base features to the new task. `adapt = 0` leaves the base
+/// frozen; `adapt = 1` is a full re-tune. Optional `jitter` adds
+/// relative weight noise to the adapted layer (the "noisy fine-tuning"
+/// worst case of Figure 10).
+pub fn adapt_features(
+    transferred: &Model,
+    downstream: &Teacher,
+    downstream_bias: &DatasetBias,
+    adapt: f64,
+    jitter: f64,
+    rng: &mut Prng,
+) -> Model {
+    let mut out = transferred.clone();
+    let first_linear = *out
+        .linear_layers()
+        .first()
+        .expect("transferred model has a feature extractor");
+    let (w1c, _) = downstream_bias.consensus(downstream);
+    let current = out
+        .layer(first_linear)
+        .params
+        .weight
+        .clone()
+        .expect("linear layer has weights");
+    assert_eq!(
+        (current.rows(), current.cols()),
+        (w1c.rows(), w1c.cols()),
+        "downstream teacher must share the base feature geometry"
+    );
+    let a = adapt.clamp(0.0, 1.0) as f32;
+    let mut blended = current.zip_with(&w1c, move |old, new| (1.0 - a) * old + a * new);
+    if jitter > 0.0 {
+        let n = blended.len().max(1);
+        let std = jitter * blended.frobenius_norm() / (n as f64).sqrt();
+        let noise = Tensor::gaussian(blended.rows(), blended.cols(), std, rng);
+        blended = blended.zip_with(&noise, |x, y| x + y);
+    }
+    let mut params = out.layer(first_linear).params.clone();
+    params.weight = Some(blended);
+    out.set_params(first_linear, params)
+        .expect("blend preserves shapes");
+    out
+}
+
+/// Transfer a base model to a downstream task.
+///
+/// * The base's feature extractor (everything before its final linear
+///   readout) is copied verbatim.
+/// * A new readout embedding the downstream dataset's consensus `W₂` (plus
+///   private noise `head_noise`) replaces the base head, followed by
+///   softmax for classification tasks.
+/// * The last `tune_fraction` of the copied linear layers is perturbed at
+///   `tune_level` — the "fine-tune by freezing different numbers of base
+///   layers" protocol of the paper's Figure 10.
+#[allow(clippy::too_many_arguments)]
+pub fn transfer(
+    name: impl Into<String>,
+    base_model: &Model,
+    downstream: &Teacher,
+    downstream_bias: &DatasetBias,
+    head_noise: f64,
+    tune_fraction: f64,
+    tune_level: f64,
+    rng: &mut Prng,
+) -> Model {
+    // Locate the base readout: the last linear layer.
+    let linear = base_model.linear_layers();
+    let head_id = *linear.last().expect("base model has a readout");
+    assert_eq!(
+        base_model.width_of(base_model.layer(head_id).inputs[0]),
+        downstream.spec.hidden,
+        "base feature width must match the downstream teacher's hidden width"
+    );
+
+    // Copy the feature extractor (all layers strictly before the head).
+    let mut layers: Vec<Layer> = base_model.layers()[..head_id.index()].to_vec();
+    let feature_layer = base_model.layer(head_id).inputs[0];
+
+    // Build the downstream readout from the consensus weights.
+    let (_, w2c) = downstream_bias.consensus(downstream);
+    let w2m = if head_noise > 0.0 {
+        let n = w2c.len().max(1);
+        let std = head_noise * w2c.frobenius_norm() / (n as f64).sqrt();
+        let delta = Tensor::gaussian(w2c.rows(), w2c.cols(), std, rng);
+        w2c.zip_with(&delta, |a, b| a + b)
+    } else {
+        w2c
+    };
+    let units = w2m.cols();
+    layers.push(Layer::new(
+        "transfer_head",
+        Op::Dense { units },
+        vec![feature_layer],
+        Params::with_weight_bias(w2m, Tensor::zeros(1, units)),
+    ));
+    if downstream.spec.output_style() == OutputStyle::Classification {
+        let head = LayerId(layers.len() - 1);
+        layers.push(Layer::new(
+            "transfer_softmax",
+            Op::Softmax,
+            vec![head],
+            Params::none(),
+        ));
+    }
+
+    let mut model = Model::new(
+        name,
+        downstream.spec.task,
+        base_model.input_shape.clone(),
+        layers,
+    )
+    .expect("transfer surgery preserves validity");
+    model
+        .metadata
+        .insert("base".into(), base_model.name.clone());
+    for (k, v) in &base_model.metadata {
+        model.metadata.entry(k.clone()).or_insert_with(|| v.clone());
+    }
+    model
+        .metadata
+        .insert("transfer-task".into(), downstream.spec.task.slug().into());
+
+    // Fine-tune: perturb the tail of the *copied* linear layers (exclude
+    // the fresh head, which is already noised).
+    if tune_fraction > 0.0 && tune_level > 0.0 {
+        let copied_linear: Vec<LayerId> = model
+            .linear_layers()
+            .into_iter()
+            .filter(|id| id.index() < head_id.index())
+            .collect();
+        let tuned = ((copied_linear.len() as f64) * tune_fraction.clamp(0.0, 1.0)).round() as usize;
+        let start = copied_linear.len() - tuned;
+        model = finetune::perturb_layers(&model, &copied_linear[start..], tune_level, rng);
+    }
+    model
+}
+
+/// The layer ids (in the transferred model) of the copied base segment —
+/// everything up to but excluding the new head. Useful for experiments
+/// that swap the segment back to the base's weights.
+pub fn shared_segment(base_model: &Model) -> Vec<LayerId> {
+    let linear = base_model.linear_layers();
+    let head_id = *linear.last().expect("base model has a readout");
+    (1..head_id.index()).map(LayerId).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embed::{embed_model, BodyStyle, EmbedSpec};
+    use sommelier_runtime::execute;
+    use sommelier_runtime::metrics::top1_accuracy;
+
+    fn base() -> (Teacher, DatasetBias, Model) {
+        let teacher = Teacher::for_task(TaskKind::ImageRecognition, 5);
+        let bias = DatasetBias::new(&teacher, "imagenet", 0.05);
+        let mut rng = Prng::seed_from_u64(1);
+        let model = embed_model(
+            "resnetish-base",
+            &teacher,
+            &bias,
+            &EmbedSpec {
+                style: BodyStyle::Residual,
+                body_width: 96,
+                depth: 4,
+                noise: 0.01,
+            },
+            &mut rng,
+        );
+        (teacher, bias, model)
+    }
+
+    #[test]
+    fn derived_teacher_shares_features() {
+        let (teacher, _, _) = base();
+        let d = derive_teacher(&teacher, TaskKind::ObjectDetection, 24, 9);
+        assert_eq!(d.w1, teacher.w1);
+        assert_ne!(d.w2.cols(), teacher.w2.cols());
+        assert_eq!(d.spec.task, TaskKind::ObjectDetection);
+    }
+
+    #[test]
+    fn transferred_model_performs_downstream_task() {
+        let (teacher, _, base_model) = base();
+        let d = derive_teacher(&teacher, TaskKind::SemanticSegmentation, 64, 9);
+        let dbias = DatasetBias::new(&d, "ade20k", 0.05);
+        let mut rng = Prng::seed_from_u64(3);
+        let m = transfer("seg-1", &base_model, &d, &dbias, 0.01, 0.25, 0.05, &mut rng);
+        assert_eq!(m.task, TaskKind::SemanticSegmentation);
+        assert_eq!(m.output_width(), 64);
+        assert_eq!(m.metadata["base"], "resnetish-base");
+
+        // Downstream QoR: regression task — outputs should track the
+        // derived teacher's targets well.
+        let x = Tensor::gaussian(100, m.input_width(), 1.0, &mut rng);
+        let out = execute(&m, &x).unwrap();
+        let targets = d.outputs(&x);
+        let diff = sommelier_runtime::metrics::qor_difference(
+            OutputStyle::Regression,
+            &targets,
+            &out,
+        );
+        assert!(diff < 0.5, "downstream QoR diff too large: {diff}");
+    }
+
+    #[test]
+    fn classification_transfer_gets_softmax_head() {
+        let (teacher, _, base_model) = base();
+        let d = derive_teacher(&teacher, TaskKind::SentimentAnalysis, 8, 10);
+        let dbias = DatasetBias::new(&d, "imdb", 0.05);
+        let mut rng = Prng::seed_from_u64(4);
+        let m = transfer("sent-1", &base_model, &d, &dbias, 0.01, 0.0, 0.0, &mut rng);
+        assert_eq!(m.op_tags().last().unwrap(), "softmax");
+        let x = Tensor::gaussian(150, m.input_width(), 1.0, &mut rng);
+        let acc = top1_accuracy(&execute(&m, &x).unwrap(), &d.labels(&x));
+        assert!(acc > 0.5, "transfer accuracy {acc}");
+    }
+
+    #[test]
+    fn frozen_transfer_shares_base_weights_exactly() {
+        let (teacher, _, base_model) = base();
+        let d = derive_teacher(&teacher, TaskKind::QuestionAnswering, 32, 11);
+        let dbias = DatasetBias::new(&d, "squad1.1", 0.05);
+        let mut rng = Prng::seed_from_u64(5);
+        let m = transfer("qa-1", &base_model, &d, &dbias, 0.01, 0.0, 0.0, &mut rng);
+        for id in shared_segment(&base_model) {
+            assert_eq!(
+                base_model.layer(id).params,
+                m.layer(id).params,
+                "frozen transfer must share base weights at layer {id:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn shifted_teacher_moves_features_by_the_requested_amount() {
+        let (teacher, _, _) = base();
+        let zero = derive_teacher_shifted(&teacher, TaskKind::ObjectDetection, 24, 0.0, 9);
+        assert_eq!(zero.w1, teacher.w1);
+        let small = derive_teacher_shifted(&teacher, TaskKind::ObjectDetection, 24, 0.1, 9);
+        let large = derive_teacher_shifted(&teacher, TaskKind::ObjectDetection, 24, 0.5, 9);
+        let drift = |t: &Teacher| {
+            t.w1.zip_with(&teacher.w1, |a, b| a - b).frobenius_norm()
+        };
+        assert!(drift(&small) > 0.0);
+        assert!(drift(&large) > 4.0 * drift(&small));
+    }
+
+    #[test]
+    fn adapt_features_interpolates_toward_downstream_consensus() {
+        let (teacher, _, base_model) = base();
+        let d = derive_teacher_shifted(&teacher, TaskKind::ObjectDetection, 24, 0.3, 9);
+        let dbias = DatasetBias::new(&d, "mscoco", 0.05);
+        let mut rng = Prng::seed_from_u64(7);
+        let frozen = transfer("det", &base_model, &d, &dbias, 0.01, 0.0, 0.0, &mut rng);
+
+        let first = frozen.linear_layers()[0];
+        let (w1c, _) = dbias.consensus(&d);
+        let dist_to_consensus = |m: &Model| {
+            m.layer(first)
+                .params
+                .weight
+                .as_ref()
+                .unwrap()
+                .zip_with(&w1c, |a, b| a - b)
+                .frobenius_norm()
+        };
+        let d0 = dist_to_consensus(&frozen);
+        let half = adapt_features(&frozen, &d, &dbias, 0.5, 0.0, &mut rng);
+        let full = adapt_features(&frozen, &d, &dbias, 1.0, 0.0, &mut rng);
+        let dh = dist_to_consensus(&half);
+        let df = dist_to_consensus(&full);
+        assert!(dh < d0, "half-adaptation moves toward consensus");
+        assert!(df < 1e-4, "full adaptation lands on consensus, got {df}");
+        // Only the first linear layer changes.
+        for id in frozen.linear_layers().into_iter().skip(1) {
+            assert_eq!(frozen.layer(id).params, full.layer(id).params);
+        }
+        // Adaptation genuinely improves downstream QoR.
+        let mut xrng = Prng::seed_from_u64(8);
+        let x = Tensor::gaussian(400, frozen.input_width(), 1.0, &mut xrng);
+        let targets = d.outputs(&x);
+        let qor = |m: &Model| {
+            let out = sommelier_runtime::execute(m, &x).unwrap();
+            sommelier_runtime::metrics::qor_difference(OutputStyle::Regression, &targets, &out)
+        };
+        assert!(qor(&full) < qor(&frozen), "adapted features must fit better");
+    }
+
+    #[test]
+    fn adapt_features_jitter_adds_noise() {
+        let (teacher, _, base_model) = base();
+        let d = derive_teacher_shifted(&teacher, TaskKind::ObjectDetection, 24, 0.3, 9);
+        let dbias = DatasetBias::new(&d, "mscoco", 0.05);
+        let mut rng = Prng::seed_from_u64(7);
+        let frozen = transfer("det", &base_model, &d, &dbias, 0.01, 0.0, 0.0, &mut rng);
+        let clean = adapt_features(&frozen, &d, &dbias, 0.5, 0.0, &mut rng);
+        let noisy = adapt_features(&frozen, &d, &dbias, 0.5, 0.3, &mut rng);
+        let first = frozen.linear_layers()[0];
+        assert_ne!(clean.layer(first).params, noisy.layer(first).params);
+    }
+
+    #[test]
+    fn tuned_transfer_modifies_only_the_tail() {
+        let (teacher, _, base_model) = base();
+        let d = derive_teacher(&teacher, TaskKind::QuestionAnswering, 32, 11);
+        let dbias = DatasetBias::new(&d, "squad1.1", 0.05);
+        let mut rng = Prng::seed_from_u64(6);
+        let m = transfer("qa-2", &base_model, &d, &dbias, 0.01, 0.3, 0.1, &mut rng);
+        let shared = shared_segment(&base_model);
+        let changed: Vec<bool> = shared
+            .iter()
+            .map(|&id| base_model.layer(id).params != m.layer(id).params)
+            .collect();
+        assert!(changed.iter().any(|&c| c), "some layers must be tuned");
+        assert!(!changed.iter().all(|&c| c), "some layers must stay frozen");
+        // Changes are confined to the tail: no changed layer precedes an
+        // unchanged linear layer.
+        let linear_changed: Vec<bool> = shared
+            .iter()
+            .zip(&changed)
+            .filter(|(&id, _)| base_model.layer(id).op.has_params())
+            .map(|(_, &c)| c)
+            .collect();
+        let first_changed = linear_changed.iter().position(|&c| c).unwrap();
+        assert!(linear_changed[first_changed..].iter().all(|&c| c));
+    }
+}

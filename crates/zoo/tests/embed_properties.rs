@@ -1,0 +1,76 @@
+//! Property-based tests over the model-embedding machinery: every body
+//! style must produce valid, finite, reasonably faithful models across
+//! random geometry and noise settings.
+
+use proptest::prelude::*;
+use sommelier_graph::TaskKind;
+use sommelier_runtime::execute;
+use sommelier_runtime::metrics::top1_accuracy;
+use sommelier_tensor::{Prng, Tensor};
+use sommelier_zoo::embed::{embed_model, BodyStyle, EmbedSpec};
+use sommelier_zoo::teacher::{DatasetBias, Teacher};
+
+fn style_strategy() -> impl Strategy<Value = BodyStyle> {
+    proptest::sample::select(vec![
+        BodyStyle::Residual,
+        BodyStyle::Plain,
+        BodyStyle::Bottleneck,
+        BodyStyle::Branchy,
+        BodyStyle::Normalized,
+        BodyStyle::ConvStack,
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_style_and_geometry_yields_finite_outputs(
+        style in style_strategy(),
+        width_steps in 1usize..6,   // body width 32..160 in steps of 32
+        depth in 1usize..5,
+        noise in 0.0f64..0.2,
+        seed in any::<u64>(),
+    ) {
+        let teacher = Teacher::for_task(TaskKind::ImageRecognition, 5);
+        let bias = DatasetBias::new(&teacher, "imagenet", 0.1);
+        let spec = EmbedSpec {
+            style,
+            body_width: 32 * width_steps,
+            depth,
+            noise,
+        };
+        let mut rng = Prng::seed_from_u64(seed);
+        let model = embed_model("prop", &teacher, &bias, &spec, &mut rng);
+        prop_assert_eq!(model.input_width(), teacher.spec.input_width);
+        prop_assert_eq!(model.output_width(), teacher.spec.output_width);
+
+        let mut xrng = Prng::seed_from_u64(seed ^ 1);
+        let x = Tensor::gaussian(8, model.input_width(), 1.0, &mut xrng);
+        let out = execute(&model, &x).expect("embedded models execute");
+        prop_assert!(out.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn low_noise_full_width_models_beat_chance_everywhere(
+        style in style_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let teacher = Teacher::for_task(TaskKind::ImageRecognition, 5);
+        let bias = DatasetBias::new(&teacher, "imagenet", 0.05);
+        let spec = EmbedSpec {
+            style,
+            body_width: 96,
+            depth: 2,
+            noise: 0.01,
+        };
+        let mut rng = Prng::seed_from_u64(seed);
+        let model = embed_model("prop", &teacher, &bias, &spec, &mut rng);
+        let mut xrng = Prng::seed_from_u64(seed ^ 2);
+        let x = Tensor::gaussian(150, model.input_width(), 1.0, &mut xrng);
+        let labels = teacher.labels(&x);
+        let acc = top1_accuracy(&execute(&model, &x).expect("runs"), &labels);
+        // 48 classes → chance ≈ 2%. Any functioning embedding clears 25%.
+        prop_assert!(acc > 0.25, "style {:?} collapsed: accuracy {}", style, acc);
+    }
+}

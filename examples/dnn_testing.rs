@@ -1,0 +1,116 @@
+//! Offline case study: DNN testing (paper Sections 2, 6; the DeepXplore-
+//! style pipeline of Figure 8 right).
+//!
+//! ```sh
+//! cargo run --release --example dnn_testing
+//! ```
+//!
+//! Robustness testing finds "tricky" inputs by loading *similar but not
+//! identical* models and exploring where their decisions diverge. With
+//! Sommelier, the pipeline queries for N functionally equivalent variants
+//! of the model under test and uses their disagreement as an adversarial-
+//! input detector — no manual detector construction.
+
+use sommelier::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // A hub with several same-task models at varying fidelity.
+    let repo = Arc::new(InMemoryRepository::new());
+    let mut engine = Sommelier::connect_default(Arc::clone(&repo) as Arc<dyn ModelRepository>);
+    let teacher = Teacher::for_task(TaskKind::ImageRecognition, 2024);
+    let bias = DatasetBias::new(&teacher, "imagenet", 0.10);
+    let mut rng = Prng::seed_from_u64(21);
+    for (i, family) in [
+        Family::Resnetish,
+        Family::Vggish,
+        Family::Inceptionish,
+        Family::Resnextish,
+        Family::Bertish,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut frng = rng.fork();
+        let m = family.build(format!("{}-{i}", family.slug()), &teacher, &bias, &mut frng);
+        engine.register(&m).expect("fresh key");
+    }
+
+    // The model under test arrives; query Sommelier for its functional
+    // equivalents — they form the detector ensemble.
+    let under_test = "resnetish-0";
+    let query = format!("SELECT models 12 CORR {under_test} WITHIN 0.3 ORDER BY similarity");
+    println!("query> {query}");
+    // Synthesized candidates (segment-replaced twins of the tested model)
+    // are skipped: a detector needs independently stored models.
+    let ensemble_keys: Vec<String> = engine
+        .query(&query)
+        .expect("query runs")
+        .into_iter()
+        .filter(|r| !matches!(r.kind, sommelier::index::CandidateKind::Synthesized { .. }))
+        .map(|r| r.key)
+        .take(4)
+        .collect();
+    assert!(!ensemble_keys.is_empty(), "no stored equivalents found");
+    println!("detector ensemble: {ensemble_keys:?}");
+
+    let tested = repo.load(under_test).expect("stored");
+    let ensemble: Vec<Model> = ensemble_keys
+        .iter()
+        .map(|k| repo.load(k).expect("stored"))
+        .collect();
+
+    // Sweep random probes; flag inputs where the tested model disagrees
+    // with the ensemble majority — candidates near decision boundaries.
+    let mut probe_rng = Prng::seed_from_u64(5);
+    let n = 2000;
+    let probe = Tensor::gaussian(n, tested.input_width(), 1.0, &mut probe_rng);
+    let tested_out = execute(&tested, &probe).expect("executes");
+    let ensemble_outs: Vec<Tensor> = ensemble
+        .iter()
+        .map(|m| execute(m, &probe).expect("executes"))
+        .collect();
+
+    let mut suspicious = Vec::new();
+    for r in 0..n {
+        let own = tested_out.argmax_row(r);
+        let votes = ensemble_outs
+            .iter()
+            .filter(|o| o.argmax_row(r) != own)
+            .count();
+        // At least half of the equivalents disagree → the input sits near
+        // a decision boundary the ensemble does not share.
+        if votes * 2 >= ensemble_outs.len() {
+            suspicious.push(r);
+        }
+    }
+
+    println!(
+        "\nscanned {n} inputs, flagged {} ({:.1}%) as near-decision-boundary",
+        suspicious.len(),
+        100.0 * suspicious.len() as f64 / n as f64
+    );
+
+    // Are the flags meaningful? Flagged inputs should be wrong far more
+    // often than unflagged ones.
+    let labels = teacher.labels(&probe);
+    let err = |rows: &[usize]| {
+        if rows.is_empty() {
+            return 0.0;
+        }
+        let wrong = rows
+            .iter()
+            .filter(|&&r| tested_out.argmax_row(r) != labels[r])
+            .count();
+        wrong as f64 / rows.len() as f64
+    };
+    let flagged_err = err(&suspicious);
+    let unflagged: Vec<usize> = (0..n).filter(|r| !suspicious.contains(r)).collect();
+    let unflagged_err = err(&unflagged);
+    println!(
+        "error rate on flagged inputs: {:.1}%  |  on unflagged: {:.1}%",
+        flagged_err * 100.0,
+        unflagged_err * 100.0
+    );
+    println!("(the ensemble of query-selected equivalents concentrates the corner cases)");
+}

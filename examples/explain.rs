@@ -1,0 +1,62 @@
+//! Explanation reports: *why* is (or isn't) a model interchangeable with
+//! another? (the paper's "explanation database for DNNs" positioning,
+//! Section 1).
+//!
+//! ```sh
+//! cargo run --release --example explain
+//! ```
+
+use sommelier::equiv::explain::explain;
+use sommelier::equiv::whole::EquivConfig;
+use sommelier::graph::dot::to_dot;
+use sommelier::prelude::*;
+use sommelier::zoo::finetune::perturb_all;
+
+fn main() {
+    let teacher = Teacher::for_task(TaskKind::ImageRecognition, 2024);
+    let bias = DatasetBias::new(&teacher, "imagenet", 0.08);
+    let mut rng = Prng::seed_from_u64(7);
+
+    let reference = Family::Resnetish.build_scaled(
+        "resnetish-50",
+        &teacher,
+        &bias,
+        &FamilyScale::new(1.0, 4, 0.01),
+        &mut rng,
+    );
+    // Three candidates with very different relationships to the reference.
+    let mut vrng = Prng::seed_from_u64(9);
+    let close = perturb_all(&reference, 0.03, &mut vrng).renamed("resnetish-50-finetune");
+    let mut frng = rng.fork();
+    let cousin = Family::Vggish
+        .build("vgg19ish", &teacher, &bias, &mut frng)
+        .renamed("vgg19ish");
+    let mut arng = Prng::seed_from_u64(11);
+    let alien = sommelier::graph::ModelBuilder::new(
+        "tiny-regressor",
+        TaskKind::ObjectDetection,
+        Shape::vector(10),
+    )
+    .dense(4, &mut arng)
+    .build()
+    .unwrap();
+
+    let probe = Tensor::gaussian(256, reference.input_width(), 1.0, &mut rng);
+    let cfg = EquivConfig {
+        epsilon: 0.35,
+        ..EquivConfig::default()
+    };
+
+    for candidate in [&close, &cousin, &alien] {
+        let mut erng = Prng::seed_from_u64(13);
+        let explanation = explain(&reference, candidate, &probe, &cfg, 0.35, &mut erng);
+        println!("{explanation}");
+    }
+
+    // The graph itself, renderable with `dot -Tpng`.
+    println!("--- Graphviz of the reference (first lines) ---");
+    for line in to_dot(&reference, &[]).lines().take(6) {
+        println!("{line}");
+    }
+    println!("  …");
+}

@@ -1,0 +1,104 @@
+//! Offline case study: model design via repository queries (paper
+//! Section 6, Figure 8 right).
+//!
+//! ```sh
+//! cargo run --release --example model_design
+//! ```
+//!
+//! A designer wants a base model for a new edge deployment: "vision, at
+//! most 40% of the flagship's memory, within a modest accuracy loss".
+//! Without Sommelier they would download and profile every candidate;
+//! with Sommelier a single query skips the suboptimal bases. We then
+//! *transfer* the selected base to a downstream task to show the chosen
+//! model is a working starting point.
+
+use sommelier::prelude::*;
+use sommelier::zoo::series::tfhub_catalog;
+use sommelier::zoo::transfer::{derive_teacher, transfer};
+use std::sync::Arc;
+
+fn main() {
+    // Index a slice of the TF-Hub-style catalog: the two vision series of
+    // Figure 12 (BiT-style and EfficientNet-style).
+    let repo = Arc::new(InMemoryRepository::new());
+    let mut cfg = SommelierConfig::default();
+    cfg.validation_rows = 192;
+    let mut engine = Sommelier::connect(Arc::clone(&repo) as Arc<dyn ModelRepository>, cfg);
+
+    let catalog = tfhub_catalog(2024);
+    let mut registered = 0;
+    for series in catalog
+        .iter()
+        .filter(|s| s.name == "bitish" || s.name == "efficientnetish")
+    {
+        for m in &series.models {
+            engine.register(m).expect("fresh key");
+            registered += 1;
+        }
+    }
+    println!("indexed {registered} models from the bitish + efficientnetish series");
+
+    // The designer knows the flagship: bitish-r152x4.
+    let flagship = "bitish-r152x4";
+    let fp = engine
+        .resource_index()
+        .profile_of(flagship)
+        .expect("flagship profiled");
+    println!(
+        "flagship {flagship}: {:.2} MB, {:.4} GFLOPs",
+        fp.memory_mb, fp.gflops
+    );
+
+    // One query replaces the manual download-profile-compare loop.
+    let query =
+        format!("SELECT models 5 CORR {flagship} ON memory <= 40% WITHIN 0.3 ORDER BY similarity");
+    println!("\nquery> {query}");
+    let candidates = engine.query(&query).expect("query runs");
+    for c in &candidates {
+        println!(
+            "  {:<24} score={:.3}  mem={:.2} MB ({:.0}% of flagship)",
+            c.key,
+            c.score,
+            c.profile.memory_mb,
+            100.0 * c.profile.memory_mb / fp.memory_mb
+        );
+    }
+    let base_key = &candidates.first().expect("a base exists").key;
+    println!("\nselected base: {base_key}");
+
+    // Transfer the selected base to a downstream task (semantic
+    // segmentation) — the model-design workflow the paper motivates.
+    let base = repo.load(base_key).expect("stored");
+    let vision_teacher = Teacher::for_task(TaskKind::ImageRecognition, 2024);
+    let seg_teacher = derive_teacher(&vision_teacher, TaskKind::SemanticSegmentation, 64, 77);
+    let seg_bias = DatasetBias::new(&seg_teacher, "ade20k", 0.08);
+    let mut rng = Prng::seed_from_u64(9);
+    let downstream = transfer(
+        "segnet-from-query",
+        &base,
+        &seg_teacher,
+        &seg_bias,
+        0.01,
+        0.25,
+        0.05,
+        &mut rng,
+    );
+
+    // Check downstream quality against the derived ground truth.
+    let mut prng = Prng::seed_from_u64(4);
+    let x = Tensor::gaussian(200, downstream.input_width(), 1.0, &mut prng);
+    let out = execute(&downstream, &x).expect("executes");
+    let targets = seg_teacher.outputs(&x);
+    let qor = sommelier::runtime::metrics::qor_difference(
+        sommelier::graph::task::OutputStyle::Regression,
+        &targets,
+        &out,
+    );
+    println!(
+        "transferred '{}' → {} task, normalized QoR difference vs ground truth: {:.3}",
+        downstream.name,
+        downstream.task,
+        qor
+    );
+    println!("(small is good; the base chosen by one query transfers without manual profiling)");
+}

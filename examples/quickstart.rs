@@ -1,0 +1,82 @@
+//! Quickstart: stand up a repository, register models, and run queries.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Mirrors the paper's core promise (Section 1): instead of knowing the
+//! exact model name/version to load, you describe what you need — "a
+//! model interchangeable with X within 5%, using at most 60% of its
+//! memory" — and Sommelier picks the model.
+
+use sommelier::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // 1. A bare-bone repository — the "remote filesystem" every model hub
+    //    is today (paper Section 2.1).
+    let repo = Arc::new(InMemoryRepository::new());
+
+    // 2. A small hub of image-recognition models, all trained on the same
+    //    synthetic "imagenet": one family, four sizes.
+    let teacher = Teacher::for_task(TaskKind::ImageRecognition, 2024);
+    let bias = DatasetBias::new(&teacher, "imagenet", 0.08);
+    let mut rng = Prng::seed_from_u64(7);
+
+    let mut engine = Sommelier::connect_default(Arc::clone(&repo) as Arc<dyn ModelRepository>);
+    println!("Registering models (publish + profile + semantic indexing)…");
+    for (name, width, depth) in [
+        ("resnetish-50", 1.0, 6),
+        ("resnetish-34", 0.75, 5),
+        ("resnetish-18", 0.5, 4),
+        ("mobilenetish-v1", 0.5, 3),
+    ] {
+        let family = if name.starts_with("mobile") {
+            Family::Mobilenetish
+        } else {
+            Family::Resnetish
+        };
+        let mut frng = rng.fork();
+        let model = family.build_scaled(
+            name,
+            &teacher,
+            &bias,
+            &FamilyScale::new(width, depth, 0.01),
+            &mut frng,
+        );
+        let profile = ResourceProfile::of(&model);
+        engine.register(&model).expect("fresh key");
+        println!(
+            "  {name:<18} {:>8.2} MB  {:>7.4} GFLOPs",
+            profile.memory_mb, profile.gflops
+        );
+    }
+
+    // 3. Query: the Figure 6 scenario — most interchangeable model with
+    //    the reference, under a relative resource budget.
+    let query = "SELECT models 3 CORR resnetish-50 ON memory <= 80% AND flops <= 80% \
+                 WITHIN 0.5 ORDER BY similarity";
+    println!("\nquery> {query}");
+    let results = engine.query(query).expect("query runs");
+    if results.is_empty() {
+        println!("  (no model satisfies all predicates)");
+    }
+    for r in &results {
+        println!(
+            "  {:<22} score={:.3}  mem={:.2} MB  flops={:.4} GFLOPs  [{:?}]",
+            r.key, r.score, r.profile.memory_mb, r.profile.gflops, r.kind
+        );
+    }
+
+    // 4. The winner is a real, loadable model — fetch it from the
+    //    repository and run an inference.
+    let best = &results.first().expect("at least one candidate").key;
+    let model = repo.load(best).expect("repository holds the model");
+    let mut input_rng = Prng::seed_from_u64(99);
+    let input = Tensor::gaussian(1, model.input_width(), 1.0, &mut input_rng);
+    let output = execute(&model, &input).expect("model executes");
+    println!(
+        "\nLoaded '{best}' and classified one input → class {}",
+        output.argmax_row(0)
+    );
+}

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the paper's evaluation.
+# Results print to stdout and land as JSON under target/experiments/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BINS=(
+  sec32_provenance
+  fig3_agreement
+  table1_bounds
+  table2_check_time
+  table3_query_latency
+  table4_memory
+  fig9a_query_quality
+  fig9b_effort
+  fig9c_tail_latency
+  fig10_segment_bounds
+  fig11_modeldiff
+  fig12_tfhub_index
+  fig13_cross_series
+  ablation_sampling
+  ablation_segments
+  ablation_genbound
+)
+
+cargo build --release -p sommelier-bench
+
+for bin in "${BINS[@]}"; do
+  echo
+  echo "################################################################"
+  echo "### $bin"
+  echo "################################################################"
+  cargo run --quiet --release -p sommelier-bench --bin "$bin"
+done
+
+echo
+echo "All experiments done. JSON results: target/experiments/"

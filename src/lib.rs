@@ -1,0 +1,80 @@
+//! # Sommelier
+//!
+//! A Rust reproduction of **Sommelier: Curating DNN Models for the
+//! Masses** (Guo, Hu & Hu, SIGMOD 2022) — an indexing and query system
+//! layered over DNN model repositories. Given a reference model, a
+//! functional-equivalence threshold, and a resource budget, Sommelier
+//! returns the most suitable model without manual profiling.
+//!
+//! This facade crate re-exports the public API of the workspace:
+//!
+//! * [`tensor`] — dense tensor substrate and seeded randomness;
+//! * [`graph`] — the DNN IR (operators, models, fingerprints, costs);
+//! * [`runtime`] — graph execution, latency estimation, QoR metrics;
+//! * [`zoo`] — the synthetic model hub standing in for TF-Hub;
+//! * [`equiv`] — functional-equivalence assessment (whole models and
+//!   segments, generalization bounds, the ModelDiff baseline);
+//! * [`index`] — the semantic and resource indices;
+//! * [`repo`] — the bare-bone model repository substrate;
+//! * [`query`] — the query language and the [`Sommelier`] engine facade;
+//! * [`serving`] — the inference-serving simulator with automated model
+//!   switching.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use sommelier::prelude::*;
+//!
+//! // A repository with a few functionally related models.
+//! let repo = Arc::new(InMemoryRepository::new());
+//! let teacher = Teacher::for_task(TaskKind::ImageRecognition, 7);
+//! let bias = DatasetBias::new(&teacher, "imagenet", 0.05);
+//! let mut rng = Prng::seed_from_u64(1);
+//! let mut engine = Sommelier::connect_default(repo);
+//! for (i, width) in [1.5_f64, 1.0, 0.5].into_iter().enumerate() {
+//!     let mut frng = rng.fork();
+//!     let model = Family::Resnetish.build_scaled(
+//!         format!("resnetish-v{i}"),
+//!         &teacher,
+//!         &bias,
+//!         &FamilyScale::new(width, 3, 0.01),
+//!         &mut frng,
+//!     );
+//!     engine.register(&model).unwrap();
+//! }
+//!
+//! // "Find a model interchangeable with resnetish-v0 that uses at most
+//! //  90% of its memory."
+//! let results = engine
+//!     .query("SELECT model CORR resnetish-v0 ON memory <= 90% WITHIN 0.5")
+//!     .unwrap();
+//! assert!(!results.is_empty());
+//! ```
+
+pub use sommelier_equiv as equiv;
+pub use sommelier_graph as graph;
+pub use sommelier_index as index;
+pub use sommelier_query as query;
+pub use sommelier_repo as repo;
+pub use sommelier_runtime as runtime;
+pub use sommelier_serving as serving;
+pub use sommelier_tensor as tensor;
+pub use sommelier_zoo as zoo;
+
+pub use sommelier_query::{Query, QueryError, QueryResult, Sommelier, SommelierConfig};
+
+/// Convenience re-exports covering the common end-to-end flow.
+pub mod prelude {
+    pub use sommelier_graph::{Fingerprint, Model, ModelBuilder, TaskKind};
+    pub use sommelier_query::{
+        FinalSelection, Query, QueryError, QueryResult, Sommelier, SommelierConfig,
+    };
+    pub use sommelier_repo::{InMemoryRepository, ModelRepository, OnDiskRepository};
+    pub use sommelier_runtime::{execute, ExecSetting, ResourceProfile};
+    pub use sommelier_serving::{ModelChoice, Policy, Workload};
+    pub use sommelier_tensor::{Prng, Shape, Tensor};
+    pub use sommelier_zoo::families::{Family, FamilyScale};
+    pub use sommelier_zoo::teacher::{DatasetBias, TaskSpec, Teacher};
+    pub use sommelier_zoo::Dataset;
+}

@@ -1,0 +1,174 @@
+//! End-to-end integration: zoo → repository → engine → query → load →
+//! execute, spanning every crate in the workspace.
+
+use sommelier::prelude::*;
+use sommelier::index::CandidateKind;
+use std::sync::Arc;
+
+fn hub() -> (Sommelier, Arc<InMemoryRepository>, Teacher) {
+    let repo = Arc::new(InMemoryRepository::new());
+    let teacher = Teacher::for_task(TaskKind::ImageRecognition, 404);
+    let bias = DatasetBias::new(&teacher, "imagenet", 0.06);
+    let mut cfg = SommelierConfig::default();
+    cfg.validation_rows = 128;
+    cfg.index.sample_size = 16;
+    let mut engine = Sommelier::connect(Arc::clone(&repo) as Arc<dyn ModelRepository>, cfg);
+    let mut rng = Prng::seed_from_u64(1);
+    for (name, family, width, depth) in [
+        ("resnetish-big", Family::Resnetish, 1.25, 5),
+        ("resnetish-mid", Family::Resnetish, 1.0, 4),
+        ("resnetish-small", Family::Resnetish, 0.5, 3),
+        ("vggish-mid", Family::Vggish, 1.0, 5),
+        ("mobilenetish-tiny", Family::Mobilenetish, 0.5, 2),
+    ] {
+        let mut frng = rng.fork();
+        let m = family.build_scaled(
+            name,
+            &teacher,
+            &bias,
+            &FamilyScale::new(width, depth, 0.012),
+            &mut frng,
+        );
+        engine.register(&m).unwrap();
+    }
+    (engine, repo, teacher)
+}
+
+#[test]
+fn query_result_is_loadable_and_functional() {
+    let (engine, repo, teacher) = hub();
+    let results = engine
+        .query("SELECT model CORR resnetish-big ON memory <= 95% WITHIN 0.4")
+        .unwrap();
+    assert!(!results.is_empty());
+    let best = &results[0];
+
+    // The returned key loads from the repository and actually performs
+    // the task.
+    let model = repo.load(&best.key).unwrap();
+    let mut rng = Prng::seed_from_u64(9);
+    let x = Tensor::gaussian(300, model.input_width(), 1.0, &mut rng);
+    let labels = teacher.labels(&x);
+    let out = sommelier::runtime::execute(&model, &x).unwrap();
+    let acc = sommelier::runtime::metrics::top1_accuracy(&out, &labels);
+    assert!(acc > 0.5, "returned model accuracy {acc}");
+}
+
+#[test]
+fn returned_model_agrees_with_reference_as_scored() {
+    let (mut engine, _repo, _) = hub();
+    let results = engine
+        .query("SELECT models 3 CORR resnetish-big WITHIN 0.3")
+        .unwrap();
+    for r in results
+        .iter()
+        .filter(|r| !matches!(r.kind, CandidateKind::Synthesized { .. }))
+    {
+        let measured = engine.measure_diff("resnetish-big", &r.key).unwrap();
+        // The indexed diff bound must dominate the measured empirical
+        // difference on the engine's own probe (up to the transitive
+        // slack, which only ever loosens the bound).
+        assert!(
+            r.diff_bound + 1e-9 >= measured,
+            "{}: bound {} < measured {}",
+            r.key,
+            r.diff_bound,
+            measured
+        );
+    }
+}
+
+#[test]
+fn resource_constraints_are_honored_end_to_end() {
+    let (engine, _repo, _) = hub();
+    let ref_mem = engine
+        .resource_index()
+        .profile_of("resnetish-big")
+        .unwrap()
+        .memory_mb;
+    let results = engine
+        .query("SELECT models 10 CORR resnetish-big ON memory <= 60% WITHIN 0.0 ORDER BY memory")
+        .unwrap();
+    assert!(!results.is_empty());
+    for r in &results {
+        assert!(
+            r.profile.memory_mb <= 0.6 * ref_mem + 1e-9,
+            "{} violates the memory budget",
+            r.key
+        );
+    }
+}
+
+#[test]
+fn index_persistence_survives_restart() {
+    let (engine, _repo, _) = hub();
+    let path = std::env::temp_dir().join(format!("somm-e2e-{}.json", std::process::id()));
+    sommelier::index::persist::save(engine.semantic_index(), engine.resource_index(), &path)
+        .unwrap();
+    let (sem, res) = sommelier::index::persist::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(sem.len(), engine.semantic_index().len());
+    assert_eq!(res.len(), engine.resource_index().len());
+    // Lookups on the reloaded index match the live one.
+    let live = engine.semantic_index().lookup_key("resnetish-big", 0.3);
+    let reloaded = sem.lookup_key("resnetish-big", 0.3);
+    assert_eq!(live.len(), reloaded.len());
+}
+
+#[test]
+fn on_disk_repository_integrates_with_engine() {
+    let dir = std::env::temp_dir().join(format!("somm-e2e-repo-{}", std::process::id()));
+    let repo = Arc::new(OnDiskRepository::open(&dir).unwrap());
+    let teacher = Teacher::for_task(TaskKind::SentimentAnalysis, 17);
+    let bias = DatasetBias::new(&teacher, "imdb", 0.05);
+    let mut cfg = SommelierConfig::default();
+    cfg.validation_rows = 64;
+    let mut engine = Sommelier::connect(Arc::clone(&repo) as Arc<dyn ModelRepository>, cfg);
+    let mut rng = Prng::seed_from_u64(3);
+    for i in 0..3 {
+        let mut frng = rng.fork();
+        let m = Family::Bertish.build_scaled(
+            format!("bertish-{i}"),
+            &teacher,
+            &bias,
+            &FamilyScale::new(1.0 - 0.25 * i as f64, 3, 0.01),
+            &mut frng,
+        );
+        engine.register(&m).unwrap();
+    }
+    let results = engine
+        .query("SELECT model CORR bertish-0 WITHIN 0.3 ORDER BY flops")
+        .unwrap();
+    assert!(!results.is_empty());
+    // Files really exist on disk.
+    assert_eq!(repo.keys().len(), 3);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn index_existing_picks_up_unindexed_repository_content() {
+    let repo = Arc::new(InMemoryRepository::new());
+    let teacher = Teacher::for_task(TaskKind::ImageRecognition, 5);
+    let bias = DatasetBias::new(&teacher, "imagenet", 0.05);
+    let mut rng = Prng::seed_from_u64(2);
+    for i in 0..3 {
+        let mut frng = rng.fork();
+        let m = Family::Resnetish.build_scaled(
+            format!("pre-{i}"),
+            &teacher,
+            &bias,
+            &FamilyScale::new(1.0, 3, 0.01),
+            &mut frng,
+        );
+        repo.publish(&m.name, &m, false).unwrap();
+    }
+    let mut cfg = SommelierConfig::default();
+    cfg.validation_rows = 64;
+    let mut engine = Sommelier::connect(Arc::clone(&repo) as Arc<dyn ModelRepository>, cfg);
+    assert!(engine.is_empty());
+    let added = engine.index_existing().unwrap();
+    assert_eq!(added, 3);
+    assert_eq!(engine.len(), 3);
+    let again = engine.index_existing().unwrap();
+    assert_eq!(again, 0, "re-indexing is idempotent");
+}

@@ -1,0 +1,164 @@
+//! Integration: the full online pipeline of paper Section 7.1 — register
+//! a model series, query Sommelier for serving variants, simulate the
+//! cluster under load, and check the end-to-end claims hold.
+
+use sommelier::prelude::*;
+use sommelier::serving::{simulate, ClusterConfig};
+use sommelier::zoo::series::build_series;
+use std::sync::Arc;
+
+fn serving_setup() -> (Vec<ModelChoice>, Vec<f64>) {
+    let repo = Arc::new(InMemoryRepository::new());
+    let mut engine = Sommelier::connect_default(Arc::clone(&repo) as Arc<dyn ModelRepository>);
+    let mut rng = Prng::seed_from_u64(11);
+    let series = build_series(
+        "pipe",
+        Family::Resnetish,
+        TaskKind::ImageRecognition,
+        "imagenet",
+        5,
+        99,
+        0.08,
+        &mut rng,
+    );
+    for m in &series.models {
+        engine.register(m).unwrap();
+    }
+    let reference = &series.models.last().unwrap().name;
+    let equivalents = engine
+        .query(&format!(
+            "SELECT models 10 CORR {reference} WITHIN 0.3 ORDER BY latency"
+        ))
+        .unwrap();
+    assert!(
+        equivalents.len() >= 2,
+        "the query must surface serving variants"
+    );
+
+    let teacher = Teacher::for_task(TaskKind::ImageRecognition, 99);
+    let mut prng = Prng::seed_from_u64(5);
+    let probe = Tensor::gaussian(300, teacher.spec.input_width, 1.0, &mut prng);
+    let labels = teacher.labels(&probe);
+    let mut keys: Vec<String> = equivalents
+        .iter()
+        .filter(|r| !matches!(r.kind, sommelier::index::CandidateKind::Synthesized { .. }))
+        .map(|r| r.key.clone())
+        .collect();
+    keys.push(reference.clone());
+    let gflops =
+        |k: &str| engine.resource_index().profile_of(k).unwrap().gflops;
+    let max_g = keys.iter().map(|k| gflops(k)).fold(0.0f64, f64::max);
+    let mut variants: Vec<ModelChoice> = keys
+        .iter()
+        .map(|k| {
+            let model = repo.load(k).unwrap();
+            let out = execute(&model, &probe).unwrap();
+            ModelChoice {
+                name: k.clone(),
+                service_time_s: 0.002 + 0.078 * gflops(k) / max_g,
+                accuracy: sommelier::runtime::metrics::top1_accuracy(&out, &labels),
+            }
+        })
+        .collect();
+    variants.sort_by(|a, b| a.service_time_s.partial_cmp(&b.service_time_s).unwrap());
+
+    let capacity = 1.0 / variants.last().unwrap().service_time_s;
+    let workload = Workload::bursty(120.0, 0.3 * capacity, 0.92 * capacity);
+    let mut arng = Prng::seed_from_u64(3);
+    (variants, workload.arrivals(&mut arng))
+}
+
+#[test]
+fn switching_beats_fixed_on_tail_latency_without_losing_accuracy() {
+    let (variants, arrivals) = serving_setup();
+    let biggest = variants.len() - 1;
+    let sla = 1.5 * variants[biggest].service_time_s;
+    let fixed = simulate(
+        &ClusterConfig {
+            servers: 1,
+            policy: Policy::Fixed { index: biggest },
+        },
+        &arrivals,
+        &variants,
+    );
+    let switching = simulate(
+        &ClusterConfig {
+            servers: 1,
+            policy: Policy::Switching { sla_s: sla },
+        },
+        &arrivals,
+        &variants,
+    );
+    let f = fixed.stats();
+    let s = switching.stats();
+    assert!(
+        s.p90 < f.p90 / 2.0,
+        "switching p90 {:.3}s must beat fixed p90 {:.3}s by >=2x",
+        s.p90,
+        f.p90
+    );
+    assert!(
+        fixed.mean_accuracy - switching.mean_accuracy < 0.05,
+        "accuracy cost must be small: {} vs {}",
+        fixed.mean_accuracy,
+        switching.mean_accuracy
+    );
+}
+
+#[test]
+fn accuracy_floor_policy_trades_latency_for_quality() {
+    let (variants, arrivals) = serving_setup();
+    let biggest = variants.len() - 1;
+    let sla = 1.5 * variants[biggest].service_time_s;
+    let floor_acc = variants[biggest].accuracy - 0.03;
+    let plain = simulate(
+        &ClusterConfig {
+            servers: 1,
+            policy: Policy::Switching { sla_s: sla },
+        },
+        &arrivals,
+        &variants,
+    );
+    let floored = simulate(
+        &ClusterConfig {
+            servers: 1,
+            policy: Policy::SwitchingFloor {
+                sla_s: sla,
+                min_accuracy: floor_acc,
+            },
+        },
+        &arrivals,
+        &variants,
+    );
+    assert!(
+        floored.mean_accuracy >= plain.mean_accuracy - 1e-9,
+        "floor must not lower accuracy: {} vs {}",
+        floored.mean_accuracy,
+        plain.mean_accuracy
+    );
+    assert!(
+        floored.stats().p90 >= plain.stats().p90,
+        "quality floor cannot also be faster"
+    );
+}
+
+#[test]
+fn combined_scale_out_and_switching_dominates_each_alone() {
+    let (variants, arrivals) = serving_setup();
+    let biggest = variants.len() - 1;
+    let sla = 1.5 * variants[biggest].service_time_s;
+    let run = |servers: usize, policy: Policy| {
+        simulate(
+            &ClusterConfig { servers, policy },
+            &arrivals,
+            &variants,
+        )
+        .stats()
+        .p90
+    };
+    let scale_out = run(2, Policy::Fixed { index: biggest });
+    let switching = run(1, Policy::Switching { sla_s: sla });
+    let combined = run(2, Policy::Switching { sla_s: sla });
+    assert!(combined <= scale_out + 1e-9);
+    assert!(combined <= switching + 1e-9);
+}
