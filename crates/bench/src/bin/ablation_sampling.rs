@@ -32,8 +32,10 @@ struct Row {
 
 fn build_engine(models: &[sommelier_graph::Model], sample_size: usize) -> (Sommelier, f64) {
     let repo = Arc::new(InMemoryRepository::new());
-    let mut cfg = SommelierConfig::default();
-    cfg.validation_rows = 192;
+    let mut cfg = SommelierConfig {
+        validation_rows: 192,
+        ..SommelierConfig::default()
+    };
     cfg.index.segments = false;
     cfg.index.sample_size = sample_size;
     let mut engine = Sommelier::connect(Arc::clone(&repo) as Arc<dyn ModelRepository>, cfg);

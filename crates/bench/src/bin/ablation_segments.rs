@@ -50,8 +50,10 @@ fn main() {
     let mut results = Vec::new();
     for segments in [false, true] {
         let repo = Arc::new(InMemoryRepository::new());
-        let mut cfg = SommelierConfig::default();
-        cfg.validation_rows = 192;
+        let mut cfg = SommelierConfig {
+            validation_rows: 192,
+            ..SommelierConfig::default()
+        };
         cfg.index.segments = segments;
         cfg.index.sample_size = 16;
         cfg.segment_epsilon = 0.35;

@@ -33,8 +33,10 @@ struct Point {
 fn outside_fractions(catalog: &[Series], picked: &[usize]) -> (f64, f64) {
     // Index the picked series.
     let repo = Arc::new(InMemoryRepository::new());
-    let mut cfg = SommelierConfig::default();
-    cfg.validation_rows = 192;
+    let mut cfg = SommelierConfig {
+        validation_rows: 192,
+        ..SommelierConfig::default()
+    };
     cfg.index.segments = false;
     cfg.index.sample_size = 5; // the paper's sampled insertion
     let mut engine = Sommelier::connect(Arc::clone(&repo) as Arc<dyn ModelRepository>, cfg);

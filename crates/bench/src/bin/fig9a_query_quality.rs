@@ -61,8 +61,10 @@ fn main() {
         let teacher = Teacher::for_task(TaskKind::ImageRecognition, repo_seed);
         let bias = DatasetBias::new(&teacher, "imagenet", 0.08);
         let repo = Arc::new(InMemoryRepository::new());
-        let mut cfg = SommelierConfig::default();
-        cfg.validation_rows = 768;
+        let mut cfg = SommelierConfig {
+            validation_rows: 768,
+            ..SommelierConfig::default()
+        };
         cfg.index.segments = false; // whole-model quality is under test
         cfg.index.sample_size = 64; // small pool: analyze every pair
         let mut engine = Sommelier::connect(Arc::clone(&repo) as Arc<dyn ModelRepository>, cfg);

@@ -3,6 +3,7 @@
 use sommelier_equiv::explain::explain;
 use sommelier_equiv::whole::EquivConfig;
 use sommelier_graph::{serde_model, TaskKind};
+use sommelier_lint::Severity;
 use sommelier_query::{Sommelier, SommelierConfig};
 use sommelier_repo::{ModelRepository, OnDiskRepository};
 use sommelier_runtime::ResourceProfile;
@@ -319,4 +320,56 @@ pub fn dot(args: &[String]) -> CmdResult {
     let model = repo.load(key).map_err(fail)?;
     print!("{}", sommelier_graph::dot::to_dot(&model, &[]));
     Ok(())
+}
+
+/// `sommelier lint <dir> [--format text|json] [--deny error|warn]
+/// [--query "<text>"]`
+///
+/// Runs every built-in static analysis over the repository: stored
+/// models, the persisted indices, and (with `--query`) a query plan.
+/// Nothing is executed. The command fails — for CI gating — when any
+/// finding reaches the `--deny` severity (default: `error`).
+pub fn lint(args: &[String]) -> CmdResult {
+    let (positional, flags) = split_flags(args)?;
+    let dir = repo_dir(&positional)?;
+    let mut format = "text";
+    let mut deny = Severity::Error;
+    let mut ctx = sommelier_lint::LintContext::from_repo_dir(&dir)?;
+    for (name, value) in &flags {
+        match *name {
+            "format" => match *value {
+                "text" | "json" => format = value,
+                other => return Err(format!("unknown format '{other}' (text|json)")),
+            },
+            "deny" => {
+                deny = match *value {
+                    "error" => Severity::Error,
+                    "warn" => Severity::Warn,
+                    other => return Err(format!("unknown deny level '{other}' (error|warn)")),
+                }
+            }
+            "query" => {
+                let query = sommelier_query::parse(value).map_err(fail)?;
+                ctx.queries.push(query);
+            }
+            other => return Err(format!("unknown flag --{other}")),
+        }
+    }
+    let runner = sommelier_lint::LintRunner::with_default_passes();
+    let report = runner.run(&ctx);
+    match format {
+        "json" => println!("{}", report.to_json()),
+        _ => print!("{}", report.render_text()),
+    }
+    match report.max_severity() {
+        Some(worst) if worst >= deny => Err(format!(
+            "lint found {} finding(s) at or above severity '{deny}'",
+            report
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity >= deny)
+                .count()
+        )),
+        _ => Ok(()),
+    }
 }

@@ -37,6 +37,8 @@ COMMANDS:
     diff   <dir> <reference> <candidate>
                                         full equivalence explanation
     dot    <dir> <key>                  Graphviz export of the model graph
+    lint   <dir> [--format text|json] [--deny error|warn] [--query Q]
+                                        execution-free curation checks
     help                                print this message
 
 Queries use the paper's Figure 7 syntax, e.g.:
@@ -60,6 +62,7 @@ fn main() -> ExitCode {
         "query" => commands::query(rest),
         "diff" => commands::diff(rest),
         "dot" => commands::dot(rest),
+        "lint" => commands::lint(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

@@ -118,7 +118,7 @@ pub fn explain(
 
     // Segment analysis runs in the reference-as-host direction (which
     // segments of the reference could be served by the candidate).
-    let probe_rows = validation.rows().min(16).max(1);
+    let probe_rows = validation.rows().clamp(1, 16);
     let probe = {
         let rows: Vec<Tensor> = (0..probe_rows).map(|r| validation.row_tensor(r)).collect();
         Tensor::stack_rows(&rows)

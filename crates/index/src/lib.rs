@@ -24,5 +24,6 @@ pub mod resource;
 pub mod semantic;
 
 pub use lsh::CosineLsh;
+pub use persist::{IndexSnapshot, PersistError};
 pub use resource::{ResourceConstraint, ResourceIndex};
 pub use semantic::{CandidateKind, CandidateRecord, PairAnalyzer, SemanticIndex};

@@ -114,6 +114,20 @@ impl CosineLsh {
         out
     }
 
+    /// Every id stored in any bucket of any table (deduplicated,
+    /// ascending) — the audit view integrity tooling uses to detect
+    /// buckets referencing resource-vector slots that do not exist.
+    pub fn stored_ids(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .buckets
+            .iter()
+            .flat_map(|table| table.values().flatten().copied())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
     /// Approximate in-memory footprint in bytes (planes + bucket tables).
     pub fn footprint_bytes(&self) -> usize {
         let planes = self.planes.len() * self.dim * std::mem::size_of::<f64>();

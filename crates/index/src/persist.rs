@@ -33,8 +33,10 @@ pub const SNAPSHOT_VERSION: u32 = 1;
 pub enum PersistError {
     /// File I/O failed.
     Io(std::io::Error),
-    /// JSON (de)serialization failed or version unsupported.
+    /// JSON (de)serialization failed.
     Format(String),
+    /// The snapshot parsed but declares an unsupported format version.
+    Version { found: u32, expected: u32 },
 }
 
 impl fmt::Display for PersistError {
@@ -42,6 +44,10 @@ impl fmt::Display for PersistError {
         match self {
             PersistError::Io(e) => write!(f, "index snapshot I/O error: {e}"),
             PersistError::Format(e) => write!(f, "malformed index snapshot: {e}"),
+            PersistError::Version { found, expected } => write!(
+                f,
+                "unsupported snapshot version {found} (this build reads version {expected})"
+            ),
         }
     }
 }
@@ -66,17 +72,24 @@ pub fn save(semantic: &SemanticIndex, resource: &ResourceIndex, path: &Path) -> 
     Ok(())
 }
 
-/// Load both indices from a snapshot file.
-pub fn load(path: &Path) -> Result<(SemanticIndex, ResourceIndex), PersistError> {
+/// Read and validate a snapshot file without unpacking it — the entry
+/// point audit tooling uses so it can inspect the snapshot as stored.
+pub fn read_snapshot(path: &Path) -> Result<IndexSnapshot, PersistError> {
     let json = fs::read_to_string(path)?;
     let snapshot: IndexSnapshot =
         serde_json::from_str(&json).map_err(|e| PersistError::Format(e.to_string()))?;
     if snapshot.version != SNAPSHOT_VERSION {
-        return Err(PersistError::Format(format!(
-            "unsupported snapshot version {}",
-            snapshot.version
-        )));
+        return Err(PersistError::Version {
+            found: snapshot.version,
+            expected: SNAPSHOT_VERSION,
+        });
     }
+    Ok(snapshot)
+}
+
+/// Load both indices from a snapshot file.
+pub fn load(path: &Path) -> Result<(SemanticIndex, ResourceIndex), PersistError> {
+    let snapshot = read_snapshot(path)?;
     Ok((snapshot.semantic, snapshot.resource))
 }
 
@@ -151,6 +164,26 @@ mod tests {
     fn missing_file_is_io_error() {
         let err = load(Path::new("/nonexistent/snap.json")).unwrap_err();
         assert!(matches!(err, PersistError::Io(_)));
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let sem = SemanticIndex::new(SemanticIndexConfig::default(), 1);
+        let res = ResourceIndex::new(LshConfig::default(), 1);
+        let path =
+            std::env::temp_dir().join(format!("sommelier-vers-{}.json", std::process::id()));
+        save(&sem, &res, &path).unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, json.replacen("\"version\":1", "\"version\":9", 1)).unwrap();
+        let err = load(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(
+            err,
+            PersistError::Version {
+                found: 9,
+                expected: SNAPSHOT_VERSION
+            }
+        ));
     }
 
     #[test]

@@ -176,12 +176,37 @@ impl ResourceIndex {
                 (d, i)
             })
             .collect();
-        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("distances are finite"));
+        // `total_cmp` keeps the sort panic-free on non-finite distances
+        // (corrupted snapshots can carry arbitrary profile vectors).
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
         scored
             .into_iter()
             .take(k)
             .map(|(_, i)| self.entries[i].clone())
             .collect()
+    }
+
+    /// Audit view of the entry table: `(key, profile, removed)` for every
+    /// slot, tombstones included. Integrity tooling needs the raw table
+    /// (not the live view) to cross-check LSH bucket ids against slot
+    /// count and to find profiles that dangle from the repository.
+    pub fn entries_audit(&self) -> Vec<(&str, &ResourceProfile, bool)> {
+        self.entries
+            .iter()
+            .zip(&self.removed)
+            .map(|((k, p), r)| (k.as_str(), p, *r))
+            .collect()
+    }
+
+    /// Number of slots ever allocated (live + tombstoned). LSH bucket ids
+    /// must all be smaller than this.
+    pub fn slot_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Read access to the underlying LSH structure for audits.
+    pub fn lsh(&self) -> &CosineLsh {
+        &self.lsh
     }
 
     /// Approximate in-memory footprint in bytes.

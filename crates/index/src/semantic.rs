@@ -192,9 +192,10 @@ impl SemanticIndex {
         } else {
             entry.candidates.push(record);
         }
-        entry
-            .candidates
-            .sort_by(|a, b| b.score.partial_cmp(&a.score).expect("scores are finite"));
+        // `total_cmp` keeps the sort panic-free even if a non-finite
+        // score slips in (e.g. through a corrupted snapshot); the lint
+        // layer reports such records instead of crashing on them.
+        entry.candidates.sort_by(|a, b| b.score.total_cmp(&a.score));
         entry.candidates.truncate(self.config.max_candidates);
     }
 
@@ -383,6 +384,37 @@ impl SemanticIndex {
             Some(fp) => &self.entries[fp].candidates,
             None => &[],
         }
+    }
+
+    /// Audit view of the reverse-lookup table: every `(key, fingerprint)`
+    /// registration, sorted by key. Integrity tooling (`sommelier-lint`)
+    /// walks this to find index keys that dangle from the repository —
+    /// the accessor deliberately reads the raw table rather than the
+    /// insertion order so corrupted snapshots with disagreeing views are
+    /// still fully visible.
+    pub fn by_key_audit(&self) -> Vec<(&str, Fingerprint)> {
+        let mut out: Vec<(&str, Fingerprint)> = self
+            .by_key
+            .iter()
+            .map(|(k, fp)| (k.as_str(), *fp))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(b.0));
+        out
+    }
+
+    /// Audit view of the entry table: every entry as
+    /// `(fingerprint, key, candidate list)`, sorted by key for
+    /// deterministic reporting. Candidate lists are exposed verbatim so
+    /// invariant checks (sortedness, score consistency, triangle bounds)
+    /// see exactly what a snapshot deserialized.
+    pub fn entries_audit(&self) -> Vec<(Fingerprint, &str, &[CandidateRecord])> {
+        let mut out: Vec<(Fingerprint, &str, &[CandidateRecord])> = self
+            .entries
+            .iter()
+            .map(|(fp, e)| (*fp, e.key.as_str(), e.candidates.as_slice()))
+            .collect();
+        out.sort_by(|a, b| a.1.cmp(b.1));
+        out
     }
 }
 

@@ -1,0 +1,263 @@
+//! Shared diagnostics vocabulary of the lint layer.
+//!
+//! Every pass reports through the same structured [`Diagnostic`] record:
+//! a stable `SOM0xx` code, a severity, the object the finding is about
+//! (a model key, an index, a query), an optional layer id for graph
+//! findings, a human-readable message, and an optional remediation hint.
+//! Keeping the vocabulary shared means reports aggregate, sort, and
+//! serialize uniformly regardless of which pass produced them.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Stable diagnostic codes, grouped by pass family:
+/// `SOM00x` model-graph lints, `SOM02x` repository/index invariants,
+/// `SOM04x` query-plan lints.
+pub mod codes {
+    /// A layer's output is never consumed (dead computation).
+    pub const DEAD_LAYER: &str = "SOM001";
+    /// An interior layer narrows to width 1, zeroing error propagation.
+    pub const WIDTH_BOTTLENECK: &str = "SOM002";
+    /// Suspicious activation/normalization ordering (repeated or no-op).
+    pub const SUSPICIOUS_ORDER: &str = "SOM003";
+    /// Cost profile is an outlier against the model's declared family.
+    pub const COST_OUTLIER: &str = "SOM004";
+    /// The model does not survive a serde round-trip intact.
+    pub const ROUND_TRIP_MISMATCH: &str = "SOM005";
+    /// A linear layer carries an all-zero weight tensor.
+    pub const ZERO_WEIGHTS: &str = "SOM006";
+    /// A stored model file could not be read or parsed.
+    pub const MODEL_UNREADABLE: &str = "SOM007";
+    /// An index references a model key absent from the repository.
+    pub const DANGLING_KEY: &str = "SOM020";
+    /// A candidate list is not sorted by descending score.
+    pub const UNSORTED_CANDIDATES: &str = "SOM021";
+    /// An LSH bucket references a resource-vector slot that does not exist.
+    pub const LSH_DANGLING_ID: &str = "SOM022";
+    /// Recorded bounds violate the transitive triangle relation.
+    pub const TRIANGLE_VIOLATION: &str = "SOM023";
+    /// The index snapshot is older than a stored model file.
+    pub const STALE_INDEX: &str = "SOM024";
+    /// A candidate's score disagrees with its recorded diff bound.
+    pub const SCORE_MISMATCH: &str = "SOM025";
+    /// An indexed model has no live resource profile.
+    pub const MISSING_PROFILE: &str = "SOM026";
+    /// The index snapshot file could not be read or parsed.
+    pub const SNAPSHOT_UNREADABLE: &str = "SOM027";
+    /// A `WITHIN` threshold no score can ever reach.
+    pub const UNSATISFIABLE_THRESHOLD: &str = "SOM040";
+    /// A resolved resource bound statically admits nothing.
+    pub const EMPTY_BUDGET: &str = "SOM041";
+    /// A predicate shadowed by a tighter one on the same dimension.
+    pub const SHADOWED_PREDICATE: &str = "SOM042";
+    /// A reference filter that statically prunes every candidate.
+    pub const EMPTY_REFERENCE: &str = "SOM043";
+    /// `SELECT models 0` — the query statically returns nothing.
+    pub const LIMIT_ZERO: &str = "SOM044";
+}
+
+/// How bad a finding is. Ordered: `Info < Warn < Error`.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Severity {
+    /// Advisory; never affects exit status.
+    Info,
+    /// Suspicious but not provably broken.
+    Warn,
+    /// A violated invariant.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One structured lint finding.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Stable code (see [`codes`]).
+    pub code: String,
+    /// Finding severity.
+    pub severity: Severity,
+    /// What the finding is about: a model key, an index name, a query.
+    pub target: String,
+    /// Layer id for model-graph findings.
+    pub layer: Option<usize>,
+    /// Human-readable description.
+    pub message: String,
+    /// Optional remediation hint.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// Construct a finding with the given severity.
+    pub fn new(
+        severity: Severity,
+        code: &str,
+        target: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            code: code.to_string(),
+            severity,
+            target: target.into(),
+            layer: None,
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// An `Error`-severity finding.
+    pub fn error(code: &str, target: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic::new(Severity::Error, code, target, message)
+    }
+
+    /// A `Warn`-severity finding.
+    pub fn warn(code: &str, target: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic::new(Severity::Warn, code, target, message)
+    }
+
+    /// An `Info`-severity finding.
+    pub fn info(code: &str, target: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic::new(Severity::Info, code, target, message)
+    }
+
+    /// Attach the layer id the finding points at.
+    pub fn with_layer(mut self, layer: usize) -> Self {
+        self.layer = Some(layer);
+        self
+    }
+
+    /// Attach a remediation hint.
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}] {}", self.severity, self.code, self.target)?;
+        if let Some(layer) = self.layer {
+            write!(f, " (layer {layer})")?;
+        }
+        write!(f, ": {}", self.message)?;
+        if let Some(help) = &self.help {
+            write!(f, "\n    help: {help}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The aggregated outcome of a lint run.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LintReport {
+    /// All findings, sorted by code, then target, then layer.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Build a report from raw findings (sorts them canonically).
+    pub fn from_diagnostics(mut diagnostics: Vec<Diagnostic>) -> Self {
+        diagnostics.sort_by(|a, b| {
+            (&a.code, &a.target, a.layer, &a.message).cmp(&(&b.code, &b.target, b.layer, &b.message))
+        });
+        LintReport { diagnostics }
+    }
+
+    /// No findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// The worst severity present, if any.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    /// Number of findings at a given severity.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// Plain-text report: one finding per line plus a summary.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} error(s), {} warning(s), {} note(s)\n",
+            self.count(Severity::Error),
+            self.count(Severity::Warn),
+            self.count(Severity::Info),
+        ));
+        out
+    }
+
+    /// Machine-readable report: the findings as a JSON array, which
+    /// deserializes back into `Vec<Diagnostic>`.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.diagnostics).unwrap_or_else(|_| "[]".to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_info_warn_error() {
+        assert!(Severity::Info < Severity::Warn);
+        assert!(Severity::Warn < Severity::Error);
+    }
+
+    #[test]
+    fn display_includes_code_layer_and_help() {
+        let d = Diagnostic::warn(codes::DEAD_LAYER, "model 'm'", "layer is never consumed")
+            .with_layer(3)
+            .with_help("remove the layer");
+        let s = d.to_string();
+        assert!(s.contains("warn[SOM001]"), "{s}");
+        assert!(s.contains("(layer 3)"), "{s}");
+        assert!(s.contains("help: remove the layer"), "{s}");
+    }
+
+    #[test]
+    fn report_sorts_counts_and_summarizes() {
+        let report = LintReport::from_diagnostics(vec![
+            Diagnostic::error(codes::DANGLING_KEY, "semantic-index", "b"),
+            Diagnostic::warn(codes::DEAD_LAYER, "model 'a'", "a"),
+            Diagnostic::info(codes::COST_OUTLIER, "model 'a'", "c"),
+        ]);
+        assert_eq!(report.diagnostics[0].code, "SOM001");
+        assert_eq!(report.max_severity(), Some(Severity::Error));
+        assert_eq!(report.count(Severity::Warn), 1);
+        assert!(report.render_text().contains("1 error(s), 1 warning(s), 1 note(s)"));
+        assert!(!report.is_clean());
+        assert!(LintReport::default().is_clean());
+    }
+
+    #[test]
+    fn json_report_round_trips_into_diagnostics() {
+        let report = LintReport::from_diagnostics(vec![
+            Diagnostic::error(codes::UNSORTED_CANDIDATES, "semantic-index", "out of order")
+                .with_help("rebuild the index"),
+            Diagnostic::warn(codes::WIDTH_BOTTLENECK, "model 'm'", "width 1").with_layer(2),
+        ]);
+        let json = report.to_json();
+        let back: Vec<Diagnostic> = serde_json::from_str(&json).expect("report JSON parses");
+        assert_eq!(back, report.diagnostics);
+    }
+}

@@ -1,0 +1,220 @@
+//! `sommelier-lint` — execution-free static analysis for Sommelier.
+//!
+//! The paper's pitch is *curation*: a repository operator should learn
+//! about broken or suspicious artifacts before queries trip over them.
+//! This crate is the curation gate. It runs a configurable set of
+//! [`Pass`]es over a [`LintContext`] — the stored models, the persisted
+//! indices, and (optionally) query ASTs — and aggregates structured
+//! [`Diagnostic`]s into a [`LintReport`]. Nothing is executed: every
+//! check is static, so linting an entire repository is cheap enough to
+//! gate CI on.
+//!
+//! Three pass families ship by default:
+//!
+//! * **model graph** ([`passes::model`]) — dead layers, width
+//!   bottlenecks that zero error propagation, suspicious activation
+//!   orderings, family cost outliers, serde round-trip drift, all-zero
+//!   weights (`SOM001`–`SOM007`);
+//! * **repository & index invariants** ([`passes::index`]) — dangling
+//!   keys, unsorted candidate lists, LSH buckets referencing missing
+//!   resource vectors, transitive-bound triangle violations, stale
+//!   snapshots, score/bound disagreement (`SOM020`–`SOM027`);
+//! * **query plans** ([`passes::plan`]) — unsatisfiable `WITHIN`
+//!   thresholds, statically empty resource budgets, shadowed
+//!   predicates, references that prune to nothing (`SOM040`–`SOM044`).
+//!
+//! The CLI exposes all of this as `sommelier lint <dir>`.
+
+pub mod diagnostics;
+pub mod passes;
+
+pub use diagnostics::{codes, Diagnostic, LintReport, Severity};
+
+use sommelier_graph::Model;
+use sommelier_index::{persist, ResourceIndex, SemanticIndex};
+use sommelier_query::Query;
+use sommelier_repo::{ModelRepository, OnDiskRepository};
+use std::path::Path;
+use std::time::SystemTime;
+
+/// File name (inside a repository directory) of the persisted indices.
+/// Mirrors the CLI's convention.
+pub const INDEX_FILE: &str = "sommelier.index.json";
+
+/// Everything a lint run can look at. All fields are optional-by-shape:
+/// passes skip whatever is absent, so the same runner lints a bare
+/// directory of models, a fully indexed repository, or a single query.
+#[derive(Default)]
+pub struct LintContext {
+    /// Stored models as `(repository key, model)`.
+    pub models: Vec<(String, Model)>,
+    /// The semantic index, if a snapshot was available.
+    pub semantic: Option<SemanticIndex>,
+    /// The resource index, if a snapshot was available.
+    pub resource: Option<ResourceIndex>,
+    /// Modification time of the index snapshot file.
+    pub index_mtime: Option<SystemTime>,
+    /// Modification times of stored model files, keyed like `models`.
+    pub model_mtimes: Vec<(String, SystemTime)>,
+    /// Queries to lint statically (parsed ASTs).
+    pub queries: Vec<Query>,
+    /// Findings produced while *loading* the context (unreadable model
+    /// files, unparseable snapshots); prepended to every report.
+    pub load_diagnostics: Vec<Diagnostic>,
+}
+
+impl LintContext {
+    /// An empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Load a context from an on-disk repository directory: every
+    /// readable `*.model.json`, the index snapshot (if present), and
+    /// file modification times. Unreadable artifacts become
+    /// `load_diagnostics` instead of hard failures — a corrupt snapshot
+    /// is precisely what the lint layer exists to report.
+    pub fn from_repo_dir(dir: &Path) -> Result<LintContext, String> {
+        if !dir.exists() {
+            return Err(format!("repository '{}' does not exist", dir.display()));
+        }
+        let repo = OnDiskRepository::open(dir).map_err(|e| e.to_string())?;
+        let mut ctx = LintContext::new();
+        for key in repo.keys() {
+            match repo.load(&key) {
+                Ok(model) => ctx.models.push((key, model)),
+                Err(e) => ctx.load_diagnostics.push(Diagnostic::error(
+                    codes::MODEL_UNREADABLE,
+                    format!("model '{key}'"),
+                    format!("stored model could not be loaded: {e}"),
+                )),
+            }
+        }
+        // Model-file mtimes, matching OnDiskRepository's naming scheme.
+        if let Ok(entries) = std::fs::read_dir(dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                let Some(key) = name.strip_suffix(".model.json") else {
+                    continue;
+                };
+                if let Ok(meta) = entry.metadata() {
+                    if let Ok(mtime) = meta.modified() {
+                        ctx.model_mtimes.push((key.to_string(), mtime));
+                    }
+                }
+            }
+        }
+        ctx.model_mtimes.sort_by(|a, b| a.0.cmp(&b.0));
+        let index_path = dir.join(INDEX_FILE);
+        if index_path.exists() {
+            ctx.index_mtime = std::fs::metadata(&index_path)
+                .and_then(|m| m.modified())
+                .ok();
+            match persist::read_snapshot(&index_path) {
+                Ok(snapshot) => {
+                    ctx.semantic = Some(snapshot.semantic);
+                    ctx.resource = Some(snapshot.resource);
+                }
+                Err(e) => ctx.load_diagnostics.push(Diagnostic::error(
+                    codes::SNAPSHOT_UNREADABLE,
+                    "index-snapshot",
+                    format!("{e}"),
+                )),
+            }
+        }
+        Ok(ctx)
+    }
+
+    /// Whether a repository key exists among the loaded models.
+    pub fn has_model(&self, key: &str) -> bool {
+        self.models.iter().any(|(k, _)| k == key)
+    }
+}
+
+/// One static analysis. Passes are independent: each walks the context
+/// and appends findings; they never mutate what they analyze.
+pub trait Pass {
+    /// Stable pass name (for reporting and selection).
+    fn name(&self) -> &'static str;
+    /// Run the analysis, appending findings to `out`.
+    fn run(&self, ctx: &LintContext, out: &mut Vec<Diagnostic>);
+}
+
+/// Aggregates passes and produces a [`LintReport`].
+#[derive(Default)]
+pub struct LintRunner {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl LintRunner {
+    /// An empty runner (register passes manually).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A runner with every built-in pass registered.
+    pub fn with_default_passes() -> Self {
+        let mut runner = LintRunner::new();
+        runner.register(Box::new(passes::model::ModelGraphPass));
+        runner.register(Box::new(passes::model::ModelCostPass));
+        runner.register(Box::new(passes::model::ModelRoundTripPass));
+        runner.register(Box::new(passes::index::IndexIntegrityPass));
+        runner.register(Box::new(passes::index::TrianglePass));
+        runner.register(Box::new(passes::index::FreshnessPass));
+        runner.register(Box::new(passes::plan::QueryPlanPass));
+        runner
+    }
+
+    /// Add a pass.
+    pub fn register(&mut self, pass: Box<dyn Pass>) {
+        self.passes.push(pass);
+    }
+
+    /// Names of the registered passes, in execution order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Run every pass over the context.
+    pub fn run(&self, ctx: &LintContext) -> LintReport {
+        let mut diagnostics = ctx.load_diagnostics.clone();
+        for pass in &self.passes {
+            pass.run(ctx, &mut diagnostics);
+        }
+        LintReport::from_diagnostics(diagnostics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_runner_registers_all_families() {
+        let runner = LintRunner::with_default_passes();
+        let names = runner.pass_names();
+        assert!(names.contains(&"model-graph"));
+        assert!(names.contains(&"index-integrity"));
+        assert!(names.contains(&"query-plan"));
+        assert_eq!(names.len(), 7);
+    }
+
+    #[test]
+    fn empty_context_lints_clean() {
+        let report = LintRunner::with_default_passes().run(&LintContext::new());
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn load_diagnostics_are_carried_into_the_report() {
+        let mut ctx = LintContext::new();
+        ctx.load_diagnostics.push(Diagnostic::error(
+            codes::SNAPSHOT_UNREADABLE,
+            "index-snapshot",
+            "boom",
+        ));
+        let report = LintRunner::with_default_passes().run(&ctx);
+        assert_eq!(report.max_severity(), Some(Severity::Error));
+    }
+}

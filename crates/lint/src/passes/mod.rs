@@ -1,0 +1,13 @@
+//! Built-in lint passes, grouped by what they look at.
+//!
+//! * [`model`] — pure-graph analyses of stored models (`SOM00x`);
+//! * [`index`] — cross-checks between the repository and the persisted
+//!   semantic/resource indices (`SOM02x`);
+//! * [`plan`] — static analyses of parsed query ASTs (`SOM04x`).
+//!
+//! Passes only read the [`crate::LintContext`]; they never execute a
+//! model and never mutate an index.
+
+pub mod index;
+pub mod model;
+pub mod plan;

@@ -515,29 +515,23 @@ impl Sommelier {
             })
             .collect();
 
-        // Stage 3: final selection.
+        // Stage 3: final selection. Sorting uses `total_cmp` so the
+        // pipeline never panics on non-finite scores or profiles (a
+        // corrupted snapshot is the lint layer's problem to report, not
+        // a reason to abort query execution).
         match plan.selection {
             FinalSelection::Similarity => {
-                results.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite"))
+                results.sort_by(|a, b| b.score.total_cmp(&a.score))
             }
-            FinalSelection::Memory => results.sort_by(|a, b| {
-                a.profile
-                    .memory_mb
-                    .partial_cmp(&b.profile.memory_mb)
-                    .expect("finite")
-            }),
-            FinalSelection::Flops => results.sort_by(|a, b| {
-                a.profile
-                    .gflops
-                    .partial_cmp(&b.profile.gflops)
-                    .expect("finite")
-            }),
-            FinalSelection::Latency => results.sort_by(|a, b| {
-                a.profile
-                    .latency_ms
-                    .partial_cmp(&b.profile.latency_ms)
-                    .expect("finite")
-            }),
+            FinalSelection::Memory => {
+                results.sort_by(|a, b| a.profile.memory_mb.total_cmp(&b.profile.memory_mb))
+            }
+            FinalSelection::Flops => {
+                results.sort_by(|a, b| a.profile.gflops.total_cmp(&b.profile.gflops))
+            }
+            FinalSelection::Latency => {
+                results.sort_by(|a, b| a.profile.latency_ms.total_cmp(&b.profile.latency_ms))
+            }
         }
         results.truncate(plan.limit);
         results

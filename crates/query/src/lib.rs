@@ -27,3 +27,4 @@ pub mod plan;
 pub use ast::{FinalSelection, Query, RefSpec, ResourceDim, ResourcePredicate, SelectKind};
 pub use engine::{QueryError, QueryResult, Sommelier, SommelierConfig};
 pub use parser::{parse, ParseError};
+pub use plan::{plan, plan_checked, PlanDiagnostic, QueryPlan};

@@ -31,8 +31,65 @@ pub struct QueryPlan {
     pub limit: usize,
 }
 
-/// Resolve a query against a reference key and its resource profile.
-pub fn plan(query: &Query, reference_key: &str, reference_profile: &ResourceProfile) -> QueryPlan {
+/// A non-fatal observation produced while resolving a query into a plan.
+///
+/// Planning never fails — a questionable query still resolves to *some*
+/// plan — but combinations that are statically unsatisfiable or redundant
+/// are worth surfacing before the engine spends any work on them. The
+/// `sommelier-lint` crate maps these onto its `SOM04x` diagnostic codes;
+/// the engine itself treats them as advisory.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum PlanDiagnostic {
+    /// The `WITHIN` threshold exceeds 1.0: equivalence scores live in
+    /// `[0, 1]`, so the semantic filter can never admit anything.
+    UnsatisfiableThreshold { threshold: f64 },
+    /// A resolved resource bound is non-positive: no profile can satisfy
+    /// it, so the resource filter statically prunes to empty.
+    EmptyBudget { dim: ResourceDim, bound: f64 },
+    /// A predicate on a dimension is at least as loose as another on the
+    /// same dimension; the looser bound can never influence the result.
+    ShadowedPredicate {
+        dim: ResourceDim,
+        kept: f64,
+        shadowed: f64,
+    },
+    /// `SELECT models 0`: the final selection statically returns nothing.
+    LimitZero,
+}
+
+impl std::fmt::Display for PlanDiagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanDiagnostic::UnsatisfiableThreshold { threshold } => write!(
+                f,
+                "WITHIN {threshold} can never be satisfied (scores live in [0, 1])"
+            ),
+            PlanDiagnostic::EmptyBudget { dim, bound } => write!(
+                f,
+                "resolved {dim:?} bound {bound} is non-positive; no model can satisfy it"
+            ),
+            PlanDiagnostic::ShadowedPredicate { dim, kept, shadowed } => write!(
+                f,
+                "{dim:?} predicate {shadowed} is shadowed by the tighter bound {kept}"
+            ),
+            PlanDiagnostic::LimitZero => write!(f, "SELECT models 0 statically returns nothing"),
+        }
+    }
+}
+
+/// Resolve a query against a reference key and its resource profile,
+/// collecting [`PlanDiagnostic`]s about statically suspicious plans.
+pub fn plan_checked(
+    query: &Query,
+    reference_key: &str,
+    reference_profile: &ResourceProfile,
+) -> (QueryPlan, Vec<PlanDiagnostic>) {
+    let mut diagnostics = Vec::new();
+    if query.threshold > 1.0 {
+        diagnostics.push(PlanDiagnostic::UnsatisfiableThreshold {
+            threshold: query.threshold,
+        });
+    }
     let mut constraint = ResourceConstraint::default();
     for pred in &query.predicates {
         let bound = match (pred.dim, pred.value) {
@@ -53,22 +110,57 @@ pub fn plan(query: &Query, reference_key: &str, reference_profile: &ResourceProf
             ResourceDim::Latency => &mut constraint.max_latency_ms,
         };
         // Multiple predicates on the same dimension intersect (tightest
-        // bound wins).
+        // bound wins); the looser one is dead weight worth reporting.
         *slot = Some(match *slot {
-            Some(existing) => existing.min(bound),
+            Some(existing) => {
+                let (kept, shadowed) = if bound < existing {
+                    (bound, existing)
+                } else {
+                    (existing, bound)
+                };
+                diagnostics.push(PlanDiagnostic::ShadowedPredicate {
+                    dim: pred.dim,
+                    kept,
+                    shadowed,
+                });
+                kept
+            }
             None => bound,
         });
     }
-    QueryPlan {
-        reference_key: reference_key.to_string(),
-        min_score: query.threshold,
-        constraint,
-        selection: query.selection,
-        limit: match query.select {
-            SelectKind::Model => 1,
-            SelectKind::Models(n) => n,
-        },
+    for (dim, slot) in [
+        (ResourceDim::Memory, constraint.max_memory_mb),
+        (ResourceDim::Flops, constraint.max_gflops),
+        (ResourceDim::Latency, constraint.max_latency_ms),
+    ] {
+        if let Some(bound) = slot {
+            if bound <= 0.0 {
+                diagnostics.push(PlanDiagnostic::EmptyBudget { dim, bound });
+            }
+        }
     }
+    let limit = match query.select {
+        SelectKind::Model => 1,
+        SelectKind::Models(n) => n,
+    };
+    if limit == 0 {
+        diagnostics.push(PlanDiagnostic::LimitZero);
+    }
+    (
+        QueryPlan {
+            reference_key: reference_key.to_string(),
+            min_score: query.threshold,
+            constraint,
+            selection: query.selection,
+            limit,
+        },
+        diagnostics,
+    )
+}
+
+/// Resolve a query against a reference key and its resource profile.
+pub fn plan(query: &Query, reference_key: &str, reference_profile: &ResourceProfile) -> QueryPlan {
+    plan_checked(query, reference_key, reference_profile).0
 }
 
 #[cfg(test)]
@@ -117,5 +209,56 @@ mod tests {
     fn limit_tracks_select_kind() {
         let q = Query::corr("ref").top(7);
         assert_eq!(plan(&q, "ref", &profile()).limit, 7);
+    }
+
+    #[test]
+    fn clean_query_plans_without_diagnostics() {
+        let q = Query::corr("ref").within(0.9).memory_at_most_frac(0.8);
+        let (_, diags) = plan_checked(&q, "ref", &profile());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn impossible_threshold_is_reported() {
+        let q = Query::corr("ref").within(1.5);
+        let (p, diags) = plan_checked(&q, "ref", &profile());
+        assert_eq!(p.min_score, 1.5, "plan still resolves");
+        assert!(diags
+            .iter()
+            .any(|d| matches!(d, PlanDiagnostic::UnsatisfiableThreshold { .. })));
+    }
+
+    #[test]
+    fn non_positive_budget_is_reported() {
+        let q = Query::corr("ref").latency_at_most_ms(-3.0);
+        let (_, diags) = plan_checked(&q, "ref", &profile());
+        assert!(diags.iter().any(|d| matches!(
+            d,
+            PlanDiagnostic::EmptyBudget {
+                dim: ResourceDim::Latency,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn shadowed_predicate_is_reported() {
+        let q = Query::corr("ref")
+            .memory_at_most_frac(0.8)
+            .memory_at_most_frac(0.5);
+        let (p, diags) = plan_checked(&q, "ref", &profile());
+        assert_eq!(p.constraint.max_memory_mb, Some(50.0));
+        assert!(diags.iter().any(|d| matches!(
+            d,
+            PlanDiagnostic::ShadowedPredicate { kept, shadowed, .. }
+                if *kept == 50.0 && *shadowed == 80.0
+        )));
+    }
+
+    #[test]
+    fn zero_limit_is_reported() {
+        let q = Query::corr("ref").top(0);
+        let (_, diags) = plan_checked(&q, "ref", &profile());
+        assert!(diags.contains(&PlanDiagnostic::LimitZero));
     }
 }

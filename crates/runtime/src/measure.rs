@@ -65,10 +65,10 @@ fn run_once(model: &Model, input: &Tensor, layer_times: &mut [f64]) -> Result<()
         });
     }
     let mut acts: Vec<Tensor> = Vec::with_capacity(model.num_layers());
-    for i in 0..model.num_layers() {
+    for (i, slot) in layer_times.iter_mut().enumerate().take(model.num_layers()) {
         let start = Instant::now();
         let out = execute_layer(model, i, input, &acts);
-        layer_times[i] = start.elapsed().as_secs_f64() * 1e6;
+        *slot = start.elapsed().as_secs_f64() * 1e6;
         acts.push(out);
     }
     Ok(())

@@ -21,8 +21,10 @@ fn main() {
     // Index a slice of the TF-Hub-style catalog: the two vision series of
     // Figure 12 (BiT-style and EfficientNet-style).
     let repo = Arc::new(InMemoryRepository::new());
-    let mut cfg = SommelierConfig::default();
-    cfg.validation_rows = 192;
+    let cfg = SommelierConfig {
+        validation_rows: 192,
+        ..SommelierConfig::default()
+    };
     let mut engine = Sommelier::connect(Arc::clone(&repo) as Arc<dyn ModelRepository>, cfg);
 
     let catalog = tfhub_catalog(2024);

@@ -9,8 +9,10 @@ fn hub() -> (Sommelier, Arc<InMemoryRepository>, Teacher) {
     let repo = Arc::new(InMemoryRepository::new());
     let teacher = Teacher::for_task(TaskKind::ImageRecognition, 404);
     let bias = DatasetBias::new(&teacher, "imagenet", 0.06);
-    let mut cfg = SommelierConfig::default();
-    cfg.validation_rows = 128;
+    let mut cfg = SommelierConfig {
+        validation_rows: 128,
+        ..SommelierConfig::default()
+    };
     cfg.index.sample_size = 16;
     let mut engine = Sommelier::connect(Arc::clone(&repo) as Arc<dyn ModelRepository>, cfg);
     let mut rng = Prng::seed_from_u64(1);
@@ -121,8 +123,10 @@ fn on_disk_repository_integrates_with_engine() {
     let repo = Arc::new(OnDiskRepository::open(&dir).unwrap());
     let teacher = Teacher::for_task(TaskKind::SentimentAnalysis, 17);
     let bias = DatasetBias::new(&teacher, "imdb", 0.05);
-    let mut cfg = SommelierConfig::default();
-    cfg.validation_rows = 64;
+    let cfg = SommelierConfig {
+        validation_rows: 64,
+        ..SommelierConfig::default()
+    };
     let mut engine = Sommelier::connect(Arc::clone(&repo) as Arc<dyn ModelRepository>, cfg);
     let mut rng = Prng::seed_from_u64(3);
     for i in 0..3 {
@@ -162,8 +166,10 @@ fn index_existing_picks_up_unindexed_repository_content() {
         );
         repo.publish(&m.name, &m, false).unwrap();
     }
-    let mut cfg = SommelierConfig::default();
-    cfg.validation_rows = 64;
+    let cfg = SommelierConfig {
+        validation_rows: 64,
+        ..SommelierConfig::default()
+    };
     let mut engine = Sommelier::connect(Arc::clone(&repo) as Arc<dyn ModelRepository>, cfg);
     assert!(engine.is_empty());
     let added = engine.index_existing().unwrap();

@@ -9,8 +9,10 @@ fn engine(sample_size: usize) -> (Sommelier, Vec<String>) {
     let repo = Arc::new(InMemoryRepository::new());
     let teacher = Teacher::for_task(TaskKind::ImageRecognition, 1234);
     let bias = DatasetBias::new(&teacher, "imagenet", 0.08);
-    let mut cfg = SommelierConfig::default();
-    cfg.validation_rows = 128;
+    let mut cfg = SommelierConfig {
+        validation_rows: 128,
+        ..SommelierConfig::default()
+    };
     cfg.index.sample_size = sample_size;
     cfg.index.segments = false;
     let mut engine = Sommelier::connect(Arc::clone(&repo) as Arc<dyn ModelRepository>, cfg);

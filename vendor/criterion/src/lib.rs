@@ -1,0 +1,214 @@
+//! Minimal vendored stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the `Criterion`/`BenchmarkGroup`/`Bencher` API surface the
+//! workspace's benches use, with a simple wall-clock measurement loop
+//! and plain-text reporting. `--test` (as passed by `cargo bench --
+//! --test`) runs each benchmark exactly once for smoke coverage.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::Instant;
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier for a benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Throughput annotation (reported, not aggregated).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    /// When true (`--test`), each benchmark body runs once.
+    smoke_test: bool,
+}
+
+impl Criterion {
+    /// Honour the subset of CLI flags the harness understands
+    /// (`--test`); everything else (filters, `--bench`) is ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|a| a == "--test") {
+            self.smoke_test = true;
+        }
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 50,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.effective_samples(),
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        self.report(&id, b.mean_ns);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.effective_samples(),
+            mean_ns: 0.0,
+        };
+        f(&mut b, input);
+        self.report(&id, b.mean_ns);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn effective_samples(&self) -> usize {
+        if self.criterion.smoke_test {
+            1
+        } else {
+            self.sample_size
+        }
+    }
+
+    fn report(&self, id: &BenchmarkId, mean_ns: f64) {
+        let throughput = match self.throughput {
+            Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+                format!("  ({:.1} Melem/s)", n as f64 / mean_ns * 1e3)
+            }
+            Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
+                format!("  ({:.1} MB/s)", n as f64 / mean_ns * 1e3)
+            }
+            _ => String::new(),
+        };
+        println!("{}/{}: {:.0} ns/iter{}", self.name, id.0, mean_ns, throughput);
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher {
+    samples: usize,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up round (also the only round in smoke-test mode).
+        hint::black_box(f());
+        if self.samples <= 1 {
+            self.mean_ns = 0.0;
+            return;
+        }
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            hint::black_box(f());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / self.samples as f64;
+    }
+}
+
+/// Collect benchmark functions into a runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running one or more `criterion_group!`s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion { smoke_test: true };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).throughput(Throughput::Elements(100));
+        let mut ran = 0;
+        g.bench_function("f", |b| b.iter(|| ran += 1));
+        g.bench_with_input(BenchmarkId::new("w", 3), &3usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+        assert!(ran >= 1);
+    }
+}

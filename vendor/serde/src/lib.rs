@@ -1,0 +1,495 @@
+//! Minimal vendored stand-in for the `serde` crate.
+//!
+//! The build environment has no access to a cargo registry, so the
+//! workspace vendors a small, dependency-free serialization framework
+//! that is API-compatible with the subset of serde this codebase uses:
+//!
+//! * `#[derive(Serialize, Deserialize)]` on structs and enums (via the
+//!   companion `serde_derive` proc-macro crate, re-exported here);
+//! * `serde_json::{to_string, to_string_pretty, from_str}`.
+//!
+//! Unlike real serde, this implementation is not streaming: values are
+//! serialized into an intermediate [`Value`] tree which the JSON layer
+//! renders. That keeps the derive macro and the data model tiny while
+//! preserving the same external JSON representation (externally tagged
+//! enums, stringified numeric map keys, `null` for `None`).
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The serialization data model: a JSON-shaped tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    /// Ordered key/value pairs; insertion order is preserved so that
+    /// struct fields render in declaration order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a key in a map value.
+    pub fn get_field(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can be rendered into a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n: i64 = match v {
+                    Value::Int(n) => *n,
+                    Value::UInt(n) => i64::try_from(*n)
+                        .map_err(|_| DeError::custom("integer out of range"))?,
+                    Value::Float(f) if f.fract() == 0.0 => *f as i64,
+                    // serde_json accepts numeric map keys as strings.
+                    Value::Str(s) => s
+                        .parse::<i64>()
+                        .map_err(|_| DeError::custom("invalid integer string"))?,
+                    other => {
+                        return Err(DeError::custom(format!(
+                            "expected integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(n).map_err(|_| DeError::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n: u64 = match v {
+                    Value::UInt(n) => *n,
+                    Value::Int(n) => u64::try_from(*n)
+                        .map_err(|_| DeError::custom("negative integer for unsigned"))?,
+                    Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 => *f as u64,
+                    // serde_json accepts numeric map keys as strings.
+                    Value::Str(s) => s
+                        .parse::<u64>()
+                        .map_err(|_| DeError::custom("invalid integer string"))?,
+                    other => {
+                        return Err(DeError::custom(format!(
+                            "expected unsigned integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(n).map_err(|_| DeError::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::Int(n) => Ok(*n as f64),
+            Value::UInt(n) => Ok(*n as f64),
+            other => Err(DeError::custom(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = String::from_value(v)?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom("expected single-char string")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::custom(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Seq(items) => {
+                        const LEN: usize = [$(stringify!($n)),+].len();
+                        if items.len() != LEN {
+                            return Err(DeError::custom(format!(
+                                "expected tuple of {LEN}, got {} elements",
+                                items.len()
+                            )));
+                        }
+                        Ok(($($t::from_value(&items[$n])?,)+))
+                    }
+                    other => Err(DeError::custom(format!(
+                        "expected tuple array, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )+};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// Map keys must render to / parse from strings (the JSON object key
+/// position). Mirrors serde_json's `KeyDeserializer` behaviour for
+/// integers and string-like newtypes.
+pub trait MapKey: Sized {
+    fn to_key(&self) -> String;
+    fn from_key(key: &str) -> Result<Self, DeError>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(key: &str) -> Result<Self, DeError> {
+        Ok(key.to_string())
+    }
+}
+
+macro_rules! impl_map_key_num {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(key: &str) -> Result<Self, DeError> {
+                key.parse::<$t>()
+                    .map_err(|_| DeError::custom("invalid numeric map key"))
+            }
+        }
+    )*};
+}
+
+impl_map_key_num!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// Newtype wrappers over a `MapKey` (e.g. `Fingerprint(u64)`) can opt in
+/// by serializing to `Value::UInt`/`Value::Str` and delegating here.
+impl<K: MapKey + Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut pairs: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_key(), v.to_value()))
+            .collect();
+        // Deterministic output regardless of hash order.
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(pairs)
+    }
+}
+
+impl<K: MapKey + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::custom(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl<K: MapKey + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::custom(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Derive support helpers (used by generated code)
+// ---------------------------------------------------------------------------
+
+/// Fetch a struct field from a map value; missing fields fall back to
+/// `Null` so `Option<T>` fields default to `None` (serde's behaviour for
+/// omitted optional fields is an error, but serde_json round-trips never
+/// omit them; treating missing-as-null keeps forward compatibility).
+pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
+    match v.get_field(name) {
+        Some(f) => T::from_value(f)
+            .map_err(|e| DeError::custom(format!("field `{name}`: {e}"))),
+        None => T::from_value(&Value::Null)
+            .map_err(|_| DeError::custom(format!("missing field `{name}`"))),
+    }
+}
+
+/// Expect `v` to be a map; derive-generated code uses this for struct
+/// bodies and struct-variant bodies.
+pub fn expect_map(v: &Value) -> Result<&[(String, Value)], DeError> {
+    match v {
+        Value::Map(pairs) => Ok(pairs),
+        other => Err(DeError::custom(format!("expected object, got {other:?}"))),
+    }
+}
+
+/// Expect `v` to be a sequence of exactly `n` items (tuple structs /
+/// tuple variants).
+pub fn expect_seq(v: &Value, n: usize) -> Result<&[Value], DeError> {
+    match v {
+        Value::Seq(items) if items.len() == n => Ok(items),
+        Value::Seq(items) => Err(DeError::custom(format!(
+            "expected {n} elements, got {}",
+            items.len()
+        ))),
+        other => Err(DeError::custom(format!("expected array, got {other:?}"))),
+    }
+}
+
+/// Decompose an externally tagged enum value into `(tag, payload)`.
+/// Unit variants are plain strings; payload-carrying variants are
+/// single-entry maps `{"Variant": payload}`.
+pub fn enum_tag(v: &Value) -> Result<(&str, Option<&Value>), DeError> {
+    match v {
+        Value::Str(s) => Ok((s.as_str(), None)),
+        Value::Map(pairs) if pairs.len() == 1 => {
+            Ok((pairs[0].0.as_str(), Some(&pairs[0].1)))
+        }
+        other => Err(DeError::custom(format!(
+            "expected enum representation, got {other:?}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_missing_field_is_none() {
+        let v = Value::Map(vec![("a".into(), Value::Int(1))]);
+        let got: Option<i64> = field(&v, "b").unwrap();
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn numeric_map_keys_round_trip() {
+        let mut m = HashMap::new();
+        m.insert(42u64, "x".to_string());
+        let v = m.to_value();
+        let back: HashMap<u64, String> = HashMap::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn signed_from_string_key() {
+        assert_eq!(i64::from_value(&Value::Str("-7".into())).unwrap(), -7);
+    }
+
+    #[test]
+    fn tuple_round_trip() {
+        let t = (1u32, "hi".to_string(), 2.5f64);
+        let v = t.to_value();
+        let back: (u32, String, f64) = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,437 @@
+//! Minimal vendored `#[derive(Serialize, Deserialize)]` macros.
+//!
+//! Parses the derive input by walking `proc_macro::TokenTree`s directly
+//! (no `syn`/`quote` — the build environment has no registry access) and
+//! emits impls of the vendored `serde::Serialize` / `serde::Deserialize`
+//! traits, which route through the `serde::Value` tree.
+//!
+//! Supported shapes — exactly what this workspace uses:
+//! * structs with named fields;
+//! * tuple structs (1-field newtypes serialize transparently, like real
+//!   serde; larger tuples as arrays);
+//! * unit structs;
+//! * enums with unit / newtype / tuple / struct variants, externally
+//!   tagged (`"Variant"` or `{"Variant": payload}`), matching serde's
+//!   default representation.
+//!
+//! Not supported (panics with a clear message): generic types and
+//! `#[serde(...)]` attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+enum Body {
+    NamedStruct(Vec<String>),
+    /// Tuple struct: field count and the textual type of each field.
+    TupleStruct(Vec<String>),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// Token utilities
+// ---------------------------------------------------------------------------
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Skip attributes (`#[...]`, including expanded doc comments) and
+/// visibility (`pub`, `pub(...)`) starting at `i`; returns the new index.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        if i < tokens.len() && is_punct(&tokens[i], '#') {
+            // `#` followed by a bracket group.
+            i += 1;
+            if i < tokens.len()
+                && matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+            {
+                i += 1;
+            }
+            continue;
+        }
+        if i < tokens.len() && is_ident(&tokens[i], "pub") {
+            i += 1;
+            if i < tokens.len()
+                && matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+            continue;
+        }
+        return i;
+    }
+}
+
+/// Split a token slice on top-level commas, tracking `<`/`>` depth so
+/// commas inside generic arguments (e.g. `BTreeMap<String, String>`)
+/// do not split. Parens/brackets/braces arrive as atomic `Group`s.
+fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle: i32 = 0;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Render tokens back to a compact string (for textual type matching).
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    let mut s = String::new();
+    for t in tokens {
+        s.push_str(&t.to_string());
+    }
+    s.replace(' ', "")
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let is_enum = if is_ident(&tokens[i], "struct") {
+        false
+    } else if is_ident(&tokens[i], "enum") {
+        true
+    } else {
+        panic!("derive(Serialize/Deserialize): expected `struct` or `enum`");
+    };
+    i += 1;
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive: expected type name, got `{other}`"),
+    };
+    i += 1;
+
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        panic!("vendored serde_derive does not support generic types (deriving `{name}`)");
+    }
+
+    if is_enum {
+        let body = match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => panic!("derive: expected enum body, got `{other}`"),
+        };
+        let variants = parse_variants(&body.into_iter().collect::<Vec<_>>());
+        return Input {
+            name,
+            body: Body::Enum(variants),
+        };
+    }
+
+    // Struct: named, tuple, or unit.
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let fields = parse_named_fields(&g.stream().into_iter().collect::<Vec<_>>());
+            Input {
+                name,
+                body: Body::NamedStruct(fields),
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let types: Vec<String> = split_commas(&inner)
+                .into_iter()
+                .map(|field| {
+                    let start = skip_attrs_and_vis(&field, 0);
+                    tokens_to_string(&field[start..])
+                })
+                .collect();
+            Input {
+                name,
+                body: Body::TupleStruct(types),
+            }
+        }
+        _ => Input {
+            name,
+            body: Body::UnitStruct,
+        },
+    }
+}
+
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    split_commas(tokens)
+        .into_iter()
+        .filter(|f| !f.is_empty())
+        .map(|field| {
+            let i = skip_attrs_and_vis(&field, 0);
+            match field.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("derive: expected field name, got `{other:?}`"),
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    split_commas(tokens)
+        .into_iter()
+        .filter(|v| !v.is_empty())
+        .map(|var| {
+            let i = skip_attrs_and_vis(&var, 0);
+            let name = match var.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("derive: expected variant name, got `{other:?}`"),
+            };
+            let kind = match var.get(i + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    VariantKind::Tuple(split_commas(&inner).len())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    VariantKind::Struct(parse_named_fields(&inner))
+                }
+                _ => VariantKind::Unit,
+            };
+            Variant { name, kind }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+const KEYABLE_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "usize", "i8", "i16", "i32", "i64", "isize", "String",
+];
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let name = &parsed.name;
+    let mut code = String::new();
+
+    code.push_str(&format!(
+        "impl serde::Serialize for {name} {{\n    fn to_value(&self) -> serde::Value {{\n"
+    ));
+    match &parsed.body {
+        Body::NamedStruct(fields) => {
+            code.push_str("        serde::Value::Map(vec![\n");
+            for f in fields {
+                code.push_str(&format!(
+                    "            (\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})),\n"
+                ));
+            }
+            code.push_str("        ])\n");
+        }
+        Body::TupleStruct(types) if types.len() == 1 => {
+            // Newtype structs serialize transparently (serde default).
+            code.push_str("        serde::Serialize::to_value(&self.0)\n");
+        }
+        Body::TupleStruct(types) => {
+            code.push_str("        serde::Value::Seq(vec![\n");
+            for i in 0..types.len() {
+                code.push_str(&format!(
+                    "            serde::Serialize::to_value(&self.{i}),\n"
+                ));
+            }
+            code.push_str("        ])\n");
+        }
+        Body::UnitStruct => {
+            code.push_str("        serde::Value::Null\n");
+        }
+        Body::Enum(variants) => {
+            code.push_str("        match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        code.push_str(&format!(
+                            "            {name}::{vn} => serde::Value::Str(\"{vn}\".to_string()),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => {
+                        code.push_str(&format!(
+                            "            {name}::{vn}(f0) => serde::Value::Map(vec![(\"{vn}\".to_string(), serde::Serialize::to_value(f0))]),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::to_value({b})"))
+                            .collect();
+                        code.push_str(&format!(
+                            "            {name}::{vn}({}) => serde::Value::Map(vec![(\"{vn}\".to_string(), serde::Value::Seq(vec![{}]))]),\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let pairs: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        code.push_str(&format!(
+                            "            {name}::{vn} {{ {binds} }} => serde::Value::Map(vec![(\"{vn}\".to_string(), serde::Value::Map(vec![{}]))]),\n",
+                            pairs.join(", ")
+                        ));
+                    }
+                }
+            }
+            code.push_str("        }\n");
+        }
+    }
+    code.push_str("    }\n}\n");
+
+    // Newtype structs over a string/integer type also work as JSON map
+    // keys (serde_json stringifies numeric keys). Emitted from the
+    // Serialize derive only, to avoid duplicate impls when a type
+    // derives both traits.
+    if let Body::TupleStruct(types) = &parsed.body {
+        if types.len() == 1 && KEYABLE_TYPES.contains(&types[0].as_str()) {
+            code.push_str(&format!(
+                "impl serde::MapKey for {name} {{\n\
+                 \x20   fn to_key(&self) -> String {{ serde::MapKey::to_key(&self.0) }}\n\
+                 \x20   fn from_key(key: &str) -> Result<Self, serde::DeError> {{ Ok({name}(serde::MapKey::from_key(key)?)) }}\n\
+                 }}\n"
+            ));
+        }
+    }
+
+    code.parse().expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let name = &parsed.name;
+    let mut code = String::new();
+
+    code.push_str(&format!(
+        "impl serde::Deserialize for {name} {{\n    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n"
+    ));
+    match &parsed.body {
+        Body::NamedStruct(fields) => {
+            code.push_str("        let _ = serde::expect_map(v)?;\n");
+            code.push_str(&format!("        Ok({name} {{\n"));
+            for f in fields {
+                code.push_str(&format!("            {f}: serde::field(v, \"{f}\")?,\n"));
+            }
+            code.push_str("        })\n");
+        }
+        Body::TupleStruct(types) if types.len() == 1 => {
+            code.push_str(&format!(
+                "        Ok({name}(serde::Deserialize::from_value(v)?))\n"
+            ));
+        }
+        Body::TupleStruct(types) => {
+            let n = types.len();
+            code.push_str(&format!(
+                "        let items = serde::expect_seq(v, {n})?;\n"
+            ));
+            let elems: Vec<String> = (0..n)
+                .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            code.push_str(&format!("        Ok({name}({}))\n", elems.join(", ")));
+        }
+        Body::UnitStruct => {
+            code.push_str(&format!("        let _ = v;\n        Ok({name})\n"));
+        }
+        Body::Enum(variants) => {
+            code.push_str("        let (tag, payload) = serde::enum_tag(v)?;\n");
+            code.push_str("        match tag {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        code.push_str(&format!(
+                            "            \"{vn}\" => Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => {
+                        code.push_str(&format!(
+                            "            \"{vn}\" => {{\n\
+                             \x20               let p = payload.ok_or_else(|| serde::DeError::custom(\"missing payload for variant `{vn}`\"))?;\n\
+                             \x20               Ok({name}::{vn}(serde::Deserialize::from_value(p)?))\n\
+                             \x20           }}\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        code.push_str(&format!(
+                            "            \"{vn}\" => {{\n\
+                             \x20               let p = payload.ok_or_else(|| serde::DeError::custom(\"missing payload for variant `{vn}`\"))?;\n\
+                             \x20               let items = serde::expect_seq(p, {n})?;\n\
+                             \x20               Ok({name}::{vn}({}))\n\
+                             \x20           }}\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: serde::field(p, \"{f}\")?"))
+                            .collect();
+                        code.push_str(&format!(
+                            "            \"{vn}\" => {{\n\
+                             \x20               let p = payload.ok_or_else(|| serde::DeError::custom(\"missing payload for variant `{vn}`\"))?;\n\
+                             \x20               let _ = serde::expect_map(p)?;\n\
+                             \x20               Ok({name}::{vn} {{ {} }})\n\
+                             \x20           }}\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            code.push_str(&format!(
+                "            other => Err(serde::DeError::custom(format!(\"unknown variant `{{other}}` for {name}\"))),\n"
+            ));
+            code.push_str("        }\n");
+        }
+    }
+    code.push_str("    }\n}\n");
+
+    code.parse().expect("serde_derive: generated Deserialize impl failed to parse")
+}
