@@ -1,0 +1,231 @@
+//! PR 2 performance gate: parallel index construction with the memoized
+//! pairwise-analysis cache.
+//!
+//! Workload (the "reindex-twice" curation sweep): publish ≥50 zoo models,
+//! build the indices, then re-register every model twice — the refresh an
+//! operator runs after a metadata sweep or an integrity audit, where the
+//! underlying weights have not changed. Two configurations run the same
+//! workload:
+//!
+//! * **baseline** — `--jobs 1 --cache-cap 0`: the sequential reference;
+//!   every pairwise analysis is recomputed from scratch on each sweep;
+//! * **tuned** — `--jobs 4 --cache-cap 65536`: the parallel build with
+//!   the content-addressed pairwise cache; refresh sweeps hit the cache
+//!   instead of re-running analyses.
+//!
+//! Both configurations must produce **byte-identical** snapshots (the
+//! build pipeline is deterministic at any job count), which the binary
+//! asserts before reporting. Reported: build throughput (models
+//! processed per second across the three sweeps), p50/p90 query latency,
+//! and the tuned run's cache hit rate.
+//!
+//! ```sh
+//! cargo run --release -p sommelier-bench --bin pr2_parallel_cache
+//! # SOMMELIER_PR2_MODE=full for a larger fleet
+//! ```
+
+use serde::Serialize;
+use sommelier_bench::{fmt, print_table, timed, write_json};
+use sommelier_graph::{Model, TaskKind};
+use sommelier_query::{Sommelier, SommelierConfig};
+use sommelier_repo::{InMemoryRepository, ModelRepository};
+use sommelier_tensor::Prng;
+use sommelier_zoo::families::Family;
+use sommelier_zoo::series::build_series;
+use std::sync::Arc;
+
+#[derive(Serialize)]
+struct RunReport {
+    jobs: usize,
+    cache_cap: usize,
+    models: usize,
+    /// Models processed across the build + two refresh sweeps.
+    models_processed: usize,
+    build_seconds: f64,
+    build_throughput_models_per_sec: f64,
+    query_p50_ms: f64,
+    query_p90_ms: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_hit_rate: f64,
+}
+
+#[derive(Serialize)]
+struct Bench {
+    experiment: &'static str,
+    mode: String,
+    baseline: RunReport,
+    tuned: RunReport,
+    speedup: f64,
+    snapshots_identical: bool,
+}
+
+/// Build the model fleet: `series × 5` finetuned variants per family.
+fn fleet(n_series: usize) -> Vec<Model> {
+    let families = [
+        Family::Bitish,
+        Family::Efficientnetish,
+        Family::Resnetish,
+        Family::Mobilenetish,
+        Family::Vggish,
+        Family::Inceptionish,
+    ];
+    let mut rng = Prng::seed_from_u64(2024);
+    let mut models = Vec::new();
+    for i in 0..n_series {
+        let family = families[i % families.len()];
+        let series = build_series(
+            &format!("{}-v{}", family.slug(), i / families.len() + 1),
+            family,
+            TaskKind::ImageRecognition,
+            "imagenet",
+            5,
+            2024,
+            0.12,
+            &mut rng,
+        );
+        models.extend(series.models);
+    }
+    models
+}
+
+/// Run the full workload under one knob configuration.
+fn run(models: &[Model], jobs: usize, cache_cap: usize, queries: usize) -> (RunReport, Vec<u8>) {
+    let repo = Arc::new(InMemoryRepository::new());
+    for m in models {
+        repo.publish(&m.name, m, true).expect("publish");
+    }
+    let mut cfg = SommelierConfig {
+        validation_rows: 64,
+        jobs,
+        cache_cap,
+        ..SommelierConfig::default()
+    };
+    cfg.index.sample_size = 6;
+    cfg.index.segments = false;
+    let mut engine = Sommelier::connect(repo as Arc<dyn ModelRepository>, cfg);
+
+    // Build + two refresh sweeps (the reindex-twice workload).
+    let (_, build_seconds) = timed(|| {
+        let indexed = engine.index_existing().expect("index");
+        assert_eq!(indexed, models.len());
+        for _ in 0..2 {
+            for m in models {
+                engine.reregister(m).expect("reregister");
+            }
+        }
+    });
+    let models_processed = 3 * models.len();
+
+    // Query latencies over rotating references.
+    let mut lat_ms: Vec<f64> = Vec::with_capacity(queries);
+    for q in 0..queries {
+        let reference = &models[(q * 7) % models.len()].name;
+        let text = format!(
+            "SELECT models 5 CORR {reference} ON memory <= 500% WITHIN 0.95"
+        );
+        let (res, secs) = timed(|| engine.query(&text).expect("query"));
+        std::hint::black_box(res);
+        lat_ms.push(secs * 1e3);
+    }
+    lat_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: f64| lat_ms[((lat_ms.len() as f64 - 1.0) * p).round() as usize];
+
+    let stats = engine.cache_stats();
+    let analyses = stats.hits + stats.misses;
+    let snap_path = std::env::temp_dir().join(format!(
+        "sommelier-pr2-{}-j{jobs}-c{cache_cap}.index.json",
+        std::process::id()
+    ));
+    engine.save_indices(&snap_path).expect("save snapshot");
+    let snapshot = std::fs::read(&snap_path).expect("read snapshot");
+    std::fs::remove_file(&snap_path).ok();
+
+    let report = RunReport {
+        jobs,
+        cache_cap,
+        models: models.len(),
+        models_processed,
+        build_seconds,
+        build_throughput_models_per_sec: models_processed as f64 / build_seconds,
+        query_p50_ms: pct(0.50),
+        query_p90_ms: pct(0.90),
+        cache_hits: stats.hits,
+        cache_misses: stats.misses,
+        cache_hit_rate: if analyses == 0 {
+            0.0
+        } else {
+            stats.hits as f64 / analyses as f64
+        },
+    };
+    (report, snapshot)
+}
+
+fn main() {
+    let mode = std::env::var("SOMMELIER_PR2_MODE").unwrap_or_else(|_| "smoke".into());
+    let (n_series, queries) = match mode.as_str() {
+        "full" => (24, 80),
+        _ => (12, 40),
+    };
+    let models = fleet(n_series);
+    assert!(models.len() >= 50, "fleet must hold at least 50 models");
+    println!(
+        "pr2_parallel_cache [{mode}]: {} models, {} queries per run",
+        models.len(),
+        queries
+    );
+
+    let (baseline, snap_base) = run(&models, 1, 0, queries);
+    let (tuned, snap_tuned) = run(&models, 4, 65536, queries);
+
+    let snapshots_identical = snap_base == snap_tuned;
+    assert!(
+        snapshots_identical,
+        "tuned build diverged from the sequential reference snapshot"
+    );
+    assert!(tuned.cache_hits > 0, "reindex workload must hit the cache");
+
+    let speedup =
+        tuned.build_throughput_models_per_sec / baseline.build_throughput_models_per_sec;
+
+    let row = |r: &RunReport| {
+        vec![
+            format!("jobs={} cap={}", r.jobs, r.cache_cap),
+            fmt(r.build_seconds, 2),
+            fmt(r.build_throughput_models_per_sec, 1),
+            fmt(r.query_p50_ms, 3),
+            fmt(r.query_p90_ms, 3),
+            format!("{}/{}", r.cache_hits, r.cache_hits + r.cache_misses),
+            fmt(r.cache_hit_rate * 100.0, 1),
+        ]
+    };
+    print_table(
+        "PR 2: parallel build + pairwise cache (reindex-twice workload)",
+        &[
+            "config",
+            "build s",
+            "models/s",
+            "q p50 ms",
+            "q p90 ms",
+            "cache",
+            "hit %",
+        ],
+        &[row(&baseline), row(&tuned)],
+    );
+    println!(
+        "\nspeedup: {:.2}x (snapshots identical: {snapshots_identical})",
+        speedup
+    );
+
+    write_json(
+        "pr2_parallel_cache",
+        &Bench {
+            experiment: "pr2_parallel_cache",
+            mode,
+            baseline,
+            tuned,
+            speedup,
+            snapshots_identical,
+        },
+    );
+}

@@ -23,18 +23,24 @@ use sommelier_index::lsh::LshConfig;
 use sommelier_index::semantic::{PairAnalyzer, SemanticIndexConfig};
 use sommelier_index::{ResourceConstraint, ResourceIndex, SemanticIndex};
 use sommelier_runtime::ResourceProfile;
-use sommelier_tensor::{Prng, Shape, Tensor};
+use sommelier_tensor::{mix64, stable_hash64, Prng, Shape, Tensor};
 use std::time::Instant;
 
 /// A stand-in analyzer with plausible diff values — the index structure,
 /// not the analysis, is under test here.
 struct SyntheticAnalyzer {
-    rng: Prng,
+    seed: u64,
 }
 
 impl PairAnalyzer for SyntheticAnalyzer {
-    fn whole_diff(&mut self, _: &Model, _: &Model) -> Option<f64> {
-        Some(self.rng.uniform() * 0.3)
+    fn whole_diff(&self, a: &Model, b: &Model) -> Option<f64> {
+        // Deterministic per pair so parallel insertion stays reproducible.
+        let pair = mix64(&[
+            self.seed,
+            stable_hash64(a.name.as_bytes()),
+            stable_hash64(b.name.as_bytes()),
+        ]);
+        Some(Prng::seed_from_u64(pair).uniform() * 0.3)
     }
 }
 
@@ -82,9 +88,7 @@ fn main() {
             },
             1,
         );
-        let mut analyzer = SyntheticAnalyzer {
-            rng: Prng::seed_from_u64(7),
-        };
+        let analyzer = SyntheticAnalyzer { seed: 7 };
         // Resolver keeps a window of recent models (sampling only ever
         // touches stored names; rebuild on demand by parsing the index).
         let resolve = |k: &str| {
@@ -93,7 +97,7 @@ fn main() {
         };
         for i in 0..n {
             let m = record_model(i);
-            semantic.insert(&m, &resolve, &mut analyzer);
+            semantic.insert(&m, &resolve, &analyzer);
             resource.insert(&m.name, profile(&mut rng));
         }
 

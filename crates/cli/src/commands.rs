@@ -87,6 +87,16 @@ fn engine_config(flags: &[(&str, &str)]) -> Result<SommelierConfig, String> {
                     .map_err(|_| format!("--sample needs an integer, got '{value}'"))?;
             }
             "no-segments" => cfg.index.segments = false,
+            "jobs" => {
+                cfg.jobs = value
+                    .parse()
+                    .map_err(|_| format!("--jobs needs an integer, got '{value}'"))?;
+            }
+            "cache-cap" => {
+                cfg.cache_cap = value
+                    .parse()
+                    .map_err(|_| format!("--cache-cap needs an integer, got '{value}'"))?;
+            }
             _ => return Err(format!("unknown flag --{name}")),
         }
     }
@@ -223,7 +233,8 @@ pub fn show(args: &[String]) -> CmdResult {
     Ok(())
 }
 
-/// `sommelier index <dir> [--sample N] [--no-segments]`
+/// `sommelier index <dir> [--sample N] [--no-segments] [--jobs N]
+/// [--cache-cap N]`
 pub fn index(args: &[String]) -> CmdResult {
     let (positional, flags) = split_flags(args)?;
     let dir = repo_dir(&positional)?;
@@ -235,13 +246,19 @@ pub fn index(args: &[String]) -> CmdResult {
     let secs = start.elapsed().as_secs_f64();
     engine.save_indices(&index_path(&dir)).map_err(fail)?;
     println!(
-        "indexed {added} models in {secs:.1}s → {}",
+        "indexed {added} models in {secs:.1}s with {} job(s) → {}",
+        engine.jobs(),
         index_path(&dir).display()
+    );
+    let stats = engine.cache_stats();
+    println!(
+        "pairwise cache: {} hit(s), {} miss(es), {} entrie(s) (cap {})",
+        stats.hits, stats.misses, stats.entries, stats.capacity
     );
     Ok(())
 }
 
-fn load_engine(dir: &Path) -> Result<Sommelier, String> {
+fn load_engine(dir: &Path, cfg: SommelierConfig) -> Result<Sommelier, String> {
     let repo = open_repo(dir)?;
     let path = index_path(dir);
     if !path.exists() {
@@ -251,24 +268,20 @@ fn load_engine(dir: &Path) -> Result<Sommelier, String> {
             dir.display()
         ));
     }
-    Sommelier::connect_with_indices(
-        repo as Arc<dyn ModelRepository>,
-        SommelierConfig::default(),
-        &path,
-    )
-    .map_err(fail)
+    Sommelier::connect_with_indices(repo as Arc<dyn ModelRepository>, cfg, &path).map_err(fail)
 }
 
-/// `sommelier query <dir> <query-text>`
+/// `sommelier query <dir> <query-text> [--jobs N] [--cache-cap N]`
 pub fn query(args: &[String]) -> CmdResult {
-    let (positional, _) = split_flags(args)?;
+    let (positional, flags) = split_flags(args)?;
     let dir = repo_dir(&positional)?;
+    let cfg = engine_config(&flags)?;
     let text = positional
         .get(1..)
         .filter(|rest| !rest.is_empty())
         .map(|rest| rest.join(" "))
         .ok_or("missing query text")?;
-    let engine = load_engine(&dir)?;
+    let engine = load_engine(&dir, cfg)?;
     let results = engine.query(&text).map_err(fail)?;
     if results.is_empty() {
         println!("(no model satisfies all predicates)");

@@ -31,9 +31,10 @@ COMMANDS:
     add    <dir> <model.json> [--key K] publish a model file
     list   <dir>                        list stored model keys
     show   <dir> <key>                  metadata + resource profile
-    index  <dir> [--sample N] [--no-segments]
+    index  <dir> [--sample N] [--no-segments] [--jobs N] [--cache-cap N]
                                         build and persist the indices
-    query  <dir> <query-text>           run a SELECT … CORR … query
+    query  <dir> <query-text> [--jobs N]
+                                        run a SELECT … CORR … query
     diff   <dir> <reference> <candidate>
                                         full equivalence explanation
     dot    <dir> <key>                  Graphviz export of the model graph

@@ -1,0 +1,393 @@
+//! Memoized pairwise-analysis cache.
+//!
+//! Equivalence assessment between two models is by far the most expensive
+//! step of index construction: every `whole_diff`/`segment_diff` runs both
+//! models over a validation batch. Reindexing, ablation sweeps, and
+//! repeated queries keep asking for the *same* pairs, so we cache the
+//! results in a concurrency-safe, sharded LRU keyed by
+//! `(fingerprint_a, fingerprint_b, kind, config_hash)`.
+//!
+//! Design notes:
+//!
+//! * **Keys are content fingerprints, not registry names.** A model
+//!   re-registered under the same key with different weights must not see
+//!   stale analyses; fingerprints make staleness impossible and let
+//!   identical weights under different names share entries.
+//! * **`None` results are cached too.** "These two models are
+//!   incomparable" is itself an expensive discovery (it may involve probe
+//!   execution); the cache stores `Option<f64>` values so incomparability
+//!   is remembered.
+//! * **Sharded locking.** The map is split across a fixed number of
+//!   mutex-protected shards selected by key hash, so concurrent index
+//!   workers rarely contend. Eviction is per-shard LRU via monotonic
+//!   stamps (capacity is divided evenly across shards).
+//! * **`capacity == 0` disables the cache** — `get` returns `None`
+//!   without counting a miss and `insert` is a no-op, so `--cache-cap 0`
+//!   reproduces uncached behaviour exactly.
+//!
+//! The cache is *observability-transparent*: hit/miss/eviction counters
+//! are kept in atomics and can be published to the process-wide registry
+//! in `sommelier_runtime::metrics::counters` via [`PairwiseCache::publish_metrics`].
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use sommelier_runtime::metrics::counters;
+
+/// Which analysis the cached value came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PairKind {
+    /// Whole-model QoR difference (Section 4.1).
+    Whole,
+    /// Best segment-replacement QoR difference (Section 4.2).
+    Segment,
+}
+
+/// Cache key: content fingerprints of the two models, the analysis kind,
+/// and a hash of every configuration knob that influences the result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PairKey {
+    /// Fingerprint of the first model (direction matters: the analyses
+    /// are not symmetric — A→B replacement differs from B→A).
+    pub a: u64,
+    /// Fingerprint of the second model.
+    pub b: u64,
+    /// Which analysis produced the value.
+    pub kind: PairKind,
+    /// Hash of the analysis configuration (ε, validation rows, seed, …).
+    pub config_hash: u64,
+}
+
+/// A point-in-time view of the cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries evicted to stay under capacity.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Configured total capacity (0 = disabled).
+    pub capacity: usize,
+}
+
+struct Slot {
+    value: Option<f64>,
+    stamp: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<PairKey, Slot>,
+    clock: u64,
+}
+
+const SHARDS: usize = 16;
+
+/// Concurrency-safe sharded LRU for pairwise-analysis results.
+pub struct PairwiseCache {
+    shards: Vec<Mutex<Shard>>,
+    capacity: usize,
+    per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PairwiseCache {
+    /// Create a cache holding at most `capacity` entries in total.
+    /// `capacity == 0` disables caching entirely.
+    pub fn new(capacity: usize) -> Self {
+        let per_shard = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(SHARDS).max(1)
+        };
+        PairwiseCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            capacity,
+            per_shard,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the cache stores anything at all.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    fn shard_of(&self, key: &PairKey) -> &Mutex<Shard> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Look up a cached analysis. The outer `Option` is presence in the
+    /// cache; the inner `Option<f64>` is the cached analysis result
+    /// (`None` = "pair is incomparable"). Refreshes the entry's LRU stamp.
+    pub fn get(&self, key: &PairKey) -> Option<Option<f64>> {
+        if !self.enabled() {
+            return None;
+        }
+        let mut shard = self.shard_of(key).lock().unwrap_or_else(|e| e.into_inner());
+        shard.clock += 1;
+        let clock = shard.clock;
+        match shard.map.get_mut(key) {
+            Some(slot) => {
+                slot.stamp = clock;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(slot.value)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Optimistic probe: like [`PairwiseCache::get`] but a miss is *not*
+    /// counted. Callers use `peek` as a fast path whose miss falls
+    /// through to the full (counted) analysis path — which itself does a
+    /// counted `get` — so counting here too would double-book every
+    /// miss. A hit refreshes the LRU stamp and counts exactly like a
+    /// `get` hit, because a peek hit means the slow path is skipped
+    /// entirely.
+    pub fn peek(&self, key: &PairKey) -> Option<Option<f64>> {
+        if !self.enabled() {
+            return None;
+        }
+        let mut shard = self.shard_of(key).lock().unwrap_or_else(|e| e.into_inner());
+        shard.clock += 1;
+        let clock = shard.clock;
+        match shard.map.get_mut(key) {
+            Some(slot) => {
+                slot.stamp = clock;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(slot.value)
+            }
+            None => None,
+        }
+    }
+
+    /// Insert (or refresh) an analysis result, evicting the least
+    /// recently used entry of the key's shard if it is full.
+    pub fn insert(&self, key: PairKey, value: Option<f64>) {
+        if !self.enabled() {
+            return;
+        }
+        let mut shard = self.shard_of(&key).lock().unwrap_or_else(|e| e.into_inner());
+        shard.clock += 1;
+        let stamp = shard.clock;
+        if !shard.map.contains_key(&key) && shard.map.len() >= self.per_shard {
+            // Evict the least-recently-stamped entry. O(shard len), but
+            // shards are small and eviction only happens at capacity.
+            if let Some(victim) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, slot)| slot.stamp)
+                .map(|(k, _)| *k)
+            {
+                shard.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.map.insert(key, Slot { value, stamp });
+    }
+
+    /// Number of resident entries (sums shard lengths).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).map.len())
+            .sum()
+    }
+
+    /// True when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Publish the counters to the process-wide metrics registry under
+    /// the well-known `pairwise_cache.*` names.
+    pub fn publish_metrics(&self) {
+        let s = self.stats();
+        counters::set("pairwise_cache.hits", s.hits);
+        counters::set("pairwise_cache.misses", s.misses);
+        counters::set("pairwise_cache.evictions", s.evictions);
+        counters::set("pairwise_cache.entries", s.entries as u64);
+    }
+}
+
+impl std::fmt::Debug for PairwiseCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PairwiseCache")
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(a: u64, b: u64) -> PairKey {
+        PairKey {
+            a,
+            b,
+            kind: PairKind::Whole,
+            config_hash: 7,
+        }
+    }
+
+    #[test]
+    fn get_insert_roundtrip_and_counters() {
+        let cache = PairwiseCache::new(64);
+        assert!(cache.enabled());
+        assert_eq!(cache.get(&key(1, 2)), None); // miss
+        cache.insert(key(1, 2), Some(0.25));
+        assert_eq!(cache.get(&key(1, 2)), Some(Some(0.25))); // hit
+        cache.insert(key(3, 4), None); // incomparable pairs cache too
+        assert_eq!(cache.get(&key(3, 4)), Some(None));
+        let s = cache.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.capacity, 64);
+    }
+
+    #[test]
+    fn direction_and_kind_and_config_are_part_of_the_key() {
+        let cache = PairwiseCache::new(64);
+        cache.insert(key(1, 2), Some(0.1));
+        assert_eq!(cache.get(&key(2, 1)), None, "direction matters");
+        let seg = PairKey {
+            kind: PairKind::Segment,
+            ..key(1, 2)
+        };
+        assert_eq!(cache.get(&seg), None, "kind matters");
+        let other_cfg = PairKey {
+            config_hash: 8,
+            ..key(1, 2)
+        };
+        assert_eq!(cache.get(&other_cfg), None, "config matters");
+    }
+
+    #[test]
+    fn peek_counts_hits_but_never_misses() {
+        let cache = PairwiseCache::new(8);
+        assert_eq!(cache.peek(&key(5, 6)), None);
+        assert_eq!(cache.stats().misses, 0, "peek miss must not be counted");
+        cache.insert(key(5, 6), Some(0.5));
+        assert_eq!(cache.peek(&key(5, 6)), Some(Some(0.5)));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 0));
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let cache = PairwiseCache::new(0);
+        assert!(!cache.enabled());
+        cache.insert(key(1, 2), Some(0.5));
+        assert_eq!(cache.get(&key(1, 2)), None);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 0, 0));
+    }
+
+    #[test]
+    fn eviction_respects_lru_within_a_shard() {
+        // Capacity 16 over 16 shards → one entry per shard. Two keys that
+        // land in the same shard must evict each other; the freshly used
+        // one survives.
+        let cache = PairwiseCache::new(16);
+        // Find two keys mapping to the same shard.
+        let base = key(0, 0);
+        let shard_ptr = |k: &PairKey| cache.shard_of(k) as *const _;
+        let target = shard_ptr(&base);
+        let mut other = None;
+        for a in 1..10_000 {
+            let k = key(a, a);
+            if shard_ptr(&k) == target {
+                other = Some(k);
+                break;
+            }
+        }
+        let other = other.expect("some key shares a shard");
+        cache.insert(base, Some(1.0));
+        cache.insert(other, Some(2.0));
+        assert_eq!(cache.get(&base), None, "older entry was evicted");
+        assert_eq!(cache.get(&other), Some(Some(2.0)));
+        assert!(cache.stats().evictions >= 1);
+    }
+
+    /// Satellite (c): loom-style stress test — hammer the cache from many
+    /// threads with overlapping keys and verify the invariants hold:
+    /// every observed value is the deterministic function of its key,
+    /// entries never exceed capacity, and hits+misses equals lookups.
+    #[test]
+    fn concurrent_insert_get_stress() {
+        let cache = PairwiseCache::new(32);
+        let threads = 8;
+        let ops = 500;
+        let value_of = |a: u64, b: u64| (a * 1000 + b) as f64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let cache = &cache;
+                s.spawn(move || {
+                    let mut x = t as u64 + 1;
+                    for i in 0..ops {
+                        // Cheap deterministic-per-thread pseudo-random walk
+                        // over a small key space so threads collide.
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        let a = (x >> 33) % 24;
+                        let b = (x >> 17) % 24;
+                        let k = key(a, b);
+                        if let Some(v) = cache.get(&k) {
+                            assert_eq!(
+                                v,
+                                Some(value_of(a, b)),
+                                "cached value must match its key"
+                            );
+                        } else if i % 2 == 0 {
+                            cache.insert(k, Some(value_of(a, b)));
+                        }
+                    }
+                });
+            }
+        });
+        let s = cache.stats();
+        assert!(s.entries <= 32, "entries {} exceed capacity", s.entries);
+        assert_eq!(s.hits + s.misses, (threads * ops) as u64);
+    }
+
+    #[test]
+    fn publish_metrics_exports_well_known_names() {
+        let cache = PairwiseCache::new(8);
+        cache.insert(key(90, 91), Some(0.5));
+        let _ = cache.get(&key(90, 91));
+        cache.publish_metrics();
+        assert!(counters::get("pairwise_cache.hits") >= 1);
+        assert_eq!(
+            counters::get("pairwise_cache.entries"),
+            cache.len() as u64
+        );
+    }
+}

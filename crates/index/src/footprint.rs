@@ -49,7 +49,7 @@ mod tests {
 
     struct ConstAnalyzer;
     impl PairAnalyzer for ConstAnalyzer {
-        fn whole_diff(&mut self, _: &Model, _: &Model) -> Option<f64> {
+        fn whole_diff(&self, _: &Model, _: &Model) -> Option<f64> {
             Some(0.1)
         }
     }
@@ -72,7 +72,7 @@ mod tests {
             let pool = models.clone();
             let resolve = move |k: &str| pool.iter().find(|m| m.name == k).cloned();
             for m in &models {
-                idx.insert(m, &resolve, &mut ConstAnalyzer);
+                idx.insert(m, &resolve, &ConstAnalyzer);
             }
             footprints.push(semantic_footprint_bytes(&idx));
         }

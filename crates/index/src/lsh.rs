@@ -8,6 +8,7 @@
 //! configuration knobs (Section 5.5).
 
 use serde::{Deserialize, Serialize};
+use sommelier_parallel::ThreadPool;
 use sommelier_tensor::Prng;
 use std::collections::HashMap;
 
@@ -114,6 +115,28 @@ impl CosineLsh {
         out
     }
 
+    /// [`CosineLsh::candidates`] with the per-table probes fanned out
+    /// across `pool` — each table's signature computation and bucket
+    /// read is an independent task. The merged result is identical to
+    /// the sequential path (per-table hits are concatenated in table
+    /// order, then sorted and deduplicated).
+    pub fn candidates_with(&self, pool: &ThreadPool, v: &[f64]) -> Vec<usize> {
+        assert_eq!(v.len(), self.dim, "vector dimensionality mismatch");
+        let tables: Vec<usize> = (0..self.config.tables).collect();
+        let per_table: Vec<&[usize]> = pool
+            .par_map(&tables, |&t| {
+                let sig = self.signature(t, v);
+                self.buckets[t].get(&sig).map(|ids| ids.as_slice())
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        let mut out: Vec<usize> = per_table.into_iter().flatten().copied().collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
     /// Every id stored in any bucket of any table (deduplicated,
     /// ascending) — the audit view integrity tooling uses to detect
     /// buckets referencing resource-vector slots that do not exist.
@@ -205,6 +228,22 @@ mod tests {
     fn wrong_dimension_rejected() {
         let mut lsh = CosineLsh::new(4, LshConfig::default(), 1);
         lsh.insert(&[1.0, 2.0], 0);
+    }
+
+    #[test]
+    fn parallel_table_probe_matches_sequential() {
+        let mut lsh = CosineLsh::new(8, LshConfig { bits: 6, tables: 8 }, 9);
+        let mut rng = Prng::seed_from_u64(4);
+        let vs: Vec<Vec<f64>> = (0..64)
+            .map(|_| (0..8).map(|_| rng.gaussian()).collect())
+            .collect();
+        for (i, v) in vs.iter().enumerate() {
+            lsh.insert(v, i);
+        }
+        let pool = ThreadPool::new(4);
+        for v in vs.iter().take(10) {
+            assert_eq!(lsh.candidates(v), lsh.candidates_with(&pool, v));
+        }
     }
 
     #[test]

@@ -19,6 +19,9 @@ use std::path::Path;
 pub struct IndexSnapshot {
     /// Snapshot format version.
     pub version: u32,
+    /// Content-derived metrics header (absent in pre-stats snapshots;
+    /// readers must tolerate `None`).
+    pub stats: Option<SnapshotStats>,
     /// The semantic index.
     pub semantic: SemanticIndex,
     /// The resource index.
@@ -27,6 +30,48 @@ pub struct IndexSnapshot {
 
 /// Current snapshot format version.
 pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Current stats-header version (evolves independently of
+/// [`SNAPSHOT_VERSION`]; unknown versions are tolerated by readers).
+pub const STATS_VERSION: u32 = 1;
+
+/// Content-derived metrics header written alongside the indices.
+///
+/// Every field is a pure function of the index *contents* — deliberately
+/// excluding live pairwise-cache hit/miss counters, whose values depend
+/// on the build schedule (a racing parallel build may compute a pair
+/// twice where a sequential one hits the cache). Keeping the header
+/// schedule-independent preserves the invariant that the snapshot file
+/// is byte-identical at any `--jobs` / `--cache-cap` setting. Counters
+/// are `i64` so audit tooling can detect hand-edited negative values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotStats {
+    /// Version of this header's schema.
+    pub stats_version: u32,
+    /// Models registered in the semantic index.
+    pub models: i64,
+    /// Total candidate records across all semantic entries.
+    pub candidate_records: i64,
+    /// Entries in the resource index.
+    pub resource_entries: i64,
+}
+
+impl SnapshotStats {
+    /// Derive the header from live indices.
+    pub fn of(semantic: &SemanticIndex, resource: &ResourceIndex) -> Self {
+        let candidate_records = semantic
+            .entries_audit()
+            .iter()
+            .map(|(_, _, records)| records.len() as i64)
+            .sum();
+        SnapshotStats {
+            stats_version: STATS_VERSION,
+            models: semantic.len() as i64,
+            candidate_records,
+            resource_entries: resource.len() as i64,
+        }
+    }
+}
 
 /// Persistence failures.
 #[derive(Debug)]
@@ -64,6 +109,7 @@ impl From<std::io::Error> for PersistError {
 pub fn save(semantic: &SemanticIndex, resource: &ResourceIndex, path: &Path) -> Result<(), PersistError> {
     let snapshot = IndexSnapshot {
         version: SNAPSHOT_VERSION,
+        stats: Some(SnapshotStats::of(semantic, resource)),
         semantic: semantic.clone(),
         resource: resource.clone(),
     };
@@ -105,7 +151,7 @@ mod tests {
 
     struct ConstAnalyzer;
     impl PairAnalyzer for ConstAnalyzer {
-        fn whole_diff(&mut self, _: &Model, _: &Model) -> Option<f64> {
+        fn whole_diff(&self, _: &Model, _: &Model) -> Option<f64> {
             Some(0.07)
         }
     }
@@ -126,7 +172,7 @@ mod tests {
         let pool = models.clone();
         let resolve = move |k: &str| pool.iter().find(|m| m.name == k).cloned();
         for (i, m) in models.iter().enumerate() {
-            sem.insert(m, &resolve, &mut ConstAnalyzer);
+            sem.insert(m, &resolve, &ConstAnalyzer);
             res.insert(
                 &m.name,
                 ResourceProfile {
@@ -158,6 +204,82 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(res2.query(&c), res.query(&c));
+    }
+
+    #[test]
+    fn snapshot_carries_a_content_derived_stats_header() {
+        let mut sem = SemanticIndex::new(SemanticIndexConfig::default(), 1);
+        let mut res = ResourceIndex::new(LshConfig::default(), 1);
+        let models: Vec<Model> = (0..3)
+            .map(|i| {
+                let mut rng = Prng::seed_from_u64(i + 40);
+                ModelBuilder::new(format!("s{i}"), TaskKind::Other, Shape::vector(4))
+                    .dense(2, &mut rng)
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let pool = models.clone();
+        let resolve = move |k: &str| pool.iter().find(|m| m.name == k).cloned();
+        for m in &models {
+            sem.insert(m, &resolve, &ConstAnalyzer);
+            res.insert(
+                &m.name,
+                ResourceProfile {
+                    memory_mb: 1.0,
+                    gflops: 1.0,
+                    latency_ms: 1.0,
+                },
+            );
+        }
+        let path =
+            std::env::temp_dir().join(format!("sommelier-stats-{}.json", std::process::id()));
+        save(&sem, &res, &path).unwrap();
+        let snap = read_snapshot(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let stats = snap.stats.expect("save() writes a stats header");
+        assert_eq!(stats.stats_version, STATS_VERSION);
+        assert_eq!(stats.models, 3);
+        assert_eq!(stats.resource_entries, 3);
+        let expected: i64 = snap
+            .semantic
+            .entries_audit()
+            .iter()
+            .map(|(_, _, r)| r.len() as i64)
+            .sum();
+        assert_eq!(stats.candidate_records, expected);
+    }
+
+    #[test]
+    fn pre_stats_snapshots_still_load() {
+        // Forward tolerance: a snapshot written before the stats header
+        // existed has no `stats` field at all — it must parse to `None`.
+        let sem = SemanticIndex::new(SemanticIndexConfig::default(), 1);
+        let res = ResourceIndex::new(LshConfig::default(), 1);
+        let path =
+            std::env::temp_dir().join(format!("sommelier-nostats-{}.json", std::process::id()));
+        save(&sem, &res, &path).unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        let stripped = {
+            // Remove the "stats" member wholesale by re-serializing
+            // without it: parse, drop, write back.
+            let start = json.find("\"stats\":").expect("stats field present");
+            // The stats value is a flat object: find its closing brace.
+            let rest = &json[start..];
+            let open = rest.find('{').unwrap();
+            let close = rest[open..].find('}').unwrap();
+            let mut s = String::new();
+            s.push_str(&json[..start]);
+            // Skip the field plus its trailing comma.
+            let mut tail = &json[start + open + close + 1..];
+            tail = tail.strip_prefix(',').unwrap_or(tail);
+            s.push_str(tail);
+            s
+        };
+        std::fs::write(&path, stripped).unwrap();
+        let snap = read_snapshot(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(snap.stats.is_none());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use crate::lsh::{CosineLsh, LshConfig};
 use serde::{Deserialize, Serialize};
+use sommelier_parallel::ThreadPool;
 use sommelier_runtime::ResourceProfile;
 
 /// Per-dimension upper bounds; `None` means unconstrained.
@@ -125,33 +126,52 @@ impl ResourceIndex {
     /// cheaper than the probe in all dimensions trivially satisfies upper
     /// bounds; LSH alone would miss distant-but-admissible vectors).
     pub fn query(&self, constraint: &ResourceConstraint) -> Vec<String> {
+        self.query_with(&sommelier_parallel::global(), constraint)
+    }
+
+    /// [`ResourceIndex::query`] on an explicit pool: the admit sweep runs
+    /// in parallel chunks and the LSH tables are probed concurrently
+    /// ([`CosineLsh::candidates_with`]). Results are identical to the
+    /// sequential path at any job count — admit flags are positional and
+    /// the final filter walks slots in id order.
+    pub fn query_with(&self, pool: &ThreadPool, constraint: &ResourceConstraint) -> Vec<String> {
+        // Exact per-slot admit flags, computed once, in parallel chunks.
+        let chunk = self.entries.len().div_ceil(pool.jobs().max(1) * 4).max(1);
+        let admits: Vec<bool> = pool
+            .par_chunks(&self.entries, chunk, |_idx, entries| {
+                entries
+                    .iter()
+                    .map(|(_, p)| constraint.admits(p))
+                    .collect::<Vec<bool>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
         if self.exhaustive || constraint.is_unconstrained() {
             return self
                 .entries
                 .iter()
                 .enumerate()
-                .filter(|(i, (_, p))| !self.removed[*i] && constraint.admits(p))
+                .filter(|(i, _)| !self.removed[*i] && admits[*i])
                 .map(|(_, (k, _))| k.clone())
                 .collect();
         }
         let probe = constraint.probe_vector();
         let mut included = vec![false; self.entries.len()];
-        for id in self.lsh.candidates(&probe) {
+        for id in self.lsh.candidates_with(pool, &probe) {
             included[id] = true;
         }
         // Upper-bound constraints admit everything dominated by the probe;
-        // sweep those in as well (single linear pass).
-        for (id, (_, p)) in self.entries.iter().enumerate() {
-            if constraint.admits(p) {
+        // sweep those in as well.
+        for (id, admitted) in admits.iter().enumerate() {
+            if *admitted {
                 included[id] = true;
             }
         }
         included
             .into_iter()
             .enumerate()
-            .filter(|(id, inc)| {
-                *inc && !self.removed[*id] && constraint.admits(&self.entries[*id].1)
-            })
+            .filter(|(id, inc)| *inc && !self.removed[*id] && admits[*id])
             .map(|(id, _)| self.entries[id].0.clone())
             .collect()
     }
@@ -305,6 +325,32 @@ mod tests {
         let near = idx.nearest(&profile(10.0, 1.0, 2.0), 4);
         assert!(near.iter().all(|(k, _)| k != "small"));
         assert!(!idx.remove("small"), "double removal is a no-op");
+    }
+
+    #[test]
+    fn parallel_query_matches_sequential_exactly() {
+        let pool4 = ThreadPool::new(4);
+        for exhaustive in [true, false] {
+            let idx = populated(exhaustive);
+            for constraint in [
+                ResourceConstraint::default(),
+                ResourceConstraint {
+                    max_memory_mb: Some(50.0),
+                    max_gflops: Some(5.0),
+                    max_latency_ms: None,
+                },
+                ResourceConstraint {
+                    max_latency_ms: Some(11.0),
+                    ..Default::default()
+                },
+            ] {
+                assert_eq!(
+                    idx.query(&constraint),
+                    idx.query_with(&pool4, &constraint),
+                    "exhaustive={exhaustive}"
+                );
+            }
+        }
     }
 
     #[test]

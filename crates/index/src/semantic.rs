@@ -16,10 +16,33 @@
 //! structure stays independent of how equivalence is measured; the default
 //! production analyzer (wired to `sommelier-equiv`) lives in
 //! `sommelier-query::engine`.
+//!
+//! # Parallel construction
+//!
+//! Insertion is organized as *plan → analyze → apply*:
+//!
+//! 1. **Plan** (sequential): register the new entries, then draw each
+//!    model's analysis partners by *rendezvous hashing* — every other
+//!    registered key is ranked by `mix64(base_seed, fp_self, fp_other)`
+//!    and the lowest `sample_size` ranks win. The partner set is a pure
+//!    function of the fingerprint universe: independent of registration
+//!    order, of job count, and of remove/re-insert cycles (so reindexing
+//!    an unchanged repository re-selects identical pairs and the
+//!    engine's pairwise cache absorbs the sweep).
+//! 2. **Analyze** (parallel): every sampled pairwise analysis — the only
+//!    expensive step — fans out across the pool with one task per model;
+//!    results come back in plan order ([`ThreadPool::par_map`]).
+//! 3. **Apply** (sequential in plan order): candidate records are pushed
+//!    in deterministic order; the transitive derivation reduces
+//!    per-intermediary contributions through a min-merged [`ShardedMap`]
+//!    and applies winners in key order, so the final index is
+//!    byte-identical whether built with one worker or eight.
 
 use serde::{Deserialize, Serialize};
 use sommelier_graph::{Fingerprint, Model};
-use sommelier_tensor::Prng;
+use sommelier_parallel::{ShardedMap, ThreadPool};
+use sommelier_runtime::metrics::counters;
+use sommelier_tensor::mix64;
 use std::collections::HashMap;
 
 /// The transitive interval of paper Section 5.2: if models `X↔Y` differ
@@ -70,19 +93,56 @@ impl CandidateRecord {
 
 /// Pluggable pairwise analysis. Returns `None` when the pair is
 /// incomparable (failed I/O check).
-pub trait PairAnalyzer {
+///
+/// Analyses run concurrently during index construction, so implementors
+/// take `&self` and must be [`Sync`]; any internal caching belongs behind
+/// interior mutability. Determinism contract: the result for a pair must
+/// be a pure function of the two models (plus the analyzer's fixed
+/// configuration), never of call order — analyzers that need randomness
+/// should derive per-pair seeds from the model fingerprints.
+pub trait PairAnalyzer: Sync {
     /// Dataset-independent QoR difference bound of `candidate` w.r.t.
     /// `reference` (whole-model analysis, Section 4.1).
-    fn whole_diff(&mut self, reference: &Model, candidate: &Model) -> Option<f64>;
+    fn whole_diff(&self, reference: &Model, candidate: &Model) -> Option<f64>;
 
     /// Segment-replacement analysis (Section 4.2): the QoR difference of
     /// `host` with its best replaceable segments taken from `donor`, if
     /// any segments match.
-    fn segment_diff(&mut self, host: &Model, donor: &Model) -> Option<f64> {
+    fn segment_diff(&self, host: &Model, donor: &Model) -> Option<f64> {
+        let _ = (host, donor);
+        None
+    }
+
+    /// Optimistic memoized lookup of [`PairAnalyzer::whole_diff`], keyed
+    /// by content fingerprints alone. `Some(result)` means the analyzer
+    /// can answer without either model being materialized — the
+    /// inner `Option<f64>` carries the same meaning as `whole_diff`'s
+    /// return. `None` means "not memoized: resolve the models and run the
+    /// full analysis". The default (no memoization) always falls through.
+    ///
+    /// Index construction consults this before resolving partner models,
+    /// so a warm memo turns a reindex sweep over an unchanged repository
+    /// into pure fingerprint lookups.
+    fn cached_whole_diff(
+        &self,
+        reference: Fingerprint,
+        candidate: Fingerprint,
+    ) -> Option<Option<f64>> {
+        let _ = (reference, candidate);
+        None
+    }
+
+    /// Memoized counterpart of [`PairAnalyzer::segment_diff`]; same
+    /// contract as [`PairAnalyzer::cached_whole_diff`].
+    fn cached_segment_diff(&self, host: Fingerprint, donor: Fingerprint) -> Option<Option<f64>> {
         let _ = (host, donor);
         None
     }
 }
+
+/// A key-resolving closure handed to insertion. `Sync` because resolution
+/// happens from analysis workers.
+pub type Resolver<'a> = &'a (dyn Fn(&str) -> Option<Model> + Sync);
 
 /// Configuration knobs of the semantic index.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -127,7 +187,42 @@ pub struct SemanticIndex {
     by_key: HashMap<String, Fingerprint>,
     /// Insertion order of keys (stable sampling).
     order: Vec<String>,
+    /// Base seed for rendezvous partner selection. Despite the
+    /// historical name (kept for snapshot compatibility) this never
+    /// advances: partners are ranked by
+    /// `mix64(seed_state, fp_self, fp_other)`, a pure function of the
+    /// index seed and the two models' content, so the sample drawn for a
+    /// model cannot depend on how many draws preceded it.
     seed_state: u64,
+}
+
+/// One model's insertion plan: entry registered, sample drawn, analysis
+/// not yet run.
+struct Planned<'a> {
+    model: &'a Model,
+    key: String,
+    /// Content fingerprint of the model (memo key for the fast path).
+    fp: Fingerprint,
+    /// Sampled partners with their fingerprints, in rank order.
+    sampled: Vec<(String, Fingerprint)>,
+}
+
+/// The outcome of the direct pairwise analysis between a new model and
+/// one sampled intermediary (both directions, plus segment surgery).
+struct DirectOutcome {
+    /// Index of the intermediary within the model's sample (stable
+    /// tiebreak for transitive-derivation merges).
+    via_idx: usize,
+    /// Intermediary key.
+    via: String,
+    /// diff(new → intermediary), if comparable.
+    fwd: Option<f64>,
+    /// diff(intermediary → new), if comparable.
+    rev: Option<f64>,
+    /// Segment-replacement diff with the intermediary as donor.
+    seg_fwd: Option<f64>,
+    /// Segment-replacement diff with the new model as donor.
+    seg_rev: Option<f64>,
 }
 
 impl SemanticIndex {
@@ -177,6 +272,36 @@ impl SemanticIndex {
             .map(|c| c.diff_bound)
     }
 
+    /// Rendezvous (highest-random-weight) partner selection: every other
+    /// registered key is ranked by `mix64(seed, fp_self, fp_other)` and
+    /// the `sample_size` lowest ranks win, in rank order.
+    ///
+    /// The partner set is a pure function of the *fingerprint universe* —
+    /// independent of registration order, of index-internal bookkeeping,
+    /// and of remove/re-insert cycles. Re-analyzing an unchanged
+    /// repository therefore resolves to exactly the same pairs, which is
+    /// what lets the engine's pairwise-analysis cache absorb reindexing
+    /// sweeps instead of recomputing every measurement.
+    fn sample_partners(&self, key: &str, fp: Fingerprint) -> Vec<(String, Fingerprint)> {
+        let mut ranked: Vec<(u64, &str)> = self
+            .order
+            .iter()
+            .filter(|k| k.as_str() != key)
+            .map(|k| {
+                let other = self.by_key[k.as_str()];
+                (mix64(&[self.seed_state, fp.0, other.0]), k.as_str())
+            })
+            .collect();
+        // Tie-break on the key so equal hashes (or duplicate
+        // fingerprints) still order deterministically.
+        ranked.sort_unstable();
+        ranked.truncate(self.config.sample_size);
+        ranked
+            .into_iter()
+            .map(|(_, k)| (k.to_string(), self.by_key[k]))
+            .collect()
+    }
+
     fn push_record(&mut self, key: &str, record: CandidateRecord) {
         let fp = self.by_key[key];
         let entry = self.entries.get_mut(&fp).expect("entry exists");
@@ -200,124 +325,252 @@ impl SemanticIndex {
     }
 
     /// Insert a model, running the sampled pairwise analysis through
-    /// `models` (key → model resolver) and `analyzer`.
+    /// `resolve` (key → model resolver) and `analyzer` on the process
+    /// [global pool](sommelier_parallel::global).
     ///
-    /// `models` must be able to resolve every previously indexed key.
-    pub fn insert(
-        &mut self,
-        model: &Model,
-        resolve: &dyn Fn(&str) -> Option<Model>,
-        analyzer: &mut dyn PairAnalyzer,
-    ) {
-        let key = model.name.clone();
-        assert!(
-            !self.by_key.contains_key(&key),
-            "key '{key}' is already indexed"
-        );
-        let fp = Fingerprint::of_model(model);
-        self.entries.insert(
-            fp,
-            Entry {
-                key: key.clone(),
-                candidates: Vec::new(),
-            },
-        );
-        self.by_key.insert(key.clone(), fp);
+    /// `resolve` must be able to resolve every previously indexed key.
+    pub fn insert(&mut self, model: &Model, resolve: Resolver<'_>, analyzer: &dyn PairAnalyzer) {
+        self.bulk_insert(std::slice::from_ref(model), resolve, analyzer);
+    }
 
-        // Sample existing models for direct analysis.
-        let n_existing = self.order.len();
-        self.order.push(key.clone());
-        if n_existing == 0 {
+    /// Insert a batch of models on the process
+    /// [global pool](sommelier_parallel::global). See
+    /// [`SemanticIndex::bulk_insert_with`].
+    pub fn bulk_insert(
+        &mut self,
+        models: &[Model],
+        resolve: Resolver<'_>,
+        analyzer: &dyn PairAnalyzer,
+    ) {
+        self.bulk_insert_with(&sommelier_parallel::global(), models, resolve, analyzer);
+    }
+
+    /// Insert a batch of models, fanning the expensive pairwise analyses
+    /// out across `pool` with one task per model.
+    ///
+    /// The whole batch registers before any partner is drawn, so every
+    /// model of the batch samples over the full batch universe (a batch
+    /// of one degenerates to sampling among previously stored models).
+    /// All `sample_size × |models|` direct analyses run concurrently;
+    /// the result is byte-identical at any job count (see the module
+    /// docs).
+    pub fn bulk_insert_with(
+        &mut self,
+        pool: &ThreadPool,
+        models: &[Model],
+        resolve: Resolver<'_>,
+        analyzer: &dyn PairAnalyzer,
+    ) {
+        // Phase 1 — plan: register every model of the batch, *then* draw
+        // each model's analysis partners. Registering first means a bulk
+        // build samples over the whole batch (every model sees every
+        // other), and rendezvous selection makes the partner set a pure
+        // function of the fingerprint universe — see
+        // [`SemanticIndex::sample_partners`].
+        for model in models {
+            let key = model.name.clone();
+            assert!(
+                !self.by_key.contains_key(&key),
+                "key '{key}' is already indexed"
+            );
+            let fp = Fingerprint::of_model(model);
+            self.entries.insert(
+                fp,
+                Entry {
+                    key: key.clone(),
+                    candidates: Vec::new(),
+                },
+            );
+            self.by_key.insert(key.clone(), fp);
+            self.order.push(key.clone());
+        }
+        let mut plan: Vec<Planned<'_>> = Vec::with_capacity(models.len());
+        for model in models {
+            let key = model.name.clone();
+            let fp = self.by_key[&key];
+            let sampled = self.sample_partners(&key, fp);
+            plan.push(Planned {
+                model,
+                key,
+                fp,
+                sampled,
+            });
+        }
+
+        // Phase 2 — analyze: the only expensive step. One task per
+        // model; within a task, intermediaries are analyzed in sample
+        // order. `par_map` returns results in plan order regardless of
+        // which worker ran what.
+        //
+        // Each pair first consults the analyzer's fingerprint memo
+        // ([`PairAnalyzer::cached_whole_diff`]): when *every* component
+        // of the outcome is already known, the partner model is never
+        // resolved — no repository load, no clone, no analysis. That is
+        // what makes a reindex sweep over an unchanged repository almost
+        // free. (The memo stores exactly the values the full path would
+        // produce, so the resulting index is identical either way.)
+        let segments = self.config.segments;
+        let pair_tasks: usize = plan.iter().map(|p| p.sampled.len()).sum();
+        let outcomes: Vec<Vec<DirectOutcome>> = pool.par_map(&plan, |p| {
+            p.sampled
+                .iter()
+                .enumerate()
+                .filter_map(|(via_idx, (s, s_fp))| {
+                    let fwd = analyzer.cached_whole_diff(p.fp, *s_fp);
+                    let rev = analyzer.cached_whole_diff(*s_fp, p.fp);
+                    let seg_fwd = if segments {
+                        analyzer.cached_segment_diff(p.fp, *s_fp)
+                    } else {
+                        Some(None)
+                    };
+                    let seg_rev = if segments {
+                        analyzer.cached_segment_diff(*s_fp, p.fp)
+                    } else {
+                        Some(None)
+                    };
+                    if let (Some(fwd), Some(rev), Some(seg_fwd), Some(seg_rev)) =
+                        (fwd, rev, seg_fwd, seg_rev)
+                    {
+                        return Some(DirectOutcome {
+                            via_idx,
+                            via: s.clone(),
+                            fwd,
+                            rev,
+                            seg_fwd,
+                            seg_rev,
+                        });
+                    }
+                    // Slow path: materialize the partner and fill in
+                    // whatever the memo could not answer.
+                    let other = resolve(s)?;
+                    Some(DirectOutcome {
+                        via_idx,
+                        via: s.clone(),
+                        fwd: fwd.unwrap_or_else(|| analyzer.whole_diff(p.model, &other)),
+                        rev: rev.unwrap_or_else(|| analyzer.whole_diff(&other, p.model)),
+                        seg_fwd: seg_fwd
+                            .unwrap_or_else(|| analyzer.segment_diff(p.model, &other)),
+                        seg_rev: seg_rev
+                            .unwrap_or_else(|| analyzer.segment_diff(&other, p.model)),
+                    })
+                })
+                .collect()
+        });
+        counters::add("index.models_indexed", models.len() as u64);
+        counters::add("index.pair_analyses", pair_tasks as u64);
+
+        // Phase 3 — apply, sequentially in plan order so candidate lists
+        // evolve exactly as under one-at-a-time insertion.
+        for (p, outs) in plan.iter().zip(&outcomes) {
+            self.apply_direct(pool, &p.key, &p.sampled, outs);
+        }
+    }
+
+    /// Push one model's direct analysis results and derive transitive
+    /// relations through its measured intermediaries.
+    fn apply_direct(
+        &mut self,
+        pool: &ThreadPool,
+        key: &str,
+        sampled: &[(String, Fingerprint)],
+        outs: &[DirectOutcome],
+    ) {
+        let mut direct: Vec<(usize, String, f64)> = Vec::new();
+        for o in outs {
+            if let Some(d) = o.fwd {
+                self.push_record(
+                    key,
+                    CandidateRecord::new(o.via.clone(), d, CandidateKind::Whole),
+                );
+                direct.push((o.via_idx, o.via.clone(), d));
+            }
+            if let Some(d) = o.rev {
+                self.push_record(
+                    &o.via,
+                    CandidateRecord::new(key.to_string(), d, CandidateKind::Whole),
+                );
+            }
+            if let Some(seg) = o.seg_fwd {
+                self.push_record(
+                    key,
+                    CandidateRecord::new(
+                        format!("{key}+{}", o.via),
+                        seg,
+                        CandidateKind::Synthesized { donor: o.via.clone() },
+                    ),
+                );
+            }
+            if let Some(seg) = o.seg_rev {
+                self.push_record(
+                    &o.via,
+                    CandidateRecord::new(
+                        format!("{}+{key}", o.via),
+                        seg,
+                        CandidateKind::Synthesized {
+                            donor: key.to_string(),
+                        },
+                    ),
+                );
+            }
+        }
+
+        // Transitive derivation through the measured intermediaries:
+        // d(new, other) ≤ min over measured s of d(new, s) + d(s, other),
+        // where `other` ranges over each intermediary's candidate list
+        // (not the whole repository — candidate lists are bounded, so
+        // this is O(sample × max_candidates) per insertion).
+        //
+        // Per-intermediary scans run in parallel and min-merge into a
+        // sharded map keyed by candidate; the winning value is the
+        // lexicographic minimum of `(bound, via_idx)`, which is
+        // schedule-independent, and winners are applied in key order so
+        // record application order is deterministic too. The
+        // `would_insert` pre-check skips candidates whose bound is
+        // already beaten *before* paying for the key clone — the common
+        // case once a few intermediaries have been merged.
+        if direct.is_empty() {
             return;
         }
-        let mut rng = Prng::seed_from_u64(self.seed_state ^ fp.0);
-        self.seed_state = self.seed_state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let sample_n = self.config.sample_size.min(n_existing);
-        let sampled: Vec<String> = rng
-            .sample_indices(n_existing, sample_n)
-            .into_iter()
-            .map(|i| self.order[i].clone())
-            .collect();
-
-        // Direct pairwise analysis against the sample, both directions.
-        let mut direct: Vec<(String, f64)> = Vec::new();
-        for s in &sampled {
-            let Some(other) = resolve(s) else { continue };
-            if let Some(d_rn) = analyzer.whole_diff(model, &other) {
-                // other as a candidate for the new model's entry
-                self.push_record(
-                    &key,
-                    CandidateRecord::new(s.clone(), d_rn, CandidateKind::Whole),
-                );
-                direct.push((s.clone(), d_rn));
-            }
-            if let Some(d_nr) = analyzer.whole_diff(&other, model) {
-                self.push_record(
-                    s,
-                    CandidateRecord::new(key.clone(), d_nr, CandidateKind::Whole),
-                );
-            }
-            if self.config.segments {
-                if let Some(seg_diff) = analyzer.segment_diff(model, &other) {
-                    self.push_record(
-                        &key,
-                        CandidateRecord::new(
-                            format!("{key}+{s}"),
-                            seg_diff,
-                            CandidateKind::Synthesized { donor: s.clone() },
-                        ),
-                    );
-                }
-                if let Some(seg_diff) = analyzer.segment_diff(&other, model) {
-                    self.push_record(
-                        s,
-                        CandidateRecord::new(
-                            format!("{s}+{key}"),
-                            seg_diff,
-                            CandidateKind::Synthesized { donor: key.clone() },
-                        ),
-                    );
-                }
-            }
-        }
-
-        // Transitive derivation through the sampled intermediaries:
-        // d(new, other) ≤ min over sampled s of d(new, s) + d(s, other),
-        // where `other` ranges over each sampled model's candidate list
-        // (not the whole repository — candidate lists are bounded, so this
-        // is O(sample × max_candidates) per insertion).
-        let mut derived: std::collections::HashMap<String, (f64, String)> =
-            std::collections::HashMap::new();
-        for (s, d_ns) in &direct {
-            let fp = self.by_key[s];
-            for cand in &self.entries[&fp].candidates {
-                if cand.key == key || sampled.contains(&cand.key) {
-                    continue;
-                }
-                if matches!(cand.kind, CandidateKind::Synthesized { .. }) {
-                    continue;
-                }
-                if !self.by_key.contains_key(&cand.key) {
-                    continue;
-                }
-                let bound = d_ns + cand.diff_bound;
-                let entry = derived.entry(cand.key.clone());
-                use std::collections::hash_map::Entry;
-                match entry {
-                    Entry::Occupied(mut o) => {
-                        if bound < o.get().0 {
-                            o.insert((bound, s.clone()));
-                        }
+        let better =
+            |new: &(f64, usize), old: &(f64, usize)| new.0 < old.0 || (new.0 == old.0 && new.1 < old.1);
+        let derived: ShardedMap<String, (f64, usize)> = ShardedMap::new(16);
+        {
+            let entries = &self.entries;
+            let by_key = &self.by_key;
+            let derived = &derived;
+            pool.par_map(&direct, |(via_idx, s, d_ns)| {
+                let fp = by_key[s];
+                for cand in &entries[&fp].candidates {
+                    if cand.key == key || sampled.iter().any(|(k, _)| *k == cand.key) {
+                        continue;
                     }
-                    Entry::Vacant(v) => {
-                        v.insert((bound, s.clone()));
+                    // Compose only through *measured* relations: chaining
+                    // a transitive bound onto another transitive bound
+                    // compounds two conservative estimates (and makes the
+                    // derived set depend on application order), while a
+                    // synthesized record is not a distance at all.
+                    if !matches!(cand.kind, CandidateKind::Whole) {
+                        continue;
                     }
+                    if !by_key.contains_key(&cand.key) {
+                        continue;
+                    }
+                    let value = (d_ns + cand.diff_bound, *via_idx);
+                    if !derived.would_insert(cand.key.as_str(), &value, better) {
+                        continue;
+                    }
+                    derived.upsert(cand.key.clone(), value, better);
                 }
-            }
+            });
         }
-        for (other, (bound, via)) in derived {
+        for (other, (bound, via_idx)) in derived.into_sorted() {
+            let via = &direct
+                .iter()
+                .find(|(i, _, _)| *i == via_idx)
+                .expect("winning via_idx came from direct")
+                .1;
             self.push_record(
-                &key,
+                key,
                 CandidateRecord::new(
                     other.clone(),
                     bound,
@@ -326,7 +579,11 @@ impl SemanticIndex {
             );
             self.push_record(
                 &other,
-                CandidateRecord::new(key.clone(), bound, CandidateKind::Transitive { via }),
+                CandidateRecord::new(
+                    key.to_string(),
+                    bound,
+                    CandidateKind::Transitive { via: via.clone() },
+                ),
             );
         }
     }
@@ -429,10 +686,11 @@ mod tests {
     use sommelier_tensor::{Prng, Shape};
     use std::collections::HashMap as Map;
 
-    /// A mock analyzer with a fixed distance table.
+    /// A mock analyzer with a fixed distance table. Analyses run from
+    /// pool workers, so the call counter is atomic.
     struct TableAnalyzer {
         diffs: Map<(String, String), f64>,
-        calls: usize,
+        calls: std::sync::atomic::AtomicUsize,
     }
 
     impl TableAnalyzer {
@@ -442,13 +700,17 @@ mod tests {
                 diffs.insert((a.to_string(), b.to_string()), *d);
                 diffs.insert((b.to_string(), a.to_string()), *d);
             }
-            TableAnalyzer { diffs, calls: 0 }
+            TableAnalyzer {
+                diffs,
+                calls: std::sync::atomic::AtomicUsize::new(0),
+            }
         }
     }
 
     impl PairAnalyzer for TableAnalyzer {
-        fn whole_diff(&mut self, reference: &Model, candidate: &Model) -> Option<f64> {
-            self.calls += 1;
+        fn whole_diff(&self, reference: &Model, candidate: &Model) -> Option<f64> {
+            self.calls
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             self.diffs
                 .get(&(reference.name.clone(), candidate.name.clone()))
                 .copied()
@@ -475,7 +737,7 @@ mod tests {
     fn first_insert_has_no_candidates() {
         let mut idx = SemanticIndex::new(SemanticIndexConfig::default(), 1);
         let a = model("a");
-        idx.insert(&a, &resolver(vec![]), &mut TableAnalyzer::new(&[]));
+        idx.insert(&a, &resolver(vec![]), &TableAnalyzer::new(&[]));
         assert_eq!(idx.len(), 1);
         assert!(idx.candidates_of("a").is_empty());
     }
@@ -485,10 +747,10 @@ mod tests {
         let mut idx = SemanticIndex::new(SemanticIndexConfig::default(), 1);
         let a = model("a");
         let b = model("b");
-        let mut an = TableAnalyzer::new(&[("a", "b", 0.1)]);
+        let an = TableAnalyzer::new(&[("a", "b", 0.1)]);
         let all = vec![a.clone(), b.clone()];
-        idx.insert(&a, &resolver(all.clone()), &mut an);
-        idx.insert(&b, &resolver(all), &mut an);
+        idx.insert(&a, &resolver(all.clone()), &an);
+        idx.insert(&b, &resolver(all), &an);
         assert_eq!(idx.candidates_of("a").len(), 1);
         assert_eq!(idx.candidates_of("b").len(), 1);
         assert!((idx.candidates_of("b")[0].score - 0.9).abs() < 1e-12);
@@ -506,7 +768,7 @@ mod tests {
         );
         let names = ["a", "b", "c", "d"];
         let models: Vec<Model> = names.iter().map(|n| model(n)).collect();
-        let mut an = TableAnalyzer::new(&[
+        let an = TableAnalyzer::new(&[
             ("a", "b", 0.30),
             ("a", "c", 0.10),
             ("a", "d", 0.20),
@@ -516,7 +778,7 @@ mod tests {
         ]);
         let res = resolver(models.clone());
         for m in &models {
-            idx.insert(m, &res, &mut an);
+            idx.insert(m, &res, &an);
         }
         let cands = idx.candidates_of("a");
         let scores: Vec<f64> = cands.iter().map(|c| c.score).collect();
@@ -535,16 +797,201 @@ mod tests {
             1,
         );
         let models: Vec<Model> = ["a", "b", "c"].iter().map(|n| model(n)).collect();
-        let mut an = TableAnalyzer::new(&[("a", "b", 0.02), ("a", "c", 0.5), ("b", "c", 0.5)]);
+        let an = TableAnalyzer::new(&[("a", "b", 0.02), ("a", "c", 0.5), ("b", "c", 0.5)]);
         let res = resolver(models.clone());
         for m in &models {
-            idx.insert(m, &res, &mut an);
+            idx.insert(m, &res, &an);
         }
         let strict = idx.lookup_key("a", 0.95);
         assert_eq!(strict.len(), 1);
         assert_eq!(strict[0].key, "b");
         let loose = idx.lookup_key("a", 0.0);
         assert_eq!(loose.len(), 2);
+    }
+
+    /// Dense random-ish distance table over `names` for determinism tests.
+    fn dense_pairs(names: &[&'static str]) -> Vec<(&'static str, &'static str, f64)> {
+        let mut pairs = Vec::new();
+        for (i, x) in names.iter().enumerate() {
+            for y in names.iter().skip(i + 1) {
+                let d = ((name_hash(x) ^ name_hash(y)) % 40) as f64 / 100.0 + 0.01;
+                pairs.push((*x, *y, d));
+            }
+        }
+        pairs
+    }
+
+    #[test]
+    fn bulk_insert_matches_sequential_at_any_job_count() {
+        // The same batch built on a sequential pool and on multi-worker
+        // pools must serialize to byte-identical JSON: the plan is fixed
+        // before any analysis runs and results apply in plan order.
+        let names = ["a", "b", "c", "d", "e", "f", "g", "h", "i", "j"];
+        let models: Vec<Model> = names.iter().map(|n| model(n)).collect();
+        let pairs = dense_pairs(&names);
+        let cfg = SemanticIndexConfig {
+            sample_size: 3,
+            segments: false,
+            max_candidates: 16,
+        };
+        let res = resolver(models.clone());
+
+        let mut sequential = SemanticIndex::new(cfg, 9);
+        sequential.bulk_insert_with(
+            &sommelier_parallel::ThreadPool::new(1),
+            &models,
+            &res,
+            &TableAnalyzer::new(&pairs),
+        );
+        let baseline = serde_json::to_string(&sequential).unwrap();
+
+        for jobs in [2, 4, 8] {
+            let pool = sommelier_parallel::ThreadPool::new(jobs);
+            let mut idx = SemanticIndex::new(cfg, 9);
+            idx.bulk_insert_with(&pool, &models, &res, &TableAnalyzer::new(&pairs));
+            let got = serde_json::to_string(&idx).unwrap();
+            assert_eq!(got, baseline, "jobs={jobs} diverged from sequential");
+        }
+    }
+
+    #[test]
+    fn partner_selection_is_stable_under_reinsertion() {
+        // Rendezvous sampling depends only on the fingerprint universe:
+        // removing a model and re-inserting it (the reindexing sweep)
+        // must re-select the same partners and reproduce the same
+        // candidate records — the property the pairwise cache relies on.
+        let names = ["a", "b", "c", "d", "e", "f"];
+        let models: Vec<Model> = names.iter().map(|n| model(n)).collect();
+        let pairs = dense_pairs(&names);
+        let cfg = SemanticIndexConfig {
+            sample_size: 2,
+            segments: false,
+            max_candidates: 16,
+        };
+        let res = resolver(models.clone());
+        let an = TableAnalyzer::new(&pairs);
+        let mut idx = SemanticIndex::new(cfg, 9);
+        idx.bulk_insert(&models, &res, &an);
+
+        let direct = |records: &[CandidateRecord]| -> Vec<String> {
+            let mut keys: Vec<String> = records
+                .iter()
+                .filter(|r| matches!(r.kind, CandidateKind::Whole))
+                .map(|r| r.key.clone())
+                .collect();
+            keys.sort();
+            keys
+        };
+        let before = direct(idx.candidates_of("c"));
+        assert!(idx.remove("c"));
+        idx.insert(&models[2], &res, &an);
+        let after = direct(idx.candidates_of("c"));
+
+        // Re-insertion re-runs only c's own outgoing analyses (reverse
+        // records contributed by other models' earlier samples are not
+        // replayed), so the re-selected partner set must be exactly
+        // sample_size keys and every one must have been measured before.
+        assert_eq!(after.len(), 2, "partner count changed: {after:?}");
+        for k in &after {
+            assert!(before.contains(k), "'{k}' was not a partner before");
+        }
+    }
+
+    #[test]
+    fn bulk_insert_is_independent_of_batch_order() {
+        // Partners are a function of fingerprints, not registration
+        // order, so permuting the batch must leave every candidate list
+        // unchanged (only the bookkeeping `order` differs).
+        let names = ["a", "b", "c", "d", "e", "f"];
+        let models: Vec<Model> = names.iter().map(|n| model(n)).collect();
+        let pairs = dense_pairs(&names);
+        let cfg = SemanticIndexConfig {
+            sample_size: 2,
+            segments: false,
+            max_candidates: 16,
+        };
+        let res = resolver(models.clone());
+
+        let mut fwd = SemanticIndex::new(cfg, 9);
+        fwd.bulk_insert(&models, &res, &TableAnalyzer::new(&pairs));
+        let mut reversed: Vec<Model> = models.clone();
+        reversed.reverse();
+        let mut rev = SemanticIndex::new(cfg, 9);
+        rev.bulk_insert(&reversed, &res, &TableAnalyzer::new(&pairs));
+
+        // The *measured* relation set is a pure function of the
+        // fingerprint universe; transitive records may differ because
+        // derivation sees the records accumulated so far in plan order.
+        let whole = |idx: &SemanticIndex, n: &str| -> Vec<(String, u64)> {
+            let mut v: Vec<(String, u64)> = idx
+                .candidates_of(n)
+                .iter()
+                .filter(|r| matches!(r.kind, CandidateKind::Whole))
+                .map(|r| (r.key.clone(), r.diff_bound.to_bits()))
+                .collect();
+            v.sort();
+            v
+        };
+        for n in names {
+            assert_eq!(
+                whole(&fwd, n),
+                whole(&rev, n),
+                "measured records for '{n}' depend on batch order"
+            );
+        }
+    }
+
+    #[test]
+    fn transitive_derivation_picks_the_tightest_via() {
+        // Force the sample to cover everything so both intermediaries are
+        // measured; the transitive record to an unsampled model must
+        // carry the minimum composite bound, not whichever intermediary
+        // was merged first.
+        let mut idx = SemanticIndex::new(
+            SemanticIndexConfig {
+                sample_size: 2,
+                segments: false,
+                max_candidates: 64,
+            },
+            3,
+        );
+        // d: new model; b and c: sampled intermediaries; a: reached only
+        // transitively (d's sample has room for exactly b and c).
+        let models: Vec<Model> = ["a", "b", "c", "d"].iter().map(|n| model(n)).collect();
+        let an = TableAnalyzer::new(&[
+            ("a", "b", 0.30),
+            ("a", "c", 0.02),
+            ("b", "c", 0.10),
+            ("a", "d", 9.0), // never measured directly (d samples only 2 of 3)
+            ("b", "d", 0.05),
+            ("c", "d", 0.05),
+        ]);
+        let res = resolver(models.clone());
+        for m in &models {
+            idx.insert(m, &res, &an);
+        }
+        // Whatever d sampled, any transitive d→a record must carry the
+        // tightest derivable bound among its measured intermediaries.
+        if let Some(rec) = idx
+            .candidates_of("d")
+            .iter()
+            .find(|c| c.key == "a" && matches!(c.kind, CandidateKind::Transitive { .. }))
+        {
+            let mut best = f64::INFINITY;
+            for via in ["b", "c"] {
+                if let (Some(d_dv), Some(d_va)) =
+                    (idx.recorded_diff("d", via), idx.recorded_diff(via, "a"))
+                {
+                    best = best.min(d_dv + d_va);
+                }
+            }
+            assert!(
+                (rec.diff_bound - best).abs() < 1e-12,
+                "transitive bound {} is not the tightest {}",
+                rec.diff_bound,
+                best
+            );
+        }
     }
 
     #[test]
@@ -566,10 +1013,10 @@ mod tests {
                 pairs.push((*x, *y, 0.05));
             }
         }
-        let mut an = TableAnalyzer::new(&pairs);
+        let an = TableAnalyzer::new(&pairs);
         let res = resolver(models.clone());
         for m in &models {
-            idx.insert(m, &res, &mut an);
+            idx.insert(m, &res, &an);
         }
         // With sampling 2, the last insert does ≤ 2×2 whole_diff calls,
         // far fewer than full pairwise (7×2); candidate lists still cover
@@ -593,9 +1040,9 @@ mod tests {
     fn duplicate_keys_rejected() {
         let mut idx = SemanticIndex::new(SemanticIndexConfig::default(), 1);
         let a = model("a");
-        idx.insert(&a, &resolver(vec![]), &mut TableAnalyzer::new(&[]));
+        idx.insert(&a, &resolver(vec![]), &TableAnalyzer::new(&[]));
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            idx.insert(&a, &resolver(vec![]), &mut TableAnalyzer::new(&[]));
+            idx.insert(&a, &resolver(vec![]), &TableAnalyzer::new(&[]));
         }));
         assert!(result.is_err());
     }
@@ -620,10 +1067,10 @@ mod tests {
             1,
         );
         let models: Vec<Model> = ["a", "b", "c"].iter().map(|n| model(n)).collect();
-        let mut an = TableAnalyzer::new(&[("a", "b", 0.1), ("a", "c", 0.2), ("b", "c", 0.1)]);
+        let an = TableAnalyzer::new(&[("a", "b", 0.1), ("a", "c", 0.2), ("b", "c", 0.1)]);
         let res = resolver(models.clone());
         for m in &models {
-            idx.insert(m, &res, &mut an);
+            idx.insert(m, &res, &an);
         }
         assert!(idx.contains("b"));
         assert!(idx.remove("b"));
@@ -648,10 +1095,10 @@ mod tests {
             7,
         );
         let models: Vec<Model> = ["a", "b", "c"].iter().map(|n| model(n)).collect();
-        let mut an = TableAnalyzer::new(&[("a", "b", 0.05), ("a", "c", 0.05), ("b", "c", 0.01)]);
+        let an = TableAnalyzer::new(&[("a", "b", 0.05), ("a", "c", 0.05), ("b", "c", 0.01)]);
         let res = resolver(models.clone());
         for m in &models {
-            idx.insert(m, &res, &mut an);
+            idx.insert(m, &res, &an);
         }
         // Whatever the sampling chose, all records must carry the tightest
         // known bound ≤ transitive worst case 0.10.

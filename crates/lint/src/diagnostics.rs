@@ -12,7 +12,7 @@ use std::fmt;
 
 /// Stable diagnostic codes, grouped by pass family:
 /// `SOM00x` model-graph lints, `SOM02x` repository/index invariants,
-/// `SOM04x` query-plan lints.
+/// `SOM04x` query-plan lints, `SOM05x` snapshot stats-header lints.
 pub mod codes {
     /// A layer's output is never consumed (dead computation).
     pub const DEAD_LAYER: &str = "SOM001";
@@ -54,6 +54,14 @@ pub mod codes {
     pub const EMPTY_REFERENCE: &str = "SOM043";
     /// `SELECT models 0` — the query statically returns nothing.
     pub const LIMIT_ZERO: &str = "SOM044";
+    /// The snapshot predates the stats/metrics header (tolerated).
+    pub const MISSING_SNAPSHOT_STATS: &str = "SOM050";
+    /// The stats header declares a version this build does not know.
+    pub const UNKNOWN_STATS_VERSION: &str = "SOM051";
+    /// A stats-header counter is negative.
+    pub const NEGATIVE_STATS_COUNTER: &str = "SOM052";
+    /// The stats header disagrees with the snapshot's actual contents.
+    pub const STATS_CONTENT_MISMATCH: &str = "SOM053";
 }
 
 /// How bad a finding is. Ordered: `Info < Warn < Error`.

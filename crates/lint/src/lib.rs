@@ -21,7 +21,10 @@
 //!   snapshots, score/bound disagreement (`SOM020`–`SOM027`);
 //! * **query plans** ([`passes::plan`]) — unsatisfiable `WITHIN`
 //!   thresholds, statically empty resource budgets, shadowed
-//!   predicates, references that prune to nothing (`SOM040`–`SOM044`).
+//!   predicates, references that prune to nothing (`SOM040`–`SOM044`);
+//! * **snapshot stats header** ([`passes::stats`]) — missing,
+//!   unknown-version, negative, or content-inconsistent metrics headers
+//!   in persisted snapshots (`SOM050`–`SOM053`).
 //!
 //! The CLI exposes all of this as `sommelier lint <dir>`.
 
@@ -52,6 +55,8 @@ pub struct LintContext {
     pub semantic: Option<SemanticIndex>,
     /// The resource index, if a snapshot was available.
     pub resource: Option<ResourceIndex>,
+    /// The snapshot's content-derived stats header, if present.
+    pub snapshot_stats: Option<persist::SnapshotStats>,
     /// Modification time of the index snapshot file.
     pub index_mtime: Option<SystemTime>,
     /// Modification times of stored model files, keyed like `models`.
@@ -113,6 +118,7 @@ impl LintContext {
                 .ok();
             match persist::read_snapshot(&index_path) {
                 Ok(snapshot) => {
+                    ctx.snapshot_stats = snapshot.stats;
                     ctx.semantic = Some(snapshot.semantic);
                     ctx.resource = Some(snapshot.resource);
                 }
@@ -163,6 +169,7 @@ impl LintRunner {
         runner.register(Box::new(passes::index::TrianglePass));
         runner.register(Box::new(passes::index::FreshnessPass));
         runner.register(Box::new(passes::plan::QueryPlanPass));
+        runner.register(Box::new(passes::stats::SnapshotStatsPass));
         runner
     }
 
@@ -197,7 +204,8 @@ mod tests {
         assert!(names.contains(&"model-graph"));
         assert!(names.contains(&"index-integrity"));
         assert!(names.contains(&"query-plan"));
-        assert_eq!(names.len(), 7);
+        assert!(names.contains(&"snapshot-stats"));
+        assert_eq!(names.len(), 8);
     }
 
     #[test]

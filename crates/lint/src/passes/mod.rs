@@ -3,7 +3,8 @@
 //! * [`model`] — pure-graph analyses of stored models (`SOM00x`);
 //! * [`index`] — cross-checks between the repository and the persisted
 //!   semantic/resource indices (`SOM02x`);
-//! * [`plan`] — static analyses of parsed query ASTs (`SOM04x`).
+//! * [`plan`] — static analyses of parsed query ASTs (`SOM04x`);
+//! * [`stats`] — snapshot stats-header validation (`SOM05x`).
 //!
 //! Passes only read the [`crate::LintContext`]; they never execute a
 //! model and never mutate an index.
@@ -11,3 +12,4 @@
 pub mod index;
 pub mod model;
 pub mod plan;
+pub mod stats;

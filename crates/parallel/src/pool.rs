@@ -1,0 +1,550 @@
+//! The work-stealing thread pool and its scoped-parallelism surface.
+//!
+//! Design notes (kept short; see crate docs for the overview):
+//!
+//! * Every worker owns a `Mutex<VecDeque<Job>>` local queue; a shared
+//!   injector queue receives tasks spawned from outside the pool. An
+//!   idle worker pops its own queue (LIFO for cache locality), then the
+//!   injector, then steals FIFO from peers. Workers park on a condvar
+//!   with a short timeout so shutdown and late task injection are both
+//!   cheap and prompt.
+//! * `jobs == 1` spawns no threads at all: `Scope::spawn` executes its
+//!   closure inline on the caller, so the sequential configuration is
+//!   not "parallel code on one thread" but literally the same execution
+//!   order as a hand-written loop.
+//! * `scope` performs *helping*: while waiting for its tasks, the
+//!   calling thread executes queued jobs (its own or anyone else's).
+//!   Nested scopes therefore make progress even when every worker is
+//!   blocked in an inner `scope`, which is what makes deadlock-free
+//!   nesting possible on a bounded pool.
+//! * Panics inside tasks are caught per-task; the first payload is
+//!   stashed in the scope state and re-thrown (`resume_unwind`) on the
+//!   thread that owns the scope once all tasks have drained. Tasks that
+//!   were already queued still run — the scope never returns with work
+//!   in flight.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+type Job = Box<dyn FnOnce() + Send>;
+
+struct Shared {
+    /// One local deque per worker thread.
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    /// Overflow / external-submission queue.
+    injector: Mutex<VecDeque<Job>>,
+    /// Parking lot for idle workers.
+    cv_lock: Mutex<()>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    /// Round-robin cursor for distributing external spawns.
+    next: AtomicUsize,
+}
+
+impl Shared {
+    /// Take one job from anywhere: own queue first (newest first, cache
+    /// warm), then injector, then steal oldest-first from peers.
+    fn pop_any(&self, home: Option<usize>) -> Option<Job> {
+        if let Some(h) = home {
+            if let Some(job) = self.queues[h].lock().unwrap_or_else(|e| e.into_inner()).pop_back() {
+                return Some(job);
+            }
+        }
+        if let Some(job) = self
+            .injector
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
+        {
+            return Some(job);
+        }
+        let n = self.queues.len();
+        let start = home.unwrap_or(0);
+        for off in 0..n {
+            let victim = (start + off) % n;
+            if Some(victim) == home {
+                continue;
+            }
+            if let Some(job) = self.queues[victim]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
+            {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn push_external(&self, job: Job) {
+        if self.queues.is_empty() {
+            // Sequential pool: jobs are executed inline by the spawner;
+            // this path is unreachable, but keep it safe.
+            self.injector
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(job);
+        } else {
+            let slot = self.next.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+            self.queues[slot]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(job);
+        }
+        self.cv.notify_one();
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, home: usize) {
+    loop {
+        if let Some(job) = shared.pop_any(Some(home)) {
+            job();
+            continue;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // Park briefly; a timeout bounds the window where a task is
+        // pushed between our failed pop and the wait.
+        let guard = shared.cv_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let _unused = shared
+            .cv
+            .wait_timeout(guard, Duration::from_millis(10))
+            .unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+/// A fixed-size work-stealing thread pool.
+///
+/// `ThreadPool::new(1)` spawns no threads; every task submitted through
+/// [`ThreadPool::scope`] or the `par_*` helpers runs inline on the
+/// caller in submission order, reproducing sequential execution
+/// exactly.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    jobs: usize,
+}
+
+impl ThreadPool {
+    /// Create a pool with `jobs` total lanes of parallelism (the caller
+    /// counts as one lane: `jobs == 4` spawns 3 worker threads and the
+    /// scope owner helps). `jobs == 0` is clamped to 1.
+    pub fn new(jobs: usize) -> Self {
+        let jobs = jobs.max(1);
+        let n_workers = jobs - 1;
+        let shared = Arc::new(Shared {
+            queues: (0..n_workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            cv_lock: Mutex::new(()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            next: AtomicUsize::new(0),
+        });
+        let workers = (0..n_workers)
+            .map(|home| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sommelier-worker-{home}"))
+                    .spawn(move || worker_loop(shared, home))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            workers,
+            jobs,
+        }
+    }
+
+    /// The configured degree of parallelism (1 == sequential).
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Structured concurrency over borrowed data.
+    ///
+    /// Tasks spawned on the [`Scope`] may borrow from the enclosing
+    /// frame (`'env`). `scope` does not return until every spawned task
+    /// has finished; while waiting, the calling thread executes queued
+    /// tasks (helping), so nested scopes cannot deadlock the pool. If
+    /// any task panicked, the first panic payload is re-thrown here
+    /// after all tasks have drained.
+    pub fn scope<'env, R>(&self, f: impl FnOnce(&Scope<'_, 'env>) -> R) -> R {
+        let state = Arc::new(ScopeState {
+            pending: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+        });
+        let scope = Scope {
+            pool: self,
+            state: Arc::clone(&state),
+            _env: PhantomData,
+        };
+        // The scope body itself may panic; defer it like a task panic so
+        // spawned tasks still drain before unwinding past borrowed data.
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+
+        // Help until all spawned tasks are complete.
+        while state.pending.load(Ordering::Acquire) != 0 {
+            if let Some(job) = self.shared.pop_any(None) {
+                job();
+            } else {
+                std::hint::spin_loop();
+                std::thread::yield_now();
+            }
+        }
+
+        let task_panic = state
+            .panic
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        match (result, task_panic) {
+            (Ok(value), None) => value,
+            (Err(payload), _) => resume_unwind(payload),
+            (_, Some(payload)) => resume_unwind(payload),
+        }
+    }
+
+    /// Map `f` over `items`, returning results in input order
+    /// regardless of which worker computed them.
+    pub fn par_map<T: Sync, R: Send>(
+        &self,
+        items: &[T],
+        f: impl Fn(&T) -> R + Sync,
+    ) -> Vec<R> {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        {
+            let slots_ptr = SendPtr(slots.as_mut_ptr());
+            let f = &f;
+            // Chunk so each lane gets a few chunks (load balancing)
+            // without per-item task overhead.
+            let chunk = chunk_size(n, self.jobs);
+            self.scope(|scope| {
+                for start in (0..n).step_by(chunk) {
+                    let end = (start + chunk).min(n);
+                    scope.spawn(move || {
+                        for (i, item) in items[start..end].iter().enumerate() {
+                            let value = f(item);
+                            // SAFETY: each index in 0..n is written by
+                            // exactly one task (chunks are disjoint),
+                            // and `scope` guarantees all writes complete
+                            // before `slots` is read below.
+                            unsafe {
+                                *slots_ptr.get().add(start + i) = Some(value);
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("par_map slot unfilled"))
+            .collect()
+    }
+
+    /// Apply `f` to disjoint chunks of `data` of at most `chunk` items,
+    /// collecting one result per chunk in chunk order. `f` receives the
+    /// chunk index and the chunk slice.
+    pub fn par_chunks<T: Sync, R: Send>(
+        &self,
+        data: &[T],
+        chunk: usize,
+        f: impl Fn(usize, &[T]) -> R + Sync,
+    ) -> Vec<R> {
+        let chunk = chunk.max(1);
+        let chunks: Vec<(usize, &[T])> = data.chunks(chunk).enumerate().collect();
+        self.par_map(&chunks, |&(i, c)| f(i, c))
+    }
+
+    /// Apply `f` to disjoint mutable chunks of `data` of at most
+    /// `chunk` items, in parallel. `f` receives the chunk index and the
+    /// mutable chunk slice. Chunks are processed in deterministic
+    /// *assignment*; since chunks are disjoint, results are independent
+    /// of execution order.
+    pub fn par_chunks_mut<T: Send>(
+        &self,
+        data: &mut [T],
+        chunk: usize,
+        f: impl Fn(usize, &mut [T]) + Sync,
+    ) {
+        let chunk = chunk.max(1);
+        let f = &f;
+        self.scope(|scope| {
+            for (i, slice) in data.chunks_mut(chunk).enumerate() {
+                scope.spawn(move || f(i, slice));
+            }
+        });
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _unused = handle.join();
+        }
+    }
+}
+
+/// Pick a chunk size that yields roughly `jobs * 4` chunks, bounded
+/// below by 1, so stealing can balance uneven task costs.
+fn chunk_size(n: usize, jobs: usize) -> usize {
+    if jobs <= 1 {
+        n
+    } else {
+        n.div_ceil(jobs * 4).max(1)
+    }
+}
+
+struct ScopeState {
+    pending: AtomicUsize,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl ScopeState {
+    fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        let mut slot = self.panic.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+}
+
+/// Handle passed to the closure of [`ThreadPool::scope`]; lets tasks
+/// borrow from the enclosing environment (`'env`).
+pub struct Scope<'pool, 'env> {
+    pool: &'pool ThreadPool,
+    state: Arc<ScopeState>,
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> Scope<'_, 'env> {
+    /// Spawn a task on the pool. On a sequential pool (`jobs == 1`) the
+    /// closure runs inline, immediately, on the calling thread — same
+    /// order and same stack as a plain function call (panics propagate
+    /// at the end of the scope, as in the parallel case).
+    pub fn spawn(&self, f: impl FnOnce() + Send + 'env) {
+        if self.pool.jobs == 1 {
+            // Inline execution: deterministic sequential semantics.
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                self.state.record_panic(payload);
+            }
+            return;
+        }
+        self.state.pending.fetch_add(1, Ordering::AcqRel);
+        let state = Arc::clone(&self.state);
+        let task: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            // `state` moved in: decrement happens exactly once per task.
+            struct Guard<'a>(&'a ScopeState);
+            impl Drop for Guard<'_> {
+                fn drop(&mut self) {
+                    self.0.pending.fetch_sub(1, Ordering::AcqRel);
+                }
+            }
+            let guard = Guard(&state);
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                state.record_panic(payload);
+            }
+            drop(guard);
+        });
+        // SAFETY: the task borrows data with lifetime 'env. `scope`
+        // does not return until `pending` reaches zero, i.e. until this
+        // closure has run to completion (the decrement is in a Drop
+        // guard, so it happens even on panic). Therefore the borrowed
+        // data outlives every access the task makes.
+        let task: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send + 'static>>(
+                task,
+            )
+        };
+        self.pool.shared.push_external(task);
+    }
+}
+
+/// Raw-pointer wrapper that asserts cross-thread transfer is safe; used
+/// by `par_map` to let disjoint tasks write disjoint output slots.
+struct SendPtr<T>(*mut T);
+
+// Manual impls: the derive would bound `T: Copy`, but the pointer is
+// copyable regardless of `T`.
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Taking `self` (not the field) forces closures to capture the
+    /// whole `SendPtr` — edition-2021 disjoint capture would otherwise
+    /// capture the raw pointer field, which is not `Send`.
+    fn get(self) -> *mut T {
+        self.0
+    }
+}
+// SAFETY: tasks write disjoint indices only, and the scope joins all
+// tasks before the buffer is read. See `par_map`.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn sequential_pool_runs_inline_in_order() {
+        let pool = ThreadPool::new(1);
+        let log = Mutex::new(Vec::new());
+        pool.scope(|scope| {
+            for i in 0..8 {
+                let log = &log;
+                scope.spawn(move || log.lock().unwrap().push(i));
+            }
+        });
+        assert_eq!(*log.lock().unwrap(), vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        for jobs in [1, 2, 4, 8] {
+            let pool = ThreadPool::new(jobs);
+            let items: Vec<u64> = (0..257).collect();
+            let out = pool.par_map(&items, |&x| x * 3 + 1);
+            let expect: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+            assert_eq!(out, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn par_map_zero_items() {
+        for jobs in [1, 4] {
+            let pool = ThreadPool::new(jobs);
+            let out: Vec<u64> = pool.par_map(&[] as &[u64], |&x| x);
+            assert!(out.is_empty(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_touches_every_element_once() {
+        for jobs in [1, 3] {
+            let pool = ThreadPool::new(jobs);
+            let mut data: Vec<u64> = vec![0; 1001];
+            pool.par_chunks_mut(&mut data, 64, |_chunk_idx, chunk| {
+                for v in chunk.iter_mut() {
+                    *v += 1; // touch exactly once
+                }
+            });
+            assert!(data.iter().all(|&v| v == 1), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_collects_in_chunk_order() {
+        let pool = ThreadPool::new(4);
+        let data: Vec<u64> = (0..100).collect();
+        let sums = pool.par_chunks(&data, 7, |idx, chunk| (idx, chunk.iter().sum::<u64>()));
+        let expect: Vec<(usize, u64)> = data
+            .chunks(7)
+            .enumerate()
+            .map(|(i, c)| (i, c.iter().sum()))
+            .collect();
+        assert_eq!(sums, expect);
+    }
+
+    #[test]
+    fn scope_borrows_stack_data() {
+        let pool = ThreadPool::new(4);
+        let counter = AtomicU64::new(0);
+        pool.scope(|scope| {
+            for _ in 0..64 {
+                let counter = &counter;
+                scope.spawn(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn panic_in_worker_propagates_to_scope_caller() {
+        for jobs in [1, 4] {
+            let pool = ThreadPool::new(jobs);
+            let finished = AtomicU64::new(0);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                pool.scope(|scope| {
+                    for i in 0..16 {
+                        let finished = &finished;
+                        scope.spawn(move || {
+                            if i == 7 {
+                                panic!("boom from task {i}");
+                            }
+                            finished.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }));
+            let err = result.expect_err("scope should re-throw the task panic");
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default();
+            assert!(msg.contains("boom from task 7"), "jobs={jobs}: {msg}");
+            // All non-panicking tasks still ran (no work left in flight).
+            assert_eq!(finished.load(Ordering::Relaxed), 15, "jobs={jobs}");
+            // Pool is still usable afterwards.
+            let ok = pool.par_map(&[1u64, 2, 3], |&x| x + 1);
+            assert_eq!(ok, vec![2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        // More outer tasks than workers; every outer task opens an
+        // inner scope. Helping must keep the pool live.
+        let pool = ThreadPool::new(2);
+        let total = AtomicU64::new(0);
+        pool.scope(|outer| {
+            for _ in 0..8 {
+                let total = &total;
+                let pool_ref = &pool;
+                outer.spawn(move || {
+                    pool_ref.scope(|inner| {
+                        for _ in 0..8 {
+                            inner.spawn(move || {
+                                total.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn par_map_results_identical_across_job_counts() {
+        let items: Vec<u64> = (0..513).map(|i| i * 2654435761).collect();
+        let reference = ThreadPool::new(1).par_map(&items, |&x| x.rotate_left(13) ^ 0xabcd);
+        for jobs in [2, 4, 8] {
+            let pool = ThreadPool::new(jobs);
+            let got = pool.par_map(&items, |&x| x.rotate_left(13) ^ 0xabcd);
+            assert_eq!(got, reference, "jobs={jobs}");
+        }
+    }
+}

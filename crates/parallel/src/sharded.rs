@@ -1,0 +1,220 @@
+//! Lock-striped hash map for commutative parallel merges.
+//!
+//! The semantic index's transitive-derivation reduction needs a
+//! "min-merge" map that many workers update concurrently: the final
+//! contents must be independent of update interleaving. [`ShardedMap`]
+//! provides exactly that — a fixed array of mutex-guarded `HashMap`
+//! shards selected by a *deterministic* hash of the key (so shard
+//! assignment, and therefore lock contention, is reproducible), plus an
+//! [`ShardedMap::into_sorted`] drain that returns entries in key order
+//! so downstream consumers never observe map iteration order.
+
+use std::borrow::Borrow;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+/// A concurrently-updatable map sharded across `S` mutexes.
+///
+/// All combining operations must be commutative+idempotent for the
+/// result to be schedule-independent; [`ShardedMap::upsert`] enforces
+/// the pattern by taking an explicit "is the new value better?"
+/// predicate.
+pub struct ShardedMap<K, V> {
+    shards: Vec<Mutex<HashMap<K, V>>>,
+}
+
+impl<K: Hash + Eq, V> ShardedMap<K, V> {
+    /// Create a map with `shards` lock stripes (clamped to ≥ 1).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        ShardedMap {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard_of<Q>(&self, key: &Q) -> usize
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() as usize) % self.shards.len()
+    }
+
+    /// Whether an upsert of `value` under `key` would change the map:
+    /// true when the key is vacant or when `better(value, current)`
+    /// holds. Takes a *borrowed* key so hot loops can check before
+    /// paying for a key allocation (`String` clones, etc.).
+    ///
+    /// The answer is advisory under concurrency — another worker may win
+    /// the slot between this check and a subsequent [`ShardedMap::upsert`]
+    /// — but `upsert` re-checks under the shard lock, so using this as a
+    /// fast-path filter never changes the converged contents.
+    pub fn would_insert<Q>(&self, key: &Q, value: &V, better: impl Fn(&V, &V) -> bool) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let shard = self.shard_of(key);
+        let map = self.shards[shard].lock().unwrap_or_else(|e| e.into_inner());
+        match map.get(key) {
+            Some(current) => better(value, current),
+            None => true,
+        }
+    }
+
+    /// Insert `value` under `key`, or — if an entry already exists —
+    /// replace it only when `better(&new, &old)` returns true.
+    ///
+    /// For schedule-independence, `better` must define a strict total
+    /// preference (e.g. lexicographic `(bound, tiebreak)` comparison):
+    /// any interleaving of upserts then converges to the same winner.
+    pub fn upsert(&self, key: K, value: V, better: impl Fn(&V, &V) -> bool) {
+        let shard = self.shard_of(&key);
+        let mut map = self.shards[shard].lock().unwrap_or_else(|e| e.into_inner());
+        match map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut slot) => {
+                if better(&value, slot.get()) {
+                    slot.insert(value);
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(value);
+            }
+        }
+    }
+
+    /// Unconditional insert (last writer wins within a shard lock).
+    pub fn insert(&self, key: K, value: V) {
+        let shard = self.shard_of(&key);
+        self.shards[shard]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, value);
+    }
+
+    /// Clone out the value stored under `key`, if any.
+    pub fn get_cloned(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        let shard = self.shard_of(key);
+        self.shards[shard]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(key)
+            .cloned()
+    }
+
+    /// Total number of entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
+    }
+
+    /// True when no shard holds any entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drain the map into a vector sorted by key — the only way to
+    /// observe the contents, so callers can never depend on hash-map
+    /// iteration order.
+    pub fn into_sorted(self) -> Vec<(K, V)>
+    where
+        K: Ord,
+    {
+        let mut out: Vec<(K, V)> = Vec::new();
+        for shard in self.shards {
+            let map = shard.into_inner().unwrap_or_else(|e| e.into_inner());
+            out.extend(map);
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThreadPool;
+
+    #[test]
+    fn upsert_keeps_better_value() {
+        let map: ShardedMap<String, (u64, String)> = ShardedMap::new(4);
+        let better =
+            |new: &(u64, String), old: &(u64, String)| (new.0, &new.1) < (old.0, &old.1);
+        map.upsert("k".into(), (5, "b".into()), better);
+        map.upsert("k".into(), (3, "z".into()), better);
+        map.upsert("k".into(), (3, "a".into()), better);
+        map.upsert("k".into(), (9, "q".into()), better);
+        assert_eq!(map.get_cloned(&"k".to_string()), Some((3, "a".to_string())));
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn would_insert_checks_without_allocating_a_key() {
+        let map: ShardedMap<String, (u64, u64)> = ShardedMap::new(4);
+        let better = |new: &(u64, u64), old: &(u64, u64)| new < old;
+        // Vacant key: anything would insert. Note the borrowed &str key.
+        assert!(map.would_insert("k", &(9, 9), better));
+        map.upsert("k".into(), (5, 0), better);
+        // Worse value: no insert, no allocation needed to find out.
+        assert!(!map.would_insert("k", &(7, 0), better));
+        assert!(!map.would_insert("k", &(5, 0), better), "ties do not replace");
+        // Better value: would insert.
+        assert!(map.would_insert("k", &(3, 9), better));
+        // And the map itself is unchanged by the checks.
+        assert_eq!(map.get_cloned(&"k".to_string()), Some((5, 0)));
+    }
+
+    #[test]
+    fn into_sorted_orders_by_key() {
+        let map: ShardedMap<u64, u64> = ShardedMap::new(8);
+        for k in [9u64, 1, 7, 3, 5] {
+            map.insert(k, k * 10);
+        }
+        let drained = map.into_sorted();
+        assert_eq!(drained, vec![(1, 10), (3, 30), (5, 50), (7, 70), (9, 90)]);
+    }
+
+    #[test]
+    fn concurrent_min_merge_is_schedule_independent() {
+        // Many workers race to upsert the same keys; the winner must be
+        // the lexicographic minimum over (bound, tiebreak) regardless of
+        // interleaving. For key k, updates are (bound = (j * 13 + k) % 29,
+        // tiebreak = j) for j in 0..64; the winner is computable directly.
+        let expect: Vec<(u64, (u64, u64))> = (0..32u64)
+            .map(|k| {
+                let win = (0..64u64)
+                    .map(|j| ((j * 13 + k) % 29, j))
+                    .min()
+                    .unwrap();
+                (k, win)
+            })
+            .collect();
+        for jobs in [1, 4] {
+            let pool = ThreadPool::new(jobs);
+            let map: ShardedMap<u64, (u64, u64)> = ShardedMap::new(8);
+            let updates: Vec<(u64, u64)> = (0..32u64)
+                .flat_map(|k| (0..64u64).map(move |j| (k, j)))
+                .collect();
+            pool.scope(|scope| {
+                for chunk in updates.chunks(37) {
+                    let map = &map;
+                    scope.spawn(move || {
+                        for &(k, j) in chunk {
+                            map.upsert(k, ((j * 13 + k) % 29, j), |new, old| new < old);
+                        }
+                    });
+                }
+            });
+            assert_eq!(map.into_sorted(), expect, "jobs={jobs}");
+        }
+    }
+}

@@ -12,24 +12,30 @@
 //! analysis via `sommelier-equiv::assess_whole` on seeded probe batches
 //! (with the per-model architecture factor of the generalization bound
 //! cached by fingerprint), and segment analysis via `assess_replacement`.
+//! The analyzer is thread-safe: analyses run concurrently during index
+//! construction, results are memoized in a shared
+//! [`PairwiseCache`](sommelier_equiv::PairwiseCache) keyed by model
+//! fingerprints and a configuration hash, and any randomness is seeded
+//! per pair so results never depend on call order.
 
 use crate::ast::{FinalSelection, Query, RefSpec};
 use crate::parser::{parse, ParseError};
 use crate::plan::{plan, QueryPlan};
 use sommelier_equiv::genbound::architecture_factor;
 use sommelier_equiv::whole::{AssessError, GenBoundMode};
-use sommelier_equiv::{assess_whole, EquivConfig};
+use sommelier_equiv::{assess_whole, EquivConfig, PairKey, PairKind, PairwiseCache};
 use sommelier_graph::{Fingerprint, Model, TaskKind};
 use sommelier_index::lsh::LshConfig;
 use sommelier_index::semantic::SemanticIndexConfig;
 use sommelier_index::{CandidateKind, PairAnalyzer, ResourceIndex, SemanticIndex};
+use sommelier_parallel::ThreadPool;
 use sommelier_repo::{ModelRepository, RepoError};
-use sommelier_runtime::metrics::qor_difference;
+use sommelier_runtime::metrics::{counters, qor_difference};
 use sommelier_runtime::{DeviceProfile, ExecSetting, ResourceProfile};
-use sommelier_tensor::{Prng, Tensor};
+use sommelier_tensor::{mix64, Prng, Tensor};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Engine configuration (the knob surface of paper Section 5.5).
 #[derive(Clone, Debug)]
@@ -50,6 +56,13 @@ pub struct SommelierConfig {
     pub exec_setting: ExecSetting,
     /// Master seed for probes and index sampling.
     pub seed: u64,
+    /// Worker lanes for index construction and query execution.
+    /// `1` = fully sequential (bit-for-bit reference behavior), `0` =
+    /// auto-detect available parallelism.
+    pub jobs: usize,
+    /// Pairwise-analysis cache capacity in entries; `0` disables
+    /// memoization entirely.
+    pub cache_cap: usize,
 }
 
 impl Default for SommelierConfig {
@@ -62,6 +75,8 @@ impl Default for SommelierConfig {
             validation_rows: 256,
             exec_setting: ExecSetting::default_cpu(),
             seed: 0x50_4d_4d_31,
+            jobs: 1,
+            cache_cap: 4096,
         }
     }
 }
@@ -128,40 +143,80 @@ impl From<RepoError> for QueryError {
 }
 
 /// The production pairwise analyzer.
+///
+/// Thread-safe ([`Sync`]): probe batches and architecture factors are
+/// memoized behind mutexes, expensive analysis results go through a
+/// shared [`PairwiseCache`] keyed by `(fingerprint_a, fingerprint_b,
+/// kind, config_hash)`, and segment-replacement randomness is seeded per
+/// pair from the model fingerprints — so the analyzer returns the same
+/// answer for a pair no matter which worker asks, or in what order.
 pub struct EquivAnalyzer {
     equiv: EquivConfig,
     segment_epsilon: f64,
     validation_rows: usize,
-    probes: HashMap<usize, Tensor>,
-    arch_factors: HashMap<Fingerprint, f64>,
-    rng: Prng,
+    probes: Mutex<HashMap<usize, Tensor>>,
+    arch_factors: Mutex<HashMap<Fingerprint, f64>>,
+    cache: Arc<PairwiseCache>,
+    /// Hash of every knob that influences analysis results; part of the
+    /// cache key so entries can never leak across configurations.
+    config_hash: u64,
     seed: u64,
 }
 
 impl EquivAnalyzer {
-    /// Create an analyzer with the given settings.
+    /// Create an analyzer with the given settings and no memoization
+    /// (a disabled cache). Use [`EquivAnalyzer::with_cache`] to share a
+    /// cache with the engine.
     pub fn new(
         equiv: EquivConfig,
         segment_epsilon: f64,
         validation_rows: usize,
         seed: u64,
     ) -> Self {
+        let gb = match equiv.genbound {
+            GenBoundMode::Off => [0u64; 4],
+            GenBoundMode::On(c) => [
+                1,
+                c.constant.to_bits(),
+                c.gamma.to_bits(),
+                c.concentration.to_bits(),
+            ],
+        };
+        let config_hash = mix64(&[
+            equiv.epsilon.to_bits(),
+            gb[0],
+            gb[1],
+            gb[2],
+            gb[3],
+            segment_epsilon.to_bits(),
+            validation_rows as u64,
+            seed,
+        ]);
         EquivAnalyzer {
             equiv,
             segment_epsilon,
             validation_rows,
-            probes: HashMap::new(),
-            arch_factors: HashMap::new(),
-            rng: Prng::seed_from_u64(seed ^ 0xa11a),
+            probes: Mutex::new(HashMap::new()),
+            arch_factors: Mutex::new(HashMap::new()),
+            cache: Arc::new(PairwiseCache::new(0)),
+            config_hash,
             seed,
         }
     }
 
+    /// Attach a (shared) pairwise-analysis cache.
+    pub fn with_cache(mut self, cache: Arc<PairwiseCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
     /// The seeded probe batch for a given input width (cached).
-    pub fn probe(&mut self, input_width: usize) -> Tensor {
+    pub fn probe(&self, input_width: usize) -> Tensor {
         let rows = self.validation_rows;
         let seed = self.seed;
         self.probes
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
             .entry(input_width)
             .or_insert_with(|| {
                 let mut rng = Prng::seed_from_u64(seed ^ (input_width as u64).rotate_left(17));
@@ -170,23 +225,51 @@ impl EquivAnalyzer {
             .clone()
     }
 
-    fn cached_factor(&mut self, model: &Model, probe: &Tensor) -> f64 {
+    fn cached_factor(&self, model: &Model, probe: &Tensor) -> f64 {
         let fp = Fingerprint::of_model(model);
-        if let Some(f) = self.arch_factors.get(&fp) {
+        if let Some(f) = self
+            .arch_factors
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&fp)
+        {
             return *f;
         }
         let cfg = match self.equiv.genbound {
             GenBoundMode::On(c) => c,
             GenBoundMode::Off => return 0.0,
         };
+        // Computed outside the lock — the factor is a pure function of
+        // the model, so concurrent duplicate computation is merely
+        // wasted work, never divergence.
         let f = architecture_factor(model, probe, &cfg);
-        self.arch_factors.insert(fp, f);
+        self.arch_factors
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(fp, f);
         f
+    }
+
+    fn pair_key_fp(&self, kind: PairKind, a: Fingerprint, b: Fingerprint) -> PairKey {
+        PairKey {
+            a: a.0,
+            b: b.0,
+            kind,
+            config_hash: self.config_hash,
+        }
+    }
+
+    fn pair_key(&self, kind: PairKind, a: &Model, b: &Model) -> PairKey {
+        self.pair_key_fp(kind, Fingerprint::of_model(a), Fingerprint::of_model(b))
     }
 }
 
 impl PairAnalyzer for EquivAnalyzer {
-    fn whole_diff(&mut self, reference: &Model, candidate: &Model) -> Option<f64> {
+    fn whole_diff(&self, reference: &Model, candidate: &Model) -> Option<f64> {
+        let key = self.pair_key(PairKind::Whole, reference, candidate);
+        if let Some(cached) = self.cache.get(&key) {
+            return cached;
+        }
         let probe = self.probe(reference.input_width());
         // Empirical difference without the (expensive, uncached) built-in
         // bound path; the bound term is recomposed from cached factors.
@@ -194,27 +277,29 @@ impl PairAnalyzer for EquivAnalyzer {
             epsilon: self.equiv.epsilon,
             genbound: GenBoundMode::Off,
         };
-        let report = match assess_whole(reference, candidate, &probe, &empirical_cfg) {
-            Ok(r) => r,
-            Err(AssessError::Incompatible(_)) => return None,
-            Err(AssessError::Exec(_)) => return None,
-        };
-        let term = match self.equiv.genbound {
-            GenBoundMode::Off => 0.0,
-            GenBoundMode::On(gb) => {
-                let fa = self.cached_factor(reference, &probe);
-                let fb = self.cached_factor(candidate, &probe);
-                let n = (probe.rows().max(1) as f64).sqrt();
-                gb.constant * 0.5 * (fa + fb) / (gb.gamma * n) + gb.concentration / n
+        let result = match assess_whole(reference, candidate, &probe, &empirical_cfg) {
+            Ok(report) => {
+                let term = match self.equiv.genbound {
+                    GenBoundMode::Off => 0.0,
+                    GenBoundMode::On(gb) => {
+                        let fa = self.cached_factor(reference, &probe);
+                        let fb = self.cached_factor(candidate, &probe);
+                        let n = (probe.rows().max(1) as f64).sqrt();
+                        gb.constant * 0.5 * (fa + fb) / (gb.gamma * n) + gb.concentration / n
+                    }
+                };
+                Some(report.empirical_diff + term)
             }
+            Err(AssessError::Incompatible(_)) | Err(AssessError::Exec(_)) => None,
         };
-        Some(report.empirical_diff + term)
+        self.cache.insert(key, result);
+        result
     }
 
-    fn segment_diff(&mut self, host: &Model, donor: &Model) -> Option<f64> {
-        if host.input_width() != donor.input_width() {
-            // Still allowed by the paper (segments are internal), but our
-            // probe-driven assessment runs the host end-to-end.
+    fn segment_diff(&self, host: &Model, donor: &Model) -> Option<f64> {
+        let key = self.pair_key(PairKind::Segment, host, donor);
+        if let Some(cached) = self.cache.get(&key) {
+            return cached;
         }
         let probe = self.probe(host.input_width());
         // A small slice suffices for noise-injection estimation.
@@ -225,15 +310,37 @@ impl PairAnalyzer for EquivAnalyzer {
         } else {
             probe
         };
-        let assessment = sommelier_equiv::assessment::assess_replacement(
+        // Per-pair seeding: the noise draws are a pure function of
+        // (analyzer seed, host, donor), never of analysis order.
+        let mut rng = Prng::seed_from_u64(mix64(&[self.seed, key.a, key.b, 0x5e6]));
+        let result = sommelier_equiv::assessment::assess_replacement(
             host,
             donor,
             &small,
             self.segment_epsilon,
-            &mut self.rng,
+            &mut rng,
         )
-        .ok()?;
-        assessment.equivalent.then_some(assessment.qor_diff)
+        .ok()
+        .and_then(|assessment| assessment.equivalent.then_some(assessment.qor_diff));
+        self.cache.insert(key, result);
+        result
+    }
+
+    fn cached_whole_diff(
+        &self,
+        reference: Fingerprint,
+        candidate: Fingerprint,
+    ) -> Option<Option<f64>> {
+        // `peek` (not `get`): a memo miss falls through to the full
+        // `whole_diff` path, whose own `get` books the miss — peek
+        // counting too would double-book it.
+        self.cache
+            .peek(&self.pair_key_fp(PairKind::Whole, reference, candidate))
+    }
+
+    fn cached_segment_diff(&self, host: Fingerprint, donor: Fingerprint) -> Option<Option<f64>> {
+        self.cache
+            .peek(&self.pair_key_fp(PairKind::Segment, host, donor))
     }
 }
 
@@ -245,12 +352,21 @@ pub struct Sommelier {
     analyzer: EquivAnalyzer,
     default_refs: HashMap<TaskKind, String>,
     config: SommelierConfig,
+    /// Worker pool for index construction and query execution
+    /// (`config.jobs` lanes; one lane ⇒ everything runs inline).
+    pool: Arc<ThreadPool>,
+    /// Memoized pairwise-analysis results, shared with the analyzer.
+    cache: Arc<PairwiseCache>,
 }
 
 impl Sommelier {
     /// Connect to a repository. Models already present can be indexed with
     /// [`Sommelier::index_existing`].
     pub fn connect(repo: Arc<dyn ModelRepository>, config: SommelierConfig) -> Self {
+        let pool = Arc::new(ThreadPool::new(sommelier_parallel::effective_jobs(
+            config.jobs,
+        )));
+        let cache = Arc::new(PairwiseCache::new(config.cache_cap));
         Sommelier {
             semantic: SemanticIndex::new(config.index, config.seed),
             resource: ResourceIndex::new(config.lsh, config.seed),
@@ -259,10 +375,13 @@ impl Sommelier {
                 config.segment_epsilon,
                 config.validation_rows,
                 config.seed,
-            ),
+            )
+            .with_cache(Arc::clone(&cache)),
             default_refs: HashMap::new(),
             repo,
             config,
+            pool,
+            cache,
         }
     }
 
@@ -290,24 +409,57 @@ impl Sommelier {
         &self.resource
     }
 
+    /// Worker lanes this engine runs on.
+    pub fn jobs(&self) -> usize {
+        self.pool.jobs()
+    }
+
+    /// Counters of the pairwise-analysis cache. Also publishes them to
+    /// the process-wide metrics registry (`pairwise_cache.*`).
+    pub fn cache_stats(&self) -> sommelier_equiv::CacheStats {
+        self.cache.publish_metrics();
+        self.cache.stats()
+    }
+
     /// Publish a model to the repository and index it.
     pub fn register(&mut self, model: &Model) -> Result<(), QueryError> {
         self.repo.publish(&model.name, model, false)?;
         self.index_model(model)
     }
 
-    /// Index every repository model that is not yet indexed.
+    /// Index every repository model that is not yet indexed — the bulk
+    /// build path: resource profiling and all sampled pairwise analyses
+    /// fan out across the engine's pool with per-model task granularity,
+    /// while index bookkeeping stays sequential in repository key order
+    /// (so the result is byte-identical at any `jobs` setting).
     pub fn index_existing(&mut self) -> Result<usize, QueryError> {
-        let mut added = 0;
+        let mut models = Vec::new();
         for key in self.repo.keys() {
             if self.semantic.contains(&key) {
                 continue;
             }
-            let model = self.repo.load(&key)?;
-            self.index_model(&model)?;
-            added += 1;
+            models.push(self.repo.load(&key)?);
         }
-        Ok(added)
+        if models.is_empty() {
+            return Ok(0);
+        }
+        let setting = self.config.exec_setting.clone();
+        let profiles = self
+            .pool
+            .par_map(&models, |m| ResourceProfile::under(m, &setting));
+        for (m, p) in models.iter().zip(profiles) {
+            self.resource.insert(&m.name, p);
+        }
+        let repo = Arc::clone(&self.repo);
+        let resolve = move |k: &str| repo.load(k).ok();
+        self.semantic
+            .bulk_insert_with(&self.pool, &models, &resolve, &self.analyzer);
+        for m in &models {
+            self.default_refs
+                .entry(m.task)
+                .or_insert_with(|| m.name.clone());
+        }
+        Ok(models.len())
     }
 
     fn index_model(&mut self, model: &Model) -> Result<(), QueryError> {
@@ -315,7 +467,12 @@ impl Sommelier {
         self.resource.insert(&model.name, profile);
         let repo = Arc::clone(&self.repo);
         let resolve = move |k: &str| repo.load(k).ok();
-        self.semantic.insert(model, &resolve, &mut self.analyzer);
+        self.semantic.bulk_insert_with(
+            &self.pool,
+            std::slice::from_ref(model),
+            &resolve,
+            &self.analyzer,
+        );
         self.default_refs
             .entry(model.task)
             .or_insert_with(|| model.name.clone());
@@ -338,13 +495,19 @@ impl Sommelier {
     pub fn unregister(&mut self, key: &str) -> bool {
         let in_semantic = self.semantic.remove(key);
         let in_resource = self.resource.remove(key);
-        self.default_refs.retain(|_, v| v != key);
-        // Re-derive default references for tasks that lost theirs.
-        for k in self.semantic.keys() {
-            if let Ok(model) = self.repo.load(k) {
-                self.default_refs
-                    .entry(model.task)
-                    .or_insert_with(|| k.clone());
+        // Re-derive default references only when the removed key *was*
+        // one — the common case (it was not) would otherwise reload the
+        // entire repository on every unregister, which makes a
+        // reindexing sweep quadratic in repository size.
+        let was_default = self.default_refs.values().any(|v| v == key);
+        if was_default {
+            self.default_refs.retain(|_, v| v != key);
+            for k in self.semantic.keys() {
+                if let Ok(model) = self.repo.load(k) {
+                    self.default_refs
+                        .entry(model.task)
+                        .or_insert_with(|| k.clone());
+                }
             }
         }
         in_semantic || in_resource
@@ -461,14 +624,28 @@ impl Sommelier {
         setting: Option<&ExecSetting>,
     ) -> Vec<QueryResult> {
         // Stage 1: semantic filter.
-        let candidates = self.semantic.lookup_key(&plan.reference_key, plan.min_score);
+        let candidates: Vec<_> = self
+            .semantic
+            .lookup_key(&plan.reference_key, plan.min_score)
+            .into_iter()
+            .filter(|c| c.key != plan.reference_key)
+            .collect();
+        counters::add("query.candidates_scored", candidates.len() as u64);
 
-        // Stage 2: resource filter. With an explicit execution setting the
-        // candidates are re-profiled on the fly; otherwise the prebuilt
-        // index answers the range query.
+        // Stage 2: resource filter, fanned out across the pool. With an
+        // explicit execution setting the candidates are re-profiled on
+        // the fly (each re-profile is an independent task); otherwise the
+        // prebuilt index answers the range query with parallel LSH table
+        // probes. `par_map` keeps candidate order, so results are
+        // identical to the sequential pipeline.
         let admitted: Option<std::collections::HashSet<String>> = match setting {
             Some(_) => None,
-            None => Some(self.resource.query(&plan.constraint).into_iter().collect()),
+            None => Some(
+                self.resource
+                    .query_with(&self.pool, &plan.constraint)
+                    .into_iter()
+                    .collect(),
+            ),
         };
         let profile_of = |key: &str| -> Option<ResourceProfile> {
             match setting {
@@ -479,40 +656,42 @@ impl Sommelier {
                 None => self.resource.profile_of(key).copied(),
             }
         };
-        let mut results: Vec<QueryResult> = candidates
-            .into_iter()
-            .filter(|c| c.key != plan.reference_key)
-            .filter_map(|c| {
-                let profile = match &c.kind {
-                    // Synthesized models share the host's (= reference's)
-                    // structure, hence its resource profile.
-                    CandidateKind::Synthesized { .. } => {
-                        if !plan.constraint.admits(ref_profile) {
+        let score_one = |c: &&sommelier_index::CandidateRecord| -> Option<QueryResult> {
+            let profile = match &c.kind {
+                // Synthesized models share the host's (= reference's)
+                // structure, hence its resource profile.
+                CandidateKind::Synthesized { .. } => {
+                    if !plan.constraint.admits(ref_profile) {
+                        return None;
+                    }
+                    *ref_profile
+                }
+                _ => {
+                    if let Some(admitted) = &admitted {
+                        if !admitted.contains(&c.key) {
                             return None;
                         }
-                        *ref_profile
                     }
-                    _ => {
-                        if let Some(admitted) = &admitted {
-                            if !admitted.contains(&c.key) {
-                                return None;
-                            }
-                        }
-                        let p = profile_of(&c.key)?;
-                        if !plan.constraint.admits(&p) {
-                            return None;
-                        }
-                        p
+                    let p = profile_of(&c.key)?;
+                    if !plan.constraint.admits(&p) {
+                        return None;
                     }
-                };
-                Some(QueryResult {
-                    key: c.key.clone(),
-                    score: c.score,
-                    diff_bound: c.diff_bound,
-                    profile,
-                    kind: c.kind.clone(),
-                })
+                    p
+                }
+            };
+            Some(QueryResult {
+                key: c.key.clone(),
+                score: c.score,
+                diff_bound: c.diff_bound,
+                profile,
+                kind: c.kind.clone(),
             })
+        };
+        let mut results: Vec<QueryResult> = self
+            .pool
+            .par_map(&candidates, score_one)
+            .into_iter()
+            .flatten()
             .collect();
 
         // Stage 3: final selection. Sorting uses `total_cmp` so the
@@ -592,6 +771,10 @@ impl Sommelier {
                 default_refs.entry(model.task).or_insert_with(|| key.clone());
             }
         }
+        let pool = Arc::new(ThreadPool::new(sommelier_parallel::effective_jobs(
+            config.jobs,
+        )));
+        let cache = Arc::new(PairwiseCache::new(config.cache_cap));
         Ok(Sommelier {
             semantic,
             resource,
@@ -600,17 +783,20 @@ impl Sommelier {
                 config.segment_epsilon,
                 config.validation_rows,
                 config.seed,
-            ),
+            )
+            .with_cache(Arc::clone(&cache)),
             default_refs,
             repo,
             config,
+            pool,
+            cache,
         })
     }
 
     /// Directly measure the empirical QoR difference between two
     /// registered models on the engine's probe — a convenience for
     /// experiments and the serving integration.
-    pub fn measure_diff(&mut self, reference: &str, candidate: &str) -> Result<f64, QueryError> {
+    pub fn measure_diff(&self, reference: &str, candidate: &str) -> Result<f64, QueryError> {
         let a = self.repo.load(reference)?;
         let b = self.repo.load(candidate)?;
         let probe = self.analyzer.probe(a.input_width());
@@ -944,8 +1130,97 @@ mod tests {
     }
 
     #[test]
-    fn measure_diff_is_zero_for_self() {
+    fn reindexing_hits_the_pairwise_cache() {
         let (mut engine, names) = engine_with_variants();
+        let before = engine.cache_stats();
+        assert_eq!(before.hits, 0, "first build analyzes only fresh pairs");
+        assert!(before.misses > 0, "analyses must register cache misses");
+        assert!(before.entries > 0);
+        // Re-register an unchanged model: every pairwise analysis it
+        // needs was computed during the first build (same fingerprints,
+        // same configuration), so the rebuild is pure cache hits.
+        let model = engine.repo.load(&names[2]).unwrap();
+        engine.reregister(&model).unwrap();
+        let after = engine.cache_stats();
+        assert!(after.hits > 0, "reindexing must hit the cache");
+        assert_eq!(after.misses, before.misses, "no new analyses were needed");
+    }
+
+    #[test]
+    fn zero_cache_cap_disables_memoization_without_changing_results() {
+        let repo = Arc::new(InMemoryRepository::new());
+        let teacher = Teacher::for_task(TaskKind::ImageRecognition, 51);
+        let bias = DatasetBias::new(&teacher, "imagenet", 0.05);
+        let mut rng = Prng::seed_from_u64(5);
+        for i in 0..3 {
+            let mut frng = rng.fork();
+            let m = Family::Resnetish.build_scaled(
+                format!("m{i}"),
+                &teacher,
+                &bias,
+                &FamilyScale::new(1.0 - 0.2 * i as f64, 3, 0.01),
+                &mut frng,
+            );
+            repo.publish(&m.name, &m, false).unwrap();
+        }
+        let mut engine = Sommelier::connect(
+            Arc::clone(&repo) as Arc<dyn ModelRepository>,
+            SommelierConfig {
+                validation_rows: 64,
+                cache_cap: 0,
+                ..SommelierConfig::default()
+            },
+        );
+        engine.index_existing().unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+        assert_eq!(engine.len(), 3);
+    }
+
+    #[test]
+    fn index_build_is_byte_identical_across_job_counts() {
+        let teacher = Teacher::for_task(TaskKind::ImageRecognition, 51);
+        let bias = DatasetBias::new(&teacher, "imagenet", 0.05);
+        let build = |jobs: usize, cache_cap: usize| -> String {
+            let repo = Arc::new(InMemoryRepository::new());
+            let mut rng = Prng::seed_from_u64(1);
+            for (i, wf) in [1.25, 1.0, 0.75, 0.5, 0.6].into_iter().enumerate() {
+                let mut frng = rng.fork();
+                let m = Family::Resnetish.build_scaled(
+                    format!("m{i}"),
+                    &teacher,
+                    &bias,
+                    &FamilyScale::new(wf, 3, 0.01),
+                    &mut frng,
+                );
+                repo.publish(&m.name, &m, false).unwrap();
+            }
+            let mut cfg = SommelierConfig {
+                validation_rows: 64,
+                jobs,
+                cache_cap,
+                ..SommelierConfig::default()
+            };
+            cfg.index.sample_size = 3;
+            let mut engine = Sommelier::connect(repo, cfg);
+            engine.index_existing().unwrap();
+            let path = std::env::temp_dir().join(format!(
+                "somm-jobs-{jobs}-{cache_cap}-{}.json",
+                std::process::id()
+            ));
+            engine.save_indices(&path).unwrap();
+            let bytes = std::fs::read_to_string(&path).unwrap();
+            std::fs::remove_file(&path).ok();
+            bytes
+        };
+        let baseline = build(1, 0);
+        assert_eq!(build(4, 4096), baseline, "jobs=4 with cache diverged");
+        assert_eq!(build(8, 0), baseline, "jobs=8 without cache diverged");
+    }
+
+    #[test]
+    fn measure_diff_is_zero_for_self() {
+        let (engine, names) = engine_with_variants();
         let d = engine.measure_diff(&names[0], &names[0]).unwrap();
         assert_eq!(d, 0.0);
         let d2 = engine.measure_diff(&names[0], &names[3]).unwrap();

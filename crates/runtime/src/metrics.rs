@@ -12,6 +12,101 @@
 use sommelier_graph::task::OutputStyle;
 use sommelier_tensor::{ops, Tensor};
 
+/// Process-wide named monotonic counters.
+///
+/// The reproduction's subsystems (the pairwise-analysis cache, the
+/// parallel index build, the query engine) publish operational counters
+/// here so tooling — the CLI, the benchmark harness, tests — can read
+/// them without threading handles through every layer. Counters are
+/// *observability*, not state: nothing in the system reads a counter to
+/// make a decision, so the registry being process-global cannot affect
+/// results.
+///
+/// Well-known names (kept in sync with README's metrics table):
+/// `pairwise_cache.hits`, `pairwise_cache.misses`,
+/// `pairwise_cache.evictions`, `pairwise_cache.entries`,
+/// `index.pair_analyses`, `index.models_indexed`,
+/// `query.candidates_scored`.
+pub mod counters {
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex, OnceLock};
+
+    type Registry = Mutex<BTreeMap<String, Arc<AtomicU64>>>;
+
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+    fn registry() -> &'static Registry {
+        REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+    }
+
+    /// Get (or create) the counter registered under `name`. The handle
+    /// can be cached and bumped without further registry locking.
+    pub fn counter(name: &str) -> Arc<AtomicU64> {
+        let mut map = registry().lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        )
+    }
+
+    /// Add `delta` to the named counter.
+    pub fn add(name: &str, delta: u64) {
+        counter(name).fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Overwrite the named counter (used by subsystems that publish a
+    /// snapshot of internally tracked atomics).
+    pub fn set(name: &str, value: u64) {
+        counter(name).store(value, Ordering::Relaxed);
+    }
+
+    /// Current value of the named counter (0 if never registered).
+    pub fn get(name: &str) -> u64 {
+        let map = registry().lock().unwrap_or_else(|e| e.into_inner());
+        map.get(name)
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// All registered counters, sorted by name.
+    pub fn snapshot() -> Vec<(String, u64)> {
+        let map = registry().lock().unwrap_or_else(|e| e.into_inner());
+        map.iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn counters_register_add_and_snapshot() {
+            let name = "test.metrics.counter_a";
+            assert_eq!(get(name), 0);
+            add(name, 3);
+            add(name, 4);
+            assert_eq!(get(name), 7);
+            set(name, 2);
+            assert_eq!(get(name), 2);
+            let snap = snapshot();
+            assert!(snap.iter().any(|(k, v)| k == name && *v == 2));
+            // Sorted by name.
+            assert!(snap.windows(2).all(|w| w[0].0 <= w[1].0));
+        }
+
+        #[test]
+        fn counter_handles_share_state() {
+            let name = "test.metrics.counter_b";
+            let h1 = counter(name);
+            let h2 = counter(name);
+            h1.fetch_add(5, Ordering::Relaxed);
+            assert_eq!(h2.load(Ordering::Relaxed), 5);
+        }
+    }
+}
+
 /// Top-1 predictions for a batch of classification outputs.
 pub fn top1_predictions(outputs: &Tensor) -> Vec<usize> {
     (0..outputs.rows()).map(|r| outputs.argmax_row(r)).collect()

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# PR 2 performance gate: parallel index construction + memoized pairwise
+# cache on the reindex-twice curation workload.
+#
+# Builds the workspace in release mode, runs the `pr2_parallel_cache`
+# benchmark (baseline: --jobs 1 --cache-cap 0; tuned: --jobs 4
+# --cache-cap 65536), and copies the JSON report to BENCH_pr2.json at the
+# repository root. The benchmark binary itself asserts that both
+# configurations produce byte-identical index snapshots and that the
+# tuned run hits the cache; this script additionally enforces the ≥2×
+# build-throughput acceptance bar.
+#
+# Usage:
+#   scripts/bench.sh              # smoke fleet (60 models, 40 queries)
+#   SOMMELIER_PR2_MODE=full scripts/bench.sh   # larger fleet
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== building (release) =="
+cargo build --release -p sommelier-bench
+
+echo "== running pr2_parallel_cache (${SOMMELIER_PR2_MODE:-smoke}) =="
+cargo run --quiet --release -p sommelier-bench --bin pr2_parallel_cache
+
+cp target/experiments/pr2_parallel_cache.json BENCH_pr2.json
+echo "== wrote BENCH_pr2.json =="
+
+# Enforce the acceptance bar without depending on jq: the report is
+# single-level enough for a grep to pull the speedup out.
+speedup=$(sed -n 's/.*"speedup":[[:space:]]*\([0-9.]*\).*/\1/p' BENCH_pr2.json | head -n1)
+echo "speedup: ${speedup}x (bar: >= 2.0x)"
+awk -v s="$speedup" 'BEGIN { exit !(s >= 2.0) }' || {
+    echo "FAIL: tuned build throughput is below the 2x acceptance bar" >&2
+    exit 1
+}
+echo "PASS"

@@ -58,7 +58,7 @@ fn query_result_is_loadable_and_functional() {
 
 #[test]
 fn returned_model_agrees_with_reference_as_scored() {
-    let (mut engine, _repo, _) = hub();
+    let (engine, _repo, _) = hub();
     let results = engine
         .query("SELECT models 3 CORR resnetish-big WITHIN 0.3")
         .unwrap();

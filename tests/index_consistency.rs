@@ -72,7 +72,7 @@ fn transitive_bounds_dominate_direct_measurements() {
     // Bounds recorded transitively must never be tighter than the direct
     // measurement would be (they are conservative by construction:
     // d(X,Z) ≤ d(X,Y) + d(Y,Z)).
-    let (mut engine, names) = engine(3); // force transitive derivation
+    let (engine, names) = engine(3); // force transitive derivation
     for name in &names {
         let transitive: Vec<(String, f64)> = engine
             .semantic_index()
