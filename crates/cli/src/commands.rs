@@ -271,31 +271,157 @@ fn load_engine(dir: &Path, cfg: SommelierConfig) -> Result<Sommelier, String> {
     Sommelier::connect_with_indices(repo as Arc<dyn ModelRepository>, cfg, &path).map_err(fail)
 }
 
-/// `sommelier query <dir> <query-text> [--jobs N] [--cache-cap N]`
+fn print_result_table(results: &[sommelier_query::QueryResult]) {
+    println!(
+        "{:<28} {:>7} {:>10} {:>12} {:>10}",
+        "key", "score", "mem (MB)", "GFLOPs", "lat (ms)"
+    );
+    for r in results {
+        println!(
+            "{:<28} {:>7.3} {:>10.3} {:>12.6} {:>10.3}",
+            r.key, r.score, r.profile.memory_mb, r.profile.gflops, r.profile.latency_ms
+        );
+    }
+}
+
+/// `sommelier query <dir> <query-text> [--jobs N] [--cache-cap N]
+/// [--threads N] [--repeat K] [--format text|json]`
+///
+/// `--repeat K` runs the query K times through the batched lock-free
+/// path (`query_batch`), spread over `--threads N` lanes; every batched
+/// answer reports its per-query latency and the index epoch it was
+/// served from. Repeats after the first hit the engine's plan/result
+/// cache, so the per-query latencies directly expose the cache win.
 pub fn query(args: &[String]) -> CmdResult {
     let (positional, flags) = split_flags(args)?;
     let dir = repo_dir(&positional)?;
-    let cfg = engine_config(&flags)?;
+    let mut threads = 0usize;
+    let mut repeat = 1usize;
+    let mut format = "text";
+    let mut engine_flags = Vec::new();
+    for (name, value) in &flags {
+        match *name {
+            "threads" => {
+                threads = value
+                    .parse()
+                    .map_err(|_| format!("--threads needs an integer, got '{value}'"))?;
+            }
+            "repeat" => {
+                repeat = value
+                    .parse()
+                    .ok()
+                    .filter(|&k: &usize| k >= 1)
+                    .ok_or_else(|| format!("--repeat needs a positive integer, got '{value}'"))?;
+            }
+            "format" => match *value {
+                "text" | "json" => format = value,
+                other => return Err(format!("unknown format '{other}' (text|json)")),
+            },
+            _ => engine_flags.push((*name, *value)),
+        }
+    }
+    let cfg = engine_config(&engine_flags)?;
     let text = positional
         .get(1..)
         .filter(|rest| !rest.is_empty())
         .map(|rest| rest.join(" "))
         .ok_or("missing query text")?;
     let engine = load_engine(&dir, cfg)?;
-    let results = engine.query(&text).map_err(fail)?;
-    if results.is_empty() {
-        println!("(no model satisfies all predicates)");
+    // The batched lock-free path: a reader pins one published snapshot
+    // and fans the repeats across its thread pool.
+    let reader = if threads > 0 {
+        engine.reader().with_pool(threads)
+    } else {
+        engine.reader().clone()
+    };
+    let texts: Vec<String> = std::iter::repeat_with(|| text.clone()).take(repeat).collect();
+    let items = reader.query_batch(&texts);
+    if format == "json" {
+        use serde::Value;
+        let rendered = Value::Seq(
+            items
+                .iter()
+                .map(|item| {
+                    let mut fields = vec![
+                        ("epoch".to_string(), Value::UInt(item.epoch)),
+                        ("latency_ms".to_string(), Value::Float(item.latency_ms)),
+                    ];
+                    match &item.results {
+                        Ok(results) => fields.push((
+                            "results".to_string(),
+                            Value::Seq(
+                                results
+                                    .iter()
+                                    .map(|r| {
+                                        Value::Map(vec![
+                                            ("key".to_string(), Value::Str(r.key.clone())),
+                                            ("score".to_string(), Value::Float(r.score)),
+                                            (
+                                                "diff_bound".to_string(),
+                                                Value::Float(r.diff_bound),
+                                            ),
+                                            (
+                                                "memory_mb".to_string(),
+                                                Value::Float(r.profile.memory_mb),
+                                            ),
+                                            (
+                                                "gflops".to_string(),
+                                                Value::Float(r.profile.gflops),
+                                            ),
+                                            (
+                                                "latency_ms".to_string(),
+                                                Value::Float(r.profile.latency_ms),
+                                            ),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        )),
+                        Err(e) => fields
+                            .push(("error".to_string(), Value::Str(e.to_string()))),
+                    }
+                    Value::Map(fields)
+                })
+                .collect(),
+        );
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rendered).map_err(fail)?
+        );
+        // Surface a failure exit even in JSON mode.
+        if let Some(item) = items.iter().find(|i| i.results.is_err()) {
+            return Err(item.results.as_ref().unwrap_err().to_string());
+        }
         return Ok(());
     }
-    println!(
-        "{:<28} {:>7} {:>10} {:>12} {:>10}",
-        "key", "score", "mem (MB)", "GFLOPs", "lat (ms)"
-    );
-    for r in &results {
+    let first = items.first().expect("repeat >= 1");
+    let results = first.results.as_ref().map_err(|e| e.to_string())?;
+    if results.is_empty() {
+        println!("(no model satisfies all predicates)");
+    } else {
+        print_result_table(results);
+    }
+    if repeat > 1 {
+        println!();
+        for (i, item) in items.iter().enumerate() {
+            let n = item.results.as_ref().map(Vec::len).unwrap_or(0);
+            println!(
+                "query #{:<3} {} result(s) in {:>8.3} ms  (epoch {})",
+                i + 1,
+                n,
+                item.latency_ms,
+                item.epoch
+            );
+        }
+        let stats = reader.plan_cache_stats();
         println!(
-            "{:<28} {:>7.3} {:>10.3} {:>12.6} {:>10.3}",
-            r.key, r.score, r.profile.memory_mb, r.profile.gflops, r.profile.latency_ms
+            "{} lane(s); plan cache: {} hit(s), {} miss(es)",
+            reader.jobs(),
+            stats.hits,
+            stats.misses
         );
+    } else {
+        println!("served from epoch {} in {:.3} ms", first.epoch, first.latency_ms);
     }
     Ok(())
 }

@@ -33,8 +33,12 @@ COMMANDS:
     show   <dir> <key>                  metadata + resource profile
     index  <dir> [--sample N] [--no-segments] [--jobs N] [--cache-cap N]
                                         build and persist the indices
-    query  <dir> <query-text> [--jobs N]
-                                        run a SELECT … CORR … query
+    query  <dir> <query-text> [--jobs N] [--threads N] [--repeat K]
+           [--format text|json]
+                                        run a SELECT … CORR … query;
+                                        --repeat batches K runs over
+                                        --threads lanes, reporting
+                                        per-query latency and epoch
     diff   <dir> <reference> <candidate>
                                         full equivalence explanation
     dot    <dir> <key>                  Graphviz export of the model graph

@@ -137,6 +137,42 @@ impl CosineLsh {
         out
     }
 
+    /// Bounded multi-probe variant of [`CosineLsh::candidates_with`]:
+    /// each table probes its exact bucket plus up to `extra_bits`
+    /// Hamming-1 neighbor buckets (single sign-bit flips, in fixed bit
+    /// order), recovering near-miss collisions where the probe vector
+    /// sits close to a hyperplane. The probe count is bounded by
+    /// `tables × (1 + extra_bits)` — recall improves without the cost
+    /// of more tables — and the walk order is deterministic, so results
+    /// are identical at any job count. `extra_bits == 0` degenerates to
+    /// the exact-bucket probe.
+    pub fn candidates_multiprobe(
+        &self,
+        pool: &ThreadPool,
+        v: &[f64],
+        extra_bits: usize,
+    ) -> Vec<usize> {
+        assert_eq!(v.len(), self.dim, "vector dimensionality mismatch");
+        let tables: Vec<usize> = (0..self.config.tables).collect();
+        let per_table: Vec<Vec<usize>> = pool.par_map(&tables, |&t| {
+            let sig = self.signature(t, v);
+            let mut hits = Vec::new();
+            if let Some(ids) = self.buckets[t].get(&sig) {
+                hits.extend_from_slice(ids);
+            }
+            for bit in 0..self.config.bits.min(extra_bits) {
+                if let Some(ids) = self.buckets[t].get(&(sig ^ (1 << bit))) {
+                    hits.extend_from_slice(ids);
+                }
+            }
+            hits
+        });
+        let mut out: Vec<usize> = per_table.into_iter().flatten().collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
     /// Every id stored in any bucket of any table (deduplicated,
     /// ascending) — the audit view integrity tooling uses to detect
     /// buckets referencing resource-vector slots that do not exist.
@@ -244,6 +280,35 @@ mod tests {
         for v in vs.iter().take(10) {
             assert_eq!(lsh.candidates(v), lsh.candidates_with(&pool, v));
         }
+    }
+
+    #[test]
+    fn multiprobe_is_a_superset_of_exact_probes() {
+        let mut lsh = CosineLsh::new(8, LshConfig { bits: 6, tables: 4 }, 11);
+        let mut rng = Prng::seed_from_u64(8);
+        let vs: Vec<Vec<f64>> = (0..64)
+            .map(|_| (0..8).map(|_| rng.gaussian()).collect())
+            .collect();
+        for (i, v) in vs.iter().enumerate() {
+            lsh.insert(v, i);
+        }
+        let pool = ThreadPool::new(1);
+        let mut widened = 0;
+        for v in vs.iter().take(16) {
+            let exact = lsh.candidates(v);
+            let multi = lsh.candidates_multiprobe(&pool, v, 2);
+            assert!(
+                exact.iter().all(|id| multi.contains(id)),
+                "multi-probe must never drop an exact collision"
+            );
+            widened += multi.len() - exact.len();
+            // Zero extra bits degenerates to the exact probe.
+            assert_eq!(lsh.candidates_multiprobe(&pool, v, 0), exact);
+            // Deterministic across job counts.
+            let pool4 = ThreadPool::new(4);
+            assert_eq!(lsh.candidates_multiprobe(&pool4, v, 2), multi);
+        }
+        assert!(widened > 0, "neighbor buckets recovered extra candidates");
     }
 
     #[test]

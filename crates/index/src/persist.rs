@@ -33,7 +33,8 @@ pub const SNAPSHOT_VERSION: u32 = 1;
 
 /// Current stats-header version (evolves independently of
 /// [`SNAPSHOT_VERSION`]; unknown versions are tolerated by readers).
-pub const STATS_VERSION: u32 = 1;
+/// Version 2 added the publication `epoch`.
+pub const STATS_VERSION: u32 = 2;
 
 /// Content-derived metrics header written alongside the indices.
 ///
@@ -54,11 +55,17 @@ pub struct SnapshotStats {
     pub candidate_records: i64,
     /// Entries in the resource index.
     pub resource_entries: i64,
+    /// Publication epoch of the engine state this snapshot captures —
+    /// the count of index mutations published before the save. `None`
+    /// in headers written before stats version 2 (readers must
+    /// tolerate its absence). `i64`, like the counters, so audit
+    /// tooling can detect hand-edited negative values.
+    pub epoch: Option<i64>,
 }
 
 impl SnapshotStats {
-    /// Derive the header from live indices.
-    pub fn of(semantic: &SemanticIndex, resource: &ResourceIndex) -> Self {
+    /// Derive the header from live indices at a publication epoch.
+    pub fn of(semantic: &SemanticIndex, resource: &ResourceIndex, epoch: u64) -> Self {
         let candidate_records = semantic
             .entries_audit()
             .iter()
@@ -69,6 +76,7 @@ impl SnapshotStats {
             models: semantic.len() as i64,
             candidate_records,
             resource_entries: resource.len() as i64,
+            epoch: Some(epoch as i64),
         }
     }
 }
@@ -105,11 +113,17 @@ impl From<std::io::Error> for PersistError {
     }
 }
 
-/// Write both indices to a snapshot file.
-pub fn save(semantic: &SemanticIndex, resource: &ResourceIndex, path: &Path) -> Result<(), PersistError> {
+/// Write both indices to a snapshot file, stamped with the publication
+/// epoch the engine reached.
+pub fn save(
+    semantic: &SemanticIndex,
+    resource: &ResourceIndex,
+    epoch: u64,
+    path: &Path,
+) -> Result<(), PersistError> {
     let snapshot = IndexSnapshot {
         version: SNAPSHOT_VERSION,
-        stats: Some(SnapshotStats::of(semantic, resource)),
+        stats: Some(SnapshotStats::of(semantic, resource, epoch)),
         semantic: semantic.clone(),
         resource: resource.clone(),
     };
@@ -184,7 +198,7 @@ mod tests {
         }
 
         let path = std::env::temp_dir().join(format!("sommelier-snap-{}.json", std::process::id()));
-        save(&sem, &res, &path).unwrap();
+        save(&sem, &res, 4, &path).unwrap();
         let (sem2, res2) = load(&path).unwrap();
         std::fs::remove_file(&path).ok();
 
@@ -234,13 +248,14 @@ mod tests {
         }
         let path =
             std::env::temp_dir().join(format!("sommelier-stats-{}.json", std::process::id()));
-        save(&sem, &res, &path).unwrap();
+        save(&sem, &res, 3, &path).unwrap();
         let snap = read_snapshot(&path).unwrap();
         std::fs::remove_file(&path).ok();
         let stats = snap.stats.expect("save() writes a stats header");
         assert_eq!(stats.stats_version, STATS_VERSION);
         assert_eq!(stats.models, 3);
         assert_eq!(stats.resource_entries, 3);
+        assert_eq!(stats.epoch, Some(3), "save stamps the publication epoch");
         let expected: i64 = snap
             .semantic
             .entries_audit()
@@ -258,7 +273,7 @@ mod tests {
         let res = ResourceIndex::new(LshConfig::default(), 1);
         let path =
             std::env::temp_dir().join(format!("sommelier-nostats-{}.json", std::process::id()));
-        save(&sem, &res, &path).unwrap();
+        save(&sem, &res, 0, &path).unwrap();
         let json = std::fs::read_to_string(&path).unwrap();
         let stripped = {
             // Remove the "stats" member wholesale by re-serializing
@@ -294,7 +309,7 @@ mod tests {
         let res = ResourceIndex::new(LshConfig::default(), 1);
         let path =
             std::env::temp_dir().join(format!("sommelier-vers-{}.json", std::process::id()));
-        save(&sem, &res, &path).unwrap();
+        save(&sem, &res, 0, &path).unwrap();
         let json = std::fs::read_to_string(&path).unwrap();
         std::fs::write(&path, json.replacen("\"version\":1", "\"version\":9", 1)).unwrap();
         let err = load(&path).unwrap_err();

@@ -57,6 +57,12 @@ impl ResourceConstraint {
     }
 }
 
+/// Hamming-1 neighbor buckets probed per LSH table during range queries
+/// (bounded multi-probe: recall of near-hyperplane probes improves at a
+/// fixed `tables × (1 + MULTIPROBE_BITS)` probe budget, with no extra
+/// tables and no stored state).
+const MULTIPROBE_BITS: usize = 2;
+
 /// The resource index.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ResourceIndex {
@@ -158,7 +164,13 @@ impl ResourceIndex {
         }
         let probe = constraint.probe_vector();
         let mut included = vec![false; self.entries.len()];
-        for id in self.lsh.candidates_with(pool, &probe) {
+        // Bounded multi-probe: widening the candidate set can only add
+        // ids that still pass the exact admit filter below, so recall
+        // improves and precision is untouched.
+        for id in self
+            .lsh
+            .candidates_multiprobe(pool, &probe, MULTIPROBE_BITS)
+        {
             included[id] = true;
         }
         // Upper-bound constraints admit everything dominated by the probe;

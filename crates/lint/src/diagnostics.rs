@@ -12,7 +12,8 @@ use std::fmt;
 
 /// Stable diagnostic codes, grouped by pass family:
 /// `SOM00x` model-graph lints, `SOM02x` repository/index invariants,
-/// `SOM04x` query-plan lints, `SOM05x` snapshot stats-header lints.
+/// `SOM04x` query-plan lints, `SOM05x` snapshot stats-header lints,
+/// `SOM06x` snapshot publication-epoch lints.
 pub mod codes {
     /// A layer's output is never consumed (dead computation).
     pub const DEAD_LAYER: &str = "SOM001";
@@ -62,6 +63,12 @@ pub mod codes {
     pub const NEGATIVE_STATS_COUNTER: &str = "SOM052";
     /// The stats header disagrees with the snapshot's actual contents.
     pub const STATS_CONTENT_MISMATCH: &str = "SOM053";
+    /// The publication epoch is negative, or zero on a populated snapshot.
+    pub const EPOCH_REGRESSION: &str = "SOM060";
+    /// The header's declared version disagrees with its epoch field.
+    pub const EPOCH_HEADER_MISMATCH: &str = "SOM061";
+    /// A candidate references a key the snapshot itself never registered.
+    pub const UNREGISTERED_CANDIDATE: &str = "SOM062";
 }
 
 /// How bad a finding is. Ordered: `Info < Warn < Error`.

@@ -24,7 +24,10 @@
 //!   predicates, references that prune to nothing (`SOM040`–`SOM044`);
 //! * **snapshot stats header** ([`passes::stats`]) — missing,
 //!   unknown-version, negative, or content-inconsistent metrics headers
-//!   in persisted snapshots (`SOM050`–`SOM053`).
+//!   in persisted snapshots (`SOM050`–`SOM053`);
+//! * **publication epoch** ([`passes::epoch`]) — regressed or missing
+//!   publication epochs and candidates referencing keys the snapshot
+//!   never registered (`SOM060`–`SOM062`).
 //!
 //! The CLI exposes all of this as `sommelier lint <dir>`.
 
@@ -170,6 +173,7 @@ impl LintRunner {
         runner.register(Box::new(passes::index::FreshnessPass));
         runner.register(Box::new(passes::plan::QueryPlanPass));
         runner.register(Box::new(passes::stats::SnapshotStatsPass));
+        runner.register(Box::new(passes::epoch::SnapshotEpochPass));
         runner
     }
 
@@ -205,7 +209,8 @@ mod tests {
         assert!(names.contains(&"index-integrity"));
         assert!(names.contains(&"query-plan"));
         assert!(names.contains(&"snapshot-stats"));
-        assert_eq!(names.len(), 8);
+        assert!(names.contains(&"snapshot-epoch"));
+        assert_eq!(names.len(), 9);
     }
 
     #[test]

@@ -4,11 +4,13 @@
 //! * [`index`] — cross-checks between the repository and the persisted
 //!   semantic/resource indices (`SOM02x`);
 //! * [`plan`] — static analyses of parsed query ASTs (`SOM04x`);
-//! * [`stats`] — snapshot stats-header validation (`SOM05x`).
+//! * [`stats`] — snapshot stats-header validation (`SOM05x`);
+//! * [`epoch`] — snapshot publication-epoch validation (`SOM06x`).
 //!
 //! Passes only read the [`crate::LintContext`]; they never execute a
 //! model and never mutate an index.
 
+pub mod epoch;
 pub mod index;
 pub mod model;
 pub mod plan;

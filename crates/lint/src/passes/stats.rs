@@ -44,7 +44,10 @@ impl Pass for SnapshotStatsPass {
             .with_help("re-run `sommelier index` to refresh the snapshot"));
             return;
         };
-        if stats.stats_version != STATS_VERSION {
+        // Every version up to the current one is understood (version 1
+        // is version 2 minus the epoch field); only a *newer* writer's
+        // header has unknowable field semantics.
+        if !(1..=STATS_VERSION).contains(&stats.stats_version) {
             out.push(Diagnostic::warn(
                 codes::UNKNOWN_STATS_VERSION,
                 "index-snapshot",
@@ -157,6 +160,7 @@ mod tests {
         ctx.snapshot_stats = Some(SnapshotStats::of(
             ctx.semantic.as_ref().unwrap(),
             ctx.resource.as_ref().unwrap(),
+            0,
         ));
         assert!(run(&ctx).is_empty());
     }
@@ -171,6 +175,7 @@ mod tests {
             models: -5,
             candidate_records: 999,
             resource_entries: -1,
+            epoch: None,
         });
         let out = run(&ctx);
         assert_eq!(out.len(), 1);
@@ -186,6 +191,7 @@ mod tests {
             models: -1,
             candidate_records: 0,
             resource_entries: 0,
+            epoch: Some(1),
         });
         let out = run(&ctx);
         assert!(out
@@ -201,6 +207,7 @@ mod tests {
             models: 12,
             candidate_records: 0,
             resource_entries: 0,
+            epoch: Some(1),
         });
         let out = run(&ctx);
         assert!(out

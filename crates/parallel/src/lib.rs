@@ -26,6 +26,10 @@
 //!   worker computed them.
 //! * [`ShardedMap`] — a lock-striped hash map for commutative parallel
 //!   merges (the transitive-derivation reduction of the semantic index).
+//! * [`RcuCell`] — an RCU-style publication cell: readers pin an
+//!   immutable `Arc`-shared value without locking, a writer swaps in the
+//!   next value and waits out a grace period before reclaiming the old
+//!   one (the engine's snapshot publication primitive).
 //!
 //! A process-wide [`global`] pool (default: sequential; sized with
 //! [`set_global_jobs`] or the `SOMMELIER_JOBS` environment variable)
@@ -33,9 +37,11 @@
 //! their own.
 
 mod pool;
+mod rcu;
 mod sharded;
 
 pub use pool::{Scope, ThreadPool};
+pub use rcu::RcuCell;
 pub use sharded::ShardedMap;
 
 use std::sync::{Arc, OnceLock, RwLock};

@@ -1,0 +1,207 @@
+//! An RCU-style publication cell: one writer swaps in immutable values,
+//! any number of readers pin the current value without ever blocking.
+//!
+//! The engine's read path (query execution) must never wait on the write
+//! path (index construction), so the classic reader/writer lock is the
+//! wrong tool — it serializes readers against writers by design. Instead
+//! the cell holds an `Arc<T>` behind an atomic pointer:
+//!
+//! * [`RcuCell::pin`] loads the pointer, bumps the value's reference
+//!   count, and returns a plain `Arc<T>` — a *consistent snapshot* the
+//!   caller can use for as long as it likes. Readers take no lock and
+//!   never spin on writers; the only loop is a (rare) retry when a
+//!   publication lands between the reader's registration and validation.
+//! * [`RcuCell::publish`] swaps the pointer to a new value and then waits
+//!   out a *grace period* — until every reader that might still be
+//!   dereferencing the retired pointer has deregistered — before dropping
+//!   the old `Arc`. Writers serialize among themselves on a mutex; the
+//!   engine's mutators take `&mut self` anyway, so the mutex is contention
+//!   -free in practice and exists to make the cell safe in isolation.
+//!
+//! The grace period uses a two-generation registration scheme: readers
+//! register in `active[epoch % 2]`. A publication flips the epoch, so new
+//! readers land in the other slot and the writer only has to drain the
+//! slot belonging to the generation it retired. Because writers are
+//! serialized, a second publication cannot begin (and thus cannot retire
+//! the *new* value) until the first finishes draining — which it cannot
+//! do while any reader of the old generation holds a registration. That
+//! is exactly the window in which a reader may hold a raw pointer to
+//! either value, so neither can be freed under it.
+
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A lock-free-reads publication cell for `Arc`-shared immutable values.
+pub struct RcuCell<T> {
+    /// The currently published value, as a raw pointer carrying one
+    /// strong count owned by the cell.
+    current: AtomicPtr<T>,
+    /// Publication generation; the low bit selects the `active` slot
+    /// readers register in.
+    epoch: AtomicU64,
+    /// In-flight reader registrations per generation parity.
+    active: [AtomicUsize; 2],
+    /// Serializes publishers (grace periods must not overlap).
+    writer: Mutex<()>,
+}
+
+// SAFETY: the cell hands out `Arc<T>` clones across threads; all interior
+// state is atomics plus a mutex.
+unsafe impl<T: Send + Sync> Send for RcuCell<T> {}
+unsafe impl<T: Send + Sync> Sync for RcuCell<T> {}
+
+impl<T> RcuCell<T> {
+    /// Create a cell publishing `initial`.
+    pub fn new(initial: Arc<T>) -> Self {
+        RcuCell {
+            current: AtomicPtr::new(Arc::into_raw(initial) as *mut T),
+            epoch: AtomicU64::new(0),
+            active: [AtomicUsize::new(0), AtomicUsize::new(0)],
+            writer: Mutex::new(()),
+        }
+    }
+
+    /// Pin the current value: returns an `Arc` the caller owns outright.
+    /// Never blocks on publishers; retries only if a publication lands
+    /// inside the (tiny) registration window.
+    pub fn pin(&self) -> Arc<T> {
+        loop {
+            let e = self.epoch.load(Ordering::SeqCst);
+            let slot = (e & 1) as usize;
+            self.active[slot].fetch_add(1, Ordering::SeqCst);
+            // Validate that no publication flipped the generation while
+            // we registered; if one did, our registration is in a slot
+            // the writer may already have drained — undo and retry.
+            if self.epoch.load(Ordering::SeqCst) != e {
+                self.active[slot].fetch_sub(1, Ordering::SeqCst);
+                std::hint::spin_loop();
+                continue;
+            }
+            // While this registration is held, the publisher retiring
+            // generation `e` cannot finish its grace period, and the
+            // next publisher cannot start (writers are serialized) — so
+            // whichever pointer we load here (the value current at `e`,
+            // or the one published by the in-flight flip) stays alive
+            // until we deregister.
+            let ptr = self.current.load(Ordering::SeqCst);
+            let value = unsafe {
+                Arc::increment_strong_count(ptr);
+                Arc::from_raw(ptr)
+            };
+            self.active[slot].fetch_sub(1, Ordering::SeqCst);
+            return value;
+        }
+    }
+
+    /// Publish a new value, retiring the old one after a grace period.
+    /// Returns the cell's new generation number.
+    pub fn publish(&self, value: Arc<T>) -> u64 {
+        let _guard = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let fresh = Arc::into_raw(value) as *mut T;
+        let old = self.current.swap(fresh, Ordering::SeqCst);
+        let e = self.epoch.fetch_add(1, Ordering::SeqCst);
+        let retired = (e & 1) as usize;
+        // Grace period: wait out readers registered against the retired
+        // generation — they may still hold a raw pointer to `old`.
+        while self.active[retired].load(Ordering::SeqCst) != 0 {
+            std::thread::yield_now();
+        }
+        // SAFETY: the pointer came from `Arc::into_raw` in `new`/`publish`
+        // and carries the strong count the cell owned; no reader can
+        // still be between load and increment for it.
+        unsafe { drop(Arc::from_raw(old)) };
+        e + 1
+    }
+
+    /// The current publication generation (monotonically increasing).
+    pub fn generation(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+}
+
+impl<T> Drop for RcuCell<T> {
+    fn drop(&mut self) {
+        let ptr = self.current.load(Ordering::SeqCst);
+        // SAFETY: exclusive access; the cell owns one strong count.
+        unsafe { drop(Arc::from_raw(ptr)) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_returns_published_value() {
+        let cell = RcuCell::new(Arc::new(1u64));
+        assert_eq!(*cell.pin(), 1);
+        cell.publish(Arc::new(2));
+        assert_eq!(*cell.pin(), 2);
+        assert_eq!(cell.generation(), 1);
+    }
+
+    #[test]
+    fn pinned_value_survives_publication() {
+        let cell = RcuCell::new(Arc::new(vec![1, 2, 3]));
+        let pinned = cell.pin();
+        cell.publish(Arc::new(vec![9]));
+        // The old snapshot stays fully readable after being replaced.
+        assert_eq!(*pinned, vec![1, 2, 3]);
+        assert_eq!(*cell.pin(), vec![9]);
+    }
+
+    #[test]
+    fn drop_reclaims_values_exactly_once() {
+        struct Tracked(Arc<AtomicUsize>);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let cell = RcuCell::new(Arc::new(Tracked(Arc::clone(&drops))));
+            for _ in 0..10 {
+                let pinned = cell.pin();
+                cell.publish(Arc::new(Tracked(Arc::clone(&drops))));
+                drop(pinned);
+            }
+            assert_eq!(drops.load(Ordering::SeqCst), 10, "10 retired values");
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 11, "cell drop frees the last");
+    }
+
+    #[test]
+    fn concurrent_readers_always_see_a_whole_value() {
+        // Values are (n, n): a torn or freed read would break the pairing.
+        let cell = Arc::new(RcuCell::new(Arc::new((0u64, 0u64))));
+        let done = Arc::new(AtomicUsize::new(0));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || {
+                    for _ in 0..300 {
+                        let v = cell.pin();
+                        assert_eq!(v.0, v.1, "reader observed a torn value");
+                    }
+                    done.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        // Publish continuously until every reader finished its pins, so
+        // the readers genuinely race publications on any scheduler.
+        let mut n = 0u64;
+        while done.load(Ordering::SeqCst) < 4 {
+            n += 1;
+            cell.publish(Arc::new((n, n)));
+            std::thread::yield_now();
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(cell.generation(), n);
+        let v = cell.pin();
+        assert_eq!((v.0, v.1), (n, n));
+    }
+}

@@ -21,6 +21,7 @@
 use crate::ast::{FinalSelection, Query, RefSpec};
 use crate::parser::{parse, ParseError};
 use crate::plan::{plan, QueryPlan};
+use crate::plancache::{normalize_query, PlanCache, PlanCacheStats};
 use sommelier_equiv::genbound::architecture_factor;
 use sommelier_equiv::whole::{AssessError, GenBoundMode};
 use sommelier_equiv::{assess_whole, EquivConfig, PairKey, PairKind, PairwiseCache};
@@ -28,14 +29,15 @@ use sommelier_graph::{Fingerprint, Model, TaskKind};
 use sommelier_index::lsh::LshConfig;
 use sommelier_index::semantic::SemanticIndexConfig;
 use sommelier_index::{CandidateKind, PairAnalyzer, ResourceIndex, SemanticIndex};
-use sommelier_parallel::ThreadPool;
+use sommelier_parallel::{RcuCell, ThreadPool};
 use sommelier_repo::{ModelRepository, RepoError};
-use sommelier_runtime::metrics::{counters, qor_difference};
+use sommelier_runtime::metrics::{counters, latency, qor_difference};
 use sommelier_runtime::{DeviceProfile, ExecSetting, ResourceProfile};
 use sommelier_tensor::{mix64, Prng, Tensor};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Engine configuration (the knob surface of paper Section 5.5).
 #[derive(Clone, Debug)]
@@ -63,6 +65,10 @@ pub struct SommelierConfig {
     /// Pairwise-analysis cache capacity in entries; `0` disables
     /// memoization entirely.
     pub cache_cap: usize,
+    /// Plan/result cache capacity in entries (the read path's memo of
+    /// resolved plans and result sets, keyed by normalized query text
+    /// and snapshot epoch); `0` disables query caching.
+    pub query_cache_cap: usize,
 }
 
 impl Default for SommelierConfig {
@@ -77,6 +83,7 @@ impl Default for SommelierConfig {
             seed: 0x50_4d_4d_31,
             jobs: 1,
             cache_cap: 4096,
+            query_cache_cap: 1024,
         }
     }
 }
@@ -344,196 +351,168 @@ impl PairAnalyzer for EquivAnalyzer {
     }
 }
 
-/// The Sommelier query engine.
-pub struct Sommelier {
-    repo: Arc<dyn ModelRepository>,
-    semantic: SemanticIndex,
-    resource: ResourceIndex,
-    analyzer: EquivAnalyzer,
-    default_refs: HashMap<TaskKind, String>,
-    config: SommelierConfig,
-    /// Worker pool for index construction and query execution
-    /// (`config.jobs` lanes; one lane ⇒ everything runs inline).
-    pool: Arc<ThreadPool>,
-    /// Memoized pairwise-analysis results, shared with the analyzer.
-    cache: Arc<PairwiseCache>,
+/// An immutable, atomically published view of the engine's queryable
+/// state: both indices, the default references, and the publication
+/// epoch that stamps them as one consistent generation.
+///
+/// Mutations never touch a published snapshot — the engine's builder
+/// side constructs the *next* snapshot and swaps it in through an
+/// [`RcuCell`], so a query pins exactly one epoch for its whole
+/// lifetime and can never observe a half-applied registration.
+pub struct EngineSnapshot {
+    /// The semantic index at this epoch.
+    pub semantic: SemanticIndex,
+    /// The resource index at this epoch.
+    pub resource: ResourceIndex,
+    /// Default reference model per task at this epoch.
+    pub default_refs: HashMap<TaskKind, String>,
+    /// Publication generation: the count of index mutations published
+    /// since the engine connected (deterministic — a pure function of
+    /// the mutation sequence, never of scheduling).
+    pub epoch: u64,
 }
 
-impl Sommelier {
-    /// Connect to a repository. Models already present can be indexed with
-    /// [`Sommelier::index_existing`].
-    pub fn connect(repo: Arc<dyn ModelRepository>, config: SommelierConfig) -> Self {
-        let pool = Arc::new(ThreadPool::new(sommelier_parallel::effective_jobs(
-            config.jobs,
-        )));
-        let cache = Arc::new(PairwiseCache::new(config.cache_cap));
-        Sommelier {
-            semantic: SemanticIndex::new(config.index, config.seed),
-            resource: ResourceIndex::new(config.lsh, config.seed),
-            analyzer: EquivAnalyzer::new(
-                config.equiv,
-                config.segment_epsilon,
-                config.validation_rows,
-                config.seed,
-            )
-            .with_cache(Arc::clone(&cache)),
-            default_refs: HashMap::new(),
-            repo,
-            config,
-            pool,
-            cache,
-        }
+/// One lane's answer from [`SommelierReader::query_batch`].
+#[derive(Debug)]
+pub struct BatchQueryItem {
+    /// The query's result set (or its failure).
+    pub results: Result<Vec<QueryResult>, QueryError>,
+    /// Wall-clock execution time of this lane, milliseconds.
+    pub latency_ms: f64,
+    /// The snapshot epoch the query was served from. Every item of one
+    /// batch carries the same epoch — the batch pins one snapshot.
+    pub epoch: u64,
+}
+
+/// The lock-free read side of the engine.
+///
+/// A reader holds the published-snapshot cell, the worker pool, and the
+/// plan/result cache — all behind `Arc`s — so it is `Clone + Send +
+/// Sync` and can be handed to any number of serving threads. Queries
+/// pin the current [`EngineSnapshot`] and execute against it with zero
+/// locking: a concurrent reindex publishes a *new* snapshot and never
+/// blocks (or is blocked by) in-flight queries.
+#[derive(Clone)]
+pub struct SommelierReader {
+    repo: Arc<dyn ModelRepository>,
+    published: Arc<RcuCell<EngineSnapshot>>,
+    pool: Arc<ThreadPool>,
+    plan_cache: Arc<PlanCache>,
+    config: SommelierConfig,
+}
+
+impl SommelierReader {
+    /// Pin the currently published snapshot. The returned `Arc` stays
+    /// valid (and internally consistent) for as long as the caller
+    /// holds it, regardless of concurrent publications.
+    pub fn snapshot(&self) -> Arc<EngineSnapshot> {
+        self.published.pin()
     }
 
-    /// Connect with default configuration.
-    pub fn connect_default(repo: Arc<dyn ModelRepository>) -> Self {
-        Self::connect(repo, SommelierConfig::default())
+    /// The epoch of the currently published snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.published.pin().epoch
     }
 
-    /// Number of indexed models.
-    pub fn len(&self) -> usize {
-        self.semantic.len()
+    /// A reader driving the same engine through its own pool of `jobs`
+    /// lanes (`0` = auto) — the snapshot cell and plan cache stay
+    /// shared, so results are identical at any lane count.
+    pub fn with_pool(&self, jobs: usize) -> Self {
+        let mut reader = self.clone();
+        reader.pool = Arc::new(ThreadPool::new(sommelier_parallel::effective_jobs(jobs)));
+        reader
     }
 
-    pub fn is_empty(&self) -> bool {
-        self.semantic.is_empty()
-    }
-
-    /// Immutable access to the semantic index (for inspection/experiments).
-    pub fn semantic_index(&self) -> &SemanticIndex {
-        &self.semantic
-    }
-
-    /// Immutable access to the resource index.
-    pub fn resource_index(&self) -> &ResourceIndex {
-        &self.resource
-    }
-
-    /// Worker lanes this engine runs on.
+    /// Worker lanes this reader fans batches across.
     pub fn jobs(&self) -> usize {
         self.pool.jobs()
     }
 
-    /// Counters of the pairwise-analysis cache. Also publishes them to
-    /// the process-wide metrics registry (`pairwise_cache.*`).
-    pub fn cache_stats(&self) -> sommelier_equiv::CacheStats {
-        self.cache.publish_metrics();
-        self.cache.stats()
+    /// Counters of the plan/result cache; also publishes them to the
+    /// process-wide metrics registry (`plan_cache.*`).
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_cache.publish_metrics();
+        self.plan_cache.stats()
     }
 
-    /// Publish a model to the repository and index it.
-    pub fn register(&mut self, model: &Model) -> Result<(), QueryError> {
-        self.repo.publish(&model.name, model, false)?;
-        self.index_model(model)
-    }
-
-    /// Index every repository model that is not yet indexed — the bulk
-    /// build path: resource profiling and all sampled pairwise analyses
-    /// fan out across the engine's pool with per-model task granularity,
-    /// while index bookkeeping stays sequential in repository key order
-    /// (so the result is byte-identical at any `jobs` setting).
-    pub fn index_existing(&mut self) -> Result<usize, QueryError> {
-        let mut models = Vec::new();
-        for key in self.repo.keys() {
-            if self.semantic.contains(&key) {
-                continue;
-            }
-            models.push(self.repo.load(&key)?);
-        }
-        if models.is_empty() {
-            return Ok(0);
-        }
-        let setting = self.config.exec_setting.clone();
-        let profiles = self
-            .pool
-            .par_map(&models, |m| ResourceProfile::under(m, &setting));
-        for (m, p) in models.iter().zip(profiles) {
-            self.resource.insert(&m.name, p);
-        }
-        let repo = Arc::clone(&self.repo);
-        let resolve = move |k: &str| repo.load(k).ok();
-        self.semantic
-            .bulk_insert_with(&self.pool, &models, &resolve, &self.analyzer);
-        for m in &models {
-            self.default_refs
-                .entry(m.task)
-                .or_insert_with(|| m.name.clone());
-        }
-        Ok(models.len())
-    }
-
-    fn index_model(&mut self, model: &Model) -> Result<(), QueryError> {
-        let profile = ResourceProfile::under(model, &self.config.exec_setting);
-        self.resource.insert(&model.name, profile);
-        let repo = Arc::clone(&self.repo);
-        let resolve = move |k: &str| repo.load(k).ok();
-        self.semantic.bulk_insert_with(
-            &self.pool,
-            std::slice::from_ref(model),
-            &resolve,
-            &self.analyzer,
-        );
-        self.default_refs
-            .entry(model.task)
-            .or_insert_with(|| model.name.clone());
-        Ok(())
-    }
-
-    /// Replace a model under an existing key: the old index entries are
-    /// purged, the repository copy is overwritten, and the new version is
-    /// re-analyzed and re-indexed (a published model update, e.g. a new
-    /// fine-tune under the same name).
-    pub fn reregister(&mut self, model: &Model) -> Result<(), QueryError> {
-        self.unregister(&model.name);
-        self.repo.publish(&model.name, model, true)?;
-        self.index_model(model)
-    }
-
-    /// Remove a model from both indices (the repository file is left in
-    /// place; `publish` can re-register it later). Returns whether the key
-    /// was indexed.
-    pub fn unregister(&mut self, key: &str) -> bool {
-        let in_semantic = self.semantic.remove(key);
-        let in_resource = self.resource.remove(key);
-        // Re-derive default references only when the removed key *was*
-        // one — the common case (it was not) would otherwise reload the
-        // entire repository on every unregister, which makes a
-        // reindexing sweep quadratic in repository size.
-        let was_default = self.default_refs.values().any(|v| v == key);
-        if was_default {
-            self.default_refs.retain(|_, v| v != key);
-            for k in self.semantic.keys() {
-                if let Ok(model) = self.repo.load(k) {
-                    self.default_refs
-                        .entry(model.task)
-                        .or_insert_with(|| k.clone());
-                }
-            }
-        }
-        in_semantic || in_resource
-    }
-
-    /// Override the default reference model for a task.
-    pub fn set_default_reference(&mut self, task: TaskKind, key: impl Into<String>) {
-        self.default_refs.insert(task, key.into());
-    }
-
-    /// Execute a textual query (paper Figure 7 syntax).
+    /// Execute a textual query against the current snapshot.
     pub fn query(&self, text: &str) -> Result<Vec<QueryResult>, QueryError> {
-        let ast = parse(text)?;
-        self.query_ast(&ast)
+        let snap = self.published.pin();
+        counters::set("query.snapshot_epoch", snap.epoch);
+        self.query_on(&snap, text)
     }
 
-    /// Execute a programmatically built query.
+    /// Execute a programmatically built query against the current
+    /// snapshot (bypasses the text-keyed plan cache).
     pub fn query_ast(&self, query: &Query) -> Result<Vec<QueryResult>, QueryError> {
+        let snap = self.published.pin();
+        counters::set("query.snapshot_epoch", snap.epoch);
+        self.query_ast_on(&snap, query)
+    }
+
+    /// Execute a batch of textual queries, fanned across the reader's
+    /// pool. The whole batch pins *one* snapshot, so every item is
+    /// served from the same epoch; per-lane latency is recorded into
+    /// the `query.batch.latency_ms` histogram (p50/p90/p99 via
+    /// [`latency::quantiles`]). Items come back in input order, and the
+    /// result sets are identical at any lane count.
+    pub fn query_batch(&self, texts: &[String]) -> Vec<BatchQueryItem> {
+        let snap = self.published.pin();
+        counters::set("query.snapshot_epoch", snap.epoch);
+        let items = self.pool.par_map(texts, |text| {
+            let start = Instant::now();
+            let results = self.query_on(&snap, text);
+            BatchQueryItem {
+                results,
+                latency_ms: start.elapsed().as_secs_f64() * 1e3,
+                epoch: snap.epoch,
+            }
+        });
+        for item in &items {
+            latency::record("query.batch.latency_ms", item.latency_ms);
+        }
+        items
+    }
+
+    /// The text-keyed hot path: probe the plan/result cache before
+    /// even parsing — a hit skips the parser, planner, and both index
+    /// filters outright (the memoized result is exact: the snapshot is
+    /// immutable and execution is deterministic).
+    fn query_on(
+        &self,
+        snap: &EngineSnapshot,
+        text: &str,
+    ) -> Result<Vec<QueryResult>, QueryError> {
+        let normalized = normalize_query(text);
+        if let Some((_, results)) = self.plan_cache.get(snap.epoch, &normalized) {
+            return Ok(results);
+        }
+        let ast = parse(&normalized)?;
+        self.query_ast_cached(snap, &ast, Some(&normalized))
+    }
+
+    fn query_ast_on(
+        &self,
+        snap: &EngineSnapshot,
+        query: &Query,
+    ) -> Result<Vec<QueryResult>, QueryError> {
+        self.query_ast_cached(snap, query, None)
+    }
+
+    fn query_ast_cached(
+        &self,
+        snap: &EngineSnapshot,
+        query: &Query,
+        cache_text: Option<&str>,
+    ) -> Result<Vec<QueryResult>, QueryError> {
         let reference_key = match &query.reference {
             RefSpec::Named(k) => {
-                if !self.semantic.contains(k) {
+                if !snap.semantic.contains(k) {
                     return Err(QueryError::UnknownReference(k.clone()));
                 }
                 k.clone()
             }
-            RefSpec::Task(t) => self
+            RefSpec::Task(t) => snap
                 .default_refs
                 .get(t)
                 .cloned()
@@ -542,16 +521,26 @@ impl Sommelier {
         // An EXEC clause overrides the indexed profiles: models are
         // re-profiled under the requested execution setting (paper
         // Section 5.3: hardware-dependent metrics are collected per
-        // platform; Figure 7's exec-spec).
+        // platform; Figure 7's exec-spec). Live re-profiling reads the
+        // repository — which sits outside the snapshot — so EXEC
+        // queries are never cached.
         if let Some(setting) = self.exec_setting_of(query)? {
-            return self.query_with_setting(query, &reference_key, &setting);
+            let ref_model = self.repo.load(&reference_key)?;
+            let ref_profile = ResourceProfile::under(&ref_model, &setting);
+            let plan = plan(query, &reference_key, &ref_profile);
+            return Ok(self.execute_plan(snap, &plan, &ref_profile, Some(&setting)));
         }
-        let ref_profile = *self
+        let ref_profile = *snap
             .resource
             .profile_of(&reference_key)
             .ok_or_else(|| QueryError::UnknownReference(reference_key.clone()))?;
         let plan = plan(query, &reference_key, &ref_profile);
-        Ok(self.execute_plan(&plan, &ref_profile, None))
+        let results = self.execute_plan(snap, &plan, &ref_profile, None);
+        if let Some(text) = cache_text {
+            self.plan_cache
+                .insert(snap.epoch, text, plan, results.clone());
+        }
+        Ok(results)
     }
 
     /// Parse the query's `EXEC` clause into an execution setting.
@@ -602,46 +591,43 @@ impl Sommelier {
         Ok(Some(setting))
     }
 
-    /// Execute a query re-profiling models under an explicit execution
-    /// setting (models are loaded from the repository and profiled on the
-    /// fly — the per-platform measurement path of Section 5.3).
-    fn query_with_setting(
-        &self,
-        query: &Query,
-        reference_key: &str,
-        setting: &ExecSetting,
-    ) -> Result<Vec<QueryResult>, QueryError> {
-        let ref_model = self.repo.load(reference_key)?;
-        let ref_profile = ResourceProfile::under(&ref_model, setting);
-        let plan = plan(query, reference_key, &ref_profile);
-        Ok(self.execute_plan(&plan, &ref_profile, Some(setting)))
-    }
-
     fn execute_plan(
         &self,
+        snap: &EngineSnapshot,
         plan: &QueryPlan,
         ref_profile: &ResourceProfile,
         setting: Option<&ExecSetting>,
     ) -> Vec<QueryResult> {
-        // Stage 1: semantic filter.
-        let candidates: Vec<_> = self
+        // Statically empty plans short-circuit before touching either
+        // index: a zero limit returns nothing by definition, and scores
+        // live in [0, 1] so a threshold above 1 admits nothing.
+        if plan.limit == 0 || plan.min_score > 1.0 {
+            return Vec::new();
+        }
+        // Stage 1: semantic filter — an early-exit threshold scan over
+        // the entry's score-sorted candidate list.
+        let candidates: Vec<_> = snap
             .semantic
             .lookup_key(&plan.reference_key, plan.min_score)
             .into_iter()
             .filter(|c| c.key != plan.reference_key)
             .collect();
         counters::add("query.candidates_scored", candidates.len() as u64);
+        // No semantic candidates ⇒ no results; skip the resource probe.
+        if candidates.is_empty() {
+            return Vec::new();
+        }
 
         // Stage 2: resource filter, fanned out across the pool. With an
         // explicit execution setting the candidates are re-profiled on
         // the fly (each re-profile is an independent task); otherwise the
-        // prebuilt index answers the range query with parallel LSH table
-        // probes. `par_map` keeps candidate order, so results are
-        // identical to the sequential pipeline.
+        // prebuilt index answers the range query with parallel
+        // multi-probe LSH table reads. `par_map` keeps candidate order,
+        // so results are identical to the sequential pipeline.
         let admitted: Option<std::collections::HashSet<String>> = match setting {
             Some(_) => None,
             None => Some(
-                self.resource
+                snap.resource
                     .query_with(&self.pool, &plan.constraint)
                     .into_iter()
                     .collect(),
@@ -653,7 +639,7 @@ impl Sommelier {
                     let model = self.repo.load(key).ok()?;
                     Some(ResourceProfile::under(&model, s))
                 }
-                None => self.resource.profile_of(key).copied(),
+                None => snap.resource.profile_of(key).copied(),
             }
         };
         let score_one = |c: &&sommelier_index::CandidateRecord| -> Option<QueryResult> {
@@ -715,6 +701,277 @@ impl Sommelier {
         results.truncate(plan.limit);
         results
     }
+}
+
+/// The Sommelier query engine.
+///
+/// The engine is split along the read/write axis: mutators build the
+/// next [`EngineSnapshot`] from this builder-side state and publish it
+/// atomically (RCU), while all query execution lives on the
+/// [`SommelierReader`] — clone it via [`Sommelier::reader`] to serve
+/// queries from other threads while this handle keeps registering.
+pub struct Sommelier {
+    repo: Arc<dyn ModelRepository>,
+    semantic: SemanticIndex,
+    resource: ResourceIndex,
+    analyzer: EquivAnalyzer,
+    default_refs: HashMap<TaskKind, String>,
+    config: SommelierConfig,
+    /// Worker pool for index construction and query execution
+    /// (`config.jobs` lanes; one lane ⇒ everything runs inline).
+    pool: Arc<ThreadPool>,
+    /// Memoized pairwise-analysis results, shared with the analyzer.
+    cache: Arc<PairwiseCache>,
+    /// Publication epoch of the last published snapshot (a
+    /// deterministic count of mutations, not a wall-clock artifact).
+    epoch: u64,
+    /// The read side; holds the published-snapshot cell.
+    reader: SommelierReader,
+}
+
+impl Sommelier {
+    /// Connect to a repository. Models already present can be indexed with
+    /// [`Sommelier::index_existing`].
+    pub fn connect(repo: Arc<dyn ModelRepository>, config: SommelierConfig) -> Self {
+        let semantic = SemanticIndex::new(config.index, config.seed);
+        let resource = ResourceIndex::new(config.lsh, config.seed);
+        Self::assemble(repo, config, semantic, resource, HashMap::new(), 0)
+    }
+
+    /// Build the engine around prepared indices at a given epoch,
+    /// publishing them as the initial snapshot.
+    fn assemble(
+        repo: Arc<dyn ModelRepository>,
+        config: SommelierConfig,
+        semantic: SemanticIndex,
+        resource: ResourceIndex,
+        default_refs: HashMap<TaskKind, String>,
+        epoch: u64,
+    ) -> Self {
+        let pool = Arc::new(ThreadPool::new(sommelier_parallel::effective_jobs(
+            config.jobs,
+        )));
+        let cache = Arc::new(PairwiseCache::new(config.cache_cap));
+        let published = Arc::new(RcuCell::new(Arc::new(EngineSnapshot {
+            semantic: semantic.clone(),
+            resource: resource.clone(),
+            default_refs: default_refs.clone(),
+            epoch,
+        })));
+        let reader = SommelierReader {
+            repo: Arc::clone(&repo),
+            published,
+            pool: Arc::clone(&pool),
+            plan_cache: Arc::new(PlanCache::new(config.query_cache_cap)),
+            config: config.clone(),
+        };
+        Sommelier {
+            semantic,
+            resource,
+            analyzer: EquivAnalyzer::new(
+                config.equiv,
+                config.segment_epsilon,
+                config.validation_rows,
+                config.seed,
+            )
+            .with_cache(Arc::clone(&cache)),
+            default_refs,
+            repo,
+            config,
+            pool,
+            cache,
+            epoch,
+            reader,
+        }
+    }
+
+    /// Publish the builder state as the next immutable snapshot. Every
+    /// mutator ends here; in-flight queries keep their pinned epoch and
+    /// new queries pick this one up — nobody ever blocks on the swap.
+    fn publish_snapshot(&mut self) {
+        self.epoch += 1;
+        self.reader.published.publish(Arc::new(EngineSnapshot {
+            semantic: self.semantic.clone(),
+            resource: self.resource.clone(),
+            default_refs: self.default_refs.clone(),
+            epoch: self.epoch,
+        }));
+    }
+
+    /// Connect with default configuration.
+    pub fn connect_default(repo: Arc<dyn ModelRepository>) -> Self {
+        Self::connect(repo, SommelierConfig::default())
+    }
+
+    /// Number of indexed models.
+    pub fn len(&self) -> usize {
+        self.semantic.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.semantic.is_empty()
+    }
+
+    /// Immutable access to the semantic index (for inspection/experiments).
+    pub fn semantic_index(&self) -> &SemanticIndex {
+        &self.semantic
+    }
+
+    /// Immutable access to the resource index.
+    pub fn resource_index(&self) -> &ResourceIndex {
+        &self.resource
+    }
+
+    /// Worker lanes this engine runs on.
+    pub fn jobs(&self) -> usize {
+        self.pool.jobs()
+    }
+
+    /// The current publication epoch (bumped by every mutation).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// A handle to the lock-free read side. Clone freely across
+    /// threads; every clone serves from whatever snapshot is current
+    /// when it queries, and keeps working while this engine mutates.
+    pub fn reader(&self) -> SommelierReader {
+        self.reader.clone()
+    }
+
+    /// Counters of the plan/result cache (also published as
+    /// `plan_cache.*` metrics).
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.reader.plan_cache_stats()
+    }
+
+    /// Counters of the pairwise-analysis cache. Also publishes them to
+    /// the process-wide metrics registry (`pairwise_cache.*`).
+    pub fn cache_stats(&self) -> sommelier_equiv::CacheStats {
+        self.cache.publish_metrics();
+        self.cache.stats()
+    }
+
+    /// Publish a model to the repository and index it.
+    pub fn register(&mut self, model: &Model) -> Result<(), QueryError> {
+        self.repo.publish(&model.name, model, false)?;
+        self.index_model(model)
+    }
+
+    /// Index every repository model that is not yet indexed — the bulk
+    /// build path: resource profiling and all sampled pairwise analyses
+    /// fan out across the engine's pool with per-model task granularity,
+    /// while index bookkeeping stays sequential in repository key order
+    /// (so the result is byte-identical at any `jobs` setting).
+    pub fn index_existing(&mut self) -> Result<usize, QueryError> {
+        let mut models = Vec::new();
+        for key in self.repo.keys() {
+            if self.semantic.contains(&key) {
+                continue;
+            }
+            models.push(self.repo.load(&key)?);
+        }
+        if models.is_empty() {
+            return Ok(0);
+        }
+        let setting = self.config.exec_setting.clone();
+        let profiles = self
+            .pool
+            .par_map(&models, |m| ResourceProfile::under(m, &setting));
+        for (m, p) in models.iter().zip(profiles) {
+            self.resource.insert(&m.name, p);
+        }
+        let repo = Arc::clone(&self.repo);
+        let resolve = move |k: &str| repo.load(k).ok();
+        self.semantic
+            .bulk_insert_with(&self.pool, &models, &resolve, &self.analyzer);
+        for m in &models {
+            self.default_refs
+                .entry(m.task)
+                .or_insert_with(|| m.name.clone());
+        }
+        self.publish_snapshot();
+        Ok(models.len())
+    }
+
+    fn index_model(&mut self, model: &Model) -> Result<(), QueryError> {
+        let profile = ResourceProfile::under(model, &self.config.exec_setting);
+        self.resource.insert(&model.name, profile);
+        let repo = Arc::clone(&self.repo);
+        let resolve = move |k: &str| repo.load(k).ok();
+        self.semantic.bulk_insert_with(
+            &self.pool,
+            std::slice::from_ref(model),
+            &resolve,
+            &self.analyzer,
+        );
+        self.default_refs
+            .entry(model.task)
+            .or_insert_with(|| model.name.clone());
+        self.publish_snapshot();
+        Ok(())
+    }
+
+    /// Replace a model under an existing key: the old index entries are
+    /// purged, the repository copy is overwritten, and the new version is
+    /// re-analyzed and re-indexed (a published model update, e.g. a new
+    /// fine-tune under the same name).
+    pub fn reregister(&mut self, model: &Model) -> Result<(), QueryError> {
+        self.unregister(&model.name);
+        self.repo.publish(&model.name, model, true)?;
+        self.index_model(model)
+    }
+
+    /// Remove a model from both indices (the repository file is left in
+    /// place; `publish` can re-register it later). Returns whether the key
+    /// was indexed.
+    pub fn unregister(&mut self, key: &str) -> bool {
+        let in_semantic = self.semantic.remove(key);
+        let in_resource = self.resource.remove(key);
+        // Re-derive default references only when the removed key *was*
+        // one — the common case (it was not) would otherwise reload the
+        // entire repository on every unregister, which makes a
+        // reindexing sweep quadratic in repository size.
+        let was_default = self.default_refs.values().any(|v| v == key);
+        if was_default {
+            self.default_refs.retain(|_, v| v != key);
+            for k in self.semantic.keys() {
+                if let Ok(model) = self.repo.load(k) {
+                    self.default_refs
+                        .entry(model.task)
+                        .or_insert_with(|| k.clone());
+                }
+            }
+        }
+        let removed = in_semantic || in_resource;
+        if removed {
+            self.publish_snapshot();
+        }
+        removed
+    }
+
+    /// Override the default reference model for a task.
+    pub fn set_default_reference(&mut self, task: TaskKind, key: impl Into<String>) {
+        self.default_refs.insert(task, key.into());
+        self.publish_snapshot();
+    }
+
+    /// Execute a textual query (paper Figure 7 syntax) against the
+    /// current published snapshot.
+    pub fn query(&self, text: &str) -> Result<Vec<QueryResult>, QueryError> {
+        self.reader.query(text)
+    }
+
+    /// Execute a programmatically built query.
+    pub fn query_ast(&self, query: &Query) -> Result<Vec<QueryResult>, QueryError> {
+        self.reader.query_ast(query)
+    }
+
+    /// Execute a batch of textual queries fanned across the engine's
+    /// pool; see [`SommelierReader::query_batch`].
+    pub fn query_batch(&self, texts: &[String]) -> Vec<BatchQueryItem> {
+        self.reader.query_batch(texts)
+    }
 
     /// Materialize a query result into a runnable model.
     ///
@@ -748,49 +1005,45 @@ impl Sommelier {
     }
 
     /// Persist both indices to a snapshot file (paper Section 5.5:
-    /// indices are lightweight and can be populated to disk).
+    /// indices are lightweight and can be populated to disk), stamped
+    /// with the current publication epoch.
     pub fn save_indices(&self, path: &std::path::Path) -> Result<(), QueryError> {
-        sommelier_index::persist::save(&self.semantic, &self.resource, path)
+        sommelier_index::persist::save(&self.semantic, &self.resource, self.epoch, path)
             .map_err(|e| QueryError::Analysis(e.to_string()))
     }
 
     /// Connect to a repository restoring previously persisted indices —
     /// registration analysis does not have to be repeated after a
     /// restart. Default reference models are re-derived from the indexed
-    /// order.
+    /// order; the publication epoch resumes from the snapshot's stats
+    /// header (pre-epoch snapshots resume from 0).
     pub fn connect_with_indices(
         repo: Arc<dyn ModelRepository>,
         config: SommelierConfig,
         path: &std::path::Path,
     ) -> Result<Self, QueryError> {
-        let (semantic, resource) = sommelier_index::persist::load(path)
+        let snapshot = sommelier_index::persist::read_snapshot(path)
             .map_err(|e| QueryError::Analysis(e.to_string()))?;
+        let epoch = snapshot
+            .stats
+            .and_then(|s| s.epoch)
+            .map(|e| e.max(0) as u64)
+            .unwrap_or(0);
+        let (semantic, resource) = (snapshot.semantic, snapshot.resource);
         let mut default_refs = HashMap::new();
         for key in semantic.keys() {
             if let Ok(model) = repo.load(key) {
                 default_refs.entry(model.task).or_insert_with(|| key.clone());
             }
         }
-        let pool = Arc::new(ThreadPool::new(sommelier_parallel::effective_jobs(
-            config.jobs,
-        )));
-        let cache = Arc::new(PairwiseCache::new(config.cache_cap));
-        Ok(Sommelier {
-            semantic,
-            resource,
-            analyzer: EquivAnalyzer::new(
-                config.equiv,
-                config.segment_epsilon,
-                config.validation_rows,
-                config.seed,
-            )
-            .with_cache(Arc::clone(&cache)),
-            default_refs,
+        Ok(Self::assemble(
             repo,
             config,
-            pool,
-            cache,
-        })
+            semantic,
+            resource,
+            default_refs,
+            epoch,
+        ))
     }
 
     /// Directly measure the empirical QoR difference between two
@@ -1216,6 +1469,117 @@ mod tests {
         let baseline = build(1, 0);
         assert_eq!(build(4, 4096), baseline, "jobs=4 with cache diverged");
         assert_eq!(build(8, 0), baseline, "jobs=8 without cache diverged");
+    }
+
+    #[test]
+    fn query_batch_is_identical_across_lane_counts() {
+        let (engine, names) = engine_with_variants();
+        let texts: Vec<String> = (0..12)
+            .map(|i| {
+                format!(
+                    "SELECT models 3 CORR {} WITHIN 0.{} ORDER BY memory",
+                    names[i % names.len()],
+                    2 + (i % 3)
+                )
+            })
+            .collect();
+        let baseline: Vec<Vec<QueryResult>> = engine
+            .reader()
+            .with_pool(1)
+            .query_batch(&texts)
+            .into_iter()
+            .map(|i| i.results.unwrap())
+            .collect();
+        for lanes in [4, 8] {
+            let got: Vec<Vec<QueryResult>> = engine
+                .reader()
+                .with_pool(lanes)
+                .query_batch(&texts)
+                .into_iter()
+                .map(|i| i.results.unwrap())
+                .collect();
+            assert_eq!(got, baseline, "lanes={lanes} diverged");
+        }
+        // Every item of one batch is served from the same epoch.
+        let items = engine.query_batch(&texts);
+        assert!(items.iter().all(|i| i.epoch == engine.epoch()));
+        assert!(items.iter().all(|i| i.latency_ms >= 0.0));
+    }
+
+    #[test]
+    fn plan_cache_serves_repeats_and_epoch_invalidates() {
+        let (mut engine, names) = engine_with_variants();
+        let q = format!("SELECT models 5 CORR {} WITHIN 0.2", names[0]);
+        let first = engine.query(&q).unwrap();
+        let stats0 = engine.plan_cache_stats();
+        assert_eq!(stats0.hits, 0);
+        assert!(stats0.entries > 0, "miss populated the cache");
+        // Textual whitespace variants share the entry.
+        let variant = q.replace(' ', "  ");
+        assert_eq!(engine.query(&variant).unwrap(), first);
+        let stats1 = engine.plan_cache_stats();
+        assert_eq!(stats1.hits, 1, "repeat query must hit");
+        assert_eq!(stats1.misses, stats0.misses, "no re-execution");
+        // A mutation publishes a new epoch: the same text re-executes
+        // and reflects the new index state.
+        let epoch_before = engine.epoch();
+        assert!(engine.unregister(&names[2]));
+        assert!(engine.epoch() > epoch_before);
+        let after = engine.query(&q).unwrap();
+        assert!(after.iter().all(|r| r.key != names[2]));
+        let stats2 = engine.plan_cache_stats();
+        assert!(stats2.misses > stats1.misses, "new epoch must miss");
+    }
+
+    #[test]
+    fn reader_serves_pinned_snapshot_across_mutations() {
+        let (mut engine, names) = engine_with_variants();
+        let reader = engine.reader();
+        let q = format!("SELECT models 10 CORR {} WITHIN 0.0", names[0]);
+        let pinned = reader.snapshot();
+        let before_epoch = pinned.epoch;
+        assert!(engine.unregister(&names[3]));
+        // The pinned snapshot still holds the unregistered model; the
+        // live read path already serves the new epoch.
+        assert!(pinned.semantic.contains(&names[3]));
+        assert_eq!(reader.epoch(), before_epoch + 1);
+        let live = reader.query(&q).unwrap();
+        assert!(live.iter().all(|r| r.key != names[3]));
+    }
+
+    #[test]
+    fn statically_empty_plans_short_circuit() {
+        let (engine, names) = engine_with_variants();
+        // `SELECT models 0` only arises programmatically (the parser
+        // rejects it); the executor must prune it without index work.
+        let zero = engine
+            .query_ast(&Query::corr(&names[0]).top(0).within(0.0))
+            .unwrap();
+        assert!(zero.is_empty());
+        let impossible = engine
+            .query_ast(&Query::corr(&names[0]).top(5).within(1.5))
+            .unwrap();
+        assert!(impossible.is_empty());
+    }
+
+    #[test]
+    fn restored_engine_resumes_the_publication_epoch() {
+        let (engine, _) = engine_with_variants();
+        assert_eq!(engine.epoch(), 4, "four registrations, four epochs");
+        let path = std::env::temp_dir().join(format!(
+            "somm-epoch-resume-{}.json",
+            std::process::id()
+        ));
+        engine.save_indices(&path).unwrap();
+        let restored = Sommelier::connect_with_indices(
+            engine.repo.clone(),
+            SommelierConfig::default(),
+            &path,
+        )
+        .unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(restored.epoch(), 4);
+        assert_eq!(restored.reader().epoch(), 4);
     }
 
     #[test]

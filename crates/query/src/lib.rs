@@ -23,8 +23,13 @@ pub mod engine;
 pub mod lexer;
 pub mod parser;
 pub mod plan;
+pub mod plancache;
 
 pub use ast::{FinalSelection, Query, RefSpec, ResourceDim, ResourcePredicate, SelectKind};
-pub use engine::{QueryError, QueryResult, Sommelier, SommelierConfig};
+pub use engine::{
+    BatchQueryItem, EngineSnapshot, QueryError, QueryResult, Sommelier, SommelierConfig,
+    SommelierReader,
+};
 pub use parser::{parse, ParseError};
 pub use plan::{plan, plan_checked, PlanDiagnostic, QueryPlan};
+pub use plancache::{normalize_query, PlanCache, PlanCacheStats};

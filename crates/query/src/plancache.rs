@@ -1,0 +1,259 @@
+//! The epoch-keyed plan/result cache of the lock-free query path.
+//!
+//! A query against a *published engine snapshot* is a pure function of
+//! `(normalized query text, snapshot epoch)`: the snapshot is immutable,
+//! planning is deterministic, and execution orders with `total_cmp` — so
+//! the resolved [`QueryPlan`] *and* the final result set can be memoized
+//! outright. Entries are keyed by the epoch, which makes invalidation
+//! free: a registration publishes a new snapshot with a bumped epoch,
+//! new queries probe under the new key, and stale entries age out of the
+//! LRU without any explicit flush (the paper's Section 5.5 observation
+//! that indices are cheap to keep around applies to plans a fortiori).
+//!
+//! Queries carrying an `EXEC` clause are *never* cached: they re-profile
+//! models live from the repository, which sits outside the snapshot and
+//! may change without an epoch bump.
+//!
+//! The structure mirrors the pairwise-analysis cache: lock-striped
+//! shards, per-shard LRU clock, `capacity == 0` disables caching
+//! entirely, and hit/miss counters publish to the process-wide metrics
+//! registry on demand (`plan_cache.*`).
+
+use crate::engine::QueryResult;
+use crate::plan::QueryPlan;
+use sommelier_runtime::metrics::counters;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+const SHARDS: usize = 16;
+
+/// Collapse insignificant whitespace so textual variants of the same
+/// query share a cache entry ("SELECT  model …" ≡ "SELECT model …").
+/// The query language has no whitespace-significant tokens.
+pub fn normalize_query(text: &str) -> String {
+    text.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+struct Entry {
+    epoch: u64,
+    text: String,
+    plan: QueryPlan,
+    results: Vec<QueryResult>,
+    stamp: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<u64, Entry>,
+    clock: u64,
+}
+
+/// Counter snapshot of a [`PlanCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Probes answered from the cache.
+    pub hits: u64,
+    /// Probes that fell through to plan + execute.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+/// A sharded, epoch-keyed LRU over resolved plans and result sets.
+pub struct PlanCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard: usize,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` entries; `0` disables caching
+    /// (every probe misses silently, nothing is stored or counted).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard: capacity.div_ceil(SHARDS).max(1),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether caching is disabled (`capacity == 0`).
+    pub fn is_disabled(&self) -> bool {
+        self.capacity == 0
+    }
+
+    fn key_of(epoch: u64, text: &str) -> u64 {
+        // DefaultHasher with `new()` uses fixed keys, so the mapping is
+        // deterministic across processes and job counts.
+        let mut h = DefaultHasher::new();
+        epoch.hash(&mut h);
+        text.hash(&mut h);
+        h.finish()
+    }
+
+    fn shard_of(&self, key: u64) -> &Mutex<Shard> {
+        &self.shards[(key % SHARDS as u64) as usize]
+    }
+
+    /// Look up the plan and result set cached for `(epoch, text)`.
+    /// `text` must already be normalized.
+    pub fn get(&self, epoch: u64, text: &str) -> Option<(QueryPlan, Vec<QueryResult>)> {
+        if self.is_disabled() {
+            return None;
+        }
+        let key = Self::key_of(epoch, text);
+        let mut shard = self.shard_of(key).lock().unwrap_or_else(|e| e.into_inner());
+        shard.clock += 1;
+        let stamp = shard.clock;
+        match shard.map.get_mut(&key) {
+            // The epoch/text check guards against hash collisions; the
+            // epoch is also hashed, so stale-epoch entries are simply
+            // unreachable and age out via LRU.
+            Some(e) if e.epoch == epoch && e.text == text => {
+                e.stamp = stamp;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some((e.plan.clone(), e.results.clone()))
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store the plan and results computed for `(epoch, text)`.
+    pub fn insert(
+        &self,
+        epoch: u64,
+        text: &str,
+        plan: QueryPlan,
+        results: Vec<QueryResult>,
+    ) {
+        if self.is_disabled() {
+            return;
+        }
+        let key = Self::key_of(epoch, text);
+        let mut shard = self.shard_of(key).lock().unwrap_or_else(|e| e.into_inner());
+        shard.clock += 1;
+        let stamp = shard.clock;
+        if shard.map.len() >= self.per_shard && !shard.map.contains_key(&key) {
+            // Evict the least recently touched entry of this shard.
+            if let Some(victim) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| *k)
+            {
+                shard.map.remove(&victim);
+            }
+        }
+        shard.map.insert(
+            key,
+            Entry {
+                epoch,
+                text: text.to_string(),
+                plan,
+                results,
+                stamp,
+            },
+        );
+    }
+
+    /// Hit/miss/entry counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        let entries = self
+            .shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).map.len() as u64)
+            .sum();
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+
+    /// Publish the counters to the metrics registry (`plan_cache.*`).
+    pub fn publish_metrics(&self) {
+        let stats = self.stats();
+        counters::set("plan_cache.hits", stats.hits);
+        counters::set("plan_cache.misses", stats.misses);
+        counters::set("plan_cache.entries", stats.entries);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::FinalSelection;
+    use sommelier_index::ResourceConstraint;
+
+    fn plan_fixture(limit: usize) -> QueryPlan {
+        QueryPlan {
+            reference_key: "ref".into(),
+            min_score: 0.5,
+            constraint: ResourceConstraint::default(),
+            selection: FinalSelection::Similarity,
+            limit,
+        }
+    }
+
+    #[test]
+    fn normalization_collapses_whitespace_only() {
+        assert_eq!(
+            normalize_query("  SELECT   model\tCORR x\n WITHIN 0.5 "),
+            "SELECT model CORR x WITHIN 0.5"
+        );
+        assert_eq!(normalize_query("SELECT model"), "SELECT model");
+    }
+
+    #[test]
+    fn hit_returns_stored_plan_and_results() {
+        let cache = PlanCache::new(64);
+        assert!(cache.get(1, "q").is_none());
+        cache.insert(1, "q", plan_fixture(3), Vec::new());
+        let (plan, results) = cache.get(1, "q").expect("hit after insert");
+        assert_eq!(plan.limit, 3);
+        assert!(results.is_empty());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn epochs_partition_the_key_space() {
+        let cache = PlanCache::new(64);
+        cache.insert(1, "q", plan_fixture(1), Vec::new());
+        assert!(cache.get(2, "q").is_none(), "new epoch must miss");
+        cache.insert(2, "q", plan_fixture(2), Vec::new());
+        assert_eq!(cache.get(1, "q").unwrap().0.limit, 1);
+        assert_eq!(cache.get(2, "q").unwrap().0.limit, 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_everything() {
+        let cache = PlanCache::new(0);
+        cache.insert(1, "q", plan_fixture(1), Vec::new());
+        assert!(cache.get(1, "q").is_none());
+        assert_eq!(cache.stats(), PlanCacheStats::default());
+    }
+
+    #[test]
+    fn eviction_keeps_recently_used_entries() {
+        // One entry per shard: any insert beyond capacity evicts the
+        // stalest entry of its shard.
+        let cache = PlanCache::new(SHARDS);
+        for i in 0..(SHARDS as u64 * 4) {
+            cache.insert(1, &format!("q{i}"), plan_fixture(1), Vec::new());
+        }
+        let stats = cache.stats();
+        assert!(stats.entries <= SHARDS as u64, "capacity respected");
+        assert!(stats.entries > 0);
+    }
+}

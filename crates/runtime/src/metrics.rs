@@ -70,19 +70,61 @@ pub mod counters {
     }
 
     /// All registered counters, sorted by name.
+    ///
+    /// Tear-resistant: the registry lock keeps the *set* of counters
+    /// stable, and the values are re-read until two consecutive passes
+    /// agree — a snapshot taken while writers are quiescent (the normal
+    /// case: end of a bench phase, after a batch) is guaranteed
+    /// internally consistent, and a snapshot racing live writers
+    /// converges to a single coherent read instead of mixing reads that
+    /// are many updates apart. (True cross-counter atomicity is
+    /// impossible while handles update lock-free; bounded stabilization
+    /// is the strongest property compatible with never slowing the hot
+    /// path.)
     pub fn snapshot() -> Vec<(String, u64)> {
         let map = registry().lock().unwrap_or_else(|e| e.into_inner());
-        map.iter()
-            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
-            .collect()
+        let read = || -> Vec<(String, u64)> {
+            map.iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::SeqCst)))
+                .collect()
+        };
+        let mut prev = read();
+        for _ in 0..4 {
+            let next = read();
+            if next == prev {
+                break;
+            }
+            prev = next;
+        }
+        prev
+    }
+
+    /// Zero every registered counter. Existing handles stay valid (the
+    /// atomics are reset in place, not replaced), so cached handles and
+    /// the registry can never disagree. Bench runs call this so each
+    /// phase starts from a clean slate.
+    pub fn reset() {
+        let map = registry().lock().unwrap_or_else(|e| e.into_inner());
+        for v in map.values() {
+            v.store(0, Ordering::SeqCst);
+        }
     }
 
     #[cfg(test)]
     mod tests {
         use super::*;
+        use std::sync::MutexGuard;
+
+        /// The registry is process-global and `reset()` touches every
+        /// counter, so counter tests serialize on this lock.
+        fn serialize() -> MutexGuard<'static, ()> {
+            static LOCK: Mutex<()> = Mutex::new(());
+            LOCK.lock().unwrap_or_else(|e| e.into_inner())
+        }
 
         #[test]
         fn counters_register_add_and_snapshot() {
+            let _guard = serialize();
             let name = "test.metrics.counter_a";
             assert_eq!(get(name), 0);
             add(name, 3);
@@ -94,17 +136,157 @@ pub mod counters {
             assert!(snap.iter().any(|(k, v)| k == name && *v == 2));
             // Sorted by name.
             assert!(snap.windows(2).all(|w| w[0].0 <= w[1].0));
+            set(name, 0);
         }
 
         #[test]
         fn counter_handles_share_state() {
+            let _guard = serialize();
             let name = "test.metrics.counter_b";
             let h1 = counter(name);
             let h2 = counter(name);
             h1.fetch_add(5, Ordering::Relaxed);
             assert_eq!(h2.load(Ordering::Relaxed), 5);
         }
+
+        #[test]
+        fn reset_zeroes_counters_but_keeps_handles_live() {
+            let _guard = serialize();
+            let name = "test.metrics.counter_c";
+            let handle = counter(name);
+            add(name, 9);
+            reset();
+            assert_eq!(get(name), 0);
+            // The pre-reset handle still drives the registered counter.
+            handle.fetch_add(2, Ordering::Relaxed);
+            assert_eq!(get(name), 2);
+            reset();
+        }
     }
+}
+
+/// Latency histograms: named series of per-operation timings with
+/// nearest-rank quantiles (p50/p90/p99).
+///
+/// The batched query path records one sample per lane here so tooling can
+/// report tail latency without threading timers through the engine. Like
+/// [`counters`], the registry is process-global observability state.
+pub mod latency {
+    use std::collections::BTreeMap;
+    use std::sync::{Mutex, OnceLock};
+
+    static SERIES: OnceLock<Mutex<BTreeMap<String, Vec<f64>>>> = OnceLock::new();
+
+    fn series() -> &'static Mutex<BTreeMap<String, Vec<f64>>> {
+        SERIES.get_or_init(|| Mutex::new(BTreeMap::new()))
+    }
+
+    /// Quantile summary of one named series.
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    pub struct LatencyQuantiles {
+        /// Recorded samples.
+        pub count: usize,
+        /// Median, in the recorded unit.
+        pub p50: f64,
+        /// 90th percentile.
+        pub p90: f64,
+        /// 99th percentile.
+        pub p99: f64,
+    }
+
+    /// Record one sample (any unit; the engine records milliseconds).
+    pub fn record(name: &str, sample: f64) {
+        series()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry(name.to_string())
+            .or_default()
+            .push(sample);
+    }
+
+    fn nearest_rank(sorted: &[f64], q: f64) -> f64 {
+        let rank = (q * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    /// Quantiles of the named series (`None` if nothing was recorded).
+    pub fn quantiles(name: &str) -> Option<LatencyQuantiles> {
+        let map = series().lock().unwrap_or_else(|e| e.into_inner());
+        let samples = map.get(name).filter(|s| !s.is_empty())?;
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        Some(LatencyQuantiles {
+            count: sorted.len(),
+            p50: nearest_rank(&sorted, 0.50),
+            p90: nearest_rank(&sorted, 0.90),
+            p99: nearest_rank(&sorted, 0.99),
+        })
+    }
+
+    /// All named series with their quantiles, sorted by name.
+    pub fn snapshot() -> Vec<(String, LatencyQuantiles)> {
+        let names: Vec<String> = {
+            let map = series().lock().unwrap_or_else(|e| e.into_inner());
+            map.keys().cloned().collect()
+        };
+        names
+            .into_iter()
+            .filter_map(|n| quantiles(&n).map(|q| (n, q)))
+            .collect()
+    }
+
+    /// Drop every recorded sample.
+    pub fn reset() {
+        series()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::MutexGuard;
+
+        /// `reset()` clears every series, so latency tests serialize.
+        fn serialize() -> MutexGuard<'static, ()> {
+            static LOCK: Mutex<()> = Mutex::new(());
+            LOCK.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
+        #[test]
+        fn quantiles_use_nearest_rank() {
+            let _guard = serialize();
+            let name = "test.latency.series_a";
+            for v in 1..=100 {
+                record(name, v as f64);
+            }
+            let q = quantiles(name).unwrap();
+            assert_eq!(q.count, 100);
+            assert_eq!(q.p50, 50.0);
+            assert_eq!(q.p90, 90.0);
+            assert_eq!(q.p99, 99.0);
+            reset();
+            assert!(quantiles(name).is_none());
+        }
+
+        #[test]
+        fn single_sample_is_every_quantile() {
+            let _guard = serialize();
+            let name = "test.latency.series_b";
+            record(name, 7.5);
+            let q = quantiles(name).unwrap();
+            assert_eq!((q.p50, q.p90, q.p99), (7.5, 7.5, 7.5));
+            reset();
+        }
+    }
+}
+
+/// Reset every metrics surface (counters and latency series) to empty —
+/// the bench harness calls this between phases.
+pub fn reset() {
+    counters::reset();
+    latency::reset();
 }
 
 /// Top-1 predictions for a batch of classification outputs.

@@ -14,14 +14,19 @@
 //! * [`policies`] — model-selection policies, including the
 //!   Sommelier-driven switcher that consults resource-indexed equivalent
 //!   models as queue pressure rises;
+//! * [`engine_policy`] — the closed-loop variant: a switcher holding a
+//!   live [`sommelier_query::SommelierReader`] that re-queries the
+//!   engine per request, so selection tracks the published index epoch;
 //! * [`stats`] — latency distributions and percentile extraction.
 
+pub mod engine_policy;
 pub mod policies;
 pub mod server;
 pub mod stats;
 pub mod workload;
 
+pub use engine_policy::EngineSwitcher;
 pub use policies::{ModelChoice, Policy};
-pub use server::{simulate, ClusterConfig, SimResult};
+pub use server::{simulate, simulate_with, ClusterConfig, SimResult};
 pub use stats::LatencyStats;
 pub use workload::{Workload, WorkloadPhase};

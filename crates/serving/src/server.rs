@@ -54,11 +54,29 @@ impl SimResult {
 ///
 /// `variants` must be non-empty; `arrivals` must be sorted ascending.
 pub fn simulate(config: &ClusterConfig, arrivals: &[f64], variants: &[ModelChoice]) -> SimResult {
-    assert!(config.servers >= 1, "cluster needs at least one server");
+    simulate_with(config.servers, arrivals, variants, |backlog| {
+        config.policy.choose(backlog, variants)
+    })
+}
+
+/// Run the queueing simulation with an arbitrary chooser.
+///
+/// The closure receives each request's observed backlog (seconds of
+/// queueing delay before service starts) and returns the index of the
+/// variant to serve it with — the hook through which the live Sommelier
+/// engine drives model selection ([`crate::EngineSwitcher`]). The static
+/// [`Policy`](crate::Policy) variants route through here via [`simulate`].
+pub fn simulate_with<F: FnMut(f64) -> usize>(
+    servers: usize,
+    arrivals: &[f64],
+    variants: &[ModelChoice],
+    mut choose: F,
+) -> SimResult {
+    assert!(servers >= 1, "cluster needs at least one server");
     assert!(!variants.is_empty(), "no model variants");
     debug_assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
 
-    let mut free_at = vec![0.0f64; config.servers];
+    let mut free_at = vec![0.0f64; servers];
     let mut latencies = Vec::with_capacity(arrivals.len());
     let mut choices = Vec::with_capacity(arrivals.len());
     let mut accuracy_sum = 0.0;
@@ -71,7 +89,7 @@ pub fn simulate(config: &ClusterConfig, arrivals: &[f64], variants: &[ModelChoic
             .expect("at least one server");
         let start = free.max(t);
         let backlog = start - t;
-        let choice = config.policy.choose(backlog, variants);
+        let choice = choose(backlog).min(variants.len() - 1);
         let service = variants[choice].service_time_s;
         free_at[server] = start + service;
         latencies.push(backlog + service);
@@ -202,6 +220,30 @@ mod tests {
         let f = r.choice_fractions(2);
         assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!(f[0] > 0.0 && f[1] > 0.0, "both variants should serve: {f:?}");
+    }
+
+    #[test]
+    fn simulate_with_matches_the_policy_path() {
+        let arrivals = bursty_arrivals(4);
+        let vs = variants();
+        let policy = Policy::Switching { sla_s: 0.3 };
+        let via_policy = simulate(
+            &ClusterConfig {
+                servers: 1,
+                policy: policy.clone(),
+            },
+            &arrivals,
+            &vs,
+        );
+        let via_closure = simulate_with(1, &arrivals, &vs, |b| policy.choose(b, &vs));
+        assert_eq!(via_policy.choices, via_closure.choices);
+        assert_eq!(via_policy.latencies, via_closure.latencies);
+    }
+
+    #[test]
+    fn out_of_range_choices_are_clamped() {
+        let r = simulate_with(1, &[0.0, 1.0], &variants(), |_| 99);
+        assert_eq!(r.choices, vec![1, 1]);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# PR 2 performance gate: parallel index construction + memoized pairwise
+# Performance gates for the stacked PRs:
+#
+# PR 2: parallel index construction + memoized pairwise
 # cache on the reindex-twice curation workload.
 #
 # Builds the workspace in release mode, runs the `pr2_parallel_cache`
@@ -10,9 +12,16 @@
 # tuned run hits the cache; this script additionally enforces the ≥2×
 # build-throughput acceptance bar.
 #
+# PR 4: lock-free snapshot query path. Runs `pr4_query_serving`
+# (baseline: 1 lane, plan cache off; tuned: 8 lanes, plan/result cache
+# on; plus the engine-backed switching serving simulation), copies the
+# JSON report to BENCH_pr4.json, and enforces the ≥3× batched-query
+# throughput bar and the ≥4× serving p90 tail-latency cut. The binary
+# itself asserts byte-identical result sets at lanes 1/4/8.
+#
 # Usage:
-#   scripts/bench.sh              # smoke fleet (60 models, 40 queries)
-#   SOMMELIER_PR2_MODE=full scripts/bench.sh   # larger fleet
+#   scripts/bench.sh              # smoke fleets
+#   SOMMELIER_PR2_MODE=full SOMMELIER_PR4_MODE=full scripts/bench.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -32,6 +41,26 @@ speedup=$(sed -n 's/.*"speedup":[[:space:]]*\([0-9.]*\).*/\1/p' BENCH_pr2.json |
 echo "speedup: ${speedup}x (bar: >= 2.0x)"
 awk -v s="$speedup" 'BEGIN { exit !(s >= 2.0) }' || {
     echo "FAIL: tuned build throughput is below the 2x acceptance bar" >&2
+    exit 1
+}
+echo "PASS"
+
+echo "== running pr4_query_serving (${SOMMELIER_PR4_MODE:-smoke}) =="
+cargo run --quiet --release -p sommelier-bench --bin pr4_query_serving
+
+cp target/experiments/pr4_query_serving.json BENCH_pr4.json
+echo "== wrote BENCH_pr4.json =="
+
+batch_speedup=$(sed -n 's/.*"batch_speedup":[[:space:]]*\([0-9.]*\).*/\1/p' BENCH_pr4.json | head -n1)
+p90_cut=$(sed -n 's/.*"p90_cut":[[:space:]]*\([0-9.]*\).*/\1/p' BENCH_pr4.json | head -n1)
+echo "batch speedup: ${batch_speedup}x (bar: >= 3.0x)"
+awk -v s="$batch_speedup" 'BEGIN { exit !(s >= 3.0) }' || {
+    echo "FAIL: batched query throughput is below the 3x acceptance bar" >&2
+    exit 1
+}
+echo "serving p90 cut: ${p90_cut}x (bar: >= 4.0x)"
+awk -v s="$p90_cut" 'BEGIN { exit !(s >= 4.0) }' || {
+    echo "FAIL: engine-backed switching p90 cut is below the 4x acceptance bar" >&2
     exit 1
 }
 echo "PASS"

@@ -105,8 +105,13 @@ fn resource_constraints_are_honored_end_to_end() {
 fn index_persistence_survives_restart() {
     let (engine, _repo, _) = hub();
     let path = std::env::temp_dir().join(format!("somm-e2e-{}.json", std::process::id()));
-    sommelier::index::persist::save(engine.semantic_index(), engine.resource_index(), &path)
-        .unwrap();
+    sommelier::index::persist::save(
+        engine.semantic_index(),
+        engine.resource_index(),
+        engine.epoch(),
+        &path,
+    )
+    .unwrap();
     let (sem, res) = sommelier::index::persist::load(&path).unwrap();
     std::fs::remove_file(&path).ok();
     assert_eq!(sem.len(), engine.semantic_index().len());
