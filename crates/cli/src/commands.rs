@@ -2,10 +2,12 @@
 
 use sommelier_equiv::explain::explain;
 use sommelier_equiv::whole::EquivConfig;
+use sommelier_fault::storage::{is_quarantine_name, is_temp_name};
+use sommelier_fault::{StdStorage, Storage};
 use sommelier_graph::{serde_model, TaskKind};
 use sommelier_lint::Severity;
-use sommelier_query::{Sommelier, SommelierConfig};
-use sommelier_repo::{ModelRepository, OnDiskRepository};
+use sommelier_query::{SnapshotRecovery, Sommelier, SommelierConfig};
+use sommelier_repo::{decode_key, ModelRepository, OnDiskRepository};
 use sommelier_runtime::ResourceProfile;
 use sommelier_tensor::{Prng, Tensor};
 use sommelier_zoo::series::build_series;
@@ -38,7 +40,7 @@ fn split_flags(args: &[String]) -> Result<ParsedArgs<'_>, String> {
                 return Err("empty flag name".into());
             }
             // Boolean flags take no value; known ones are listed here.
-            if name == "no-segments" {
+            if matches!(name, "no-segments" | "repair" | "prune") {
                 flags.push((name, "true"));
                 i += 1;
                 continue;
@@ -268,7 +270,26 @@ fn load_engine(dir: &Path, cfg: SommelierConfig) -> Result<Sommelier, String> {
             dir.display()
         ));
     }
-    Sommelier::connect_with_indices(repo as Arc<dyn ModelRepository>, cfg, &path).map_err(fail)
+    // A *corrupt* snapshot recovers transparently: it is quarantined and
+    // the indices are rebuilt from the repository, so a torn write never
+    // turns into a failed query. (A *missing* snapshot stays an explicit
+    // error above — silently indexing would hide a typoed directory.)
+    let (engine, outcome) =
+        Sommelier::connect_or_recover(repo as Arc<dyn ModelRepository>, cfg, &path)
+            .map_err(fail)?;
+    match outcome {
+        SnapshotRecovery::Loaded => {}
+        SnapshotRecovery::RebuiltQuarantined(quarantined) => eprintln!(
+            "warning: index snapshot was unreadable; quarantined it as {} \
+             and rebuilt the indices from the repository",
+            quarantined.display()
+        ),
+        SnapshotRecovery::RebuiltMissing => eprintln!(
+            "warning: index snapshot was unreadable and could not be \
+             quarantined; rebuilt the indices from the repository"
+        ),
+    }
+    Ok(engine)
 }
 
 fn print_result_table(results: &[sommelier_query::QueryResult]) {
@@ -511,4 +532,136 @@ pub fn lint(args: &[String]) -> CmdResult {
         )),
         _ => Ok(()),
     }
+}
+
+/// `sommelier fsck <dir> [--repair] [--prune]`
+///
+/// Walks the store directory and checks every artifact the durability
+/// layer manages: model files must carry canonical key encodings and
+/// parse; the index snapshot must parse; quarantined (`*.corrupt-*`)
+/// and orphaned temp (`*.tmp-*`) files are reported. Without flags the
+/// command only reports, failing (for scripting) if anything is found.
+/// `--repair` deletes orphaned temps, quarantines unparseable files,
+/// and rebuilds + re-persists the index from the repository. `--prune`
+/// additionally deletes quarantined files once you are done with them.
+pub fn fsck(args: &[String]) -> CmdResult {
+    let (positional, flags) = split_flags(args)?;
+    let dir = repo_dir(&positional)?;
+    let mut repair = false;
+    let mut prune = false;
+    for (name, _) in &flags {
+        match *name {
+            "repair" => repair = true,
+            "prune" => prune = true,
+            other => return Err(format!("unknown flag --{other}")),
+        }
+    }
+    if !dir.exists() {
+        return Err(format!("repository '{}' does not exist", dir.display()));
+    }
+    let storage = StdStorage;
+    let names = storage.list(&dir).map_err(fail)?;
+    let mut findings = 0usize;
+    let mut fixed = 0usize;
+    let mut index_broken = false;
+    for name in &names {
+        let path = dir.join(name);
+        if is_quarantine_name(name) {
+            findings += 1;
+            if prune {
+                storage.remove(&path).map_err(fail)?;
+                fixed += 1;
+                println!("pruned quarantined file {name}");
+            } else {
+                println!("quarantined file: {name} (remove with --prune)");
+            }
+        } else if is_temp_name(name) {
+            findings += 1;
+            if repair {
+                storage.remove(&path).map_err(fail)?;
+                fixed += 1;
+                println!("removed orphaned temp {name}");
+            } else {
+                println!("orphaned temp file: {name} (remove with --repair)");
+            }
+        } else if let Some(stem) = name.strip_suffix(".model.json") {
+            if decode_key(stem).is_none() {
+                findings += 1;
+                println!("non-canonical model file name: {name} (republish via the API)");
+                continue;
+            }
+            if let Err(e) = serde_model::load(&path) {
+                findings += 1;
+                if repair {
+                    let q = sommelier_fault::quarantine(&storage, &path).map_err(fail)?;
+                    fixed += 1;
+                    println!(
+                        "quarantined unreadable model {name} → {}",
+                        q.file_name().and_then(|n| n.to_str()).unwrap_or("?")
+                    );
+                    // The fresh quarantine postdates the listing; honor
+                    // --prune in the same invocation.
+                    if prune {
+                        storage.remove(&q).map_err(fail)?;
+                        println!(
+                            "pruned quarantined file {}",
+                            q.file_name().and_then(|n| n.to_str()).unwrap_or("?")
+                        );
+                    }
+                } else {
+                    println!("unreadable model file: {name}: {e}");
+                }
+            }
+        } else if name == INDEX_FILE {
+            if let Err(e) = sommelier_index::persist::read_snapshot(&path) {
+                findings += 1;
+                index_broken = true;
+                if !repair {
+                    println!("unreadable index snapshot: {name}: {e}");
+                }
+            }
+        }
+    }
+    // Repairing an unreadable snapshot = the engine's own recovery path:
+    // quarantine the torn file, rebuild from the repository, re-persist.
+    if repair && index_broken {
+        let repo = open_repo(&dir)?;
+        let (_, outcome) = Sommelier::connect_or_recover(
+            repo as Arc<dyn ModelRepository>,
+            SommelierConfig::default(),
+            &index_path(&dir),
+        )
+        .map_err(fail)?;
+        fixed += 1;
+        match outcome {
+            SnapshotRecovery::RebuiltQuarantined(q) => {
+                println!(
+                    "quarantined unreadable index snapshot → {}; rebuilt and re-saved",
+                    q.file_name().and_then(|n| n.to_str()).unwrap_or("?")
+                );
+                // The quarantine file postdates our directory listing, so
+                // the prune loop above never saw it.
+                if prune {
+                    storage.remove(&q).map_err(fail)?;
+                    println!(
+                        "pruned quarantined file {}",
+                        q.file_name().and_then(|n| n.to_str()).unwrap_or("?")
+                    );
+                }
+            }
+            _ => println!("rebuilt and re-saved the index snapshot"),
+        }
+    }
+    if findings == 0 {
+        println!("{}: clean ({} file(s) checked)", dir.display(), names.len());
+        return Ok(());
+    }
+    println!("{}: {findings} finding(s), {fixed} fixed", dir.display());
+    if fixed < findings {
+        return Err(format!(
+            "fsck found {} unresolved issue(s)",
+            findings - fixed
+        ));
+    }
+    Ok(())
 }

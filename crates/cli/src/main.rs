@@ -44,6 +44,12 @@ COMMANDS:
     dot    <dir> <key>                  Graphviz export of the model graph
     lint   <dir> [--format text|json] [--deny error|warn] [--query Q]
                                         execution-free curation checks
+    fsck   <dir> [--repair] [--prune]   check store integrity: torn or
+                                        mis-named files, orphaned temps,
+                                        quarantined artifacts; --repair
+                                        cleans temps, quarantines corrupt
+                                        files, and rebuilds the index;
+                                        --prune deletes quarantined files
     help                                print this message
 
 Queries use the paper's Figure 7 syntax, e.g.:
@@ -68,6 +74,7 @@ fn main() -> ExitCode {
         "diff" => commands::diff(rest),
         "dot" => commands::dot(rest),
         "lint" => commands::lint(rest),
+        "fsck" => commands::fsck(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

@@ -117,6 +117,83 @@ fn full_session_init_seed_index_query_show_diff() {
 }
 
 #[test]
+fn fsck_reports_clean_on_a_healthy_repository() {
+    let dir = temp_repo("fsck-clean");
+    let d = dir.to_str().unwrap();
+    assert!(run(&["init", d]).status.success());
+    assert!(run(&["seed", d, "--series", "1"]).status.success());
+    assert!(run(&["index", d, "--sample", "16", "--no-segments"]).status.success());
+    let out = run(&["fsck", d]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("clean"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_index_recovers_transparently_and_fsck_repairs() {
+    let dir = temp_repo("fsck-corrupt");
+    let d = dir.to_str().unwrap();
+    assert!(run(&["init", d]).status.success());
+    assert!(run(&["seed", d, "--series", "1", "--seed", "3"]).status.success());
+    assert!(run(&["index", d, "--sample", "16", "--no-segments"]).status.success());
+    let listing = stdout(&run(&["list", d]));
+    let reference = listing.lines().next().expect("seeded").to_string();
+
+    // Tear the snapshot mid-file, the way a crashed write would.
+    let index = dir.join("sommelier.index.json");
+    let whole = std::fs::read_to_string(&index).unwrap();
+    std::fs::write(&index, &whole[..whole.len() / 2]).unwrap();
+
+    // Plain fsck reports and fails; nothing is modified.
+    let out = run(&["fsck", d]);
+    assert!(!out.status.success());
+    assert!(stdout(&out).contains("unreadable index snapshot"));
+
+    // Querying still works: the engine quarantines and rebuilds.
+    let out = run(&[
+        "query",
+        d,
+        &format!("SELECT models 3 CORR {reference} WITHIN 0.2"),
+    ]);
+    assert!(out.status.success(), "query failed: {}", stderr(&out));
+    assert!(stderr(&out).contains("quarantined"), "{}", stderr(&out));
+
+    // The quarantined evidence file remains until pruned.
+    let out = run(&["fsck", d]);
+    assert!(!out.status.success());
+    assert!(stdout(&out).contains("quarantined file"));
+    let out = run(&["fsck", d, "--prune"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let out = run(&["fsck", d]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fsck_repair_cleans_temps_and_rebuilds_a_torn_index() {
+    let dir = temp_repo("fsck-repair");
+    let d = dir.to_str().unwrap();
+    assert!(run(&["init", d]).status.success());
+    assert!(run(&["seed", d, "--series", "1"]).status.success());
+    assert!(run(&["index", d, "--sample", "16", "--no-segments"]).status.success());
+
+    let index = dir.join("sommelier.index.json");
+    std::fs::write(&index, "{ definitely not an index").unwrap();
+    std::fs::write(dir.join("stray.model.json.tmp-999-0"), "partial").unwrap();
+
+    let out = run(&["fsck", d, "--repair", "--prune"]);
+    assert!(out.status.success(), "{}\n{}", stdout(&out), stderr(&out));
+    let report = stdout(&out);
+    assert!(report.contains("removed orphaned temp"), "{report}");
+    assert!(report.contains("rebuilt"), "{report}");
+
+    let out = run(&["fsck", d]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("clean"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn add_rejects_missing_file_and_duplicate_keys() {
     let dir = temp_repo("add");
     let d = dir.to_str().unwrap();

@@ -10,8 +10,8 @@
 use crate::resource::ResourceIndex;
 use crate::semantic::SemanticIndex;
 use serde::{Deserialize, Serialize};
+use sommelier_fault::{StdStorage, Storage};
 use std::fmt;
-use std::fs;
 use std::path::Path;
 
 /// A persisted snapshot of both indices.
@@ -114,8 +114,22 @@ impl From<std::io::Error> for PersistError {
 }
 
 /// Write both indices to a snapshot file, stamped with the publication
-/// epoch the engine reached.
+/// epoch the engine reached. The write is crash-safe: it goes through
+/// [`Storage::write_atomic`] (temp → fsync → rename), so an interrupted
+/// save leaves the previous snapshot intact instead of torn JSON.
 pub fn save(
+    semantic: &SemanticIndex,
+    resource: &ResourceIndex,
+    epoch: u64,
+    path: &Path,
+) -> Result<(), PersistError> {
+    save_with(&StdStorage, semantic, resource, epoch, path)
+}
+
+/// [`save`] over an explicit storage backend (the fault-injection
+/// hook).
+pub fn save_with(
+    storage: &dyn Storage,
     semantic: &SemanticIndex,
     resource: &ResourceIndex,
     epoch: u64,
@@ -128,14 +142,24 @@ pub fn save(
         resource: resource.clone(),
     };
     let json = serde_json::to_string(&snapshot).map_err(|e| PersistError::Format(e.to_string()))?;
-    fs::write(path, json)?;
+    storage.write_atomic(path, json.as_bytes())?;
     Ok(())
 }
 
 /// Read and validate a snapshot file without unpacking it — the entry
 /// point audit tooling uses so it can inspect the snapshot as stored.
 pub fn read_snapshot(path: &Path) -> Result<IndexSnapshot, PersistError> {
-    let json = fs::read_to_string(path)?;
+    read_snapshot_with(&StdStorage, path)
+}
+
+/// [`read_snapshot`] over an explicit storage backend.
+pub fn read_snapshot_with(
+    storage: &dyn Storage,
+    path: &Path,
+) -> Result<IndexSnapshot, PersistError> {
+    let bytes = storage.read(path)?;
+    let json = String::from_utf8(bytes)
+        .map_err(|e| PersistError::Format(format!("snapshot is not UTF-8: {e}")))?;
     let snapshot: IndexSnapshot =
         serde_json::from_str(&json).map_err(|e| PersistError::Format(e.to_string()))?;
     if snapshot.version != SNAPSHOT_VERSION {
@@ -321,6 +345,35 @@ mod tests {
                 expected: SNAPSHOT_VERSION
             }
         ));
+    }
+
+    #[test]
+    fn interrupted_save_preserves_the_previous_snapshot() {
+        use sommelier_fault::{FaultPlan, FaultyStorage};
+        let sem = SemanticIndex::new(SemanticIndexConfig::default(), 1);
+        let res = ResourceIndex::new(LshConfig::default(), 1);
+        let path = std::env::temp_dir().join(format!(
+            "sommelier-atomic-{}.json",
+            std::process::id()
+        ));
+        save(&sem, &res, 1, &path).unwrap();
+        let before = std::fs::read(&path).unwrap();
+        // Crash every primitive step of the atomic save (write, fsync,
+        // rename): the on-disk snapshot must stay byte-identical.
+        for at in 0..3 {
+            let faulty = FaultyStorage::new(StdStorage, FaultPlan::crash_at(42, at));
+            let err = save_with(&faulty, &sem, &res, 2, &path).unwrap_err();
+            assert!(matches!(err, PersistError::Io(_)));
+            assert_eq!(std::fs::read(&path).unwrap(), before, "torn at op {at}");
+            let snap = read_snapshot(&path).unwrap();
+            assert_eq!(snap.stats.unwrap().epoch, Some(1));
+        }
+        // Clean up the snapshot and any stranded temp siblings.
+        for name in StdStorage.list(&std::env::temp_dir()).unwrap() {
+            if name.starts_with(&format!("sommelier-atomic-{}", std::process::id())) {
+                std::fs::remove_file(std::env::temp_dir().join(name)).ok();
+            }
+        }
     }
 
     #[test]

@@ -13,7 +13,8 @@ use std::fmt;
 /// Stable diagnostic codes, grouped by pass family:
 /// `SOM00x` model-graph lints, `SOM02x` repository/index invariants,
 /// `SOM04x` query-plan lints, `SOM05x` snapshot stats-header lints,
-/// `SOM06x` snapshot publication-epoch lints.
+/// `SOM06x` snapshot publication-epoch lints, `SOM07x` store-hygiene
+/// lints (quarantine, temp orphans, file naming).
 pub mod codes {
     /// A layer's output is never consumed (dead computation).
     pub const DEAD_LAYER: &str = "SOM001";
@@ -69,6 +70,14 @@ pub mod codes {
     pub const EPOCH_HEADER_MISMATCH: &str = "SOM061";
     /// A candidate references a key the snapshot itself never registered.
     pub const UNREGISTERED_CANDIDATE: &str = "SOM062";
+    /// A quarantined (`*.corrupt-<epoch>`) artifact sits in the store.
+    pub const QUARANTINED_FILE: &str = "SOM070";
+    /// An orphaned temp file (`*.tmp-<pid>-<seq>`) from an interrupted write.
+    pub const ORPHANED_TEMP: &str = "SOM071";
+    /// A model file whose name is not a canonical key encoding.
+    pub const NON_CANONICAL_MODEL_FILE: &str = "SOM072";
+    /// The store directory could not be listed at all.
+    pub const STORE_LISTING_FAILED: &str = "SOM073";
 }
 
 /// How bad a finding is. Ordered: `Info < Warn < Error`.

@@ -27,7 +27,11 @@
 //!   in persisted snapshots (`SOM050`–`SOM053`);
 //! * **publication epoch** ([`passes::epoch`]) — regressed or missing
 //!   publication epochs and candidates referencing keys the snapshot
-//!   never registered (`SOM060`–`SOM062`).
+//!   never registered (`SOM060`–`SOM062`);
+//! * **store hygiene** ([`passes::store`]) — quarantined artifacts,
+//!   orphaned temp files from interrupted atomic writes, model files
+//!   whose names are not canonical key encodings, and unlistable store
+//!   directories (`SOM070`–`SOM073`).
 //!
 //! The CLI exposes all of this as `sommelier lint <dir>`.
 
@@ -64,6 +68,8 @@ pub struct LintContext {
     pub index_mtime: Option<SystemTime>,
     /// Modification times of stored model files, keyed like `models`.
     pub model_mtimes: Vec<(String, SystemTime)>,
+    /// Raw file names of the store directory (for hygiene lints).
+    pub store_files: Vec<String>,
     /// Queries to lint statically (parsed ASTs).
     pub queries: Vec<Query>,
     /// Findings produced while *loading* the context (unreadable model
@@ -88,31 +94,48 @@ impl LintContext {
         }
         let repo = OnDiskRepository::open(dir).map_err(|e| e.to_string())?;
         let mut ctx = LintContext::new();
-        for key in repo.keys() {
-            match repo.load(&key) {
-                Ok(model) => ctx.models.push((key, model)),
-                Err(e) => ctx.load_diagnostics.push(Diagnostic::error(
-                    codes::MODEL_UNREADABLE,
-                    format!("model '{key}'"),
-                    format!("stored model could not be loaded: {e}"),
-                )),
+        match repo.try_keys() {
+            Ok(keys) => {
+                for key in keys {
+                    match repo.load(&key) {
+                        Ok(model) => ctx.models.push((key, model)),
+                        Err(e) => ctx.load_diagnostics.push(Diagnostic::error(
+                            codes::MODEL_UNREADABLE,
+                            format!("model '{key}'"),
+                            format!("stored model could not be loaded: {e}"),
+                        )),
+                    }
+                }
             }
+            // A listing failure blinds every store check: report it
+            // loudly rather than linting an empty-looking repository.
+            Err(e) => ctx.load_diagnostics.push(Diagnostic::error(
+                codes::STORE_LISTING_FAILED,
+                format!("store '{}'", dir.display()),
+                format!("repository directory could not be listed: {e}"),
+            )),
         }
-        // Model-file mtimes, matching OnDiskRepository's naming scheme.
+        // Raw directory listing: store-hygiene fodder plus model-file
+        // mtimes, decoded back to the repository keys they store.
         if let Ok(entries) = std::fs::read_dir(dir) {
             for entry in entries.flatten() {
                 let name = entry.file_name();
                 let Some(name) = name.to_str() else { continue };
-                let Some(key) = name.strip_suffix(".model.json") else {
+                ctx.store_files.push(name.to_string());
+                let Some(key) = name
+                    .strip_suffix(".model.json")
+                    .and_then(sommelier_repo::decode_key)
+                else {
                     continue;
                 };
                 if let Ok(meta) = entry.metadata() {
                     if let Ok(mtime) = meta.modified() {
-                        ctx.model_mtimes.push((key.to_string(), mtime));
+                        ctx.model_mtimes.push((key, mtime));
                     }
                 }
             }
         }
+        ctx.store_files.sort();
         ctx.model_mtimes.sort_by(|a, b| a.0.cmp(&b.0));
         let index_path = dir.join(INDEX_FILE);
         if index_path.exists() {
@@ -174,6 +197,7 @@ impl LintRunner {
         runner.register(Box::new(passes::plan::QueryPlanPass));
         runner.register(Box::new(passes::stats::SnapshotStatsPass));
         runner.register(Box::new(passes::epoch::SnapshotEpochPass));
+        runner.register(Box::new(passes::store::StoreHygienePass));
         runner
     }
 
@@ -210,7 +234,8 @@ mod tests {
         assert!(names.contains(&"query-plan"));
         assert!(names.contains(&"snapshot-stats"));
         assert!(names.contains(&"snapshot-epoch"));
-        assert_eq!(names.len(), 9);
+        assert!(names.contains(&"store-hygiene"));
+        assert_eq!(names.len(), 10);
     }
 
     #[test]

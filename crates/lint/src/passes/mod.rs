@@ -5,7 +5,9 @@
 //!   semantic/resource indices (`SOM02x`);
 //! * [`plan`] — static analyses of parsed query ASTs (`SOM04x`);
 //! * [`stats`] — snapshot stats-header validation (`SOM05x`);
-//! * [`epoch`] — snapshot publication-epoch validation (`SOM06x`).
+//! * [`epoch`] — snapshot publication-epoch validation (`SOM06x`);
+//! * [`store`] — store-directory hygiene: quarantined artifacts,
+//!   orphaned temp files, non-canonical file names (`SOM07x`).
 //!
 //! Passes only read the [`crate::LintContext`]; they never execute a
 //! model and never mutate an index.
@@ -15,3 +17,4 @@ pub mod index;
 pub mod model;
 pub mod plan;
 pub mod stats;
+pub mod store;

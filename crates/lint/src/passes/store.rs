@@ -1,0 +1,135 @@
+//! `SOM07x` — store-hygiene lints over the raw repository directory.
+//!
+//! The durability layer (PR 5) leaves deliberate evidence on disk:
+//! unreadable snapshots are renamed to `*.corrupt-<epoch>` instead of
+//! deleted, and a crash mid-`write_atomic` can strand a fully private
+//! `*.tmp-<pid>-<seq>` sibling. Neither is ever *read* by the engine
+//! again, so without a reporting loop they accumulate silently. This
+//! pass closes that loop:
+//!
+//! * **quarantined artifacts** (`SOM070`, warn) — a corrupt snapshot or
+//!   model was found and set aside; an operator should inspect and then
+//!   prune it (`sommelier fsck --prune`);
+//! * **orphaned temps** (`SOM071`, warn) — an interrupted atomic write
+//!   left its temp sibling behind; harmless but worth deleting
+//!   (`sommelier fsck --repair`);
+//! * **non-canonical model file names** (`SOM072`, warn) — a
+//!   `*.model.json` file whose stem is not a canonical
+//!   [`sommelier_repo::encode_key`] spelling. The repository will never
+//!   surface it as a key, so it is effectively invisible data;
+//! * **listing failures** (`SOM073`, error) — the directory itself
+//!   could not be enumerated, so every other store check is blind.
+//!
+//! The pass works off [`crate::LintContext::store_files`], the raw file
+//! names captured at context-load time, so it stays execution-free like
+//! every other pass.
+
+use crate::diagnostics::{codes, Diagnostic};
+use crate::{LintContext, Pass};
+use sommelier_fault::storage::{is_quarantine_name, is_temp_name};
+use sommelier_repo::decode_key;
+
+/// File-name suffix of stored models (mirrors the repository layout).
+const MODEL_SUFFIX: &str = ".model.json";
+
+/// Reports quarantined, orphaned, and mis-named files in the store.
+pub struct StoreHygienePass;
+
+impl Pass for StoreHygienePass {
+    fn name(&self) -> &'static str {
+        "store-hygiene"
+    }
+
+    fn run(&self, ctx: &LintContext, out: &mut Vec<Diagnostic>) {
+        for name in &ctx.store_files {
+            if is_quarantine_name(name) {
+                out.push(
+                    Diagnostic::warn(
+                        codes::QUARANTINED_FILE,
+                        format!("file '{name}'"),
+                        "quarantined artifact from a failed load is still on disk",
+                    )
+                    .with_help("inspect it, then remove it with `sommelier fsck --prune`"),
+                );
+            } else if is_temp_name(name) {
+                out.push(
+                    Diagnostic::warn(
+                        codes::ORPHANED_TEMP,
+                        format!("file '{name}'"),
+                        "orphaned temp file from an interrupted atomic write",
+                    )
+                    .with_help("safe to delete: `sommelier fsck --repair`"),
+                );
+            } else if let Some(stem) = name.strip_suffix(MODEL_SUFFIX) {
+                if decode_key(stem).is_none() {
+                    out.push(
+                        Diagnostic::warn(
+                            codes::NON_CANONICAL_MODEL_FILE,
+                            format!("file '{name}'"),
+                            "model file name is not a canonical key encoding; \
+                             the repository will never list it",
+                        )
+                        .with_help(
+                            "republish the model through the repository API and delete the file",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Severity;
+
+    fn run(ctx: &LintContext) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        StoreHygienePass.run(ctx, &mut out);
+        out
+    }
+
+    fn ctx_with_files(names: &[&str]) -> LintContext {
+        let mut ctx = LintContext::new();
+        ctx.store_files = names.iter().map(|s| s.to_string()).collect();
+        ctx
+    }
+
+    #[test]
+    fn clean_store_is_silent() {
+        let ctx = ctx_with_files(&[
+            "alpha.model.json",
+            "a%2Fb.model.json",
+            "sommelier.index.json",
+        ]);
+        assert!(run(&ctx).is_empty());
+    }
+
+    #[test]
+    fn quarantined_files_warn() {
+        let ctx = ctx_with_files(&["sommelier.index.json.corrupt-1700000000"]);
+        let out = run(&ctx);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::QUARANTINED_FILE);
+        assert_eq!(out[0].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn orphaned_temps_warn() {
+        let ctx = ctx_with_files(&["alpha.model.json.tmp-123-7"]);
+        let out = run(&ctx);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::ORPHANED_TEMP);
+    }
+
+    #[test]
+    fn non_canonical_model_names_warn() {
+        // `%2f` decodes but is not the canonical (uppercase) spelling,
+        // and a raw '/' could never appear; both are invisible to keys().
+        let ctx = ctx_with_files(&["a%2fb.model.json", "nul%0.model.json"]);
+        let out = run(&ctx);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|d| d.code == codes::NON_CANONICAL_MODEL_FILE));
+    }
+}

@@ -149,6 +149,26 @@ impl From<RepoError> for QueryError {
     }
 }
 
+/// How [`Sommelier::connect_or_recover`] brought the engine up.
+#[derive(Debug)]
+pub enum SnapshotRecovery {
+    /// The persisted snapshot loaded cleanly.
+    Loaded,
+    /// No snapshot existed (or it vanished); indices were rebuilt from
+    /// the repository.
+    RebuiltMissing,
+    /// The snapshot was unreadable: it was quarantined to the contained
+    /// path and the indices were rebuilt from the repository.
+    RebuiltQuarantined(std::path::PathBuf),
+}
+
+impl SnapshotRecovery {
+    /// Whether the indices had to be rebuilt.
+    pub fn rebuilt(&self) -> bool {
+        !matches!(self, SnapshotRecovery::Loaded)
+    }
+}
+
 /// The production pairwise analyzer.
 ///
 /// Thread-safe ([`Sync`]): probe batches and architecture factors are
@@ -865,7 +885,10 @@ impl Sommelier {
     /// (so the result is byte-identical at any `jobs` setting).
     pub fn index_existing(&mut self) -> Result<usize, QueryError> {
         let mut models = Vec::new();
-        for key in self.repo.keys() {
+        // `try_keys`, not `keys`: a backend that cannot produce a
+        // complete listing must fail the build, not silently index a
+        // truncated repository.
+        for key in self.repo.try_keys()? {
             if self.semantic.contains(&key) {
                 continue;
             }
@@ -1024,6 +1047,14 @@ impl Sommelier {
     ) -> Result<Self, QueryError> {
         let snapshot = sommelier_index::persist::read_snapshot(path)
             .map_err(|e| QueryError::Analysis(e.to_string()))?;
+        Ok(Self::assemble_from_snapshot(repo, config, snapshot))
+    }
+
+    fn assemble_from_snapshot(
+        repo: Arc<dyn ModelRepository>,
+        config: SommelierConfig,
+        snapshot: sommelier_index::persist::IndexSnapshot,
+    ) -> Self {
         let epoch = snapshot
             .stats
             .and_then(|s| s.epoch)
@@ -1036,14 +1067,69 @@ impl Sommelier {
                 default_refs.entry(model.task).or_insert_with(|| key.clone());
             }
         }
-        Ok(Self::assemble(
-            repo,
-            config,
-            semantic,
-            resource,
-            default_refs,
-            epoch,
-        ))
+        Self::assemble(repo, config, semantic, resource, default_refs, epoch)
+    }
+
+    /// Connect restoring persisted indices, degrading gracefully when
+    /// the snapshot is missing or unreadable: a corrupt snapshot is
+    /// quarantined (`<name>.corrupt-<epoch>`) and the indices are
+    /// transparently rebuilt from the repository — the query path comes
+    /// up either way, it never errors on a bad snapshot file. Counters:
+    /// `recovery.loads` on a clean load, `recovery.rebuilds` per
+    /// rebuild, `recovery.quarantined` per file moved aside (bumped by
+    /// the quarantine itself), `recovery.resave_failures` when the
+    /// rebuilt snapshot could not be re-persisted.
+    pub fn connect_or_recover(
+        repo: Arc<dyn ModelRepository>,
+        config: SommelierConfig,
+        path: &std::path::Path,
+    ) -> Result<(Self, SnapshotRecovery), QueryError> {
+        use sommelier_index::persist::PersistError;
+        match sommelier_index::persist::read_snapshot(path) {
+            Ok(snapshot) => {
+                counters::add("recovery.loads", 1);
+                Ok((
+                    Self::assemble_from_snapshot(repo, config, snapshot),
+                    SnapshotRecovery::Loaded,
+                ))
+            }
+            Err(PersistError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                let engine = Self::rebuild_from_repository(repo, config, path)?;
+                Ok((engine, SnapshotRecovery::RebuiltMissing))
+            }
+            Err(_) => {
+                // Torn/garbage/unsupported snapshot: move the evidence
+                // aside (best effort — an unmovable file must not block
+                // recovery) and rebuild from the source of truth.
+                let quarantined =
+                    sommelier_fault::quarantine(&sommelier_fault::StdStorage, path).ok();
+                let engine = Self::rebuild_from_repository(repo, config, path)?;
+                Ok((
+                    engine,
+                    match quarantined {
+                        Some(q) => SnapshotRecovery::RebuiltQuarantined(q),
+                        None => SnapshotRecovery::RebuiltMissing,
+                    },
+                ))
+            }
+        }
+    }
+
+    fn rebuild_from_repository(
+        repo: Arc<dyn ModelRepository>,
+        config: SommelierConfig,
+        path: &std::path::Path,
+    ) -> Result<Self, QueryError> {
+        counters::add("recovery.rebuilds", 1);
+        let mut engine = Self::connect(repo, config);
+        engine.index_existing()?;
+        // Re-persist so the next start loads instead of re-analyzing;
+        // failing to write the fresh snapshot must not fail recovery —
+        // the engine is already serving from memory.
+        if engine.save_indices(path).is_err() {
+            counters::add("recovery.resave_failures", 1);
+        }
+        Ok(engine)
     }
 
     /// Directly measure the empirical QoR difference between two
@@ -1580,6 +1666,79 @@ mod tests {
         std::fs::remove_file(&path).ok();
         assert_eq!(restored.epoch(), 4);
         assert_eq!(restored.reader().epoch(), 4);
+    }
+
+    #[test]
+    fn corrupt_snapshot_recovers_by_quarantine_and_rebuild() {
+        let (engine, names) = engine_with_variants();
+        let dir = std::env::temp_dir().join(format!(
+            "somm-recover-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sommelier.index.json");
+        engine.save_indices(&path).unwrap();
+        // Tear the snapshot the way a mid-write crash would.
+        let whole = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &whole[..whole.len() / 2]).unwrap();
+
+        let before = counters::get("recovery.rebuilds");
+        let (restored, outcome) = Sommelier::connect_or_recover(
+            engine.repo.clone(),
+            SommelierConfig {
+                validation_rows: 128,
+                ..SommelierConfig::default()
+            },
+            &path,
+        )
+        .unwrap();
+        assert!(outcome.rebuilt());
+        let quarantined = match &outcome {
+            SnapshotRecovery::RebuiltQuarantined(q) => q.clone(),
+            other => panic!("expected quarantine, got {other:?}"),
+        };
+        assert!(quarantined.exists(), "evidence file preserved");
+        assert_eq!(counters::get("recovery.rebuilds"), before + 1);
+        // The rebuilt engine serves queries, and re-persisted a clean
+        // snapshot in the torn one's place.
+        assert_eq!(restored.len(), engine.len());
+        let q = format!("SELECT models 3 CORR {} WITHIN 0.2", names[0]);
+        assert!(!restored.query(&q).unwrap().is_empty());
+        assert!(sommelier_index::persist::read_snapshot(&path).is_ok());
+        // A clean snapshot loads without another rebuild.
+        let rebuilds = counters::get("recovery.rebuilds");
+        let (_again, outcome) = Sommelier::connect_or_recover(
+            engine.repo.clone(),
+            SommelierConfig::default(),
+            &path,
+        )
+        .unwrap();
+        assert!(matches!(outcome, SnapshotRecovery::Loaded));
+        assert_eq!(counters::get("recovery.rebuilds"), rebuilds);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_snapshot_recovers_without_quarantine() {
+        let (engine, _) = engine_with_variants();
+        let path = std::env::temp_dir().join(format!(
+            "somm-recover-missing-{}.json",
+            std::process::id()
+        ));
+        std::fs::remove_file(&path).ok();
+        let (restored, outcome) = Sommelier::connect_or_recover(
+            engine.repo.clone(),
+            SommelierConfig {
+                validation_rows: 128,
+                ..SommelierConfig::default()
+            },
+            &path,
+        )
+        .unwrap();
+        assert!(matches!(outcome, SnapshotRecovery::RebuiltMissing));
+        assert_eq!(restored.len(), engine.len());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

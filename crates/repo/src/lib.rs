@@ -14,4 +14,6 @@
 
 pub mod store;
 
-pub use store::{InMemoryRepository, ModelRepository, OnDiskRepository, RepoError};
+pub use store::{
+    decode_key, encode_key, InMemoryRepository, ModelRepository, OnDiskRepository, RepoError,
+};

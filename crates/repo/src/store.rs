@@ -1,10 +1,12 @@
 //! Publish/load model storage.
 
 use parking_lot::RwLock;
+use sommelier_fault::{StdStorage, Storage};
 use sommelier_graph::serde_model;
 use sommelier_graph::Model;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -45,8 +47,17 @@ pub trait ModelRepository: Send + Sync {
     /// Retrieve the model stored under `key`.
     fn load(&self, key: &str) -> Result<Model, RepoError>;
 
-    /// All stored keys, sorted.
-    fn keys(&self) -> Vec<String>;
+    /// All stored keys, sorted — or the storage error that kept the
+    /// backend from producing a complete listing. Callers that cannot
+    /// tolerate a truncated view (index builds, lint, fsck) go through
+    /// this; [`ModelRepository::keys`] is the infallible convenience
+    /// wrapper.
+    fn try_keys(&self) -> Result<Vec<String>, RepoError>;
+
+    /// All stored keys, sorted; an unlistable backend reads as empty.
+    fn keys(&self) -> Vec<String> {
+        self.try_keys().unwrap_or_default()
+    }
 
     /// Number of stored models.
     fn len(&self) -> usize {
@@ -99,8 +110,8 @@ impl ModelRepository for InMemoryRepository {
             .ok_or_else(|| RepoError::NotFound { key: key.into() })
     }
 
-    fn keys(&self) -> Vec<String> {
-        self.models.read().keys().cloned().collect()
+    fn try_keys(&self) -> Result<Vec<String>, RepoError> {
+        Ok(self.models.read().keys().cloned().collect())
     }
 
     fn len(&self) -> usize {
@@ -108,58 +119,166 @@ impl ModelRepository for InMemoryRepository {
     }
 }
 
-/// On-disk repository: one JSON model file per key under a root directory
-/// (keys are sanitized into file names).
+/// Suffix every stored model file carries.
+const MODEL_SUFFIX: &str = ".model.json";
+
+/// Bytes that survive key encoding verbatim. Everything else —
+/// crucially `%`, `/`, and whitespace — is percent-escaped, which makes
+/// the encoding injective: two distinct keys can never share a file.
+fn is_plain(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.'
+}
+
+/// Injective (percent) encoding of a repository key into a file stem.
+pub fn encode_key(key: &str) -> String {
+    let mut out = String::with_capacity(key.len());
+    for &b in key.as_bytes() {
+        if is_plain(b) {
+            out.push(b as char);
+        } else {
+            out.push('%');
+            out.push_str(&format!("{b:02X}"));
+        }
+    }
+    out
+}
+
+/// Decode a file stem back into the original key. Returns `None` for
+/// stems that are not the *canonical* encoding of any key (malformed
+/// escapes, lowercase hex, escaped-but-plain bytes, invalid UTF-8) —
+/// such files are never repository entries, and the lint layer flags
+/// them.
+pub fn decode_key(stem: &str) -> Option<String> {
+    let bytes = stem.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3)?;
+                let hi = (hex[0] as char).to_digit(16)?;
+                let lo = (hex[1] as char).to_digit(16)?;
+                out.push((hi * 16 + lo) as u8);
+                i += 3;
+            }
+            b if is_plain(b) => {
+                out.push(b);
+                i += 1;
+            }
+            _ => return None,
+        }
+    }
+    let key = String::from_utf8(out).ok()?;
+    // Canonical round-trip: rejects non-canonical spellings (e.g.
+    // "%2f" vs "%2F", or "%41" for plain 'A') so no two on-disk names
+    // can decode to the same key.
+    (encode_key(&key) == stem).then_some(key)
+}
+
+/// On-disk repository: one JSON model file per key under a root
+/// directory. Keys map to file names through the injective
+/// [`encode_key`] / [`decode_key`] pair, every publish goes through the
+/// crash-safe [`Storage`] composites (atomic rename for overwrites, an
+/// `O_EXCL`-style link for first publishes), and listing failures
+/// surface as [`RepoError::Storage`] instead of truncating silently.
 pub struct OnDiskRepository {
     root: PathBuf,
+    storage: Arc<dyn Storage>,
 }
 
 impl OnDiskRepository {
-    /// Open (creating if needed) a repository rooted at `root`.
+    /// Open (creating if needed) a repository rooted at `root`, backed
+    /// by the real filesystem.
     pub fn open(root: &Path) -> Result<Self, RepoError> {
+        Self::open_with(root, Arc::new(StdStorage))
+    }
+
+    /// Open a repository over an explicit storage backend (the
+    /// fault-injection hook).
+    pub fn open_with(root: &Path, storage: Arc<dyn Storage>) -> Result<Self, RepoError> {
         std::fs::create_dir_all(root).map_err(|e| RepoError::Storage(e.to_string()))?;
-        Ok(OnDiskRepository { root: root.into() })
+        Ok(OnDiskRepository {
+            root: root.into(),
+            storage,
+        })
     }
 
     fn path_for(&self, key: &str) -> PathBuf {
-        let safe: String = key
-            .chars()
-            .map(|c| if c.is_alphanumeric() || c == '-' || c == '.' { c } else { '_' })
-            .collect();
-        self.root.join(format!("{safe}.model.json"))
+        self.root.join(format!("{}{MODEL_SUFFIX}", encode_key(key)))
+    }
+
+    fn storage_err(key: Option<&str>, e: io::Error) -> RepoError {
+        match (key, e.kind()) {
+            (Some(key), io::ErrorKind::NotFound) => RepoError::NotFound { key: key.into() },
+            (Some(key), io::ErrorKind::AlreadyExists) => {
+                RepoError::AlreadyExists { key: key.into() }
+            }
+            _ => RepoError::Storage(e.to_string()),
+        }
     }
 }
 
 impl ModelRepository for OnDiskRepository {
     fn publish(&self, key: &str, model: &Model, overwrite: bool) -> Result<(), RepoError> {
         let path = self.path_for(key);
-        if !overwrite && path.exists() {
-            return Err(RepoError::AlreadyExists { key: key.into() });
-        }
-        serde_model::save(model, &path).map_err(|e| RepoError::Storage(e.to_string()))
+        let json = serde_model::to_json(model);
+        // Both paths commit through a single atomic filesystem op
+        // (rename / hard link), so a crash leaves the old state or the
+        // new state — never torn JSON — and two racing non-overwrite
+        // publishes of one key cannot both succeed: the link is the
+        // arbiter, not an `exists()` probe.
+        let result = if overwrite {
+            self.storage.write_atomic(&path, json.as_bytes())
+        } else {
+            self.storage.create_exclusive(&path, json.as_bytes())
+        };
+        result.map_err(|e| Self::storage_err(Some(key), e))
     }
 
     fn load(&self, key: &str) -> Result<Model, RepoError> {
         let path = self.path_for(key);
-        if !path.exists() {
-            return Err(RepoError::NotFound { key: key.into() });
-        }
-        serde_model::load(&path).map_err(|e| RepoError::Storage(e.to_string()))
+        let bytes = self
+            .storage
+            .read(&path)
+            .map_err(|e| Self::storage_err(Some(key), e))?;
+        let json =
+            String::from_utf8(bytes).map_err(|e| RepoError::Storage(e.to_string()))?;
+        serde_model::from_json(&json).map_err(|e| RepoError::Storage(e.to_string()))
     }
 
-    fn keys(&self) -> Vec<String> {
+    fn try_keys(&self) -> Result<Vec<String>, RepoError> {
+        let names = self
+            .storage
+            .list(&self.root)
+            .map_err(|e| Self::storage_err(None, e))?;
         let mut out = Vec::new();
-        if let Ok(entries) = std::fs::read_dir(&self.root) {
-            for entry in entries.flatten() {
-                if let Some(name) = entry.file_name().to_str() {
-                    if let Some(stripped) = name.strip_suffix(".model.json") {
-                        out.push(stripped.to_string());
-                    }
+        for name in names {
+            if let Some(stem) = name.strip_suffix(MODEL_SUFFIX) {
+                // Non-canonical stems are not repository entries (we
+                // never write them); lint reports them as hygiene
+                // findings rather than keys() inventing a key.
+                if let Some(key) = decode_key(stem) {
+                    out.push(key);
                 }
             }
         }
         out.sort();
-        out
+        Ok(out)
+    }
+
+    /// One directory pass, no sort, no decode allocation kept — the
+    /// count matches what [`ModelRepository::try_keys`] would return.
+    fn len(&self) -> usize {
+        match self.storage.list(&self.root) {
+            Ok(names) => names
+                .iter()
+                .filter(|n| {
+                    n.strip_suffix(MODEL_SUFFIX)
+                        .is_some_and(|stem| decode_key(stem).is_some())
+                })
+                .count(),
+            Err(_) => 0,
+        }
     }
 }
 
@@ -175,6 +294,15 @@ mod tests {
             .dense(2, &mut rng)
             .build()
             .unwrap()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sommelier-repo-{tag}-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
     }
 
     #[test]
@@ -226,24 +354,125 @@ mod tests {
     }
 
     #[test]
+    fn key_encoding_is_injective_and_round_trips() {
+        // The old sanitizer mapped both of these to "a_b".
+        for pair in [("a/b", "a_b"), ("a b", "a%b"), ("x:y", "x_y")] {
+            assert_ne!(encode_key(pair.0), encode_key(pair.1));
+        }
+        for key in ["a/b", "a_b", "disk/one:v1", "100% legit", "ünïcode/κ", "..", ""] {
+            assert_eq!(decode_key(&encode_key(key)).as_deref(), Some(key));
+        }
+        // Non-canonical or malformed stems never decode.
+        for stem in ["%2f", "%ZZ", "a%4", "%41", "a b"] {
+            assert_eq!(decode_key(stem), None, "{stem}");
+        }
+    }
+
+    #[test]
     fn on_disk_round_trip() {
-        let dir = std::env::temp_dir().join(format!("sommelier-repo-{}", std::process::id()));
+        let dir = temp_dir("rt");
         let repo = OnDiskRepository::open(&dir).unwrap();
         let m = model("disk/one:v1");
         repo.publish("disk/one:v1", &m, false).unwrap();
         assert_eq!(repo.load("disk/one:v1").unwrap(), m);
-        assert_eq!(repo.keys().len(), 1);
+        assert_eq!(repo.try_keys().unwrap(), vec!["disk/one:v1"]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn on_disk_colliding_keys_stay_distinct() {
+        // Regression: "a/b" and "a_b" used to sanitize to the same
+        // file and silently overwrite each other.
+        let dir = temp_dir("collide");
+        let repo = OnDiskRepository::open(&dir).unwrap();
+        let m1 = model("a/b");
+        let m2 = model("a_b");
+        repo.publish("a/b", &m1, false).unwrap();
+        repo.publish("a_b", &m2, false).unwrap();
+        assert_eq!(repo.load("a/b").unwrap().name, "a/b");
+        assert_eq!(repo.load("a_b").unwrap().name, "a_b");
+        assert_eq!(repo.try_keys().unwrap(), vec!["a/b", "a_b"]);
+        assert_eq!(repo.len(), 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn on_disk_missing_key() {
-        let dir = std::env::temp_dir().join(format!("sommelier-repo2-{}", std::process::id()));
+        let dir = temp_dir("missing");
         let repo = OnDiskRepository::open(&dir).unwrap();
         assert!(matches!(
             repo.load("ghost"),
             Err(RepoError::NotFound { .. })
         ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_exclusive_publishes_have_one_winner() {
+        // Regression for the publish TOCTOU: `exists()`-then-write let
+        // two racing non-overwrite publishes both "succeed", one
+        // silently clobbering the other. The link-based publish makes
+        // the filesystem the arbiter.
+        let dir = temp_dir("race");
+        let repo = Arc::new(OnDiskRepository::open(&dir).unwrap());
+        let barrier = Arc::new(std::sync::Barrier::new(8));
+        let wins: Vec<bool> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|i| {
+                    let repo = Arc::clone(&repo);
+                    let barrier = Arc::clone(&barrier);
+                    scope.spawn(move || {
+                        let m = model(&format!("contender-{i}"));
+                        barrier.wait();
+                        match repo.publish("the-key", &m, false) {
+                            Ok(()) => true,
+                            Err(RepoError::AlreadyExists { .. }) => false,
+                            Err(e) => panic!("unexpected error: {e}"),
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(
+            wins.iter().filter(|&&w| w).count(),
+            1,
+            "exactly one racing publish may win"
+        );
+        // Whoever won, the stored file is whole and parseable.
+        let stored = repo.load("the-key").unwrap();
+        assert!(stored.name.starts_with("contender-"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn try_keys_surfaces_listing_errors() {
+        let dir = temp_dir("unlistable");
+        let repo = OnDiskRepository::open(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert!(matches!(repo.try_keys(), Err(RepoError::Storage(_))));
+        // The infallible wrapper degrades to empty; len follows suit.
+        assert!(repo.keys().is_empty());
+        assert_eq!(repo.len(), 0);
+    }
+
+    #[test]
+    fn stray_files_are_not_keys() {
+        let dir = temp_dir("stray");
+        let repo = OnDiskRepository::open(&dir).unwrap();
+        repo.publish("real", &model("real"), false).unwrap();
+        // Temp orphans, quarantined artifacts, and non-canonical names
+        // must not surface as repository keys.
+        for stray in [
+            "real.model.json.tmp-1-1",
+            "real.model.json.corrupt-7",
+            "%2f.model.json",
+            "notes.txt",
+        ] {
+            std::fs::write(dir.join(stray), b"junk").unwrap();
+        }
+        assert_eq!(repo.try_keys().unwrap(), vec!["real"]);
+        assert_eq!(repo.len(), 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -26,7 +26,9 @@ use sommelier_tensor::{ops, Tensor};
 /// `pairwise_cache.hits`, `pairwise_cache.misses`,
 /// `pairwise_cache.evictions`, `pairwise_cache.entries`,
 /// `index.pair_analyses`, `index.models_indexed`,
-/// `query.candidates_scored`.
+/// `query.candidates_scored`; and from the durability layer:
+/// `recovery.loads`, `recovery.rebuilds`, `recovery.quarantined`,
+/// `recovery.resave_failures`, `recovery.retries`.
 pub mod counters {
     use std::collections::BTreeMap;
     use std::sync::atomic::{AtomicU64, Ordering};

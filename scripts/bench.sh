@@ -19,6 +19,11 @@
 # throughput bar and the ≥4× serving p90 tail-latency cut. The binary
 # itself asserts byte-identical result sets at lanes 1/4/8.
 #
+# PR 5: crash-safe storage. Runs the crash-loop property test
+# (`tests/crash_consistency.rs`) under three fault seeds, sweeping a
+# seeded crash through every primitive I/O op of the mutation sequence
+# and asserting the store always reopens to old-or-new state.
+#
 # Usage:
 #   scripts/bench.sh              # smoke fleets
 #   SOMMELIER_PR2_MODE=full SOMMELIER_PR4_MODE=full scripts/bench.sh
@@ -28,6 +33,13 @@ cd "$(dirname "$0")/.."
 
 echo "== building (release) =="
 cargo build --release -p sommelier-bench
+
+echo "== fault matrix: crash-loop durability sweep =="
+for seed in 11 23 47; do
+    echo "-- SOMMELIER_FAULT_SEED=$seed --"
+    SOMMELIER_FAULT_SEED=$seed cargo test --quiet --release --test crash_consistency
+done
+echo "PASS"
 
 echo "== running pr2_parallel_cache (${SOMMELIER_PR2_MODE:-smoke}) =="
 cargo run --quiet --release -p sommelier-bench --bin pr2_parallel_cache

@@ -16,6 +16,8 @@
 //!   segments, generalization bounds, the ModelDiff baseline);
 //! * [`index`] — the semantic and resource indices;
 //! * [`repo`] — the bare-bone model repository substrate;
+//! * [`fault`] — crash-safe storage primitives and deterministic fault
+//!   injection for durability testing;
 //! * [`query`] — the query language and the [`Sommelier`] engine facade;
 //! * [`serving`] — the inference-serving simulator with automated model
 //!   switching.
@@ -53,6 +55,7 @@
 //! ```
 
 pub use sommelier_equiv as equiv;
+pub use sommelier_fault as fault;
 pub use sommelier_graph as graph;
 pub use sommelier_index as index;
 pub use sommelier_query as query;

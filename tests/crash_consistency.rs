@@ -1,0 +1,257 @@
+//! Crash-loop durability property: crash the store at *every* primitive
+//! I/O operation of a mutation sequence and assert that a fresh process
+//! reopening the directory always observes each artifact in its old or
+//! its new state — never a torn intermediate.
+//!
+//! The sweep is seeded (`SOMMELIER_FAULT_SEED`, default 7) so the torn
+//! prefix lengths vary across CI runs of the fault matrix while every
+//! individual run stays deterministic and replayable.
+
+use sommelier::fault::storage::{is_quarantine_name, is_temp_name};
+use sommelier::fault::{FaultPlan, FaultyStorage, StdStorage, Storage};
+use sommelier::index::persist;
+use sommelier::prelude::*;
+use sommelier::query::SnapshotRecovery;
+use sommelier::runtime::metrics::counters;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const INDEX_FILE: &str = "sommelier.index.json";
+
+fn fault_seed() -> u64 {
+    std::env::var("SOMMELIER_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7)
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sommelier-crash-{tag}-{}-{}",
+        fault_seed(),
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Three same-family variants, so the index has real candidates.
+fn build_models() -> Vec<Model> {
+    let teacher = Teacher::for_task(TaskKind::ImageRecognition, 71);
+    let bias = DatasetBias::new(&teacher, "imagenet", 0.06);
+    let mut rng = Prng::seed_from_u64(5);
+    [
+        ("series/alpha", 1.0, 4),
+        ("beta", 0.75, 3),
+        ("gamma", 0.5, 3),
+    ]
+    .into_iter()
+    .map(|(name, width, depth)| {
+        let mut frng = rng.fork();
+        Family::Resnetish.build_scaled(
+            name,
+            &teacher,
+            &bias,
+            &FamilyScale::new(width, depth, 0.012),
+            &mut frng,
+        )
+    })
+    .collect()
+}
+
+fn small_config() -> SommelierConfig {
+    let mut cfg = SommelierConfig {
+        validation_rows: 128,
+        ..SommelierConfig::default()
+    };
+    cfg.index.sample_size = 16;
+    cfg
+}
+
+/// Publish alpha + beta and persist an index snapshot: the "old" state.
+fn setup_base(dir: &Path, models: &[Model]) {
+    let repo = Arc::new(OnDiskRepository::open(dir).unwrap());
+    repo.publish("series/alpha", &models[0], false).unwrap();
+    repo.publish("beta", &models[1], false).unwrap();
+    let mut engine = Sommelier::connect(repo as Arc<dyn ModelRepository>, small_config());
+    engine.index_existing().unwrap();
+    engine.save_indices(&dir.join(INDEX_FILE)).unwrap();
+}
+
+/// The mutation whose every crash point the sweep exercises: an
+/// overwriting publish, an exclusive publish, and a snapshot save.
+/// Errors are swallowed — mid-sequence crashes are the whole point.
+fn mutate(dir: &Path, storage: Arc<dyn Storage>, alpha_v2: &Model, gamma: &Model) {
+    let Ok(repo) = OnDiskRepository::open_with(dir, Arc::clone(&storage)) else {
+        return;
+    };
+    let _ = repo.publish("series/alpha", alpha_v2, true);
+    let _ = repo.publish("gamma", gamma, false);
+    // Re-persist the snapshot (same indices, bumped epoch): content is
+    // irrelevant here, the write protocol under the crash is.
+    let Ok(snapshot) = persist::read_snapshot(&dir.join(INDEX_FILE)) else {
+        return;
+    };
+    let _ = persist::save_with(
+        &*storage,
+        &snapshot.semantic,
+        &snapshot.resource,
+        2,
+        &dir.join(INDEX_FILE),
+    );
+}
+
+fn capture(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .flatten()
+        .map(|e| {
+            (
+                e.file_name().to_string_lossy().into_owned(),
+                std::fs::read(e.path()).unwrap(),
+            )
+        })
+        .collect()
+}
+
+fn copy_dir(src: &Path, dst: &Path) {
+    std::fs::remove_dir_all(dst).ok();
+    std::fs::create_dir_all(dst).unwrap();
+    for e in std::fs::read_dir(src).unwrap().flatten() {
+        std::fs::copy(e.path(), dst.join(e.file_name())).unwrap();
+    }
+}
+
+#[test]
+fn reopen_after_crash_at_every_op_sees_old_or_new_state_never_torn() {
+    let seed = fault_seed();
+    let models = build_models();
+    // The overwriting publish must actually change alpha's bytes.
+    let alpha_v2 = {
+        let mut m = models[2].clone();
+        m.name = "series/alpha".into();
+        m
+    };
+
+    let base = scratch("base");
+    setup_base(&base, &models);
+    let old_state = capture(&base);
+
+    // Fault-free run: the "new" state and the sweep's op count.
+    let committed = scratch("committed");
+    copy_dir(&base, &committed);
+    let counting = Arc::new(FaultyStorage::new(StdStorage, FaultPlan::count_only()));
+    mutate(
+        &committed,
+        Arc::clone(&counting) as Arc<dyn Storage>,
+        &alpha_v2,
+        &models[2],
+    );
+    let total_ops = counting.ops();
+    assert!(total_ops >= 10, "mutation sequence spans {total_ops} ops");
+    let new_state = capture(&committed);
+    assert_ne!(
+        old_state.get("series%2Falpha.model.json"),
+        new_state.get("series%2Falpha.model.json"),
+        "overwrite must change the stored bytes"
+    );
+    assert!(new_state.contains_key("gamma.model.json"));
+
+    let work = scratch("work");
+    for crash_op in 0..total_ops {
+        copy_dir(&base, &work);
+        let faulty = Arc::new(FaultyStorage::new(
+            StdStorage,
+            FaultPlan::crash_at(seed, crash_op),
+        ));
+        mutate(
+            &work,
+            Arc::clone(&faulty) as Arc<dyn Storage>,
+            &alpha_v2,
+            &models[2],
+        );
+        assert!(faulty.is_dead(), "crash point {crash_op} must fire");
+
+        // "Restart": plain std storage, like a fresh process would use.
+        let after = capture(&work);
+        for (name, bytes) in &after {
+            // Stranded temps are expected crash debris (fsck's job),
+            // never part of the visible store state.
+            if is_temp_name(name) || is_quarantine_name(name) {
+                continue;
+            }
+            let old = old_state.get(name);
+            let new = new_state.get(name);
+            assert!(
+                old == Some(bytes) || new == Some(bytes),
+                "crash at op {crash_op}: '{name}' is neither old nor new state \
+                 ({} bytes; old {:?}, new {:?})",
+                bytes.len(),
+                old.map(Vec::len),
+                new.map(Vec::len),
+            );
+        }
+        for name in old_state.keys() {
+            assert!(
+                after.contains_key(name),
+                "crash at op {crash_op}: '{name}' disappeared"
+            );
+        }
+
+        // The repository reopens and serves every listed key whole, and
+        // the snapshot (old or new) still parses.
+        let repo = OnDiskRepository::open(&work).unwrap();
+        for key in repo.try_keys().unwrap() {
+            repo.load(&key)
+                .unwrap_or_else(|e| panic!("crash at op {crash_op}: load '{key}': {e}"));
+        }
+        persist::read_snapshot(&work.join(INDEX_FILE))
+            .unwrap_or_else(|e| panic!("crash at op {crash_op}: snapshot unreadable: {e}"));
+    }
+
+    for dir in [&base, &committed, &work] {
+        std::fs::remove_dir_all(dir).ok();
+    }
+}
+
+#[test]
+fn corrupted_snapshot_is_quarantined_and_rebuilt_not_a_query_error() {
+    let models = build_models();
+    let dir = scratch("recover");
+    setup_base(&dir, &models);
+
+    // Tear the snapshot mid-file, as a crashed non-atomic writer would.
+    let path = dir.join(INDEX_FILE);
+    let whole = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &whole[..whole.len() / 2]).unwrap();
+
+    let rebuilds = counters::get("recovery.rebuilds");
+    let quarantined = counters::get("recovery.quarantined");
+    let repo = Arc::new(OnDiskRepository::open(&dir).unwrap());
+    let (engine, outcome) = Sommelier::connect_or_recover(
+        repo as Arc<dyn ModelRepository>,
+        small_config(),
+        &path,
+    )
+    .expect("recovery must not surface as an error");
+    match &outcome {
+        SnapshotRecovery::RebuiltQuarantined(q) => {
+            assert!(q.exists(), "quarantine file kept as evidence");
+        }
+        other => panic!("expected quarantine+rebuild, got {other:?}"),
+    }
+    assert!(counters::get("recovery.rebuilds") > rebuilds);
+    assert!(counters::get("recovery.quarantined") > quarantined);
+
+    // The rebuilt engine answers queries and re-persisted a snapshot
+    // that now loads cleanly.
+    let results = engine
+        .query("SELECT models 2 CORR beta WITHIN 0.2")
+        .expect("recovered engine serves queries");
+    assert!(!results.is_empty());
+    assert!(persist::read_snapshot(&path).is_ok());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
