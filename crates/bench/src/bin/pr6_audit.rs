@@ -1,0 +1,143 @@
+//! PR 6 performance gate: the deep audit's fingerprint memo.
+//!
+//! Workload (the "re-audit" curation sweep): seed a zoo fleet, run the
+//! deep audit cold (empty memo — every model pays the full
+//! abstract-interpretation + round-trip analysis), then run it again
+//! warm on the same `Auditor` (every unchanged model answers from the
+//! fingerprint memo). Both sweeps run at `--jobs 1` and `--jobs 4`.
+//!
+//! Gates asserted by CI via `scripts/bench.sh`:
+//!
+//! * `warm_speedup` (the smaller of the per-jobs warm/cold throughput
+//!   ratios) must be ≥ 2× — the memo has to actually buy re-audits;
+//! * the cold and warm reports must be identical at every job count
+//!   (asserted here, before anything is reported).
+//!
+//! ```sh
+//! cargo run --release -p sommelier-bench --bin pr6_audit
+//! # SOMMELIER_PR6_MODE=full for a larger fleet
+//! ```
+
+use serde::Serialize;
+use sommelier_bench::{fmt, print_table, timed, write_json};
+use sommelier_graph::{Model, TaskKind};
+use sommelier_lint::{Auditor, LintContext};
+use sommelier_tensor::Prng;
+use sommelier_zoo::families::Family;
+use sommelier_zoo::series::build_series;
+
+#[derive(Serialize)]
+struct RunReport {
+    jobs: usize,
+    models: usize,
+    cold_seconds: f64,
+    cold_models_per_sec: f64,
+    warm_seconds: f64,
+    warm_models_per_sec: f64,
+    warm_over_cold: f64,
+    findings: usize,
+}
+
+#[derive(Serialize)]
+struct Bench {
+    experiment: &'static str,
+    mode: String,
+    runs: Vec<RunReport>,
+    /// The smaller of the per-jobs warm/cold throughput ratios — the
+    /// number `scripts/bench.sh` gates on.
+    warm_speedup: f64,
+    reports_identical: bool,
+}
+
+fn fleet(n_series: usize) -> Vec<Model> {
+    let families = [
+        Family::Bitish,
+        Family::Efficientnetish,
+        Family::Resnetish,
+        Family::Mobilenetish,
+        Family::Vggish,
+        Family::Inceptionish,
+    ];
+    let mut rng = Prng::seed_from_u64(2026);
+    let mut models = Vec::new();
+    for i in 0..n_series {
+        let family = families[i % families.len()];
+        let series = build_series(
+            &format!("{}-v{}", family.slug(), i / families.len() + 1),
+            family,
+            TaskKind::ImageRecognition,
+            "imagenet",
+            5,
+            2026,
+            0.12,
+            &mut rng,
+        );
+        models.extend(series.models);
+    }
+    models
+}
+
+fn run(models: &[Model], jobs: usize) -> (RunReport, String) {
+    let mut ctx = LintContext::new();
+    for m in models {
+        ctx.models.push((m.name.clone(), m.clone()));
+    }
+    let auditor = Auditor::new(jobs);
+    let (cold, cold_seconds) = timed(|| auditor.audit(&ctx));
+    assert_eq!(cold.models_analyzed, models.len(), "cold run must analyze all");
+    let (warm, warm_seconds) = timed(|| auditor.audit(&ctx));
+    assert_eq!(warm.memo_hits, models.len(), "warm run must hit the memo");
+    assert_eq!(cold.report, warm.report, "memoized report drifted");
+    let n = models.len() as f64;
+    let report = RunReport {
+        jobs,
+        models: models.len(),
+        cold_seconds,
+        cold_models_per_sec: n / cold_seconds,
+        warm_seconds,
+        warm_models_per_sec: n / warm_seconds,
+        warm_over_cold: (n / warm_seconds) / (n / cold_seconds),
+        findings: cold.report.diagnostics.len(),
+    };
+    (report, cold.report.to_json())
+}
+
+fn main() {
+    let mode = std::env::var("SOMMELIER_PR6_MODE").unwrap_or_else(|_| "quick".into());
+    let n_series = if mode == "full" { 12 } else { 6 };
+    let models = fleet(n_series);
+
+    let (run1, json1) = run(&models, 1);
+    let (run4, json4) = run(&models, 4);
+    let reports_identical = json1 == json4;
+    assert!(reports_identical, "jobs=1 vs jobs=4 audit reports differ");
+    let warm_speedup = run1.warm_over_cold.min(run4.warm_over_cold);
+
+    let rows: Vec<Vec<String>> = [&run1, &run4]
+        .iter()
+        .map(|r| {
+            vec![
+                r.jobs.to_string(),
+                r.models.to_string(),
+                fmt(r.cold_models_per_sec, 1),
+                fmt(r.warm_models_per_sec, 1),
+                fmt(r.warm_over_cold, 1),
+            ]
+        })
+        .collect();
+    print_table(
+        "PR6: deep-audit throughput, cold vs fingerprint-memo warm",
+        &["jobs", "models", "cold models/s", "warm models/s", "warm/cold"],
+        &rows,
+    );
+    println!("warm_speedup (gated >= 2.0): {}", fmt(warm_speedup, 2));
+
+    let bench = Bench {
+        experiment: "pr6_audit",
+        mode,
+        runs: vec![run1, run4],
+        warm_speedup,
+        reports_identical,
+    };
+    write_json("pr6_audit", &bench);
+}

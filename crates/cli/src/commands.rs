@@ -5,7 +5,7 @@ use sommelier_equiv::whole::EquivConfig;
 use sommelier_fault::storage::{is_quarantine_name, is_temp_name};
 use sommelier_fault::{StdStorage, Storage};
 use sommelier_graph::{serde_model, TaskKind};
-use sommelier_lint::Severity;
+use sommelier_lint::DenySpec;
 use sommelier_query::{SnapshotRecovery, Sommelier, SommelierConfig};
 use sommelier_repo::{decode_key, ModelRepository, OnDiskRepository};
 use sommelier_runtime::ResourceProfile;
@@ -482,18 +482,20 @@ pub fn dot(args: &[String]) -> CmdResult {
     Ok(())
 }
 
-/// `sommelier lint <dir> [--format text|json] [--deny error|warn]
+/// `sommelier lint <dir> [--format text|json] [--deny SPEC]...
 /// [--query "<text>"]`
 ///
-/// Runs every built-in static analysis over the repository: stored
-/// models, the persisted indices, and (with `--query`) a query plan.
-/// Nothing is executed. The command fails — for CI gating — when any
-/// finding reaches the `--deny` severity (default: `error`).
+/// Runs every built-in shallow static analysis over the repository:
+/// stored models, the persisted indices, and (with `--query`) a query
+/// plan. Nothing is executed. The command fails — for CI gating — when
+/// any finding matches a `--deny` spec: a severity class
+/// (`error`/`warn`/`info`), an exact code (`SOM081`), or a range
+/// (`SOM09x`). Default: `error`. Unknown codes are an error.
 pub fn lint(args: &[String]) -> CmdResult {
     let (positional, flags) = split_flags(args)?;
     let dir = repo_dir(&positional)?;
     let mut format = "text";
-    let mut deny = Severity::Error;
+    let mut deny_specs: Vec<&str> = Vec::new();
     let mut ctx = sommelier_lint::LintContext::from_repo_dir(&dir)?;
     for (name, value) in &flags {
         match *name {
@@ -501,13 +503,7 @@ pub fn lint(args: &[String]) -> CmdResult {
                 "text" | "json" => format = value,
                 other => return Err(format!("unknown format '{other}' (text|json)")),
             },
-            "deny" => {
-                deny = match *value {
-                    "error" => Severity::Error,
-                    "warn" => Severity::Warn,
-                    other => return Err(format!("unknown deny level '{other}' (error|warn)")),
-                }
-            }
+            "deny" => deny_specs.push(value),
             "query" => {
                 let query = sommelier_query::parse(value).map_err(fail)?;
                 ctx.queries.push(query);
@@ -515,23 +511,94 @@ pub fn lint(args: &[String]) -> CmdResult {
             other => return Err(format!("unknown flag --{other}")),
         }
     }
+    let deny = DenySpec::parse(&deny_specs)?;
     let runner = sommelier_lint::LintRunner::with_default_passes();
     let report = runner.run(&ctx);
     match format {
         "json" => println!("{}", report.to_json()),
         _ => print!("{}", report.render_text()),
     }
-    match report.max_severity() {
-        Some(worst) if worst >= deny => Err(format!(
-            "lint found {} finding(s) at or above severity '{deny}'",
-            report
-                .diagnostics
-                .iter()
-                .filter(|d| d.severity >= deny)
-                .count()
-        )),
-        _ => Ok(()),
+    fail_on_denied(&report, &deny, "lint")
+}
+
+/// Shared exit-status policy of `lint` and `audit`.
+fn fail_on_denied(
+    report: &sommelier_lint::LintReport,
+    deny: &DenySpec,
+    what: &str,
+) -> CmdResult {
+    let denied = deny.count_denied(&report.diagnostics);
+    if denied > 0 {
+        Err(format!(
+            "{what} found {denied} finding(s) denied by --deny ({})",
+            deny.describe()
+        ))
+    } else {
+        Ok(())
     }
+}
+
+/// `sommelier audit <dir> [--jobs N] [--format text|json]
+/// [--deny SPEC]... [--baseline FILE] [--query "<text>"]`
+///
+/// The deep audit: every shallow lint pass plus the
+/// abstract-interpretation dataflow family (`SOM08x`) and the
+/// repository ↔ index ↔ snapshot consistency join (`SOM09x`). Per-model
+/// analyses fan out over `--jobs` workers and are memoized by
+/// fingerprint; output ordering is deterministic regardless of the job
+/// count. `--baseline` subtracts previously accepted findings (CI
+/// ratcheting): generate one with `--format json > baseline.json`.
+pub fn audit(args: &[String]) -> CmdResult {
+    let (positional, flags) = split_flags(args)?;
+    let dir = repo_dir(&positional)?;
+    let mut format = "text";
+    let mut jobs = 0usize;
+    let mut deny_specs: Vec<&str> = Vec::new();
+    let mut baseline: Option<PathBuf> = None;
+    let mut ctx = sommelier_lint::LintContext::from_repo_dir(&dir)?;
+    for (name, value) in &flags {
+        match *name {
+            "format" => match *value {
+                "text" | "json" => format = value,
+                other => return Err(format!("unknown format '{other}' (text|json)")),
+            },
+            "jobs" => {
+                jobs = value
+                    .parse()
+                    .map_err(|_| format!("--jobs needs an integer, got '{value}'"))?;
+            }
+            "deny" => deny_specs.push(value),
+            "baseline" => baseline = Some(PathBuf::from(value)),
+            "query" => {
+                let query = sommelier_query::parse(value).map_err(fail)?;
+                ctx.queries.push(query);
+            }
+            other => return Err(format!("unknown flag --{other}")),
+        }
+    }
+    let deny = DenySpec::parse(&deny_specs)?;
+    let auditor = sommelier_lint::Auditor::new(jobs);
+    let mut outcome = auditor.audit(&ctx);
+    if let Some(path) = baseline {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("baseline '{}' is unreadable: {e}", path.display()))?;
+        let known: Vec<sommelier_lint::Diagnostic> = serde_json::from_str(&text)
+            .map_err(|e| format!("baseline '{}' does not parse: {e}", path.display()))?;
+        outcome.report.subtract(&known);
+    }
+    match format {
+        "json" => println!("{}", outcome.report.to_json()),
+        _ => {
+            print!("{}", outcome.report.render_text());
+            println!(
+                "audited {} model(s): {} analyzed, {} answered from the fingerprint memo",
+                ctx.models.len(),
+                outcome.models_analyzed,
+                outcome.memo_hits
+            );
+        }
+    }
+    fail_on_denied(&outcome.report, &deny, "audit")
 }
 
 /// `sommelier fsck <dir> [--repair] [--prune]`

@@ -42,8 +42,20 @@ COMMANDS:
     diff   <dir> <reference> <candidate>
                                         full equivalence explanation
     dot    <dir> <key>                  Graphviz export of the model graph
-    lint   <dir> [--format text|json] [--deny error|warn] [--query Q]
-                                        execution-free curation checks
+    lint   <dir> [--format text|json] [--deny SPEC]... [--query Q]
+                                        execution-free curation checks;
+                                        SPEC is a severity (error|warn|
+                                        info), a code (SOM081), or a
+                                        range (SOM09x); repeatable
+    audit  <dir> [--jobs N] [--format text|json] [--deny SPEC]...
+           [--baseline FILE] [--query Q]
+                                        deep audit: dataflow analysis
+                                        per model (SOM08x) plus the
+                                        cross-artifact consistency join
+                                        (SOM09x), parallel over --jobs
+                                        and memoized by fingerprint;
+                                        --baseline subtracts accepted
+                                        findings from a prior JSON run
     fsck   <dir> [--repair] [--prune]   check store integrity: torn or
                                         mis-named files, orphaned temps,
                                         quarantined artifacts; --repair
@@ -74,6 +86,7 @@ fn main() -> ExitCode {
         "diff" => commands::diff(rest),
         "dot" => commands::dot(rest),
         "lint" => commands::lint(rest),
+        "audit" => commands::audit(rest),
         "fsck" => commands::fsck(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");

@@ -1,0 +1,161 @@
+//! The value-interval abstract domain.
+//!
+//! Each layer's (abstract) activation is summarized as one closed
+//! interval `[lo, hi]` hulled over the layer's features: if every model
+//! input lies inside the analyzed input box, every concrete activation
+//! of that layer lies inside the interval. The domain is deliberately
+//! coarse — one interval per layer, not per feature — because the audit
+//! only needs to *prove* degeneracy (a saturated activation, a constant
+//! output), never to bound tightly. Transfer functions are therefore
+//! standard interval arithmetic, widened to the per-layer hull.
+
+/// A closed interval `[lo, hi]` with `lo <= hi`; the abstract value of
+/// every feature a layer can produce.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Inclusive upper bound.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// The interval `[lo, hi]`. Panics if `lo > hi` or a bound is NaN.
+    pub fn new(lo: f64, hi: f64) -> Interval {
+        assert!(lo <= hi, "invalid interval [{lo}, {hi}]");
+        Interval { lo, hi }
+    }
+
+    /// The degenerate interval `[v, v]`.
+    pub fn point(v: f64) -> Interval {
+        Interval::new(v, v)
+    }
+
+    /// Least upper bound (interval hull) of two intervals.
+    pub fn join(self, other: Interval) -> Interval {
+        Interval::new(self.lo.min(other.lo), self.hi.max(other.hi))
+    }
+
+    /// Width `hi - lo`; zero exactly for point intervals.
+    pub fn width(self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Whether the interval is a single point (a provably constant value).
+    pub fn is_point(self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Scale by a constant (weight edges: `w * [lo, hi]`).
+    pub fn scale(self, k: f64) -> Interval {
+        if k >= 0.0 {
+            Interval::new(k * self.lo, k * self.hi)
+        } else {
+            Interval::new(k * self.hi, k * self.lo)
+        }
+    }
+
+    /// Shift by a constant (bias edges).
+    pub fn shift(self, b: f64) -> Interval {
+        Interval::new(self.lo + b, self.hi + b)
+    }
+
+    /// ReLU transfer `max(0, x)`.
+    pub fn relu(self) -> Interval {
+        Interval::new(self.lo.max(0.0), self.hi.max(0.0))
+    }
+
+    /// Leaky-ReLU transfer with negative-side slope `s` (assumed
+    /// `0 <= s <= 1`, the only slopes the builder produces).
+    pub fn leaky_relu(self, s: f64) -> Interval {
+        let f = |x: f64| if x >= 0.0 { x } else { s * x };
+        Interval::new(f(self.lo), f(self.hi))
+    }
+
+    /// Monotone tanh transfer.
+    pub fn tanh(self) -> Interval {
+        Interval::new(self.lo.tanh(), self.hi.tanh())
+    }
+
+    /// Monotone logistic-sigmoid transfer.
+    pub fn sigmoid(self) -> Interval {
+        let f = |x: f64| 1.0 / (1.0 + (-x).exp());
+        Interval::new(f(self.lo), f(self.hi))
+    }
+}
+
+/// Minkowski sum `[a.lo + b.lo, a.hi + b.hi]`.
+impl std::ops::Add for Interval {
+    type Output = Interval;
+    fn add(self, other: Interval) -> Interval {
+        Interval::new(self.lo + other.lo, self.hi + other.hi)
+    }
+}
+
+/// Product interval: the hull of all four corner products.
+impl std::ops::Mul for Interval {
+    type Output = Interval;
+    fn mul(self, other: Interval) -> Interval {
+        let corners = [
+            self.lo * other.lo,
+            self.lo * other.hi,
+            self.hi * other.lo,
+            self.hi * other.hi,
+        ];
+        let lo = corners.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = corners.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Interval::new(lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_the_hull() {
+        let a = Interval::new(-1.0, 2.0);
+        let b = Interval::new(0.0, 5.0);
+        assert_eq!(a.join(b), Interval::new(-1.0, 5.0));
+        assert_eq!(b.join(a), a.join(b));
+    }
+
+    #[test]
+    fn arithmetic_is_sound_on_samples() {
+        let a = Interval::new(-2.0, 3.0);
+        let b = Interval::new(-1.0, 4.0);
+        let sum = a + b;
+        let prod = a * b;
+        for x in [-2.0, -1.0, 0.0, 1.5, 3.0] {
+            for y in [-1.0, 0.0, 2.0, 4.0] {
+                assert!(sum.lo <= x + y && x + y <= sum.hi);
+                assert!(prod.lo <= x * y && x * y <= prod.hi);
+            }
+        }
+    }
+
+    #[test]
+    fn negative_scale_flips_the_bounds() {
+        let a = Interval::new(-1.0, 2.0);
+        assert_eq!(a.scale(-3.0), Interval::new(-6.0, 3.0));
+        assert_eq!(a.scale(2.0), Interval::new(-2.0, 4.0));
+    }
+
+    #[test]
+    fn activations_preserve_ordering_and_range() {
+        let a = Interval::new(-5.0, 1.0);
+        assert_eq!(a.relu(), Interval::new(0.0, 1.0));
+        let s = a.sigmoid();
+        assert!(s.lo > 0.0 && s.hi < 1.0 && s.lo <= s.hi);
+        let t = a.tanh();
+        assert!(t.lo >= -1.0 && t.hi <= 1.0 && t.lo <= t.hi);
+        assert_eq!(a.leaky_relu(0.1), Interval::new(-0.5, 1.0));
+    }
+
+    #[test]
+    fn point_detection() {
+        assert!(Interval::point(2.5).is_point());
+        assert!(!Interval::new(0.0, 1e-12).is_point());
+        assert_eq!(Interval::new(1.0, 3.0).width(), 2.0);
+    }
+}

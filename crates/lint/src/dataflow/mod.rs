@@ -1,0 +1,25 @@
+//! Abstract-interpretation dataflow analysis over model graphs.
+//!
+//! The deep pass family (`SOM080`–`SOM099`) needs facts that the
+//! shallow per-layer lints cannot see: whether an edge is
+//! shape-compatible *after* recomputing every width from the operators
+//! (the stored `widths` array is attacker/bit-rot territory — serde
+//! accepts it verbatim), whether a value can ever escape an
+//! activation's saturation region, whether the output can vary at all.
+//! Those are dataflow properties, so this module provides the two
+//! abstract domains and the forward interpreter that joins them:
+//!
+//! * [`shape`] — a flat lattice over feature widths
+//!   (`Unknown < Width(w) < Conflict`);
+//! * [`interval`] — closed `[lo, hi]` intervals with sound transfer
+//!   functions for every operator in the taxonomy;
+//! * [`analysis`] — one forward pass per model producing per-layer
+//!   [`LayerFact`]s plus backward output-reachability.
+
+pub mod analysis;
+pub mod interval;
+pub mod shape;
+
+pub use analysis::{analyze, LayerFact, ModelAnalysis, DEFAULT_INPUT};
+pub use interval::Interval;
+pub use shape::ShapeFact;

@@ -1,0 +1,100 @@
+//! The shape abstract domain.
+//!
+//! A three-level lattice over per-layer feature widths:
+//!
+//! ```text
+//!         Conflict            (⊤ — the operator rejected its inputs,
+//!        /    |    \               or two derivations disagree)
+//!   Width(1) Width(2) …       (a proven concrete width)
+//!        \    |    /
+//!         Unknown             (⊥ — not yet derived)
+//! ```
+//!
+//! Because a [`Model`](sommelier_graph::Model) stores layers in
+//! topological order, the forward pass assigns each layer exactly once
+//! and the join is only exercised when a recomputed width is compared
+//! against the width cached in the artifact — the check that catches
+//! tampered or bit-rotted `widths` arrays, which the serde layer accepts
+//! verbatim without revalidation.
+
+use sommelier_graph::Op;
+
+/// Abstract width of one layer's output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShapeFact {
+    /// Bottom: no derivation has reached the layer yet.
+    Unknown,
+    /// A proven concrete feature width.
+    Width(usize),
+    /// Top: the operator rejected its inputs, or two derivations
+    /// disagree. Poisons everything downstream.
+    Conflict,
+}
+
+impl ShapeFact {
+    /// Lattice join (least upper bound).
+    pub fn join(self, other: ShapeFact) -> ShapeFact {
+        use ShapeFact::*;
+        match (self, other) {
+            (Unknown, x) | (x, Unknown) => x,
+            (Width(a), Width(b)) if a == b => Width(a),
+            _ => Conflict,
+        }
+    }
+
+    /// The concrete width, if proven.
+    pub fn width(self) -> Option<usize> {
+        match self {
+            ShapeFact::Width(w) => Some(w),
+            _ => None,
+        }
+    }
+}
+
+/// Transfer function: the output shape of `op` given its input shapes.
+/// Any `Unknown` or `Conflict` input poisons the output; otherwise the
+/// operator's own [`Op::output_width`] arbitrates.
+pub fn transfer(op: &Op, inputs: &[ShapeFact]) -> ShapeFact {
+    let mut widths = Vec::with_capacity(inputs.len());
+    for fact in inputs {
+        match fact.width() {
+            Some(w) => widths.push(w),
+            None => return ShapeFact::Conflict,
+        }
+    }
+    match op.output_width(&widths) {
+        Some(w) => ShapeFact::Width(w),
+        None => ShapeFact::Conflict,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_obeys_the_lattice() {
+        use ShapeFact::*;
+        assert_eq!(Unknown.join(Width(3)), Width(3));
+        assert_eq!(Width(3).join(Width(3)), Width(3));
+        assert_eq!(Width(3).join(Width(4)), Conflict);
+        assert_eq!(Conflict.join(Width(3)), Conflict);
+        assert_eq!(Unknown.join(Unknown), Unknown);
+    }
+
+    #[test]
+    fn transfer_propagates_and_poisons() {
+        let dense = Op::Dense { units: 7 };
+        assert_eq!(transfer(&dense, &[ShapeFact::Width(4)]), ShapeFact::Width(7));
+        assert_eq!(transfer(&dense, &[ShapeFact::Conflict]), ShapeFact::Conflict);
+        let add = Op::Add;
+        assert_eq!(
+            transfer(&add, &[ShapeFact::Width(4), ShapeFact::Width(4)]),
+            ShapeFact::Width(4)
+        );
+        assert_eq!(
+            transfer(&add, &[ShapeFact::Width(4), ShapeFact::Width(5)]),
+            ShapeFact::Conflict
+        );
+    }
+}

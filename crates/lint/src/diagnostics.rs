@@ -14,7 +14,9 @@ use std::fmt;
 /// `SOM00x` model-graph lints, `SOM02x` repository/index invariants,
 /// `SOM04x` query-plan lints, `SOM05x` snapshot stats-header lints,
 /// `SOM06x` snapshot publication-epoch lints, `SOM07x` store-hygiene
-/// lints (quarantine, temp orphans, file naming).
+/// lints (quarantine, temp orphans, file naming), `SOM08x` deep
+/// dataflow findings (abstract interpretation over the model graph),
+/// `SOM09x` cross-artifact consistency findings.
 pub mod codes {
     /// A layer's output is never consumed (dead computation).
     pub const DEAD_LAYER: &str = "SOM001";
@@ -78,6 +80,74 @@ pub mod codes {
     pub const NON_CANONICAL_MODEL_FILE: &str = "SOM072";
     /// The store directory could not be listed at all.
     pub const STORE_LISTING_FAILED: &str = "SOM073";
+    /// A recomputed layer width disagrees with the stored graph.
+    pub const SHAPE_INCOMPATIBLE: &str = "SOM080";
+    /// A parameter tensor contains NaN or infinite values.
+    pub const NONFINITE_WEIGHTS: &str = "SOM081";
+    /// A subgraph can never reach the output (transitively dead).
+    pub const UNREACHABLE_SUBGRAPH: &str = "SOM082";
+    /// An activation is saturated for every input in the analyzed range.
+    pub const SATURATED_ACTIVATION: &str = "SOM083";
+    /// The output interval is a single point — input-independent output.
+    pub const CONSTANT_OUTPUT: &str = "SOM084";
+    /// A multi-unit linear layer has numerical rank ≤ 1.
+    pub const RANK_COLLAPSED: &str = "SOM085";
+    /// Metadata-declared cost disagrees with the recomputed `ModelCost`.
+    pub const DECLARED_COST_DRIFT: &str = "SOM086";
+    /// An indexed fingerprint disagrees with the stored model's.
+    pub const FINGERPRINT_DRIFT: &str = "SOM090";
+    /// A resource-index vector disagrees with the recomputed profile.
+    pub const RESOURCE_DRIFT: &str = "SOM091";
+    /// A transitive bound is inconsistent with its measured `Whole` legs.
+    pub const TRANSITIVE_BOUND_VIOLATION: &str = "SOM092";
+
+    /// Every known code with a one-line meaning, in code order. This is
+    /// the single source of truth for `--deny` validation and the README
+    /// code table; adding a constant above without registering it here
+    /// fails the `registry_covers_every_constant` test.
+    pub const ALL: &[(&str, &str)] = &[
+        (DEAD_LAYER, "a layer's output is never consumed"),
+        (WIDTH_BOTTLENECK, "interior layer narrows to width 1"),
+        (SUSPICIOUS_ORDER, "redundant activation/normalization ordering"),
+        (COST_OUTLIER, "cost profile is an outlier in its series"),
+        (ROUND_TRIP_MISMATCH, "model does not survive a serde round-trip"),
+        (ZERO_WEIGHTS, "linear layer carries an all-zero weight tensor"),
+        (MODEL_UNREADABLE, "stored model file could not be read"),
+        (DANGLING_KEY, "index references a key absent from the repository"),
+        (UNSORTED_CANDIDATES, "candidate list not sorted by score"),
+        (LSH_DANGLING_ID, "LSH bucket references a missing vector slot"),
+        (TRIANGLE_VIOLATION, "bounds violate the triangle relation"),
+        (STALE_INDEX, "index snapshot older than a stored model"),
+        (SCORE_MISMATCH, "candidate score disagrees with its diff bound"),
+        (MISSING_PROFILE, "indexed model has no resource profile"),
+        (SNAPSHOT_UNREADABLE, "index snapshot could not be parsed"),
+        (UNSATISFIABLE_THRESHOLD, "WITHIN threshold no score can reach"),
+        (EMPTY_BUDGET, "resource bound statically admits nothing"),
+        (SHADOWED_PREDICATE, "predicate shadowed by a tighter one"),
+        (EMPTY_REFERENCE, "reference filter prunes every candidate"),
+        (LIMIT_ZERO, "SELECT models 0 returns nothing"),
+        (MISSING_SNAPSHOT_STATS, "snapshot predates the stats header"),
+        (UNKNOWN_STATS_VERSION, "stats header declares an unknown version"),
+        (NEGATIVE_STATS_COUNTER, "stats-header counter is negative"),
+        (STATS_CONTENT_MISMATCH, "stats header disagrees with contents"),
+        (EPOCH_REGRESSION, "publication epoch regressed or is missing"),
+        (EPOCH_HEADER_MISMATCH, "header version disagrees with its epoch"),
+        (UNREGISTERED_CANDIDATE, "candidate references an unregistered key"),
+        (QUARANTINED_FILE, "quarantined artifact sits in the store"),
+        (ORPHANED_TEMP, "orphaned temp file from an interrupted write"),
+        (NON_CANONICAL_MODEL_FILE, "model file name is not a canonical key"),
+        (STORE_LISTING_FAILED, "store directory could not be listed"),
+        (SHAPE_INCOMPATIBLE, "recomputed layer width disagrees with graph"),
+        (NONFINITE_WEIGHTS, "parameter tensor contains NaN/Inf values"),
+        (UNREACHABLE_SUBGRAPH, "subgraph can never reach the output"),
+        (SATURATED_ACTIVATION, "activation saturated over the input range"),
+        (CONSTANT_OUTPUT, "output provably independent of the input"),
+        (RANK_COLLAPSED, "multi-unit linear layer has rank <= 1"),
+        (DECLARED_COST_DRIFT, "declared cost disagrees with recomputed"),
+        (FINGERPRINT_DRIFT, "indexed fingerprint disagrees with the store"),
+        (RESOURCE_DRIFT, "resource vector disagrees with recomputation"),
+        (TRANSITIVE_BOUND_VIOLATION, "transitive bound breaks its legs' triangle"),
+    ];
 }
 
 /// How bad a finding is. Ordered: `Info < Warn < Error`.
@@ -188,12 +258,33 @@ pub struct LintReport {
 }
 
 impl LintReport {
-    /// Build a report from raw findings (sorts them canonically).
+    /// Build a report from raw findings: sorts them canonically and
+    /// drops exact repeats on `(code, target, layer, message)` —
+    /// overlapping passes (e.g. the shallow graph lints and the deep
+    /// dataflow pass) may legitimately reach the same conclusion, and a
+    /// deduplicated, totally ordered report is what makes `--format
+    /// json` byte-identical across runs and `--jobs` values.
     pub fn from_diagnostics(mut diagnostics: Vec<Diagnostic>) -> Self {
         diagnostics.sort_by(|a, b| {
             (&a.code, &a.target, a.layer, &a.message).cmp(&(&b.code, &b.target, b.layer, &b.message))
         });
+        diagnostics.dedup_by(|a, b| {
+            (&a.code, &a.target, a.layer, &a.message) == (&b.code, &b.target, b.layer, &b.message)
+        });
         LintReport { diagnostics }
+    }
+
+    /// Remove findings present in a baseline (matched on
+    /// `(code, target, layer, message)`), for CI ratcheting: a baseline
+    /// file freezes today's findings so only *new* ones fail the gate.
+    pub fn subtract(&mut self, baseline: &[Diagnostic]) {
+        use std::collections::BTreeSet;
+        let known: BTreeSet<_> = baseline
+            .iter()
+            .map(|d| (&d.code, &d.target, d.layer, &d.message))
+            .collect();
+        self.diagnostics
+            .retain(|d| !known.contains(&(&d.code, &d.target, d.layer, &d.message)));
     }
 
     /// No findings at all.
@@ -271,6 +362,50 @@ mod tests {
         assert!(report.render_text().contains("1 error(s), 1 warning(s), 1 note(s)"));
         assert!(!report.is_clean());
         assert!(LintReport::default().is_clean());
+    }
+
+    #[test]
+    fn identical_findings_from_overlapping_passes_deduplicate() {
+        let d = Diagnostic::warn(codes::DEAD_LAYER, "model 'm'", "dead").with_layer(2);
+        let report =
+            LintReport::from_diagnostics(vec![d.clone(), d.clone(), d.clone()]);
+        assert_eq!(report.diagnostics.len(), 1);
+        // Different layer on the same code/target/message survives.
+        let other = d.clone().with_layer(3);
+        let report = LintReport::from_diagnostics(vec![d, other]);
+        assert_eq!(report.diagnostics.len(), 2);
+    }
+
+    #[test]
+    fn baseline_subtraction_removes_known_findings_only() {
+        let old = Diagnostic::error(codes::DANGLING_KEY, "semantic-index", "old");
+        let new = Diagnostic::error(codes::DANGLING_KEY, "semantic-index", "new");
+        let mut report = LintReport::from_diagnostics(vec![old.clone(), new.clone()]);
+        report.subtract(&[old]);
+        assert_eq!(report.diagnostics, vec![new]);
+    }
+
+    #[test]
+    fn registry_covers_every_constant() {
+        // The registry must list each code exactly once, in order.
+        let mut seen = std::collections::BTreeSet::new();
+        for w in codes::ALL.windows(2) {
+            assert!(w[0].0 < w[1].0, "registry out of order at {}", w[1].0);
+        }
+        for (code, meaning) in codes::ALL {
+            assert!(code.starts_with("SOM") && code.len() == 6, "{code}");
+            assert!(!meaning.is_empty());
+            assert!(seen.insert(*code), "duplicate registry entry {code}");
+        }
+        for known in [
+            codes::DEAD_LAYER,
+            codes::STORE_LISTING_FAILED,
+            codes::SHAPE_INCOMPATIBLE,
+            codes::TRANSITIVE_BOUND_VIOLATION,
+        ] {
+            assert!(seen.contains(known), "{known} missing from registry");
+        }
+        assert_eq!(codes::ALL.len(), 41, "update the registry with new codes");
     }
 
     #[test]

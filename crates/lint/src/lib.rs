@@ -33,11 +33,28 @@
 //!   whose names are not canonical key encodings, and unlistable store
 //!   directories (`SOM070`–`SOM073`).
 //!
-//! The CLI exposes all of this as `sommelier lint <dir>`.
+//! On top of the shallow families sits the *deep audit*: an
+//! abstract-interpretation [`dataflow`] engine feeding the
+//! [`passes::deep`] family (`SOM080`–`SOM092`) — shape-incompatible
+//! edges, non-finite weights, unreachable subgraphs, saturated
+//! activations, constant outputs, rank-collapsed matmuls, declared-cost
+//! drift, and the repository ↔ index ↔ snapshot consistency join. The
+//! [`audit::Auditor`] runs everything in parallel with per-model
+//! results memoized by fingerprint, so re-auditing an unchanged
+//! repository is nearly free.
+//!
+//! The CLI exposes all of this as `sommelier lint <dir>` (shallow,
+//! sequential) and `sommelier audit <dir>` (everything, parallel,
+//! incremental).
 
+pub mod audit;
+pub mod dataflow;
+pub mod deny;
 pub mod diagnostics;
 pub mod passes;
 
+pub use audit::{AuditOutcome, Auditor};
+pub use deny::DenySpec;
 pub use diagnostics::{codes, Diagnostic, LintReport, Severity};
 
 use sommelier_graph::Model;
@@ -201,6 +218,15 @@ impl LintRunner {
         runner
     }
 
+    /// A runner with every built-in pass *plus* the deep pass family —
+    /// the sequential equivalent of one [`audit::Auditor`] run.
+    pub fn with_deep_passes() -> Self {
+        let mut runner = LintRunner::with_default_passes();
+        runner.register(Box::new(passes::deep::DeepModelPass));
+        runner.register(Box::new(passes::deep::CrossArtifactPass));
+        runner
+    }
+
     /// Add a pass.
     pub fn register(&mut self, pass: Box<dyn Pass>) {
         self.passes.push(pass);
@@ -236,6 +262,11 @@ mod tests {
         assert!(names.contains(&"snapshot-epoch"));
         assert!(names.contains(&"store-hygiene"));
         assert_eq!(names.len(), 10);
+        let deep = LintRunner::with_deep_passes();
+        let names = deep.pass_names();
+        assert!(names.contains(&"deep-dataflow"));
+        assert!(names.contains(&"cross-artifact"));
+        assert_eq!(names.len(), 12);
     }
 
     #[test]

@@ -7,11 +7,14 @@
 //! * [`stats`] — snapshot stats-header validation (`SOM05x`);
 //! * [`epoch`] — snapshot publication-epoch validation (`SOM06x`);
 //! * [`store`] — store-directory hygiene: quarantined artifacts,
-//!   orphaned temp files, non-canonical file names (`SOM07x`).
+//!   orphaned temp files, non-canonical file names (`SOM07x`);
+//! * [`deep`] — the abstract-interpretation dataflow family and the
+//!   cross-artifact consistency join (`SOM08x`/`SOM09x`).
 //!
 //! Passes only read the [`crate::LintContext`]; they never execute a
 //! model and never mutate an index.
 
+pub mod deep;
 pub mod epoch;
 pub mod index;
 pub mod model;

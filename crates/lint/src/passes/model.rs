@@ -26,13 +26,19 @@ impl Pass for ModelGraphPass {
 
     fn run(&self, ctx: &LintContext, out: &mut Vec<Diagnostic>) {
         for (key, model) in &ctx.models {
-            let target = format!("model '{key}'");
-            check_dead_layers(model, &target, out);
-            check_width_bottlenecks(model, &target, out);
-            check_op_orderings(model, &target, out);
-            check_zero_weights(model, &target, out);
+            model_graph_findings(key, model, out);
         }
     }
+}
+
+/// All structural graph lints for one model, as a free function so the
+/// audit engine can run (and memoize) them per model.
+pub fn model_graph_findings(key: &str, model: &Model, out: &mut Vec<Diagnostic>) {
+    let target = format!("model '{key}'");
+    check_dead_layers(model, &target, out);
+    check_width_bottlenecks(model, &target, out);
+    check_op_orderings(model, &target, out);
+    check_zero_weights(model, &target, out);
 }
 
 /// `SOM001`: a non-output layer whose value no later layer consumes is
@@ -223,39 +229,45 @@ impl Pass for ModelRoundTripPass {
 
     fn run(&self, ctx: &LintContext, out: &mut Vec<Diagnostic>) {
         for (key, model) in &ctx.models {
-            let target = format!("model '{key}'");
-            let json = match serde_json::to_string(model) {
-                Ok(json) => json,
-                Err(e) => {
-                    out.push(
-                        Diagnostic::error(
-                            codes::ROUND_TRIP_MISMATCH,
-                            target,
-                            format!("model does not serialize: {e}"),
-                        )
-                        .with_help("non-finite weights cannot be stored"),
-                    );
-                    continue;
-                }
-            };
-            match serde_json::from_str::<Model>(&json) {
-                Ok(back) => {
-                    if Fingerprint::of_model(&back) != Fingerprint::of_model(model) {
-                        out.push(Diagnostic::error(
-                            codes::ROUND_TRIP_MISMATCH,
-                            target,
-                            "model fingerprint changes across a serialization round-trip",
-                        ));
-                    }
-                }
-                Err(e) => {
-                    out.push(Diagnostic::error(
-                        codes::ROUND_TRIP_MISMATCH,
-                        target,
-                        format!("serialized model does not parse back: {e}"),
-                    ));
-                }
+            round_trip_findings(key, model, out);
+        }
+    }
+}
+
+/// The serde round-trip lint for one model, exposed for the audit
+/// engine's memoized per-model fan-out.
+pub fn round_trip_findings(key: &str, model: &Model, out: &mut Vec<Diagnostic>) {
+    let target = format!("model '{key}'");
+    let json = match serde_json::to_string(model) {
+        Ok(json) => json,
+        Err(e) => {
+            out.push(
+                Diagnostic::error(
+                    codes::ROUND_TRIP_MISMATCH,
+                    target,
+                    format!("model does not serialize: {e}"),
+                )
+                .with_help("non-finite weights cannot be stored"),
+            );
+            return;
+        }
+    };
+    match serde_json::from_str::<Model>(&json) {
+        Ok(back) => {
+            if Fingerprint::of_model(&back) != Fingerprint::of_model(model) {
+                out.push(Diagnostic::error(
+                    codes::ROUND_TRIP_MISMATCH,
+                    target,
+                    "model fingerprint changes across a serialization round-trip",
+                ));
             }
+        }
+        Err(e) => {
+            out.push(Diagnostic::error(
+                codes::ROUND_TRIP_MISMATCH,
+                target,
+                format!("serialized model does not parse back: {e}"),
+            ));
         }
     }
 }

@@ -26,9 +26,12 @@ use sommelier_tensor::{ops, Tensor};
 /// `pairwise_cache.hits`, `pairwise_cache.misses`,
 /// `pairwise_cache.evictions`, `pairwise_cache.entries`,
 /// `index.pair_analyses`, `index.models_indexed`,
-/// `query.candidates_scored`; and from the durability layer:
+/// `query.candidates_scored`; from the durability layer:
 /// `recovery.loads`, `recovery.rebuilds`, `recovery.quarantined`,
-/// `recovery.resave_failures`, `recovery.retries`.
+/// `recovery.resave_failures`, `recovery.retries`; and from the deep
+/// audit: `audit.runs`, `audit.models_analyzed` (fingerprint-memo
+/// misses), `audit.memo_hits`, `audit.findings_error`,
+/// `audit.findings_warn`, `audit.findings_info`.
 pub mod counters {
     use std::collections::BTreeMap;
     use std::sync::atomic::{AtomicU64, Ordering};

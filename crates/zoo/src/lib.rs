@@ -26,6 +26,7 @@ pub mod dataset;
 pub mod embed;
 pub mod families;
 pub mod finetune;
+pub mod sabotage;
 pub mod series;
 pub mod teacher;
 pub mod transfer;

@@ -24,6 +24,12 @@
 # seeded crash through every primitive I/O op of the mutation sequence
 # and asserting the store always reopens to old-or-new state.
 #
+# PR 6: the deep audit's fingerprint memo. Runs `pr6_audit` (cold vs
+# warm audit sweeps at --jobs 1 and --jobs 4), copies the JSON report to
+# BENCH_pr6.json, and enforces the ≥2× warm-over-cold throughput bar.
+# The binary itself asserts identical reports across job counts and that
+# warm runs answer every model from the memo.
+#
 # Usage:
 #   scripts/bench.sh              # smoke fleets
 #   SOMMELIER_PR2_MODE=full SOMMELIER_PR4_MODE=full scripts/bench.sh
@@ -73,6 +79,20 @@ awk -v s="$batch_speedup" 'BEGIN { exit !(s >= 3.0) }' || {
 echo "serving p90 cut: ${p90_cut}x (bar: >= 4.0x)"
 awk -v s="$p90_cut" 'BEGIN { exit !(s >= 4.0) }' || {
     echo "FAIL: engine-backed switching p90 cut is below the 4x acceptance bar" >&2
+    exit 1
+}
+echo "PASS"
+
+echo "== running pr6_audit (${SOMMELIER_PR6_MODE:-smoke}) =="
+cargo run --quiet --release -p sommelier-bench --bin pr6_audit
+
+cp target/experiments/pr6_audit.json BENCH_pr6.json
+echo "== wrote BENCH_pr6.json =="
+
+warm_speedup=$(sed -n 's/.*"warm_speedup":[[:space:]]*\([0-9.]*\).*/\1/p' BENCH_pr6.json | head -n1)
+echo "warm audit speedup: ${warm_speedup}x (bar: >= 2.0x)"
+awk -v s="$warm_speedup" 'BEGIN { exit !(s >= 2.0) }' || {
+    echo "FAIL: warm audit throughput is below the 2x acceptance bar" >&2
     exit 1
 }
 echo "PASS"

@@ -18,6 +18,8 @@
 //! * [`repo`] — the bare-bone model repository substrate;
 //! * [`fault`] — crash-safe storage primitives and deterministic fault
 //!   injection for durability testing;
+//! * [`lint`] — execution-free static analysis: shallow lints plus the
+//!   deep abstract-interpretation audit and cross-artifact checks;
 //! * [`query`] — the query language and the [`Sommelier`] engine facade;
 //! * [`serving`] — the inference-serving simulator with automated model
 //!   switching.
@@ -58,6 +60,7 @@ pub use sommelier_equiv as equiv;
 pub use sommelier_fault as fault;
 pub use sommelier_graph as graph;
 pub use sommelier_index as index;
+pub use sommelier_lint as lint;
 pub use sommelier_query as query;
 pub use sommelier_repo as repo;
 pub use sommelier_runtime as runtime;
