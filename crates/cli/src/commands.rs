@@ -18,6 +18,9 @@ use std::sync::Arc;
 /// File name (inside the repository directory) of the persisted indices.
 const INDEX_FILE: &str = "sommelier.index.json";
 
+/// Binary-format sibling of [`INDEX_FILE`] (`sommelier compact` output).
+const INDEX_FILE_BIN: &str = "sommelier.index.somb";
+
 type CmdResult = Result<(), String>;
 
 fn fail(e: impl std::fmt::Display) -> String {
@@ -75,8 +78,16 @@ fn open_repo(dir: &Path) -> Result<Arc<OnDiskRepository>, String> {
     Ok(Arc::new(OnDiskRepository::open(dir).map_err(fail)?))
 }
 
+/// The index snapshot path a repository serves from: the binary
+/// snapshot when one exists (a compacted repository), the JSON file
+/// otherwise. New repositories index to JSON until compacted.
 fn index_path(dir: &Path) -> PathBuf {
-    dir.join(INDEX_FILE)
+    let bin = dir.join(INDEX_FILE_BIN);
+    if bin.exists() {
+        bin
+    } else {
+        dir.join(INDEX_FILE)
+    }
 }
 
 fn engine_config(flags: &[(&str, &str)]) -> Result<SommelierConfig, String> {
@@ -260,6 +271,60 @@ pub fn index(args: &[String]) -> CmdResult {
     Ok(())
 }
 
+/// `sommelier compact <dir>`
+///
+/// Rewrite the index snapshot into the `.somb` binary format: smaller,
+/// CRC-validated in O(1) on open, and served by linear scans over an
+/// aligned profile slab. Reads whichever snapshot the repository has
+/// (JSON or an older binary — the format is sniffed, not assumed),
+/// writes `sommelier.index.somb` through the atomic-rename protocol,
+/// then removes the JSON original. Queries keep working against JSON
+/// repositories; compacting is an optimization, not a migration
+/// requirement.
+pub fn compact(args: &[String]) -> CmdResult {
+    let (positional, flags) = split_flags(args)?;
+    if let Some((name, _)) = flags.first() {
+        return Err(format!("unknown flag --{name}"));
+    }
+    let dir = repo_dir(&positional)?;
+    if !dir.exists() {
+        return Err(format!("repository '{}' does not exist", dir.display()));
+    }
+    let source = index_path(&dir);
+    if !source.exists() {
+        return Err(format!(
+            "no index at {} (run `sommelier index {}` first)",
+            source.display(),
+            dir.display()
+        ));
+    }
+    let storage = StdStorage;
+    let (snapshot, format) =
+        sommelier_index::persist::read_snapshot_sniffed_with(&storage, &source).map_err(fail)?;
+    let from_bytes = std::fs::metadata(&source).map_err(fail)?.len();
+    let target = dir.join(INDEX_FILE_BIN);
+    sommelier_index::persist::save_snapshot_as(
+        &storage,
+        &snapshot,
+        sommelier_index::SnapshotFormat::Binary,
+        &target,
+    )
+    .map_err(fail)?;
+    let to_bytes = std::fs::metadata(&target).map_err(fail)?.len();
+    // The JSON original is now redundant; leaving it would shadow
+    // nothing (readers prefer .somb) but waste space and confuse fsck.
+    let json = dir.join(INDEX_FILE);
+    if format == sommelier_index::SnapshotFormat::Json && json.exists() {
+        storage.remove(&json).map_err(fail)?;
+    }
+    println!(
+        "compacted {} snapshot ({from_bytes} bytes) → {} ({to_bytes} bytes)",
+        format,
+        target.display()
+    );
+    Ok(())
+}
+
 fn load_engine(dir: &Path, cfg: SommelierConfig) -> Result<Sommelier, String> {
     let repo = open_repo(dir)?;
     let path = index_path(dir);
@@ -359,7 +424,11 @@ pub fn query(args: &[String]) -> CmdResult {
     let items = reader.query_batch(&texts);
     if format == "json" {
         use serde::Value;
-        let rendered = Value::Seq(
+        let snapshot_format = engine
+            .snapshot_format()
+            .map(|f| f.as_str())
+            .unwrap_or("none");
+        let queries = Value::Seq(
             items
                 .iter()
                 .map(|item| {
@@ -405,6 +474,18 @@ pub fn query(args: &[String]) -> CmdResult {
                 })
                 .collect(),
         );
+        // The served snapshot's provenance rides along with the
+        // answers: which on-disk encoding the engine loaded.
+        let rendered = Value::Map(vec![
+            (
+                "snapshot".to_string(),
+                Value::Map(vec![(
+                    "format".to_string(),
+                    Value::Str(snapshot_format.to_string()),
+                )]),
+            ),
+            ("queries".to_string(), queries),
+        ]);
         println!(
             "{}",
             serde_json::to_string_pretty(&rendered).map_err(fail)?
@@ -679,7 +760,8 @@ pub fn fsck(args: &[String]) -> CmdResult {
                     println!("unreadable model file: {name}: {e}");
                 }
             }
-        } else if name == INDEX_FILE {
+        } else if name == INDEX_FILE || name == INDEX_FILE_BIN {
+            // Either encoding: the reader sniffs JSON vs binary.
             if let Err(e) = sommelier_index::persist::read_snapshot(&path) {
                 findings += 1;
                 index_broken = true;

@@ -33,6 +33,13 @@ COMMANDS:
     show   <dir> <key>                  metadata + resource profile
     index  <dir> [--sample N] [--no-segments] [--jobs N] [--cache-cap N]
                                         build and persist the indices
+    compact <dir>                       rewrite the index snapshot as
+                                        sommelier.index.somb — the binary
+                                        format (CRC-checked header, string
+                                        table, aligned f32 profile slab):
+                                        much faster cold opens; the JSON
+                                        original is removed. JSON
+                                        repositories keep working unchanged
     query  <dir> <query-text> [--jobs N] [--threads N] [--repeat K]
            [--format text|json]
                                         run a SELECT … CORR … query;
@@ -82,6 +89,7 @@ fn main() -> ExitCode {
         "list" => commands::list(rest),
         "show" => commands::show(rest),
         "index" => commands::index(rest),
+        "compact" => commands::compact(rest),
         "query" => commands::query(rest),
         "diff" => commands::diff(rest),
         "dot" => commands::dot(rest),

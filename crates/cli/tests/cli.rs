@@ -194,6 +194,58 @@ fn fsck_repair_cleans_temps_and_rebuilds_a_torn_index() {
 }
 
 #[test]
+fn compact_rewrites_the_index_to_binary_and_queries_report_it() {
+    let dir = temp_repo("compact");
+    let d = dir.to_str().unwrap();
+    assert!(run(&["init", d]).status.success());
+    assert!(run(&["seed", d, "--series", "1", "--seed", "5"]).status.success());
+    assert!(run(&["index", d, "--sample", "16", "--no-segments"]).status.success());
+    let listing = stdout(&run(&["list", d]));
+    let reference = listing.lines().next().expect("seeded").to_string();
+    let q = format!("SELECT models 3 CORR {reference} WITHIN 0.2");
+
+    // Queries against the JSON snapshot report the json format.
+    let out = run(&["query", d, &q, "--format", "json"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(
+        stdout(&out).contains("\"format\": \"json\""),
+        "{}",
+        stdout(&out)
+    );
+
+    let out = run(&["compact", d]);
+    assert!(out.status.success(), "compact failed: {}", stderr(&out));
+    assert!(stdout(&out).contains("compacted json snapshot"), "{}", stdout(&out));
+    assert!(dir.join("sommelier.index.somb").exists());
+    assert!(!dir.join("sommelier.index.json").exists(), "JSON original removed");
+
+    // Same answers, served from the binary snapshot.
+    let out = run(&["query", d, &q, "--format", "json"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let json = stdout(&out);
+    assert!(json.contains("\"format\": \"binary\""), "{json}");
+    assert!(json.contains("\"results\""), "{json}");
+
+    // fsck validates the binary snapshot; compacting twice is idempotent.
+    let out = run(&["fsck", d]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("clean"));
+    assert!(run(&["compact", d]).status.success());
+
+    // A torn binary snapshot recovers exactly like torn JSON: the
+    // engine quarantines the evidence and rebuilds.
+    let index = dir.join("sommelier.index.somb");
+    let whole = std::fs::read(&index).unwrap();
+    std::fs::write(&index, &whole[..whole.len() / 2]).unwrap();
+    let out = run(&["query", d, &q]);
+    assert!(out.status.success(), "query failed: {}", stderr(&out));
+    assert!(stderr(&out).contains("quarantined"), "{}", stderr(&out));
+    let out = run(&["fsck", d, "--prune"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn add_rejects_missing_file_and_duplicate_keys() {
     let dir = temp_repo("add");
     let d = dir.to_str().unwrap();

@@ -88,6 +88,79 @@ impl FaultPlan {
     }
 }
 
+/// Tear shapes for binary snapshot images (the `.somb` fault surface).
+///
+/// [`FaultyStorage`] tears *writes* mid-protocol; these tear a file
+/// *at rest* — the cases a crash-free byte flip (bad disk, truncating
+/// copy, hand-edit) produces. Format-agnostic: the functions operate on
+/// raw bytes and never parse the image, so they compose with any layout
+/// the snapshot format evolves into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinaryTearKind {
+    /// Cut the image short inside its trailing data region (the slab
+    /// sits at the tail of the section chain, so a truncated copy loses
+    /// slab bytes first).
+    TruncatedSlab,
+    /// Flip one byte of the body, leaving length intact — a CRC-only
+    /// corruption.
+    CorruptedCrc,
+    /// Delete a single interior byte, shifting every later section off
+    /// its declared (aligned) offset.
+    MisalignedSection,
+}
+
+impl BinaryTearKind {
+    pub const ALL: [BinaryTearKind; 3] = [
+        BinaryTearKind::TruncatedSlab,
+        BinaryTearKind::CorruptedCrc,
+        BinaryTearKind::MisalignedSection,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            BinaryTearKind::TruncatedSlab => "truncated-slab",
+            BinaryTearKind::CorruptedCrc => "corrupted-crc",
+            BinaryTearKind::MisalignedSection => "misaligned-section",
+        }
+    }
+}
+
+/// Apply a deterministic tear to a binary image. The choice of cut /
+/// flip position is seeded; the same `(bytes, seed, kind)` always
+/// produces the same tear. Images shorter than a few bytes are returned
+/// truncated to empty (nothing meaningful to tear).
+pub fn tear_binary(bytes: &[u8], seed: u64, kind: BinaryTearKind) -> Vec<u8> {
+    if bytes.len() < 4 {
+        return Vec::new();
+    }
+    let r = mix(seed, bytes.len() as u64);
+    match kind {
+        BinaryTearKind::TruncatedSlab => {
+            // Cut somewhere in the last third: past the header, inside
+            // the data sections.
+            let lo = bytes.len() * 2 / 3;
+            let cut = lo + (r as usize) % (bytes.len() - lo);
+            bytes[..cut].to_vec()
+        }
+        BinaryTearKind::CorruptedCrc => {
+            // Flip one body byte past the 4-byte magic so the image
+            // still sniffs as binary but fails its checksums.
+            let mut out = bytes.to_vec();
+            let pos = 4 + (r as usize) % (bytes.len() - 4);
+            out[pos] ^= 0x80 | ((r >> 32) as u8 & 0x7F);
+            out
+        }
+        BinaryTearKind::MisalignedSection => {
+            // Drop one interior byte: lengths and offsets now disagree
+            // and aligned sections land unaligned.
+            let mut out = bytes.to_vec();
+            let pos = 4 + (r as usize) % (bytes.len() - 5);
+            out.remove(pos);
+            out
+        }
+    }
+}
+
 struct InjectState {
     op: u64,
     dead: bool,
@@ -330,6 +403,30 @@ mod tests {
         s.write_file(&path, b"x").unwrap();
         assert!(!s.is_dead());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn binary_tears_are_deterministic_and_distinct() {
+        let image: Vec<u8> = (0u16..600).map(|i| (i % 251) as u8).collect();
+        for kind in BinaryTearKind::ALL {
+            let a = tear_binary(&image, 9, kind);
+            let b = tear_binary(&image, 9, kind);
+            assert_eq!(a, b, "{}: same seed, same tear", kind.name());
+            assert_ne!(a, image, "{}: the tear changed something", kind.name());
+        }
+        let t = tear_binary(&image, 9, BinaryTearKind::TruncatedSlab);
+        assert!(t.len() >= image.len() * 2 / 3 && t.len() < image.len());
+        assert_eq!(t, image[..t.len()], "truncation is a clean prefix");
+        let c = tear_binary(&image, 9, BinaryTearKind::CorruptedCrc);
+        assert_eq!(c.len(), image.len());
+        assert_eq!(
+            c.iter().zip(&image).filter(|(x, y)| x != y).count(),
+            1,
+            "exactly one flipped byte"
+        );
+        let m = tear_binary(&image, 9, BinaryTearKind::MisalignedSection);
+        assert_eq!(m.len(), image.len() - 1, "one byte deleted");
+        assert_eq!(m[..4], image[..4], "magic untouched: still sniffs binary");
     }
 
     #[test]

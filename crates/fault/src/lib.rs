@@ -39,6 +39,6 @@ pub mod inject;
 pub mod retry;
 pub mod storage;
 
-pub use inject::{FaultKind, FaultPlan, FaultyStorage, OpKind};
+pub use inject::{tear_binary, BinaryTearKind, FaultKind, FaultPlan, FaultyStorage, OpKind};
 pub use retry::{RetryPolicy, RetryingStorage};
 pub use storage::{quarantine, temp_sibling, StdStorage, Storage};

@@ -15,15 +15,18 @@
 //!
 //! [`footprint`] accounts for the memory both structures occupy (Table 4),
 //! and [`persist`] serializes them (Section 5.5 "Persistence": indices are
-//! lightweight and can be populated to disk).
+//! lightweight and can be populated to disk) — as readable JSON or as the
+//! [`somb`] binary snapshot format built for O(1) open validation and
+//! linear-scan scoring.
 
 pub mod footprint;
 pub mod lsh;
 pub mod persist;
 pub mod resource;
 pub mod semantic;
+pub mod somb;
 
 pub use lsh::CosineLsh;
-pub use persist::{IndexSnapshot, PersistError};
+pub use persist::{IndexSnapshot, PersistError, SnapshotFormat};
 pub use resource::{ResourceConstraint, ResourceIndex};
 pub use semantic::{CandidateKind, CandidateRecord, PairAnalyzer, SemanticIndex};

@@ -81,8 +81,7 @@ impl CosineLsh {
         let mut sig = 0u64;
         for bit in 0..self.config.bits {
             let plane = &self.planes[table * self.config.bits + bit];
-            let dot: f64 = plane.iter().zip(v).map(|(p, x)| p * x).sum();
-            if dot >= 0.0 {
+            if sommelier_tensor::linalg::dot_chunked_f64(plane, v) >= 0.0 {
                 sig |= 1 << bit;
             }
         }
@@ -171,6 +170,62 @@ impl CosineLsh {
         out.sort_unstable();
         out.dedup();
         out
+    }
+
+    /// The configured parameters.
+    pub fn config(&self) -> LshConfig {
+        self.config
+    }
+
+    /// The `tables × bits` hyperplane normals, row-major — read access
+    /// for snapshot encoders (planes are seeded randomness and must
+    /// round-trip exactly, not be re-derived).
+    pub fn planes(&self) -> &[Vec<f64>] {
+        &self.planes
+    }
+
+    /// Audit/encoding view of the bucket tables: per table, every
+    /// `(signature, ids)` bucket sorted by signature — a deterministic
+    /// ordering independent of `HashMap` iteration order.
+    pub fn buckets_audit(&self) -> Vec<Vec<(u64, &[usize])>> {
+        self.buckets
+            .iter()
+            .map(|table| {
+                let mut rows: Vec<(u64, &[usize])> = table
+                    .iter()
+                    .map(|(sig, ids)| (*sig, ids.as_slice()))
+                    .collect();
+                rows.sort_unstable_by_key(|(sig, _)| *sig);
+                rows
+            })
+            .collect()
+    }
+
+    /// Reassemble an index from decoded parts (the binary-snapshot
+    /// loader). `buckets` is one `(signature, ids)` list per table; the
+    /// caller guarantees the parts came from a consistent encode — only
+    /// structural shape is re-checked.
+    pub fn from_parts(
+        dim: usize,
+        config: LshConfig,
+        planes: Vec<Vec<f64>>,
+        buckets: Vec<Vec<(u64, Vec<usize>)>>,
+        len: usize,
+    ) -> Self {
+        assert!(dim > 0 && config.bits > 0 && config.bits <= 64 && config.tables > 0);
+        assert_eq!(planes.len(), config.tables * config.bits, "plane count mismatch");
+        assert!(planes.iter().all(|p| p.len() == dim), "plane dimensionality mismatch");
+        assert_eq!(buckets.len(), config.tables, "bucket table count mismatch");
+        CosineLsh {
+            dim,
+            config,
+            planes,
+            buckets: buckets
+                .into_iter()
+                .map(|table| table.into_iter().collect())
+                .collect(),
+            len,
+        }
     }
 
     /// Every id stored in any bucket of any table (deduplicated,

@@ -14,8 +14,45 @@ use sommelier_fault::{StdStorage, Storage};
 use std::fmt;
 use std::path::Path;
 
+/// On-disk encoding of a snapshot. Readers sniff the format from the
+/// leading bytes ([`crate::somb::MAGIC`] marks binary, anything else is
+/// treated as JSON); writers choose by path extension (`.somb` →
+/// binary). JSON stays fully supported read-side — `sommelier compact`
+/// rewrites it to binary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SnapshotFormat {
+    /// Human-readable JSON (the original format).
+    Json,
+    /// The `.somb` binary image ([`crate::somb`]).
+    Binary,
+}
+
+impl SnapshotFormat {
+    /// Stable lowercase name (CLI output, metrics).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SnapshotFormat::Json => "json",
+            SnapshotFormat::Binary => "binary",
+        }
+    }
+
+    /// The format a path's extension selects for *writing*.
+    pub fn for_path(path: &Path) -> Self {
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("somb") => SnapshotFormat::Binary,
+            _ => SnapshotFormat::Json,
+        }
+    }
+}
+
+impl fmt::Display for SnapshotFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// A persisted snapshot of both indices.
-#[derive(Serialize, Deserialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct IndexSnapshot {
     /// Snapshot format version.
     pub version: u32,
@@ -146,29 +183,108 @@ pub fn save_with(
     Ok(())
 }
 
+/// Write both indices as a `.somb` binary snapshot, stamped with the
+/// publication epoch. Crash-safe through the same
+/// [`Storage::write_atomic`] protocol as the JSON path.
+pub fn save_binary(
+    semantic: &SemanticIndex,
+    resource: &ResourceIndex,
+    epoch: u64,
+    path: &Path,
+) -> Result<(), PersistError> {
+    save_binary_with(&StdStorage, semantic, resource, epoch, path)
+}
+
+/// [`save_binary`] over an explicit storage backend (the
+/// fault-injection hook).
+pub fn save_binary_with(
+    storage: &dyn Storage,
+    semantic: &SemanticIndex,
+    resource: &ResourceIndex,
+    epoch: u64,
+    path: &Path,
+) -> Result<(), PersistError> {
+    let stats = SnapshotStats::of(semantic, resource, epoch);
+    let bytes = crate::somb::encode(semantic, resource, Some(&stats));
+    storage.write_atomic(path, &bytes)?;
+    Ok(())
+}
+
+/// Write an already-assembled snapshot in the given format (the
+/// `compact` conversion path — the snapshot is re-encoded verbatim, not
+/// rebuilt, so stats and epoch carry over exactly).
+pub fn save_snapshot_as(
+    storage: &dyn Storage,
+    snapshot: &IndexSnapshot,
+    format: SnapshotFormat,
+    path: &Path,
+) -> Result<(), PersistError> {
+    let bytes = match format {
+        SnapshotFormat::Json => serde_json::to_string(snapshot)
+            .map_err(|e| PersistError::Format(e.to_string()))?
+            .into_bytes(),
+        SnapshotFormat::Binary => {
+            crate::somb::encode(&snapshot.semantic, &snapshot.resource, snapshot.stats.as_ref())
+        }
+    };
+    storage.write_atomic(path, &bytes)?;
+    Ok(())
+}
+
 /// Read and validate a snapshot file without unpacking it — the entry
 /// point audit tooling uses so it can inspect the snapshot as stored.
 pub fn read_snapshot(path: &Path) -> Result<IndexSnapshot, PersistError> {
     read_snapshot_with(&StdStorage, path)
 }
 
-/// [`read_snapshot`] over an explicit storage backend.
+/// [`read_snapshot`] over an explicit storage backend. The format is
+/// sniffed from the leading bytes, so either encoding loads through the
+/// same call regardless of extension.
 pub fn read_snapshot_with(
     storage: &dyn Storage,
     path: &Path,
 ) -> Result<IndexSnapshot, PersistError> {
+    read_snapshot_sniffed_with(storage, path).map(|(snapshot, _)| snapshot)
+}
+
+/// [`read_snapshot_with`], also reporting which format served the
+/// snapshot. Publishes the `snapshot.{open_ns,bytes_mapped,format}`
+/// metrics counters (format: 1 = JSON, 2 = binary).
+pub fn read_snapshot_sniffed_with(
+    storage: &dyn Storage,
+    path: &Path,
+) -> Result<(IndexSnapshot, SnapshotFormat), PersistError> {
+    use sommelier_runtime::metrics::counters;
+    let started = std::time::Instant::now();
     let bytes = storage.read(path)?;
-    let json = String::from_utf8(bytes)
-        .map_err(|e| PersistError::Format(format!("snapshot is not UTF-8: {e}")))?;
-    let snapshot: IndexSnapshot =
-        serde_json::from_str(&json).map_err(|e| PersistError::Format(e.to_string()))?;
-    if snapshot.version != SNAPSHOT_VERSION {
-        return Err(PersistError::Version {
-            found: snapshot.version,
-            expected: SNAPSHOT_VERSION,
-        });
-    }
-    Ok(snapshot)
+    counters::set("snapshot.bytes_mapped", bytes.len() as u64);
+    let (snapshot, format) = if crate::somb::is_binary(&bytes) {
+        // Binary open: O(1) header validation up front, then section
+        // decode out of an aligned buffer.
+        let aligned = crate::somb::SnapshotBytes::from_vec(bytes);
+        (crate::somb::decode(aligned.as_slice())?, SnapshotFormat::Binary)
+    } else {
+        let json = String::from_utf8(bytes)
+            .map_err(|e| PersistError::Format(format!("snapshot is not UTF-8: {e}")))?;
+        let snapshot: IndexSnapshot =
+            serde_json::from_str(&json).map_err(|e| PersistError::Format(e.to_string()))?;
+        if snapshot.version != SNAPSHOT_VERSION {
+            return Err(PersistError::Version {
+                found: snapshot.version,
+                expected: SNAPSHOT_VERSION,
+            });
+        }
+        (snapshot, SnapshotFormat::Json)
+    };
+    counters::set("snapshot.open_ns", started.elapsed().as_nanos() as u64);
+    counters::set(
+        "snapshot.format",
+        match format {
+            SnapshotFormat::Json => 1,
+            SnapshotFormat::Binary => 2,
+        },
+    );
+    Ok((snapshot, format))
 }
 
 /// Load both indices from a snapshot file.
@@ -374,6 +490,105 @@ mod tests {
                 std::fs::remove_file(std::env::temp_dir().join(name)).ok();
             }
         }
+    }
+
+    #[test]
+    fn binary_snapshot_round_trips_and_is_sniffed() {
+        let mut sem = SemanticIndex::new(SemanticIndexConfig::default(), 1);
+        let mut res = ResourceIndex::new(LshConfig::default(), 1);
+        let models: Vec<Model> = (0..4)
+            .map(|i| {
+                let mut rng = Prng::seed_from_u64(i + 90);
+                ModelBuilder::new(format!("b{i}"), TaskKind::Other, Shape::vector(4))
+                    .dense(2, &mut rng)
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let pool = models.clone();
+        let resolve = move |k: &str| pool.iter().find(|m| m.name == k).cloned();
+        for (i, m) in models.iter().enumerate() {
+            sem.insert(m, &resolve, &ConstAnalyzer);
+            res.insert(
+                &m.name,
+                ResourceProfile {
+                    memory_mb: i as f64 + 1.0,
+                    gflops: 0.25 * (i as f64 + 1.0),
+                    latency_ms: 0.125,
+                },
+            );
+        }
+        let dir = std::env::temp_dir();
+        let jpath = dir.join(format!("sommelier-fmt-{}.json", std::process::id()));
+        let bpath = dir.join(format!("sommelier-fmt-{}.somb", std::process::id()));
+        save(&sem, &res, 7, &jpath).unwrap();
+        save_binary(&sem, &res, 7, &bpath).unwrap();
+
+        let (jsnap, jfmt) = read_snapshot_sniffed_with(&StdStorage, &jpath).unwrap();
+        let (bsnap, bfmt) = read_snapshot_sniffed_with(&StdStorage, &bpath).unwrap();
+        std::fs::remove_file(&jpath).ok();
+        std::fs::remove_file(&bpath).ok();
+        assert_eq!(jfmt, SnapshotFormat::Json);
+        assert_eq!(bfmt, SnapshotFormat::Binary);
+        // Both load paths construct the same indices, to the JSON byte.
+        assert_eq!(
+            serde_json::to_string(&jsnap.semantic).unwrap(),
+            serde_json::to_string(&bsnap.semantic).unwrap()
+        );
+        assert_eq!(
+            serde_json::to_string(&jsnap.resource).unwrap(),
+            serde_json::to_string(&bsnap.resource).unwrap()
+        );
+        assert_eq!(jsnap.stats, bsnap.stats);
+        assert_eq!(bsnap.stats.unwrap().epoch, Some(7));
+        // The open metrics counters were published (values race with
+        // concurrent tests that also open snapshots, so only presence
+        // and range are asserted here).
+        use sommelier_runtime::metrics::counters;
+        assert!(matches!(counters::get("snapshot.format"), 1 | 2));
+        assert!(counters::get("snapshot.bytes_mapped") > 0);
+    }
+
+    #[test]
+    fn interrupted_binary_save_preserves_the_previous_snapshot() {
+        use sommelier_fault::{FaultPlan, FaultyStorage};
+        let sem = SemanticIndex::new(SemanticIndexConfig::default(), 1);
+        let res = ResourceIndex::new(LshConfig::default(), 1);
+        let path = std::env::temp_dir().join(format!(
+            "sommelier-batomic-{}.somb",
+            std::process::id()
+        ));
+        save_binary(&sem, &res, 1, &path).unwrap();
+        let before = std::fs::read(&path).unwrap();
+        for at in 0..3 {
+            let faulty = FaultyStorage::new(StdStorage, FaultPlan::crash_at(43, at));
+            let err = save_binary_with(&faulty, &sem, &res, 2, &path).unwrap_err();
+            assert!(matches!(err, PersistError::Io(_)));
+            assert_eq!(std::fs::read(&path).unwrap(), before, "torn at op {at}");
+            let snap = read_snapshot(&path).unwrap();
+            assert_eq!(snap.stats.unwrap().epoch, Some(1));
+        }
+        for name in StdStorage.list(&std::env::temp_dir()).unwrap() {
+            if name.starts_with(&format!("sommelier-batomic-{}", std::process::id())) {
+                std::fs::remove_file(std::env::temp_dir().join(name)).ok();
+            }
+        }
+    }
+
+    #[test]
+    fn format_selection_follows_the_extension() {
+        assert_eq!(
+            SnapshotFormat::for_path(Path::new("/a/sommelier.index.somb")),
+            SnapshotFormat::Binary
+        );
+        assert_eq!(
+            SnapshotFormat::for_path(Path::new("/a/sommelier.index.json")),
+            SnapshotFormat::Json
+        );
+        assert_eq!(
+            SnapshotFormat::for_path(Path::new("/a/noext")),
+            SnapshotFormat::Json
+        );
     }
 
     #[test]

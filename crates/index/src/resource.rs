@@ -13,6 +13,8 @@ use crate::lsh::{CosineLsh, LshConfig};
 use serde::{Deserialize, Serialize};
 use sommelier_parallel::ThreadPool;
 use sommelier_runtime::ResourceProfile;
+use sommelier_tensor::linalg;
+use std::collections::HashMap;
 
 /// Per-dimension upper bounds; `None` means unconstrained.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
@@ -63,8 +65,21 @@ impl ResourceConstraint {
 /// tables and no stored state).
 const MULTIPROBE_BITS: usize = 2;
 
+/// Lanes per profile row in the scoring slab: the 3-dimensional profile
+/// vector zero-padded to 4 so rows stay power-of-two strided (and the
+/// on-disk slab stays 16-byte row-aligned inside its 64-byte-aligned
+/// section).
+pub const SLAB_STRIDE: usize = 4;
+
 /// The resource index.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// `slots` and `slab` are *derived* acceleration structures — rebuilt
+/// from `entries` on deserialization and maintained incrementally on
+/// mutation, never serialized. The slab holds every profile vector as a
+/// dense `f32` row ([`SLAB_STRIDE`] lanes), the linear-scan surface for
+/// the chunked scoring kernels; the slot map makes `profile_of` O(1)
+/// where it used to walk the entry table per lookup.
+#[derive(Clone, Debug)]
 pub struct ResourceIndex {
     entries: Vec<(String, ResourceProfile)>,
     /// Tombstones for removed entries (aligned with `entries`); LSH
@@ -74,6 +89,47 @@ pub struct ResourceIndex {
     /// When true, queries linear-scan instead of probing the LSH — the
     /// correctness oracle and the ablation baseline.
     pub exhaustive: bool,
+    /// Derived: key → first live slot (the entry `profile_of` serves).
+    slots: HashMap<String, u32>,
+    /// Derived: dense `f32` profile rows, [`SLAB_STRIDE`] lanes per slot
+    /// (tombstoned slots keep their row; liveness is positional).
+    slab: Vec<f32>,
+}
+
+// The slot map and slab are derived state: serialization must keep the
+// exact shape the `#[derive]` produced before they existed (snapshot
+// compatibility both ways), so both impls are written out by hand and
+// deserialization rebuilds the derived structures.
+impl Serialize for ResourceIndex {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("entries".to_string(), Serialize::to_value(&self.entries)),
+            ("removed".to_string(), Serialize::to_value(&self.removed)),
+            ("lsh".to_string(), Serialize::to_value(&self.lsh)),
+            ("exhaustive".to_string(), Serialize::to_value(&self.exhaustive)),
+        ])
+    }
+}
+
+impl Deserialize for ResourceIndex {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let _ = serde::expect_map(v)?;
+        let mut idx = ResourceIndex {
+            entries: serde::field(v, "entries")?,
+            removed: serde::field(v, "removed")?,
+            lsh: serde::field(v, "lsh")?,
+            exhaustive: serde::field(v, "exhaustive")?,
+            slots: HashMap::new(),
+            slab: Vec::new(),
+        };
+        idx.rebuild_derived();
+        Ok(idx)
+    }
+}
+
+/// One profile row as slab lanes.
+fn slab_row(p: &ResourceProfile) -> [f32; SLAB_STRIDE] {
+    [p.memory_mb as f32, p.gflops as f32, p.latency_ms as f32, 0.0]
 }
 
 impl ResourceIndex {
@@ -84,7 +140,54 @@ impl ResourceIndex {
             removed: Vec::new(),
             lsh: CosineLsh::new(3, config, seed),
             exhaustive: false,
+            slots: HashMap::new(),
+            slab: Vec::new(),
         }
+    }
+
+    /// Reassemble an index from decoded parts (the binary-snapshot
+    /// loader and synthetic-index builders); derived structures are
+    /// rebuilt, the LSH is taken as decoded (bucket contents round-trip,
+    /// they are not re-hashed).
+    pub fn from_parts(
+        entries: Vec<(String, ResourceProfile)>,
+        removed: Vec<bool>,
+        lsh: CosineLsh,
+        exhaustive: bool,
+    ) -> Self {
+        assert_eq!(entries.len(), removed.len(), "tombstone vector misaligned");
+        let mut idx = ResourceIndex {
+            entries,
+            removed,
+            lsh,
+            exhaustive,
+            slots: HashMap::new(),
+            slab: Vec::new(),
+        };
+        idx.rebuild_derived();
+        idx
+    }
+
+    /// Rebuild the derived slot map and scoring slab from the entry
+    /// table (deserialization and bulk reconstruction).
+    fn rebuild_derived(&mut self) {
+        self.slab.clear();
+        self.slab.reserve(self.entries.len() * SLAB_STRIDE);
+        self.slots.clear();
+        self.slots.reserve(self.entries.len());
+        for (i, (k, p)) in self.entries.iter().enumerate() {
+            self.slab.extend_from_slice(&slab_row(p));
+            if !self.removed.get(i).copied().unwrap_or(false) {
+                self.slots.entry(k.clone()).or_insert(i as u32);
+            }
+        }
+    }
+
+    /// The dense `f32` scoring slab: [`SLAB_STRIDE`] lanes per slot, in
+    /// slot order, tombstones included. This is the byte-exact content
+    /// of a binary snapshot's slab section.
+    pub fn slab(&self) -> &[f32] {
+        &self.slab
     }
 
     /// Number of live (non-removed) profiles.
@@ -98,9 +201,13 @@ impl ResourceIndex {
 
     /// Insert a model's resource profile.
     pub fn insert(&mut self, key: impl Into<String>, profile: ResourceProfile) {
+        let key = key.into();
         let id = self.entries.len();
         self.lsh.insert(&profile.as_vector(), id);
-        self.entries.push((key.into(), profile));
+        self.slab.extend_from_slice(&slab_row(&profile));
+        // First live slot wins, matching the old first-match scan.
+        self.slots.entry(key.clone()).or_insert(id as u32);
+        self.entries.push((key, profile));
         self.removed.push(false);
     }
 
@@ -113,16 +220,20 @@ impl ResourceIndex {
                 hit = true;
             }
         }
+        if hit {
+            // Every slot under this key is now tombstoned.
+            self.slots.remove(key);
+        }
         hit
     }
 
-    /// The stored profile for a key, if present (and not removed).
+    /// The stored profile for a key, if present (and not removed) —
+    /// O(1) through the derived slot map (this sits on the query
+    /// executor's per-candidate hot path).
     pub fn profile_of(&self, key: &str) -> Option<&ResourceProfile> {
-        self.entries
-            .iter()
-            .enumerate()
-            .find(|(i, (k, _))| k == key && !self.removed[*i])
-            .map(|(_, (_, p))| p)
+        self.slots
+            .get(key)
+            .map(|&i| &self.entries[i as usize].1)
     }
 
     /// Keys of all models admitted by the constraint.
@@ -192,21 +303,15 @@ impl ResourceIndex {
     /// target profile — used by Figure 12(b)-style "similar resource
     /// profile" probes.
     pub fn nearest(&self, target: &ResourceProfile, k: usize) -> Vec<(String, ResourceProfile)> {
-        let tv = target.as_vector();
+        // Linear scan over the dense slab with the chunked distance
+        // kernel — no per-candidate `Vec` materialization.
+        let tv = slab_row(target);
         let mut scored: Vec<(f64, usize)> = self
-            .entries
-            .iter()
+            .slab
+            .chunks_exact(SLAB_STRIDE)
             .enumerate()
             .filter(|(i, _)| !self.removed[*i])
-            .map(|(i, (_, p))| {
-                let pv = p.as_vector();
-                let d: f64 = tv
-                    .iter()
-                    .zip(&pv)
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum();
-                (d, i)
-            })
+            .map(|(i, row)| (linalg::dist2_chunked(&tv, row), i))
             .collect();
         // `total_cmp` keeps the sort panic-free on non-finite distances
         // (corrupted snapshots can carry arbitrary profile vectors).

@@ -237,6 +237,42 @@ impl SemanticIndex {
         }
     }
 
+    /// Reassemble an index from decoded parts (the binary-snapshot
+    /// loader and synthetic-index builders). `entries` carries one
+    /// `(fingerprint, key, candidates)` triple per model; the reverse
+    /// lookup table is re-derived from it, `order` is the insertion
+    /// order of keys (not derivable from the entry set).
+    pub fn from_parts(
+        config: SemanticIndexConfig,
+        seed: u64,
+        entries: Vec<(Fingerprint, String, Vec<CandidateRecord>)>,
+        order: Vec<String>,
+    ) -> Self {
+        let mut map = HashMap::with_capacity(entries.len());
+        let mut by_key = HashMap::with_capacity(entries.len());
+        for (fp, key, candidates) in entries {
+            by_key.insert(key.clone(), fp);
+            map.insert(fp, Entry { key, candidates });
+        }
+        SemanticIndex {
+            config,
+            entries: map,
+            by_key,
+            order,
+            seed_state: seed,
+        }
+    }
+
+    /// The configuration knobs this index was built with.
+    pub fn config(&self) -> SemanticIndexConfig {
+        self.config
+    }
+
+    /// The rendezvous base seed (see the `seed_state` field docs).
+    pub fn seed(&self) -> u64 {
+        self.seed_state
+    }
+
     /// Number of indexed models.
     pub fn len(&self) -> usize {
         self.order.len()

@@ -1,0 +1,1151 @@
+//! The `.somb` versioned binary snapshot format.
+//!
+//! JSON snapshots parse the world on every open; at fleet scale the
+//! front-door costs are cold-open latency and scan throughput. `.somb`
+//! is a little-endian binary image designed for cheap validation and
+//! linear scanning:
+//!
+//! * a fixed-size CRC-checked header (magic, version, epoch, counts,
+//!   section table) — opening validates the header in O(1) without
+//!   touching the body;
+//! * an interned string table (every key stored once, rows refer by id);
+//! * fixed-size resource rows and candidate rows with inline filter
+//!   metadata (flags, fingerprints, cost bounds as exact `f64` bits);
+//! * one contiguous **64-byte-aligned `f32` slab** holding all resource
+//!   vectors ([`crate::resource::SLAB_STRIDE`] lanes per row) — the
+//!   linear-scan surface for the chunked scoring kernels, sliceable
+//!   zero-copy out of a [`SnapshotBytes`] buffer;
+//! * per-section CRC32s so tears localize (and the lint layer can name
+//!   the torn section).
+//!
+//! Numeric profile and score values are stored as exact `f64` bit
+//! patterns. The vendored JSON layer round-trips `f64` exactly too
+//! (shortest-round-trip rendering), so a snapshot converted JSON →
+//! binary → JSON is byte-identical and both formats serve bit-equal
+//! query results.
+//!
+//! Layout (version 1, all integers little-endian):
+//!
+//! ```text
+//! header   0   magic "SOMB" | version u32 | header_len u32 | flags u32
+//!          16  epoch i64 | stats_version u32 | section_count u32
+//!          32  models i64 | candidate_records i64 | resource_entries i64
+//!          56  section table: 5 × { offset u64, len u64, crc32 u32, pad u32 }
+//!          176 header_crc32 u32        (over bytes [0, 176))
+//! sections strings | resource rows | f32 slab (64-aligned) | lsh | semantic
+//! ```
+//!
+//! Versioning policy: `version` bumps on any layout change; readers
+//! reject unknown versions with a typed error (the engine then
+//! quarantines and rebuilds). New *optional* payload goes behind new
+//! `flags` bits within a version.
+
+use crate::lsh::{CosineLsh, LshConfig};
+use crate::persist::{IndexSnapshot, PersistError, SnapshotStats, SNAPSHOT_VERSION};
+use crate::resource::{ResourceIndex, SLAB_STRIDE};
+use crate::semantic::{CandidateKind, CandidateRecord, SemanticIndex, SemanticIndexConfig};
+use sommelier_graph::Fingerprint;
+use sommelier_runtime::ResourceProfile;
+
+/// Magic bytes identifying a binary snapshot (the format sniff).
+pub const MAGIC: [u8; 4] = *b"SOMB";
+/// Current binary format version.
+pub const SOMB_VERSION: u32 = 1;
+
+/// Fixed header size: 56 bytes of scalars + section table + trailing CRC.
+const HEADER_LEN: usize = 56 + SECTION_COUNT * 24 + 4;
+const SECTION_COUNT: usize = 5;
+
+/// Section indices in the header table.
+const SEC_STRINGS: usize = 0;
+const SEC_ROWS: usize = 1;
+const SEC_SLAB: usize = 2;
+const SEC_LSH: usize = 3;
+const SEC_SEMANTIC: usize = 4;
+
+/// Human-readable section names (lint diagnostics).
+pub const SECTION_NAMES: [&str; SECTION_COUNT] =
+    ["strings", "resource-rows", "slab", "lsh", "semantic"];
+
+/// Header flag bits.
+const FLAG_STATS: u32 = 1 << 0;
+const FLAG_EPOCH: u32 = 1 << 1;
+const FLAG_EXHAUSTIVE: u32 = 1 << 2;
+
+/// Candidate row `kind` tags.
+const KIND_WHOLE: u32 = 0;
+const KIND_TRANSITIVE: u32 = 1;
+const KIND_SYNTHESIZED: u32 = 2;
+/// `aux_id` placeholder for rows without a via/donor reference.
+const NO_AUX: u32 = u32::MAX;
+
+// ---------------------------------------------------------------------------
+// CRC-32C (Castagnoli, reflected polynomial 0x82F63B78)
+// ---------------------------------------------------------------------------
+
+/// Slice-by-8 lookup tables for the software path: `t[0]` is the
+/// classic byte-at-a-time table; `t[k][b]` advances byte `b` through
+/// `k` further zero bytes, letting the hot loop fold 8 input bytes per
+/// iteration.
+fn crc_tables() -> &'static [[u32; 256]; 8] {
+    static TABLES: std::sync::OnceLock<[[u32; 256]; 8]> = std::sync::OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = [[0u32; 256]; 8];
+        for (i, slot) in t[0].iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0x82F6_3B78 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        for i in 0..256usize {
+            let mut c = t[0][i];
+            for k in 1..8 {
+                c = t[0][(c & 0xFF) as usize] ^ (c >> 8);
+                t[k][i] = c;
+            }
+        }
+        t
+    })
+}
+
+/// CRC-32C checksum of a byte slice (Castagnoli polynomial, reflected).
+///
+/// Castagnoli rather than the IEEE polynomial because x86-64 carries a
+/// dedicated `crc32` instruction for exactly this polynomial: the
+/// checksum pass sweeps every section of a snapshot image on open, so
+/// it folds 8 bytes per instruction when SSE4.2 is present and falls
+/// back to a slice-by-8 table sweep elsewhere. Both paths compute the
+/// same function (see the equivalence test).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("sse4.2") {
+        // Safety: gated on runtime SSE4.2 detection.
+        return unsafe { crc32_hw(bytes) };
+    }
+    crc32_sw(bytes)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse4.2")]
+unsafe fn crc32_hw(bytes: &[u8]) -> u32 {
+    use std::arch::x86_64::{_mm_crc32_u64, _mm_crc32_u8};
+    // The 64-bit form keeps its state in the low 32 bits.
+    let mut c = u64::from(u32::MAX);
+    let mut chunks = bytes.chunks_exact(8);
+    for ch in &mut chunks {
+        c = _mm_crc32_u64(c, u64::from_le_bytes(ch.try_into().unwrap()));
+    }
+    let mut c = c as u32;
+    for &b in chunks.remainder() {
+        c = _mm_crc32_u8(c, b);
+    }
+    !c
+}
+
+fn crc32_sw(bytes: &[u8]) -> u32 {
+    let t = crc_tables();
+    let mut c = u32::MAX;
+    let mut chunks = bytes.chunks_exact(8);
+    for ch in &mut chunks {
+        let lo = u32::from_le_bytes([ch[0], ch[1], ch[2], ch[3]]) ^ c;
+        let hi = u32::from_le_bytes([ch[4], ch[5], ch[6], ch[7]]);
+        c = t[7][(lo & 0xFF) as usize]
+            ^ t[6][((lo >> 8) & 0xFF) as usize]
+            ^ t[5][((lo >> 16) & 0xFF) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xFF) as usize]
+            ^ t[2][((hi >> 8) & 0xFF) as usize]
+            ^ t[1][((hi >> 16) & 0xFF) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        c = t[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotBytes: an owned, 64-byte-aligned byte buffer
+// ---------------------------------------------------------------------------
+
+/// An owned snapshot image whose first byte sits on a 64-byte boundary.
+///
+/// The std-only stand-in for `mmap`: the file is read in one syscall
+/// into an aligned buffer so in-file 64-byte-aligned sections (the f32
+/// slab) stay aligned in memory and can be viewed zero-copy. The same
+/// abstraction boundary would hold an actual memory map.
+pub struct SnapshotBytes {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl SnapshotBytes {
+    /// Wrap raw bytes, re-homing them to a 64-byte-aligned base when the
+    /// allocator did not already provide one.
+    pub fn from_vec(bytes: Vec<u8>) -> Self {
+        if (bytes.as_ptr() as usize).is_multiple_of(64) {
+            return SnapshotBytes { buf: bytes, start: 0 };
+        }
+        let mut buf: Vec<u8> = Vec::with_capacity(bytes.len() + 64);
+        // Padding within the reserved capacity never reallocates, so the
+        // base pointer observed here is the one the data lands behind.
+        let pad = (64 - (buf.as_ptr() as usize % 64)) % 64;
+        buf.resize(pad, 0);
+        buf.extend_from_slice(&bytes);
+        SnapshotBytes { buf, start: pad }
+    }
+
+    /// The snapshot image.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[self.start..]
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Zero-copy view of the f32 slab section, if the image is a valid
+    /// binary snapshot. The section is 64-byte-aligned in-file and the
+    /// buffer is 64-byte-aligned in memory, so the cast never copies.
+    pub fn slab_f32(&self) -> Option<&[f32]> {
+        let header = validate_header(self.as_slice()).ok()?;
+        let (off, len) = header.sections[SEC_SLAB];
+        let raw = self.as_slice().get(off..off + len)?;
+        let (head, floats, tail) = unsafe { raw.align_to::<f32>() };
+        if head.is_empty() && tail.is_empty() {
+            Some(floats)
+        } else {
+            None
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian primitives
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32(out: &mut Vec<u8>, v: f32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Bounds-checked sequential reader over a section payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| truncated("payload"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, PersistError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, PersistError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn truncated(what: &str) -> PersistError {
+    PersistError::Format(format!("binary snapshot truncated in {what}"))
+}
+
+fn align_to(out: &mut Vec<u8>, align: usize) {
+    while !out.len().is_multiple_of(align) {
+        out.push(0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// String interning
+// ---------------------------------------------------------------------------
+
+struct Interner {
+    ids: std::collections::HashMap<String, u32>,
+    strings: Vec<String>,
+}
+
+impl Interner {
+    /// Build the table from every string the snapshot references, sorted
+    /// so the encoding is deterministic regardless of map iteration
+    /// order.
+    fn build<'a>(all: impl Iterator<Item = &'a str>) -> Self {
+        let mut strings: Vec<String> = all.map(str::to_string).collect();
+        strings.sort_unstable();
+        strings.dedup();
+        assert!(strings.len() < u32::MAX as usize, "string table overflow");
+        let ids = strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), i as u32))
+            .collect();
+        Interner { ids, strings }
+    }
+
+    fn id(&self, s: &str) -> u32 {
+        self.ids[s]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Serialize both indices (plus the optional stats header) into a
+/// `.somb` image. Deterministic: identical indices encode to identical
+/// bytes at any job count (all map-backed structures are emitted in
+/// sorted order).
+pub fn encode(
+    semantic: &SemanticIndex,
+    resource: &ResourceIndex,
+    stats: Option<&SnapshotStats>,
+) -> Vec<u8> {
+    // Deterministic entry orders up front.
+    let mut sem_entries = semantic.entries_audit();
+    sem_entries.sort_by_key(|(fp, _, _)| fp.0);
+    let res_entries = resource.entries_audit();
+
+    let interner = Interner::build(
+        res_entries
+            .iter()
+            .map(|(k, _, _)| *k)
+            .chain(sem_entries.iter().flat_map(|(_, key, cands)| {
+                std::iter::once(*key).chain(cands.iter().flat_map(|c| {
+                    std::iter::once(c.key.as_str()).chain(match &c.kind {
+                        CandidateKind::Whole => None,
+                        CandidateKind::Transitive { via } => Some(via.as_str()),
+                        CandidateKind::Synthesized { donor } => Some(donor.as_str()),
+                    })
+                }))
+            }))
+            .chain(semantic.keys().iter().map(String::as_str)),
+    );
+
+    // Section payloads.
+    let mut strings = Vec::new();
+    put_u32(&mut strings, interner.strings.len() as u32);
+    for s in &interner.strings {
+        put_u32(&mut strings, s.len() as u32);
+        strings.extend_from_slice(s.as_bytes());
+    }
+
+    let mut rows = Vec::new();
+    assert!(res_entries.len() < u32::MAX as usize, "resource row overflow");
+    put_u32(&mut rows, res_entries.len() as u32);
+    put_u32(&mut rows, 32); // row byte size, a reader sanity anchor
+    for (key, p, removed) in &res_entries {
+        put_u32(&mut rows, interner.id(key));
+        put_u32(&mut rows, u32::from(*removed));
+        put_f64(&mut rows, p.memory_mb);
+        put_f64(&mut rows, p.gflops);
+        put_f64(&mut rows, p.latency_ms);
+    }
+
+    let mut slab = Vec::with_capacity(resource.slab().len() * 4);
+    for &v in resource.slab() {
+        put_f32(&mut slab, v);
+    }
+
+    let lsh = resource.lsh();
+    let mut lsh_bytes = Vec::new();
+    let cfg = lsh.config();
+    put_u32(&mut lsh_bytes, lsh.dim() as u32);
+    put_u32(&mut lsh_bytes, cfg.bits as u32);
+    put_u32(&mut lsh_bytes, cfg.tables as u32);
+    put_u32(&mut lsh_bytes, 0);
+    put_u64(&mut lsh_bytes, lsh.len() as u64);
+    for plane in lsh.planes() {
+        for &x in plane {
+            put_f64(&mut lsh_bytes, x);
+        }
+    }
+    for table in lsh.buckets_audit() {
+        put_u32(&mut lsh_bytes, table.len() as u32);
+        for (sig, ids) in table {
+            put_u64(&mut lsh_bytes, sig);
+            put_u32(&mut lsh_bytes, ids.len() as u32);
+            for &id in ids {
+                assert!(id < u32::MAX as usize, "lsh id overflow");
+                put_u32(&mut lsh_bytes, id as u32);
+            }
+        }
+    }
+
+    let sem_cfg = semantic.config();
+    let mut sem = Vec::new();
+    put_u64(&mut sem, sem_cfg.sample_size as u64);
+    put_u64(&mut sem, sem_cfg.max_candidates as u64);
+    put_u64(&mut sem, semantic.seed());
+    put_u32(&mut sem, u32::from(sem_cfg.segments));
+    put_u32(&mut sem, sem_entries.len() as u32);
+    let mut candidate_rows = 0i64;
+    for (fp, key, cands) in &sem_entries {
+        put_u64(&mut sem, fp.0);
+        put_u32(&mut sem, interner.id(key));
+        put_u32(&mut sem, cands.len() as u32);
+        candidate_rows += cands.len() as i64;
+        for c in cands.iter() {
+            let (kind, aux) = match &c.kind {
+                CandidateKind::Whole => (KIND_WHOLE, NO_AUX),
+                CandidateKind::Transitive { via } => (KIND_TRANSITIVE, interner.id(via)),
+                CandidateKind::Synthesized { donor } => (KIND_SYNTHESIZED, interner.id(donor)),
+            };
+            put_u32(&mut sem, interner.id(&c.key));
+            put_u32(&mut sem, kind);
+            put_u32(&mut sem, aux);
+            put_u32(&mut sem, 0);
+            put_f64(&mut sem, c.diff_bound);
+            put_f64(&mut sem, c.score);
+        }
+    }
+    put_u32(&mut sem, semantic.keys().len() as u32);
+    for key in semantic.keys() {
+        put_u32(&mut sem, interner.id(key));
+    }
+
+    // Assemble: header placeholder, then sections (slab 64-aligned).
+    let mut out = vec![0u8; HEADER_LEN];
+    let mut sections = [(0usize, 0usize, 0u32); SECTION_COUNT];
+    let payloads: [(usize, &[u8], usize); SECTION_COUNT] = [
+        (SEC_STRINGS, &strings, 8),
+        (SEC_ROWS, &rows, 8),
+        (SEC_SLAB, &slab, 64),
+        (SEC_LSH, &lsh_bytes, 8),
+        (SEC_SEMANTIC, &sem, 8),
+    ];
+    for (idx, payload, align) in payloads {
+        align_to(&mut out, align);
+        sections[idx] = (out.len(), payload.len(), crc32(payload));
+        out.extend_from_slice(payload);
+    }
+
+    // Fill the header in place.
+    let mut header = Vec::with_capacity(HEADER_LEN);
+    header.extend_from_slice(&MAGIC);
+    put_u32(&mut header, SOMB_VERSION);
+    put_u32(&mut header, HEADER_LEN as u32);
+    let mut flags = 0u32;
+    if stats.is_some() {
+        flags |= FLAG_STATS;
+    }
+    if stats.is_some_and(|s| s.epoch.is_some()) {
+        flags |= FLAG_EPOCH;
+    }
+    if resource.exhaustive {
+        flags |= FLAG_EXHAUSTIVE;
+    }
+    put_u32(&mut header, flags);
+    put_i64(&mut header, stats.and_then(|s| s.epoch).unwrap_or(0));
+    put_u32(&mut header, stats.map_or(0, |s| s.stats_version));
+    put_u32(&mut header, SECTION_COUNT as u32);
+    put_i64(&mut header, stats.map_or(semantic.len() as i64, |s| s.models));
+    put_i64(&mut header, stats.map_or(candidate_rows, |s| s.candidate_records));
+    put_i64(
+        &mut header,
+        stats.map_or(resource.len() as i64, |s| s.resource_entries),
+    );
+    for (off, len, crc) in sections {
+        put_u64(&mut header, off as u64);
+        put_u64(&mut header, len as u64);
+        put_u32(&mut header, crc);
+        put_u32(&mut header, 0);
+    }
+    debug_assert_eq!(header.len(), HEADER_LEN - 4);
+    let hcrc = crc32(&header);
+    put_u32(&mut header, hcrc);
+    out[..HEADER_LEN].copy_from_slice(&header);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Header validation (the O(1) open check)
+// ---------------------------------------------------------------------------
+
+/// Parsed, CRC-validated header of a binary snapshot.
+pub struct Header {
+    pub version: u32,
+    pub flags: u32,
+    pub epoch: i64,
+    pub stats_version: u32,
+    pub models: i64,
+    pub candidate_records: i64,
+    pub resource_entries: i64,
+    /// Per-section `(offset, len)` in image order.
+    pub sections: [(usize, usize); SECTION_COUNT],
+    /// Per-section stored CRC32s.
+    pub section_crcs: [u32; SECTION_COUNT],
+}
+
+impl Header {
+    /// The stats header this snapshot carries, if any.
+    pub fn stats(&self) -> Option<SnapshotStats> {
+        if self.flags & FLAG_STATS == 0 {
+            return None;
+        }
+        Some(SnapshotStats {
+            stats_version: self.stats_version,
+            models: self.models,
+            candidate_records: self.candidate_records,
+            resource_entries: self.resource_entries,
+            epoch: (self.flags & FLAG_EPOCH != 0).then_some(self.epoch),
+        })
+    }
+}
+
+/// Whether a byte image *claims* to be a binary snapshot (the format
+/// sniff — magic only, no validation).
+pub fn is_binary(bytes: &[u8]) -> bool {
+    bytes.len() >= 4 && bytes[..4] == MAGIC
+}
+
+/// Validate magic, version, and the header CRC, and parse the section
+/// table — O(1) in snapshot size (the body is untouched; section CRCs
+/// verify on decode, or under lint).
+pub fn validate_header(bytes: &[u8]) -> Result<Header, PersistError> {
+    if !is_binary(bytes) {
+        return Err(PersistError::Format("missing SOMB magic".to_string()));
+    }
+    if bytes.len() < HEADER_LEN {
+        return Err(truncated("header"));
+    }
+    let mut c = Cursor::new(&bytes[..HEADER_LEN]);
+    c.take(4)?; // magic
+    let version = c.u32()?;
+    if version != SOMB_VERSION {
+        return Err(PersistError::Version {
+            found: version,
+            expected: SOMB_VERSION,
+        });
+    }
+    let header_len = c.u32()? as usize;
+    if header_len != HEADER_LEN {
+        return Err(PersistError::Format(format!(
+            "binary snapshot declares header length {header_len}, expected {HEADER_LEN}"
+        )));
+    }
+    let stored_crc = u32::from_le_bytes(bytes[HEADER_LEN - 4..HEADER_LEN].try_into().unwrap());
+    let computed = crc32(&bytes[..HEADER_LEN - 4]);
+    if stored_crc != computed {
+        return Err(PersistError::Format(format!(
+            "binary snapshot header CRC mismatch (stored {stored_crc:#010x}, computed {computed:#010x})"
+        )));
+    }
+    let flags = c.u32()?;
+    let epoch = c.i64()?;
+    let stats_version = c.u32()?;
+    let section_count = c.u32()? as usize;
+    if section_count != SECTION_COUNT {
+        return Err(PersistError::Format(format!(
+            "binary snapshot declares {section_count} sections, expected {SECTION_COUNT}"
+        )));
+    }
+    let models = c.i64()?;
+    let candidate_records = c.i64()?;
+    let resource_entries = c.i64()?;
+    let mut sections = [(0usize, 0usize); SECTION_COUNT];
+    let mut section_crcs = [0u32; SECTION_COUNT];
+    for i in 0..SECTION_COUNT {
+        let off = c.u64()? as usize;
+        let len = c.u64()? as usize;
+        section_crcs[i] = c.u32()?;
+        c.u32()?; // reserved
+        let end = off.checked_add(len).ok_or_else(|| truncated("section table"))?;
+        if off < HEADER_LEN || end > bytes.len() {
+            return Err(PersistError::Format(format!(
+                "section '{}' [{off}, {end}) exceeds snapshot of {} bytes",
+                SECTION_NAMES[i],
+                bytes.len()
+            )));
+        }
+        sections[i] = (off, len);
+    }
+    if sections[SEC_SLAB].0 % 64 != 0 {
+        return Err(PersistError::Format(format!(
+            "slab section offset {} is not 64-byte aligned",
+            sections[SEC_SLAB].0
+        )));
+    }
+    Ok(Header {
+        version,
+        flags,
+        epoch,
+        stats_version,
+        models,
+        candidate_records,
+        resource_entries,
+        sections,
+        section_crcs,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+fn section<'a>(bytes: &'a [u8], header: &Header, idx: usize) -> Result<&'a [u8], PersistError> {
+    let (off, len) = header.sections[idx];
+    let payload = &bytes[off..off + len];
+    let computed = crc32(payload);
+    if computed != header.section_crcs[idx] {
+        return Err(PersistError::Format(format!(
+            "section '{}' CRC mismatch (stored {:#010x}, computed {computed:#010x})",
+            SECTION_NAMES[idx], header.section_crcs[idx]
+        )));
+    }
+    Ok(payload)
+}
+
+/// Section payload by table bounds alone — no CRC. `validate_header`
+/// has already range-checked every section, so the slice is in bounds;
+/// callers must pair this with a CRC pass (see [`decode`]) before
+/// trusting the result.
+fn section_raw<'a>(bytes: &'a [u8], header: &Header, idx: usize) -> &'a [u8] {
+    let (off, len) = header.sections[idx];
+    &bytes[off..off + len]
+}
+
+/// Verify every section CRC against the header table.
+fn verify_sections(bytes: &[u8], header: &Header) -> Result<(), PersistError> {
+    for idx in 0..SECTION_COUNT {
+        section(bytes, header, idx)?;
+    }
+    Ok(())
+}
+
+fn decode_strings(payload: &[u8]) -> Result<Vec<String>, PersistError> {
+    let mut c = Cursor::new(payload);
+    let count = c.u32()? as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let len = c.u32()? as usize;
+        let raw = c.take(len)?;
+        out.push(
+            std::str::from_utf8(raw)
+                .map_err(|e| PersistError::Format(format!("string table is not UTF-8: {e}")))?
+                .to_string(),
+        );
+    }
+    if !c.done() {
+        return Err(PersistError::Format("trailing bytes in string table".into()));
+    }
+    Ok(out)
+}
+
+fn lookup<'a>(strings: &'a [String], id: u32, what: &str) -> Result<&'a str, PersistError> {
+    strings
+        .get(id as usize)
+        .map(String::as_str)
+        .ok_or_else(|| PersistError::Format(format!("{what} references unknown string id {id}")))
+}
+
+/// Decode a binary snapshot image into the same [`IndexSnapshot`] the
+/// JSON loader produces. All section CRCs are verified; the slab is
+/// shape-checked against the row table (the derived in-memory slab is
+/// rebuilt from the exact `f64` rows, so both load paths construct
+/// identical indices).
+pub fn decode(bytes: &[u8]) -> Result<IndexSnapshot, PersistError> {
+    let header = validate_header(bytes)?;
+    // CRC the whole body up front, then parse without re-hashing: the
+    // two passes touch the same bytes, and folding the checksums in one
+    // sequential sweep keeps the hot parse loops free of per-section
+    // digest state.
+    verify_sections(bytes, &header)?;
+    decode_sections(bytes, &header)
+}
+
+/// Parse every section of a header-validated image. CRCs are NOT
+/// checked here — [`decode`] runs [`verify_sections`] first and only
+/// hands this parser verified bytes.
+fn decode_sections(bytes: &[u8], header: &Header) -> Result<IndexSnapshot, PersistError> {
+    let strings = decode_strings(section_raw(bytes, header, SEC_STRINGS))?;
+
+    // Resource rows.
+    let mut c = Cursor::new(section_raw(bytes, header, SEC_ROWS));
+    let row_count = c.u32()? as usize;
+    let row_bytes = c.u32()?;
+    if row_bytes != 32 {
+        return Err(PersistError::Format(format!(
+            "unexpected resource row size {row_bytes}"
+        )));
+    }
+    let mut entries = Vec::with_capacity(row_count);
+    let mut removed = Vec::with_capacity(row_count);
+    for _ in 0..row_count {
+        // One bounds check per fixed-size row, not one per field.
+        let row = c.take(32)?;
+        let le_u32 = |o: usize| u32::from_le_bytes(row[o..o + 4].try_into().unwrap());
+        let le_f64 = |o: usize| f64::from_le_bytes(row[o..o + 8].try_into().unwrap());
+        let key = lookup(&strings, le_u32(0), "resource row")?.to_string();
+        let flags = le_u32(4);
+        let profile = ResourceProfile {
+            memory_mb: le_f64(8),
+            gflops: le_f64(16),
+            latency_ms: le_f64(24),
+        };
+        entries.push((key, profile));
+        removed.push(flags & 1 != 0);
+    }
+    if !c.done() {
+        return Err(PersistError::Format("trailing bytes in resource rows".into()));
+    }
+
+    // Slab: shape must match the row table (content is derived from the
+    // exact f64 rows on load; the stored copy is the scan surface and a
+    // consistency witness).
+    let (_, slab_len) = header.sections[SEC_SLAB];
+    let expected = row_count * SLAB_STRIDE * std::mem::size_of::<f32>();
+    if slab_len != expected {
+        return Err(PersistError::Format(format!(
+            "slab holds {slab_len} bytes but {row_count} rows require {expected}"
+        )));
+    }
+
+    // LSH.
+    let mut c = Cursor::new(section_raw(bytes, header, SEC_LSH));
+    let dim = c.u32()? as usize;
+    let bits = c.u32()? as usize;
+    let tables = c.u32()? as usize;
+    c.u32()?; // reserved
+    let lsh_len = c.u64()? as usize;
+    if dim == 0 || bits == 0 || bits > 64 || tables == 0 {
+        return Err(PersistError::Format(format!(
+            "implausible LSH geometry dim={dim} bits={bits} tables={tables}"
+        )));
+    }
+    let mut planes = Vec::with_capacity(tables * bits);
+    for _ in 0..tables * bits {
+        let mut plane = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            plane.push(c.f64()?);
+        }
+        planes.push(plane);
+    }
+    let mut buckets = Vec::with_capacity(tables);
+    for _ in 0..tables {
+        let bucket_count = c.u32()? as usize;
+        let mut table = Vec::with_capacity(bucket_count);
+        for _ in 0..bucket_count {
+            let sig = c.u64()?;
+            let id_count = c.u32()? as usize;
+            let raw = c.take(id_count.checked_mul(4).ok_or_else(|| truncated("lsh ids"))?)?;
+            let ids = raw
+                .chunks_exact(4)
+                .map(|b| u32::from_le_bytes(b.try_into().unwrap()) as usize)
+                .collect();
+            table.push((sig, ids));
+        }
+        buckets.push(table);
+    }
+    if !c.done() {
+        return Err(PersistError::Format("trailing bytes in lsh section".into()));
+    }
+    let lsh = CosineLsh::from_parts(
+        dim,
+        LshConfig { bits, tables },
+        planes,
+        buckets,
+        lsh_len,
+    );
+    let resource = ResourceIndex::from_parts(entries, removed, lsh, header.flags & FLAG_EXHAUSTIVE != 0);
+
+    // Semantic.
+    let mut c = Cursor::new(section_raw(bytes, header, SEC_SEMANTIC));
+    let sample_size = c.u64()? as usize;
+    let max_candidates = c.u64()? as usize;
+    let seed = c.u64()?;
+    let segments = c.u32()? & 1 != 0;
+    let entry_count = c.u32()? as usize;
+    let mut sem_entries = Vec::with_capacity(entry_count);
+    for _ in 0..entry_count {
+        let fp = Fingerprint(c.u64()?);
+        let key = lookup(&strings, c.u32()?, "semantic entry")?.to_string();
+        let cand_count = c.u32()? as usize;
+        let mut cands = Vec::with_capacity(cand_count);
+        for _ in 0..cand_count {
+            // One bounds check per fixed-size candidate row.
+            let row = c.take(32)?;
+            let le_u32 = |o: usize| u32::from_le_bytes(row[o..o + 4].try_into().unwrap());
+            let le_f64 = |o: usize| f64::from_le_bytes(row[o..o + 8].try_into().unwrap());
+            let ckey = lookup(&strings, le_u32(0), "candidate row")?.to_string();
+            let kind_tag = le_u32(4);
+            let aux = le_u32(8);
+            let diff_bound = le_f64(16);
+            let score = le_f64(24);
+            let kind = match kind_tag {
+                KIND_WHOLE => CandidateKind::Whole,
+                KIND_TRANSITIVE => CandidateKind::Transitive {
+                    via: lookup(&strings, aux, "transitive via")?.to_string(),
+                },
+                KIND_SYNTHESIZED => CandidateKind::Synthesized {
+                    donor: lookup(&strings, aux, "synthesis donor")?.to_string(),
+                },
+                other => {
+                    return Err(PersistError::Format(format!(
+                        "unknown candidate kind tag {other}"
+                    )))
+                }
+            };
+            cands.push(CandidateRecord {
+                key: ckey,
+                diff_bound,
+                score,
+                kind,
+            });
+        }
+        sem_entries.push((fp, key, cands));
+    }
+    let order_len = c.u32()? as usize;
+    let mut order = Vec::with_capacity(order_len);
+    for _ in 0..order_len {
+        order.push(lookup(&strings, c.u32()?, "order table")?.to_string());
+    }
+    if !c.done() {
+        return Err(PersistError::Format("trailing bytes in semantic section".into()));
+    }
+    let semantic = SemanticIndex::from_parts(
+        SemanticIndexConfig {
+            sample_size,
+            segments,
+            max_candidates,
+        },
+        seed,
+        sem_entries,
+        order,
+    );
+
+    Ok(IndexSnapshot {
+        version: SNAPSHOT_VERSION,
+        stats: header.stats(),
+        semantic,
+        resource,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Integrity scan (the lint surface: SOM054–SOM056)
+// ---------------------------------------------------------------------------
+
+/// One structural defect found in a binary snapshot image.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IntegrityIssue {
+    /// Magic/version/header-CRC/section-table failure (SOM054).
+    Header(String),
+    /// A section's stored CRC disagrees with its bytes (SOM054).
+    SectionCrc { section: &'static str, stored: u32, computed: u32 },
+    /// Slab byte length ≠ row count × stride × 4 (SOM055).
+    SlabShape { expected: usize, found: usize },
+    /// A slab lane holds a non-finite value (SOM056).
+    NonFinite { slot: usize, lane: usize },
+}
+
+/// Scan a binary snapshot image for structural defects without
+/// constructing indices. Header failure short-circuits (nothing after
+/// it is trustworthy); section-level findings accumulate.
+pub fn integrity_issues(bytes: &[u8]) -> Vec<IntegrityIssue> {
+    let header = match validate_header(bytes) {
+        Ok(h) => h,
+        Err(e) => return vec![IntegrityIssue::Header(e.to_string())],
+    };
+    let mut issues = Vec::new();
+    let mut rows_ok = true;
+    for (i, name) in SECTION_NAMES.iter().enumerate() {
+        let (off, len) = header.sections[i];
+        let computed = crc32(&bytes[off..off + len]);
+        if computed != header.section_crcs[i] {
+            if i == SEC_ROWS {
+                rows_ok = false;
+            }
+            issues.push(IntegrityIssue::SectionCrc {
+                section: name,
+                stored: header.section_crcs[i],
+                computed,
+            });
+        }
+    }
+    // Slab shape: needs a trustworthy row count.
+    if rows_ok {
+        let (off, len) = header.sections[SEC_ROWS];
+        let mut c = Cursor::new(&bytes[off..off + len]);
+        if let Ok(row_count) = c.u32() {
+            let expected = row_count as usize * SLAB_STRIDE * std::mem::size_of::<f32>();
+            let found = header.sections[SEC_SLAB].1;
+            if found != expected {
+                issues.push(IntegrityIssue::SlabShape { expected, found });
+            }
+        }
+    }
+    // Non-finite slab lanes (only the profile lanes; the pad lane is
+    // always zero by construction but a forged non-finite pad is still a
+    // defect worth naming).
+    let (off, len) = header.sections[SEC_SLAB];
+    for (i, chunk) in bytes[off..off + len].chunks_exact(4).enumerate() {
+        let v = f32::from_le_bytes(chunk.try_into().unwrap());
+        if !v.is_finite() {
+            issues.push(IntegrityIssue::NonFinite {
+                slot: i / SLAB_STRIDE,
+                lane: i % SLAB_STRIDE,
+            });
+        }
+    }
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::persist::STATS_VERSION;
+
+    /// A small but representative snapshot: every candidate kind, a
+    /// tombstone, an odd string set.
+    fn sample_indices() -> (SemanticIndex, ResourceIndex) {
+        let mk = |key: &str, d: f64, kind: CandidateKind| CandidateRecord {
+            key: key.to_string(),
+            diff_bound: d,
+            score: (1.0 - d).max(0.0),
+            kind,
+        };
+        let semantic = SemanticIndex::from_parts(
+            SemanticIndexConfig::default(),
+            7,
+            vec![
+                (
+                    Fingerprint(11),
+                    "alpha".to_string(),
+                    vec![
+                        mk("beta", 0.1, CandidateKind::Whole),
+                        mk("gamma", 0.30000000000000004, CandidateKind::Transitive {
+                            via: "beta".to_string(),
+                        }),
+                        mk("alpha+beta", 0.05, CandidateKind::Synthesized {
+                            donor: "beta".to_string(),
+                        }),
+                    ],
+                ),
+                (Fingerprint(22), "beta".to_string(), vec![mk("alpha", 0.1, CandidateKind::Whole)]),
+                (Fingerprint(33), "gamma".to_string(), vec![]),
+            ],
+            vec!["alpha".to_string(), "beta".to_string(), "gamma".to_string()],
+        );
+        let mut resource = ResourceIndex::new(LshConfig::default(), 7);
+        resource.insert("alpha", ResourceProfile { memory_mb: 123.456, gflops: 7.89, latency_ms: 0.1 });
+        resource.insert("beta", ResourceProfile { memory_mb: 64.0, gflops: 3.5, latency_ms: 0.05 });
+        resource.insert("gamma", ResourceProfile { memory_mb: 8.0, gflops: 0.5, latency_ms: 0.01 });
+        resource.remove("gamma");
+        (semantic, resource)
+    }
+
+    fn sample_snapshot_bytes() -> Vec<u8> {
+        let (sem, res) = sample_indices();
+        let stats = SnapshotStats::of(&sem, &res, 5);
+        encode(&sem, &res, Some(&stats))
+    }
+
+    #[test]
+    fn round_trip_is_lossless_to_the_json_byte() {
+        let (sem, res) = sample_indices();
+        let stats = SnapshotStats::of(&sem, &res, 5);
+        let bytes = encode(&sem, &res, Some(&stats));
+        let snap = decode(&bytes).unwrap();
+        // The decoded indices must serialize to the exact JSON the
+        // originals produce — binary storage is lossless, down to f64
+        // bit patterns and the insertion-order bookkeeping.
+        assert_eq!(
+            serde_json::to_string(&snap.semantic).unwrap(),
+            serde_json::to_string(&sem).unwrap()
+        );
+        assert_eq!(
+            serde_json::to_string(&snap.resource).unwrap(),
+            serde_json::to_string(&res).unwrap()
+        );
+        let got = snap.stats.expect("stats survive");
+        assert_eq!(got, stats);
+        assert_eq!(got.stats_version, STATS_VERSION);
+        assert_eq!(snap.version, SNAPSHOT_VERSION);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        assert_eq!(sample_snapshot_bytes(), sample_snapshot_bytes());
+    }
+
+    #[test]
+    fn missing_stats_round_trip_to_none() {
+        let (sem, res) = sample_indices();
+        let bytes = encode(&sem, &res, None);
+        assert!(decode(&bytes).unwrap().stats.is_none());
+    }
+
+    #[test]
+    fn header_validates_in_o1_and_carries_counts() {
+        let bytes = sample_snapshot_bytes();
+        let h = validate_header(&bytes).unwrap();
+        assert_eq!(h.version, SOMB_VERSION);
+        assert_eq!(h.models, 3);
+        assert_eq!(h.resource_entries, 2, "tombstoned slot is not live");
+        assert_eq!(h.epoch, 5);
+        assert_eq!(h.stats().unwrap().epoch, Some(5));
+        // Slab is 64-byte aligned in-file.
+        assert_eq!(h.sections[SEC_SLAB].0 % 64, 0);
+    }
+
+    #[test]
+    fn snapshot_bytes_yields_an_aligned_zero_copy_slab() {
+        let bytes = SnapshotBytes::from_vec(sample_snapshot_bytes());
+        let slab = bytes.slab_f32().expect("aligned slab view");
+        assert_eq!(slab.len(), 3 * SLAB_STRIDE);
+        let (_, res) = sample_indices();
+        assert_eq!(slab, res.slab(), "file slab mirrors the derived slab");
+    }
+
+    #[test]
+    fn corrupted_header_crc_is_rejected() {
+        let mut bytes = sample_snapshot_bytes();
+        bytes[20] ^= 0xFF; // epoch bytes, covered by the header CRC
+        assert!(matches!(validate_header(&bytes), Err(PersistError::Format(_))));
+        let issues = integrity_issues(&bytes);
+        assert!(matches!(issues.as_slice(), [IntegrityIssue::Header(_)]));
+    }
+
+    #[test]
+    fn unknown_version_is_typed() {
+        let mut bytes = sample_snapshot_bytes();
+        bytes[4..8].copy_from_slice(&9u32.to_le_bytes());
+        assert!(matches!(
+            validate_header(&bytes),
+            Err(PersistError::Version { found: 9, expected: SOMB_VERSION })
+        ));
+    }
+
+    #[test]
+    fn torn_section_fails_decode_and_names_the_section() {
+        let bytes = sample_snapshot_bytes();
+        let h = validate_header(&bytes).unwrap();
+        // Flip a byte inside the slab: header still validates (O(1)
+        // open), decode fails on the section CRC, lint names the slab.
+        let mut torn = bytes.clone();
+        torn[h.sections[SEC_SLAB].0] ^= 0x5A;
+        assert!(validate_header(&torn).is_ok());
+        let err = decode(&torn).unwrap_err();
+        assert!(err.to_string().contains("slab"), "{err}");
+        let issues = integrity_issues(&torn);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, IntegrityIssue::SectionCrc { section: "slab", .. })));
+    }
+
+    #[test]
+    fn truncated_image_fails_cleanly() {
+        let bytes = sample_snapshot_bytes();
+        for cut in [0, 3, HEADER_LEN - 1, HEADER_LEN, bytes.len() / 2, bytes.len() - 1] {
+            let err = decode(&bytes[..cut]).unwrap_err();
+            assert!(matches!(err, PersistError::Format(_)), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn non_finite_slab_values_are_reported() {
+        let mut bytes = sample_snapshot_bytes();
+        let h = validate_header(&bytes).unwrap();
+        let (off, _) = h.sections[SEC_SLAB];
+        bytes[off..off + 4].copy_from_slice(&f32::NAN.to_le_bytes());
+        let issues = integrity_issues(&bytes);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, IntegrityIssue::NonFinite { slot: 0, lane: 0 })));
+        // The same tear also breaks the slab CRC.
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, IntegrityIssue::SectionCrc { section: "slab", .. })));
+    }
+
+    #[test]
+    fn slab_shape_mismatch_is_reported() {
+        // Forge a coherent-but-wrong snapshot: shrink the slab section
+        // length and re-stamp both CRCs so only the shape check fires.
+        let mut bytes = sample_snapshot_bytes();
+        let slab_entry = 56 + SEC_SLAB * 24;
+        let (off, len) = {
+            let h = validate_header(&bytes).unwrap();
+            h.sections[SEC_SLAB]
+        };
+        let new_len = len - SLAB_STRIDE * 4;
+        bytes[slab_entry + 8..slab_entry + 16].copy_from_slice(&(new_len as u64).to_le_bytes());
+        let crc = crc32(&bytes[off..off + new_len]);
+        bytes[slab_entry + 16..slab_entry + 20].copy_from_slice(&crc.to_le_bytes());
+        let hcrc = crc32(&bytes[..HEADER_LEN - 4]);
+        bytes[HEADER_LEN - 4..HEADER_LEN].copy_from_slice(&hcrc.to_le_bytes());
+        let issues = integrity_issues(&bytes);
+        assert!(
+            issues.iter().any(|i| matches!(
+                i,
+                IntegrityIssue::SlabShape { expected, found }
+                    if *expected == len && *found == new_len
+            )),
+            "{issues:?}"
+        );
+        assert!(matches!(decode(&bytes), Err(PersistError::Format(_))));
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // CRC-32C of "123456789" is the canonical check value.
+        assert_eq!(crc32(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_software_path_matches_dispatched_path() {
+        // Covers the hardware/software split on every length class the
+        // 8-byte folding loop produces (full chunks plus each remainder).
+        let data: Vec<u8> = (0..1024u32).map(|i| (i.wrapping_mul(31) >> 3) as u8).collect();
+        for len in (0..=64).chain([255, 512, 1000, 1024]) {
+            assert_eq!(crc32_sw(&data[..len]), crc32(&data[..len]), "len {len}");
+        }
+    }
+}

@@ -117,6 +117,7 @@ impl Auditor {
             Box::new(passes::index::FreshnessPass),
             Box::new(passes::plan::QueryPlanPass),
             Box::new(passes::stats::SnapshotStatsPass),
+            Box::new(passes::binary::BinarySnapshotPass),
             Box::new(passes::epoch::SnapshotEpochPass),
             Box::new(passes::store::StoreHygienePass),
         ];

@@ -12,7 +12,8 @@ use std::fmt;
 
 /// Stable diagnostic codes, grouped by pass family:
 /// `SOM00x` model-graph lints, `SOM02x` repository/index invariants,
-/// `SOM04x` query-plan lints, `SOM05x` snapshot stats-header lints,
+/// `SOM04x` query-plan lints, `SOM05x` snapshot stats-header and
+/// binary-image lints (`SOM054`–`SOM056` cover the `.somb` format),
 /// `SOM06x` snapshot publication-epoch lints, `SOM07x` store-hygiene
 /// lints (quarantine, temp orphans, file naming), `SOM08x` deep
 /// dataflow findings (abstract interpretation over the model graph),
@@ -66,6 +67,12 @@ pub mod codes {
     pub const NEGATIVE_STATS_COUNTER: &str = "SOM052";
     /// The stats header disagrees with the snapshot's actual contents.
     pub const STATS_CONTENT_MISMATCH: &str = "SOM053";
+    /// A binary snapshot's header or a section CRC fails validation.
+    pub const BINARY_SNAPSHOT_CORRUPT: &str = "SOM054";
+    /// The binary slab's byte length ≠ row count × stride × 4.
+    pub const SLAB_SHAPE_MISMATCH: &str = "SOM055";
+    /// The binary resource slab holds a NaN or infinite lane.
+    pub const NON_FINITE_SLAB: &str = "SOM056";
     /// The publication epoch is negative, or zero on a populated snapshot.
     pub const EPOCH_REGRESSION: &str = "SOM060";
     /// The header's declared version disagrees with its epoch field.
@@ -130,6 +137,9 @@ pub mod codes {
         (UNKNOWN_STATS_VERSION, "stats header declares an unknown version"),
         (NEGATIVE_STATS_COUNTER, "stats-header counter is negative"),
         (STATS_CONTENT_MISMATCH, "stats header disagrees with contents"),
+        (BINARY_SNAPSHOT_CORRUPT, "binary snapshot header/CRC mismatch"),
+        (SLAB_SHAPE_MISMATCH, "slab length disagrees with row count x dim"),
+        (NON_FINITE_SLAB, "binary slab holds non-finite values"),
         (EPOCH_REGRESSION, "publication epoch regressed or is missing"),
         (EPOCH_HEADER_MISMATCH, "header version disagrees with its epoch"),
         (UNREGISTERED_CANDIDATE, "candidate references an unregistered key"),
@@ -405,7 +415,7 @@ mod tests {
         ] {
             assert!(seen.contains(known), "{known} missing from registry");
         }
-        assert_eq!(codes::ALL.len(), 41, "update the registry with new codes");
+        assert_eq!(codes::ALL.len(), 44, "update the registry with new codes");
     }
 
     #[test]

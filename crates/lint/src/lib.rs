@@ -25,6 +25,9 @@
 //! * **snapshot stats header** ([`passes::stats`]) — missing,
 //!   unknown-version, negative, or content-inconsistent metrics headers
 //!   in persisted snapshots (`SOM050`–`SOM053`);
+//! * **binary snapshot image** ([`passes::binary`]) — header/section
+//!   CRC mismatches, slab-shape violations, and non-finite slab lanes
+//!   in `.somb` binary snapshots (`SOM054`–`SOM056`);
 //! * **publication epoch** ([`passes::epoch`]) — regressed or missing
 //!   publication epochs and candidates referencing keys the snapshot
 //!   never registered (`SOM060`–`SOM062`);
@@ -68,6 +71,10 @@ use std::time::SystemTime;
 /// Mirrors the CLI's convention.
 pub const INDEX_FILE: &str = "sommelier.index.json";
 
+/// File name of the binary (`.somb`) snapshot. When both files exist
+/// the binary one wins, mirroring the CLI's resolution order.
+pub const INDEX_FILE_BIN: &str = "sommelier.index.somb";
+
 /// Everything a lint run can look at. All fields are optional-by-shape:
 /// passes skip whatever is absent, so the same runner lints a bare
 /// directory of models, a fully indexed repository, or a single query.
@@ -81,6 +88,12 @@ pub struct LintContext {
     pub resource: Option<ResourceIndex>,
     /// The snapshot's content-derived stats header, if present.
     pub snapshot_stats: Option<persist::SnapshotStats>,
+    /// Raw bytes of a binary (`.somb`) snapshot image, when the
+    /// repository's index is the binary format. The
+    /// [`passes::binary::BinarySnapshotPass`] scans these directly, so
+    /// CRC and slab findings survive even when the image is too damaged
+    /// to decode into `semantic`/`resource`.
+    pub binary_snapshot: Option<Vec<u8>>,
     /// Modification time of the index snapshot file.
     pub index_mtime: Option<SystemTime>,
     /// Modification times of stored model files, keyed like `models`.
@@ -154,11 +167,22 @@ impl LintContext {
         }
         ctx.store_files.sort();
         ctx.model_mtimes.sort_by(|a, b| a.0.cmp(&b.0));
-        let index_path = dir.join(INDEX_FILE);
+        // Binary snapshot wins over JSON when both exist (CLI order).
+        let bin_path = dir.join(INDEX_FILE_BIN);
+        let json_path = dir.join(INDEX_FILE);
+        let index_path = if bin_path.exists() { bin_path } else { json_path };
         if index_path.exists() {
             ctx.index_mtime = std::fs::metadata(&index_path)
                 .and_then(|m| m.modified())
                 .ok();
+            // Keep the raw image around for the binary-format lints
+            // (sniffed by magic, not extension, so a renamed `.somb`
+            // still gets CRC-level findings).
+            if let Ok(bytes) = std::fs::read(&index_path) {
+                if sommelier_index::somb::is_binary(&bytes) {
+                    ctx.binary_snapshot = Some(bytes);
+                }
+            }
             match persist::read_snapshot(&index_path) {
                 Ok(snapshot) => {
                     ctx.snapshot_stats = snapshot.stats;
@@ -213,6 +237,7 @@ impl LintRunner {
         runner.register(Box::new(passes::index::FreshnessPass));
         runner.register(Box::new(passes::plan::QueryPlanPass));
         runner.register(Box::new(passes::stats::SnapshotStatsPass));
+        runner.register(Box::new(passes::binary::BinarySnapshotPass));
         runner.register(Box::new(passes::epoch::SnapshotEpochPass));
         runner.register(Box::new(passes::store::StoreHygienePass));
         runner
@@ -259,14 +284,15 @@ mod tests {
         assert!(names.contains(&"index-integrity"));
         assert!(names.contains(&"query-plan"));
         assert!(names.contains(&"snapshot-stats"));
+        assert!(names.contains(&"binary-snapshot"));
         assert!(names.contains(&"snapshot-epoch"));
         assert!(names.contains(&"store-hygiene"));
-        assert_eq!(names.len(), 10);
+        assert_eq!(names.len(), 11);
         let deep = LintRunner::with_deep_passes();
         let names = deep.pass_names();
         assert!(names.contains(&"deep-dataflow"));
         assert!(names.contains(&"cross-artifact"));
-        assert_eq!(names.len(), 12);
+        assert_eq!(names.len(), 13);
     }
 
     #[test]

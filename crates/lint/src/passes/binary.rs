@@ -1,0 +1,138 @@
+//! `SOM054`–`SOM056` — binary (`.somb`) snapshot-image lints.
+//!
+//! PR 7's binary snapshot format carries its own integrity machinery: a
+//! CRC-checked header, per-section CRCs, and a shape invariant tying the
+//! f32 resource slab to the row table. The read path already *rejects*
+//! a damaged image (and the engine quarantines + rebuilds), but the
+//! lint layer should explain **what** is wrong with the bytes, not just
+//! that loading failed. This pass scans the raw image with
+//! [`sommelier_index::somb::integrity_issues`] — no index construction,
+//! so it works even on images too damaged to decode:
+//!
+//! * header or section CRC mismatch → `SOM054` (`Error`);
+//! * slab byte length ≠ row count × stride × 4 → `SOM055` (`Error`);
+//! * non-finite f32 lanes in the slab → `SOM056` (`Error`) — a slab
+//!   that *decodes* but would poison every distance computation.
+
+use crate::diagnostics::{codes, Diagnostic};
+use crate::{LintContext, Pass};
+use sommelier_index::somb::{self, IntegrityIssue};
+
+/// Validates the raw bytes of a binary snapshot image.
+pub struct BinarySnapshotPass;
+
+impl Pass for BinarySnapshotPass {
+    fn name(&self) -> &'static str {
+        "binary-snapshot"
+    }
+
+    fn run(&self, ctx: &LintContext, out: &mut Vec<Diagnostic>) {
+        let Some(bytes) = &ctx.binary_snapshot else {
+            return;
+        };
+        for issue in somb::integrity_issues(bytes) {
+            out.push(match issue {
+                IntegrityIssue::Header(detail) => Diagnostic::error(
+                    codes::BINARY_SNAPSHOT_CORRUPT,
+                    "binary-snapshot",
+                    format!("header validation failed: {detail}"),
+                )
+                .with_help("quarantine the file and rebuild with `sommelier index`"),
+                IntegrityIssue::SectionCrc {
+                    section,
+                    stored,
+                    computed,
+                } => Diagnostic::error(
+                    codes::BINARY_SNAPSHOT_CORRUPT,
+                    "binary-snapshot",
+                    format!(
+                        "section '{section}' CRC mismatch: stored {stored:#010x}, \
+                         computed {computed:#010x}"
+                    ),
+                )
+                .with_help("quarantine the file and rebuild with `sommelier index`"),
+                IntegrityIssue::SlabShape { expected, found } => Diagnostic::error(
+                    codes::SLAB_SHAPE_MISMATCH,
+                    "binary-snapshot",
+                    format!(
+                        "resource slab holds {found} byte(s) but the row table \
+                         implies {expected}"
+                    ),
+                ),
+                IntegrityIssue::NonFinite { slot, lane } => Diagnostic::error(
+                    codes::NON_FINITE_SLAB,
+                    "binary-snapshot",
+                    format!("slab slot {slot} lane {lane} is not finite"),
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Severity;
+    use sommelier_index::lsh::LshConfig;
+    use sommelier_index::semantic::SemanticIndexConfig;
+    use sommelier_index::{ResourceIndex, SemanticIndex};
+
+    fn run(ctx: &LintContext) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        BinarySnapshotPass.run(ctx, &mut out);
+        out
+    }
+
+    fn image() -> Vec<u8> {
+        let mut resource = ResourceIndex::new(LshConfig::default(), 1);
+        resource.insert(
+            "m",
+            sommelier_runtime::ResourceProfile {
+                memory_mb: 10.0,
+                gflops: 2.0,
+                latency_ms: 5.0,
+            },
+        );
+        let semantic = SemanticIndex::new(SemanticIndexConfig::default(), 1);
+        somb::encode(&semantic, &resource, None)
+    }
+
+    #[test]
+    fn no_binary_image_is_silent() {
+        assert!(run(&LintContext::new()).is_empty());
+    }
+
+    #[test]
+    fn intact_image_lints_clean() {
+        let mut ctx = LintContext::new();
+        ctx.binary_snapshot = Some(image());
+        assert!(run(&ctx).is_empty());
+    }
+
+    #[test]
+    fn torn_header_reports_som054() {
+        let mut bytes = image();
+        bytes[6] ^= 0xFF; // inside the header, breaks its CRC
+        let mut ctx = LintContext::new();
+        ctx.binary_snapshot = Some(bytes);
+        let out = run(&ctx);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].code, codes::BINARY_SNAPSHOT_CORRUPT);
+        assert_eq!(out[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn torn_section_reports_som054_with_the_section_name() {
+        let mut bytes = image();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01; // past the header: some section's payload
+        let mut ctx = LintContext::new();
+        ctx.binary_snapshot = Some(bytes);
+        let out = run(&ctx);
+        assert!(
+            out.iter().any(|d| d.code == codes::BINARY_SNAPSHOT_CORRUPT
+                && d.message.contains("CRC mismatch")),
+            "{out:?}"
+        );
+    }
+}

@@ -4,7 +4,9 @@
 //! * [`index`] — cross-checks between the repository and the persisted
 //!   semantic/resource indices (`SOM02x`);
 //! * [`plan`] — static analyses of parsed query ASTs (`SOM04x`);
-//! * [`stats`] — snapshot stats-header validation (`SOM05x`);
+//! * [`stats`] — snapshot stats-header validation (`SOM050`–`SOM053`);
+//! * [`binary`] — binary (`.somb`) snapshot-image validation: header
+//!   and section CRCs, slab shape, non-finite lanes (`SOM054`–`SOM056`);
 //! * [`epoch`] — snapshot publication-epoch validation (`SOM06x`);
 //! * [`store`] — store-directory hygiene: quarantined artifacts,
 //!   orphaned temp files, non-canonical file names (`SOM07x`);
@@ -14,6 +16,7 @@
 //! Passes only read the [`crate::LintContext`]; they never execute a
 //! model and never mutate an index.
 
+pub mod binary;
 pub mod deep;
 pub mod epoch;
 pub mod index;

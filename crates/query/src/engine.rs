@@ -745,6 +745,9 @@ pub struct Sommelier {
     /// Publication epoch of the last published snapshot (a
     /// deterministic count of mutations, not a wall-clock artifact).
     epoch: u64,
+    /// On-disk encoding that served the restored indices (`None` when
+    /// the engine was built fresh rather than loaded from a snapshot).
+    snapshot_format: Option<sommelier_index::SnapshotFormat>,
     /// The read side; holds the published-snapshot cell.
     reader: SommelierReader,
 }
@@ -801,6 +804,7 @@ impl Sommelier {
             pool,
             cache,
             epoch,
+            snapshot_format: None,
             reader,
         }
     }
@@ -1029,25 +1033,47 @@ impl Sommelier {
 
     /// Persist both indices to a snapshot file (paper Section 5.5:
     /// indices are lightweight and can be populated to disk), stamped
-    /// with the current publication epoch.
+    /// with the current publication epoch. The on-disk encoding follows
+    /// the path extension: `.somb` writes the binary snapshot format,
+    /// anything else writes JSON.
     pub fn save_indices(&self, path: &std::path::Path) -> Result<(), QueryError> {
-        sommelier_index::persist::save(&self.semantic, &self.resource, self.epoch, path)
-            .map_err(|e| QueryError::Analysis(e.to_string()))
+        match sommelier_index::SnapshotFormat::for_path(path) {
+            sommelier_index::SnapshotFormat::Binary => {
+                sommelier_index::persist::save_binary(&self.semantic, &self.resource, self.epoch, path)
+            }
+            sommelier_index::SnapshotFormat::Json => {
+                sommelier_index::persist::save(&self.semantic, &self.resource, self.epoch, path)
+            }
+        }
+        .map_err(|e| QueryError::Analysis(e.to_string()))
+    }
+
+    /// The on-disk encoding the restored indices were served from:
+    /// `Some` after a snapshot load (or post-rebuild resave), `None` on
+    /// an engine built fresh in memory.
+    pub fn snapshot_format(&self) -> Option<sommelier_index::SnapshotFormat> {
+        self.snapshot_format
     }
 
     /// Connect to a repository restoring previously persisted indices —
     /// registration analysis does not have to be repeated after a
-    /// restart. Default reference models are re-derived from the indexed
-    /// order; the publication epoch resumes from the snapshot's stats
-    /// header (pre-epoch snapshots resume from 0).
+    /// restart. The snapshot format (JSON or binary) is sniffed from the
+    /// file contents. Default reference models are re-derived from the
+    /// indexed order; the publication epoch resumes from the snapshot's
+    /// stats header (pre-epoch snapshots resume from 0).
     pub fn connect_with_indices(
         repo: Arc<dyn ModelRepository>,
         config: SommelierConfig,
         path: &std::path::Path,
     ) -> Result<Self, QueryError> {
-        let snapshot = sommelier_index::persist::read_snapshot(path)
-            .map_err(|e| QueryError::Analysis(e.to_string()))?;
-        Ok(Self::assemble_from_snapshot(repo, config, snapshot))
+        let (snapshot, format) = sommelier_index::persist::read_snapshot_sniffed_with(
+            &sommelier_fault::StdStorage,
+            path,
+        )
+        .map_err(|e| QueryError::Analysis(e.to_string()))?;
+        let mut engine = Self::assemble_from_snapshot(repo, config, snapshot);
+        engine.snapshot_format = Some(format);
+        Ok(engine)
     }
 
     fn assemble_from_snapshot(
@@ -1085,13 +1111,13 @@ impl Sommelier {
         path: &std::path::Path,
     ) -> Result<(Self, SnapshotRecovery), QueryError> {
         use sommelier_index::persist::PersistError;
-        match sommelier_index::persist::read_snapshot(path) {
-            Ok(snapshot) => {
+        match sommelier_index::persist::read_snapshot_sniffed_with(&sommelier_fault::StdStorage, path)
+        {
+            Ok((snapshot, format)) => {
                 counters::add("recovery.loads", 1);
-                Ok((
-                    Self::assemble_from_snapshot(repo, config, snapshot),
-                    SnapshotRecovery::Loaded,
-                ))
+                let mut engine = Self::assemble_from_snapshot(repo, config, snapshot);
+                engine.snapshot_format = Some(format);
+                Ok((engine, SnapshotRecovery::Loaded))
             }
             Err(PersistError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
                 let engine = Self::rebuild_from_repository(repo, config, path)?;
@@ -1128,6 +1154,8 @@ impl Sommelier {
         // the engine is already serving from memory.
         if engine.save_indices(path).is_err() {
             counters::add("recovery.resave_failures", 1);
+        } else {
+            engine.snapshot_format = Some(sommelier_index::SnapshotFormat::for_path(path));
         }
         Ok(engine)
     }
@@ -1716,6 +1744,94 @@ mod tests {
         .unwrap();
         assert!(matches!(outcome, SnapshotRecovery::Loaded));
         assert_eq!(counters::get("recovery.rebuilds"), rebuilds);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn binary_snapshot_restores_identically_to_json() {
+        let (engine, names) = engine_with_variants();
+        let dir = std::env::temp_dir().join(format!("somm-binfmt-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let jpath = dir.join("sommelier.index.json");
+        let bpath = dir.join("sommelier.index.somb");
+        engine.save_indices(&jpath).unwrap();
+        engine.save_indices(&bpath).unwrap();
+        assert!(engine.snapshot_format().is_none(), "fresh engine, no load");
+
+        let from_json = Sommelier::connect_with_indices(
+            engine.repo.clone(),
+            SommelierConfig::default(),
+            &jpath,
+        )
+        .unwrap();
+        let from_bin = Sommelier::connect_with_indices(
+            engine.repo.clone(),
+            SommelierConfig::default(),
+            &bpath,
+        )
+        .unwrap();
+        assert_eq!(from_json.snapshot_format(), Some(sommelier_index::SnapshotFormat::Json));
+        assert_eq!(from_bin.snapshot_format(), Some(sommelier_index::SnapshotFormat::Binary));
+        assert_eq!(from_bin.epoch(), from_json.epoch(), "epoch resumes from either format");
+        // Both restored engines serve identical results.
+        let q = format!("SELECT models 5 CORR {} WITHIN 0.2", names[0]);
+        let a = from_json.query(&q).unwrap();
+        let b = from_bin.query(&q).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.key, y.key);
+            assert_eq!(x.score.to_bits(), y.score.to_bits(), "bit-equal scores");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_binary_snapshot_recovers_by_quarantine_and_rebuild() {
+        let (engine, names) = engine_with_variants();
+        let dir = std::env::temp_dir().join(format!("somm-binrec-{}", std::process::id()));
+        for kind in sommelier_fault::BinaryTearKind::ALL {
+            std::fs::remove_dir_all(&dir).ok();
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join("sommelier.index.somb");
+            engine.save_indices(&path).unwrap();
+            let whole = std::fs::read(&path).unwrap();
+            std::fs::write(&path, sommelier_fault::tear_binary(&whole, 31, kind)).unwrap();
+
+            let before = counters::get("recovery.rebuilds");
+            let (restored, outcome) = Sommelier::connect_or_recover(
+                engine.repo.clone(),
+                SommelierConfig {
+                    validation_rows: 128,
+                    ..SommelierConfig::default()
+                },
+                &path,
+            )
+            .unwrap();
+            assert!(outcome.rebuilt(), "{}: torn binary must rebuild", kind.name());
+            assert!(
+                matches!(outcome, SnapshotRecovery::RebuiltQuarantined(_)),
+                "{}: evidence quarantined",
+                kind.name()
+            );
+            assert_eq!(counters::get("recovery.rebuilds"), before + 1);
+            assert_eq!(restored.len(), engine.len());
+            assert_eq!(
+                restored.snapshot_format(),
+                Some(sommelier_index::SnapshotFormat::Binary),
+                "{}: resave keeps the binary format",
+                kind.name()
+            );
+            let q = format!("SELECT models 3 CORR {} WITHIN 0.2", names[0]);
+            assert!(!restored.query(&q).unwrap().is_empty());
+            // The resaved snapshot is clean binary.
+            let (_, fmt) = sommelier_index::persist::read_snapshot_sniffed_with(
+                &sommelier_fault::StdStorage,
+                &path,
+            )
+            .unwrap();
+            assert_eq!(fmt, sommelier_index::SnapshotFormat::Binary);
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

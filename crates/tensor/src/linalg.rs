@@ -93,10 +93,116 @@ pub fn spectral_norm_default(m: &Tensor) -> f64 {
     spectral_norm(m, 1e-6, 200, 0x5eed)
 }
 
-/// Dot product of two equal-length slices.
-pub fn dot(a: &[f32], b: &[f32]) -> f64 {
+/// Number of independent accumulator lanes in the chunked kernels. Eight
+/// `f64` lanes fill two AVX2 registers (or four NEON ones), which is what
+/// lets the compiler auto-vectorize the main loop.
+const LANES: usize = 8;
+
+/// Reduce eight accumulator lanes pairwise: `((0+1)+(2+3)) + ((4+5)+(6+7))`.
+///
+/// The balanced tree keeps rounding error at `O(log n)` ulps instead of the
+/// sequential sum's `O(n)`, and — because `x + 0.0 == x` for every finite
+/// `x` — degenerates to the exact sequential sum when fewer than eight
+/// lanes are populated (short-vector tails).
+#[inline]
+fn reduce_lanes(acc: [f64; LANES]) -> f64 {
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
+}
+
+/// Chunked dot product over `f32` slices: eight independent `f64`
+/// accumulators over the 8-wide body, the exact tail folded into the
+/// low lanes, pairwise lane reduction. The loop body is branch-free and
+/// auto-vectorizes; this is the scoring kernel the resource index runs
+/// over its profile slab.
+pub fn dot_chunked(a: &[f32], b: &[f32]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot length mismatch");
-    a.iter().zip(b).map(|(&x, &y)| (x as f64) * (y as f64)).sum()
+    let mut acc = [0.0f64; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (xa, xb) in ca.by_ref().zip(cb.by_ref()) {
+        for lane in 0..LANES {
+            acc[lane] += f64::from(xa[lane]) * f64::from(xb[lane]);
+        }
+    }
+    for (lane, (&x, &y)) in ca.remainder().iter().zip(cb.remainder()).enumerate() {
+        acc[lane] += f64::from(x) * f64::from(y);
+    }
+    reduce_lanes(acc)
+}
+
+/// [`dot_chunked`] over `f64` slices — the variant the LSH hyperplane
+/// signatures use (planes and probe vectors are `f64`).
+pub fn dot_chunked_f64(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    let mut acc = [0.0f64; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (xa, xb) in ca.by_ref().zip(cb.by_ref()) {
+        for lane in 0..LANES {
+            acc[lane] += xa[lane] * xb[lane];
+        }
+    }
+    for (lane, (&x, &y)) in ca.remainder().iter().zip(cb.remainder()).enumerate() {
+        acc[lane] += x * y;
+    }
+    reduce_lanes(acc)
+}
+
+/// Chunked squared Euclidean distance `Σ (a_i − b_i)²` over `f32` slices,
+/// same 8-wide accumulation scheme as [`dot_chunked`] — the nearest-profile
+/// scan kernel.
+pub fn dist2_chunked(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dist2 length mismatch");
+    let mut acc = [0.0f64; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (xa, xb) in ca.by_ref().zip(cb.by_ref()) {
+        for lane in 0..LANES {
+            let d = f64::from(xa[lane]) - f64::from(xb[lane]);
+            acc[lane] += d * d;
+        }
+    }
+    for (lane, (&x, &y)) in ca.remainder().iter().zip(cb.remainder()).enumerate() {
+        let d = f64::from(x) - f64::from(y);
+        acc[lane] += d * d;
+    }
+    reduce_lanes(acc)
+}
+
+/// Fused chunked cosine similarity: one pass computes `a·b`, `‖a‖²`, and
+/// `‖b‖²` together (eight lanes each); 0 when either vector is all-zero.
+pub fn cosine_chunked(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "cosine length mismatch");
+    let mut dot_acc = [0.0f64; LANES];
+    let mut na_acc = [0.0f64; LANES];
+    let mut nb_acc = [0.0f64; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (xa, xb) in ca.by_ref().zip(cb.by_ref()) {
+        for lane in 0..LANES {
+            let (x, y) = (f64::from(xa[lane]), f64::from(xb[lane]));
+            dot_acc[lane] += x * y;
+            na_acc[lane] += x * x;
+            nb_acc[lane] += y * y;
+        }
+    }
+    for (lane, (&x, &y)) in ca.remainder().iter().zip(cb.remainder()).enumerate() {
+        let (x, y) = (f64::from(x), f64::from(y));
+        dot_acc[lane] += x * y;
+        na_acc[lane] += x * x;
+        nb_acc[lane] += y * y;
+    }
+    let (na, nb) = (reduce_lanes(na_acc).sqrt(), reduce_lanes(nb_acc).sqrt());
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    reduce_lanes(dot_acc) / (na * nb)
+}
+
+/// Dot product of two equal-length slices (chunked/pairwise accumulation —
+/// agrees with [`dot_chunked`] bit-for-bit).
+pub fn dot(a: &[f32], b: &[f32]) -> f64 {
+    dot_chunked(a, b)
 }
 
 /// Cosine similarity between two vectors; 0 when either is all-zero.
@@ -169,6 +275,107 @@ mod tests {
         assert!((cosine_similarity(&[1., 0.], &[0., 1.])).abs() < 1e-12);
         assert!((cosine_similarity(&[1., 0.], &[-1., 0.]) + 1.0).abs() < 1e-12);
         assert_eq!(cosine_similarity(&[0., 0.], &[1., 2.]), 0.0);
+    }
+
+    /// Sequential reference implementation the chunked kernels are
+    /// checked against. Folds from +0.0 explicitly: std's `Sum<f64>`
+    /// identity is -0.0, and the kernels (like any accumulator loop
+    /// starting at +0.0) return +0.0 for empty input — numerically
+    /// equal, different bits.
+    fn dot_ref(a: &[f32], b: &[f32]) -> f64 {
+        a.iter()
+            .zip(b)
+            .fold(0.0, |s, (&x, &y)| s + (x as f64) * (y as f64))
+    }
+
+    fn gaussian_pair(len: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
+        let mut rng = crate::rng::Prng::seed_from_u64(seed);
+        let a = (0..len).map(|_| rng.gaussian() as f32).collect();
+        let b = (0..len).map(|_| rng.gaussian() as f32).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn chunked_dot_handles_degenerate_lengths() {
+        assert_eq!(dot_chunked(&[], &[]), 0.0);
+        assert_eq!(dot_chunked(&[2.0], &[3.0]), 6.0);
+        assert_eq!(dot_chunked_f64(&[], &[]), 0.0);
+        assert_eq!(dist2_chunked(&[1.0, 2.0], &[1.0, 4.0]), 4.0);
+        assert_eq!(cosine_chunked(&[], &[]), 0.0);
+        assert_eq!(cosine_chunked(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn short_vector_dot_is_bitwise_sequential() {
+        // With fewer than eight elements every product lands in its own
+        // lane and the pairwise reduction associates exactly like the
+        // sequential sum — bit-for-bit, which is what keeps dim-3
+        // profile and LSH dots unchanged by the kernel switch.
+        for len in 0..8 {
+            let (a, b) = gaussian_pair(len, 11 + len as u64);
+            assert_eq!(dot_chunked(&a, &b).to_bits(), dot_ref(&a, &b).to_bits());
+        }
+    }
+
+    #[test]
+    fn dot_delegates_to_the_chunked_kernel() {
+        let (a, b) = gaussian_pair(123, 5);
+        assert_eq!(dot(&a, &b).to_bits(), dot_chunked(&a, &b).to_bits());
+    }
+
+    #[test]
+    fn cosine_chunked_matches_cosine_similarity() {
+        for len in [1, 3, 8, 65, 1024] {
+            let (a, b) = gaussian_pair(len, 77 + len as u64);
+            let fused = cosine_chunked(&a, &b);
+            let plain = cosine_similarity(&a, &b);
+            assert!((fused - plain).abs() < 1e-12, "len={len}");
+            assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&fused));
+        }
+    }
+
+    mod kernel_equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(96))]
+
+            /// The chunked kernels agree with the scalar reference to
+            /// strict tolerance across every length 0–1025 (both sides of
+            /// every 8-wide chunk boundary included).
+            #[test]
+            fn chunked_kernels_match_scalar_reference(
+                len in 0usize..=1025,
+                seed in any::<u64>(),
+            ) {
+                let (a, b) = gaussian_pair(len, seed);
+                let magnitude: f64 = a
+                    .iter()
+                    .zip(&b)
+                    .map(|(&x, &y)| ((x as f64) * (y as f64)).abs())
+                    .sum::<f64>()
+                    .max(1.0);
+                let tol = 1e-10 * magnitude;
+
+                prop_assert!((dot_chunked(&a, &b) - dot_ref(&a, &b)).abs() <= tol);
+
+                let a64: Vec<f64> = a.iter().map(|&x| x as f64).collect();
+                let b64: Vec<f64> = b.iter().map(|&x| x as f64).collect();
+                let ref64: f64 = a64.iter().zip(&b64).map(|(x, y)| x * y).sum();
+                prop_assert!((dot_chunked_f64(&a64, &b64) - ref64).abs() <= tol);
+
+                let d2_ref: f64 = a
+                    .iter()
+                    .zip(&b)
+                    .map(|(&x, &y)| {
+                        let d = (x as f64) - (y as f64);
+                        d * d
+                    })
+                    .sum();
+                prop_assert!((dist2_chunked(&a, &b) - d2_ref).abs() <= 1e-10 * d2_ref.max(1.0));
+            }
+        }
     }
 
     #[test]

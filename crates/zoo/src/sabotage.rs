@@ -21,6 +21,9 @@ use std::path::{Path, PathBuf};
 /// The persisted-indices file name, mirroring the CLI's layout.
 const INDEX_FILE: &str = "sommelier.index.json";
 
+/// The binary (`.somb`) snapshot file name, mirroring the CLI's layout.
+const INDEX_FILE_BIN: &str = "sommelier.index.somb";
+
 /// One plantable defect class.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Defect {
@@ -42,17 +45,22 @@ pub enum Defect {
     /// record whose bound falls outside the triangle interval spanned
     /// by its measured `Whole` legs.
     BrokenTriangle,
+    /// One byte of the binary (`.somb`) snapshot's resource slab is
+    /// flipped on disk, breaking the section CRC the way a silent media
+    /// tear would. A JSON-only zoo is compacted to binary first.
+    BinarySnapshotTear,
 }
 
 impl Defect {
     /// Every plantable defect, in a fixed order (the detection matrix).
-    pub const ALL: [Defect; 6] = [
+    pub const ALL: [Defect; 7] = [
         Defect::ShapeBreak,
         Defect::NonFiniteWeights,
         Defect::DeadSubgraph,
         Defect::FingerprintDrift,
         Defect::StaleIndexEntry,
         Defect::BrokenTriangle,
+        Defect::BinarySnapshotTear,
     ];
 
     /// Stable snake-case name (test labels, bench output).
@@ -64,6 +72,7 @@ impl Defect {
             Defect::FingerprintDrift => "fingerprint_drift",
             Defect::StaleIndexEntry => "stale_index_entry",
             Defect::BrokenTriangle => "broken_triangle",
+            Defect::BinarySnapshotTear => "binary_snapshot_tear",
         }
     }
 
@@ -79,6 +88,7 @@ impl Defect {
             Defect::FingerprintDrift => "SOM090",
             Defect::StaleIndexEntry => "SOM020",
             Defect::BrokenTriangle => "SOM092",
+            Defect::BinarySnapshotTear => "SOM054",
         }
     }
 }
@@ -93,6 +103,7 @@ pub fn plant(dir: &Path, defect: Defect) -> Result<String, String> {
         Defect::FingerprintDrift => plant_fingerprint_drift(dir),
         Defect::StaleIndexEntry => plant_stale_index_entry(dir),
         Defect::BrokenTriangle => plant_broken_triangle(dir),
+        Defect::BinarySnapshotTear => plant_binary_snapshot_tear(dir),
     }
 }
 
@@ -304,6 +315,53 @@ fn plant_broken_triangle(dir: &Path) -> Result<String, String> {
     let text = serde_json::to_string(&root).map_err(|e| e.to_string())?;
     write(&path, &text)?;
     Ok(description)
+}
+
+/// Flip one byte of the binary snapshot's resource slab on disk. A
+/// JSON-only zoo is compacted to `.somb` first (re-encoding the
+/// snapshot verbatim, the way `sommelier compact` does), so the defect
+/// always lands on a real binary image. The flip happens behind the
+/// library's back with a plain `std::fs::write` — no CRC re-stamping —
+/// so the slab section's stored CRC no longer matches its bytes.
+fn plant_binary_snapshot_tear(dir: &Path) -> Result<String, String> {
+    use sommelier_index::{persist, somb};
+    model_files(dir)?; // only an existing zoo can be sabotaged
+    let bin = dir.join(INDEX_FILE_BIN);
+    if !bin.exists() {
+        let json = dir.join(INDEX_FILE);
+        if !json.exists() {
+            return Err(format!("'{}' has no persisted index to tear", dir.display()));
+        }
+        let snapshot = persist::read_snapshot(&json)
+            .map_err(|e| format!("cannot load '{}': {e}", json.display()))?;
+        let image = somb::encode(&snapshot.semantic, &snapshot.resource, snapshot.stats.as_ref());
+        write_bytes(&bin, &image)?;
+        std::fs::remove_file(&json)
+            .map_err(|e| format!("cannot remove '{}': {e}", json.display()))?;
+    }
+    let mut bytes = std::fs::read(&bin)
+        .map_err(|e| format!("cannot read '{}': {e}", bin.display()))?;
+    let header = somb::validate_header(&bytes)
+        .map_err(|e| format!("'{}' is not an intact binary snapshot: {e}", bin.display()))?;
+    let slab = somb::SECTION_NAMES
+        .iter()
+        .position(|n| *n == "slab")
+        .expect("slab section is part of the format");
+    let (off, len) = header.sections[slab];
+    // An empty slab (no resource rows) leaves nothing thematic to hit;
+    // flip the image's last byte instead — still a section tear.
+    let target = if len > 0 { off + len / 2 } else { bytes.len() - 1 };
+    bytes[target] ^= 0x40;
+    write_bytes(&bin, &bytes)?;
+    Ok(format!(
+        "flipped byte {target} of '{}' inside the {} section",
+        bin.display(),
+        if len > 0 { "slab" } else { "final" }
+    ))
+}
+
+fn write_bytes(path: &Path, bytes: &[u8]) -> Result<(), String> {
+    std::fs::write(path, bytes).map_err(|e| format!("cannot write '{}': {e}", path.display()))
 }
 
 fn field_mut<'a>(v: &'a mut Value, key: &str) -> Option<&'a mut Value> {

@@ -22,13 +22,21 @@
 # PR 5: crash-safe storage. Runs the crash-loop property test
 # (`tests/crash_consistency.rs`) under three fault seeds, sweeping a
 # seeded crash through every primitive I/O op of the mutation sequence
-# and asserting the store always reopens to old-or-new state.
+# and asserting the store always reopens to old-or-new state. Since
+# PR 7 the swept sequence also publishes a binary (`.somb`) snapshot,
+# so the same matrix covers binary-format tears.
 #
 # PR 6: the deep audit's fingerprint memo. Runs `pr6_audit` (cold vs
 # warm audit sweeps at --jobs 1 and --jobs 4), copies the JSON report to
 # BENCH_pr6.json, and enforces the ≥2× warm-over-cold throughput bar.
 # The binary itself asserts identical reports across job counts and that
 # warm runs answer every model from the memo.
+#
+# PR 7: the binary snapshot format. Runs `pr7_snapshot` (cold-open of a
+# ≥5k-model snapshot in both formats, then an identical query workload
+# served from each), copies the JSON report to BENCH_pr7.json, and
+# enforces the ≥10× cold-open speedup bar, the ≥0.9 query-p50 parity
+# bar, and byte-identical JSON-vs-binary result sets.
 #
 # Usage:
 #   scripts/bench.sh              # smoke fleets
@@ -93,6 +101,30 @@ warm_speedup=$(sed -n 's/.*"warm_speedup":[[:space:]]*\([0-9.]*\).*/\1/p' BENCH_
 echo "warm audit speedup: ${warm_speedup}x (bar: >= 2.0x)"
 awk -v s="$warm_speedup" 'BEGIN { exit !(s >= 2.0) }' || {
     echo "FAIL: warm audit throughput is below the 2x acceptance bar" >&2
+    exit 1
+}
+echo "PASS"
+
+echo "== running pr7_snapshot (${SOMMELIER_PR7_MODE:-quick}) =="
+cargo run --quiet --release -p sommelier-bench --bin pr7_snapshot
+
+cp target/experiments/pr7_snapshot.json BENCH_pr7.json
+echo "== wrote BENCH_pr7.json =="
+
+open_speedup=$(sed -n 's/.*"speedup":[[:space:]]*\([0-9.]*\).*/\1/p' BENCH_pr7.json | head -n1)
+p50_ratio=$(sed -n 's/.*"query_p50_json_over_binary":[[:space:]]*\([0-9.]*\).*/\1/p' BENCH_pr7.json | head -n1)
+echo "cold-open speedup: ${open_speedup}x (bar: >= 10.0x)"
+awk -v s="$open_speedup" 'BEGIN { exit !(s >= 10.0) }' || {
+    echo "FAIL: binary cold-open is below the 10x acceptance bar" >&2
+    exit 1
+}
+echo "query p50 json/binary: ${p50_ratio} (bar: >= 0.9)"
+awk -v s="$p50_ratio" 'BEGIN { exit !(s >= 0.9) }' || {
+    echo "FAIL: binary-format query p50 regressed past the 0.9 parity bar" >&2
+    exit 1
+}
+grep -q '"results_identical": true' BENCH_pr7.json || {
+    echo "FAIL: JSON and binary snapshots served different results" >&2
     exit 1
 }
 echo "PASS"

@@ -18,6 +18,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 const INDEX_FILE: &str = "sommelier.index.json";
+const INDEX_FILE_BIN: &str = "sommelier.index.somb";
 
 fn fault_seed() -> u64 {
     std::env::var("SOMMELIER_FAULT_SEED")
@@ -81,8 +82,11 @@ fn setup_base(dir: &Path, models: &[Model]) {
 }
 
 /// The mutation whose every crash point the sweep exercises: an
-/// overwriting publish, an exclusive publish, and a snapshot save.
-/// Errors are swallowed — mid-sequence crashes are the whole point.
+/// overwriting publish, an exclusive publish, a JSON snapshot save, and
+/// a binary (`.somb`) snapshot publish — both snapshot formats go
+/// through the same atomic-write protocol, so both must survive a crash
+/// at any primitive op. Errors are swallowed — mid-sequence crashes are
+/// the whole point.
 fn mutate(dir: &Path, storage: Arc<dyn Storage>, alpha_v2: &Model, gamma: &Model) {
     let Ok(repo) = OnDiskRepository::open_with(dir, Arc::clone(&storage)) else {
         return;
@@ -100,6 +104,13 @@ fn mutate(dir: &Path, storage: Arc<dyn Storage>, alpha_v2: &Model, gamma: &Model
         &snapshot.resource,
         2,
         &dir.join(INDEX_FILE),
+    );
+    let _ = persist::save_binary_with(
+        &*storage,
+        &snapshot.semantic,
+        &snapshot.resource,
+        2,
+        &dir.join(INDEX_FILE_BIN),
     );
 }
 
@@ -158,6 +169,10 @@ fn reopen_after_crash_at_every_op_sees_old_or_new_state_never_torn() {
         "overwrite must change the stored bytes"
     );
     assert!(new_state.contains_key("gamma.model.json"));
+    assert!(
+        new_state.contains_key(INDEX_FILE_BIN),
+        "fault-free run must publish the binary snapshot"
+    );
 
     let work = scratch("work");
     for crash_op in 0..total_ops {
@@ -209,9 +224,77 @@ fn reopen_after_crash_at_every_op_sees_old_or_new_state_never_torn() {
         }
         persist::read_snapshot(&work.join(INDEX_FILE))
             .unwrap_or_else(|e| panic!("crash at op {crash_op}: snapshot unreadable: {e}"));
+        // The binary snapshot is either absent (crash before its
+        // rename) or a complete image that decodes — never torn.
+        if work.join(INDEX_FILE_BIN).exists() {
+            persist::read_snapshot(&work.join(INDEX_FILE_BIN)).unwrap_or_else(|e| {
+                panic!("crash at op {crash_op}: binary snapshot unreadable: {e}")
+            });
+        }
     }
 
     for dir in [&base, &committed, &work] {
+        std::fs::remove_dir_all(dir).ok();
+    }
+}
+
+/// The binary format is a pure re-encoding: a JSON snapshot and its
+/// `.somb` compaction must serve byte-identical query results at any
+/// job count — the f64 payloads survive both round-trips exactly, and
+/// the slab is re-derived the same way on both load paths.
+#[test]
+fn json_and_binary_snapshots_serve_byte_identical_results() {
+    let models = build_models();
+    let json_dir = scratch("fmt-json");
+    setup_base(&json_dir, &models);
+
+    // Compact a copy into the binary format, the way the CLI would.
+    let bin_dir = scratch("fmt-bin");
+    copy_dir(&json_dir, &bin_dir);
+    let snapshot = persist::read_snapshot(&bin_dir.join(INDEX_FILE)).unwrap();
+    persist::save_snapshot_as(
+        &StdStorage,
+        &snapshot,
+        sommelier::index::SnapshotFormat::Binary,
+        &bin_dir.join(INDEX_FILE_BIN),
+    )
+    .unwrap();
+    std::fs::remove_file(bin_dir.join(INDEX_FILE)).unwrap();
+
+    let serve = |dir: &Path, file: &str, jobs: usize| -> String {
+        let repo = Arc::new(OnDiskRepository::open(dir).unwrap());
+        let config = SommelierConfig {
+            jobs,
+            ..small_config()
+        };
+        let engine = Sommelier::connect_with_indices(
+            repo as Arc<dyn ModelRepository>,
+            config,
+            &dir.join(file),
+        )
+        .unwrap();
+        let results = engine
+            .query("SELECT models 3 CORR beta WITHIN 0.5 ORDER BY similarity")
+            .unwrap();
+        assert!(!results.is_empty(), "query must have content to compare");
+        format!("{results:?}")
+    };
+
+    let baseline = serve(&json_dir, INDEX_FILE, 1);
+    for jobs in [1usize, 4, 8] {
+        assert_eq!(
+            serve(&json_dir, INDEX_FILE, jobs),
+            baseline,
+            "JSON snapshot diverged at jobs={jobs}"
+        );
+        assert_eq!(
+            serve(&bin_dir, INDEX_FILE_BIN, jobs),
+            baseline,
+            "binary snapshot diverged at jobs={jobs}"
+        );
+    }
+
+    for dir in [&json_dir, &bin_dir] {
         std::fs::remove_dir_all(dir).ok();
     }
 }
