@@ -1,0 +1,342 @@
+//! PR 8 performance gate: incremental index maintenance.
+//!
+//! Three halves, three acceptance bars:
+//!
+//! 1. **Register vs full reindex.** A real fleet is bulk-indexed once
+//!    (`index_existing`), then a single fresh model is registered into
+//!    the warm engine. The gate is register ≥ 20× cheaper than the full
+//!    reindex: a mutation pays for its own bucket (one profile, its own
+//!    sampled analyses, an O(affected) index splice, one structurally
+//!    shared snapshot publish) instead of the whole repository.
+//!
+//! 2. **Churn linearity.** A 10k-model index is restored into an
+//!    engine and hammered with a 1k-op unregister/reregister loop. The
+//!    gate compares per-op cost between a half-length and full-length
+//!    loop (ratio ≤ 1.5): per-op cost must not grow with the number of
+//!    ops — the old deep-clone publish made every op O(repo), which
+//!    this loop turns into an unmistakable quadratic curve.
+//!
+//! 3. **Identity.** After a mixed register/unregister/reregister churn,
+//!    the engine's indices must serialize byte-identically (JSON and
+//!    `.somb`) to a from-scratch build over the surviving models.
+//!
+//! ```sh
+//! cargo run --release -p sommelier-bench --bin pr8_incremental
+//! # SOMMELIER_PR8_MODE=full for a larger fleet and longer loops
+//! ```
+
+use serde::Serialize;
+use sommelier_bench::{fmt, print_table, timed, write_json};
+use sommelier_graph::{Fingerprint, Model, ModelBuilder, TaskKind};
+use sommelier_index::lsh::LshConfig;
+use sommelier_index::persist::{self, IndexSnapshot, SnapshotStats, SNAPSHOT_VERSION};
+use sommelier_index::semantic::{CandidateKind, CandidateRecord, SemanticIndexConfig};
+use sommelier_index::{somb, ResourceIndex, SemanticIndex};
+use sommelier_query::{Sommelier, SommelierConfig};
+use sommelier_repo::{InMemoryRepository, ModelRepository};
+use sommelier_runtime::ResourceProfile;
+use sommelier_tensor::{Prng, Shape};
+use sommelier_zoo::families::Family;
+use sommelier_zoo::series::build_series;
+use std::sync::Arc;
+
+#[derive(Serialize)]
+struct RegisterVsReindex {
+    models: usize,
+    full_reindex_ms: f64,
+    register_one_ms: f64,
+    unregister_one_ms: f64,
+    /// `full_reindex_ms / register_one_ms` — gated ≥ 20 by bench.sh.
+    register_speedup: f64,
+}
+
+#[derive(Serialize)]
+struct ChurnLoop {
+    index_models: usize,
+    half_ops: usize,
+    full_ops: usize,
+    half_us_per_op: f64,
+    full_us_per_op: f64,
+    /// `full_us_per_op / half_us_per_op` — gated ≤ 1.5 by bench.sh
+    /// (per-op cost stays flat as the loop doubles).
+    churn_linearity: f64,
+}
+
+#[derive(Serialize)]
+struct Bench {
+    experiment: &'static str,
+    mode: String,
+    register_vs_reindex: RegisterVsReindex,
+    churn: ChurnLoop,
+    /// Churned indices serialize byte-identically (JSON and `.somb`)
+    /// to a from-scratch build of the surviving models — gated by
+    /// bench.sh.
+    identical: bool,
+}
+
+fn engine_config() -> SommelierConfig {
+    let mut cfg = SommelierConfig {
+        validation_rows: 16,
+        jobs: 4,
+        ..SommelierConfig::default()
+    };
+    cfg.index.sample_size = 8;
+    cfg.index.segments = false;
+    cfg
+}
+
+fn fleet(n_series: usize) -> Vec<Model> {
+    let families = [
+        Family::Bitish,
+        Family::Efficientnetish,
+        Family::Resnetish,
+        Family::Mobilenetish,
+        Family::Vggish,
+        Family::Inceptionish,
+    ];
+    let mut rng = Prng::seed_from_u64(2028);
+    let mut models = Vec::new();
+    for i in 0..n_series {
+        let family = families[i % families.len()];
+        let series = build_series(
+            &format!("{}-v{}", family.slug(), i / families.len() + 1),
+            family,
+            TaskKind::ImageRecognition,
+            "imagenet",
+            5,
+            2028,
+            0.12,
+            &mut rng,
+        );
+        models.extend(series.models);
+    }
+    models
+}
+
+/// Half 1: bulk reindex cost vs a single warm-engine register.
+fn register_vs_reindex(mode: &str) -> RegisterVsReindex {
+    let n_series = if mode == "full" { 150 } else { 64 };
+    let mut models = fleet(n_series + 1);
+    // The last series member stays out of the bulk build and becomes
+    // the single registered model.
+    let newcomer = models.pop().expect("fleet is not empty");
+    let repo = Arc::new(InMemoryRepository::new());
+    for m in &models {
+        repo.publish(&m.name, m, true).expect("publish");
+    }
+    let mut engine = Sommelier::connect(
+        Arc::clone(&repo) as Arc<dyn ModelRepository>,
+        engine_config(),
+    );
+    let (_, reindex_secs) = timed(|| engine.index_existing().expect("bulk index"));
+    let (_, register_secs) = timed(|| engine.register(&newcomer).expect("register"));
+    let (_, unregister_secs) = timed(|| assert!(engine.unregister(&newcomer.name)));
+    RegisterVsReindex {
+        models: models.len(),
+        full_reindex_ms: reindex_secs * 1e3,
+        register_one_ms: register_secs * 1e3,
+        unregister_one_ms: unregister_secs * 1e3,
+        register_speedup: reindex_secs / register_secs,
+    }
+}
+
+/// A controlled-shape 10k-model index (the same `from_parts` technique
+/// as the PR 7 bench): big enough that any O(repo) cost hiding in the
+/// mutation path dominates the loop, cheap enough to build in
+/// milliseconds.
+fn synthetic(models: usize, cands: usize) -> (SemanticIndex, ResourceIndex) {
+    let keys: Vec<String> = (0..models)
+        .map(|i| format!("hub/family-{:02}/model-{:05}", i % 37, i))
+        .collect();
+    let mut resource = ResourceIndex::new(LshConfig::default(), 7);
+    for (i, key) in keys.iter().enumerate() {
+        let x = i as f64;
+        resource.insert(
+            key,
+            ResourceProfile {
+                memory_mb: 32.0 + (x * 1.7) % 4096.0,
+                gflops: 0.5 + (x * 0.13) % 40.0,
+                latency_ms: 1.0 + (x * 0.41) % 90.0,
+            },
+        );
+    }
+    let entries: Vec<(Fingerprint, String, Vec<CandidateRecord>)> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, key)| {
+            let fp = Fingerprint((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1));
+            let candidates = (1..=cands)
+                .map(|j| {
+                    let other = keys[(i + j * 131) % keys.len()].clone();
+                    let diff = ((i * 31 + j * 17) % 1000) as f64 / 1250.0;
+                    CandidateRecord {
+                        key: other,
+                        diff_bound: diff,
+                        score: (1.0 - diff).max(0.0),
+                        kind: CandidateKind::Whole,
+                    }
+                })
+                .collect();
+            (fp, key.clone(), candidates)
+        })
+        .collect();
+    let semantic = SemanticIndex::from_parts(SemanticIndexConfig::default(), 7, entries, keys);
+    (semantic, resource)
+}
+
+/// A tiny model for churn ops: maintenance cost, not analysis cost, is
+/// the measurement.
+fn tiny_model(name: &str) -> Model {
+    let mut rng = Prng::seed_from_u64(0x88);
+    ModelBuilder::new(name, TaskKind::Other, Shape::vector(4))
+        .dense(4, &mut rng)
+        .relu()
+        .dense(3, &mut rng)
+        .softmax()
+        .build()
+        .expect("tiny model builds")
+}
+
+/// Restore a fresh engine over the synthetic 10k-model snapshot and run
+/// `ops` churn iterations; returns µs per op.
+fn churn_us_per_op(snapshot_path: &std::path::Path, ops: usize) -> f64 {
+    let repo = Arc::new(InMemoryRepository::new());
+    let mut engine = Sommelier::connect_with_indices(
+        repo as Arc<dyn ModelRepository>,
+        engine_config(),
+        snapshot_path,
+    )
+    .expect("synthetic snapshot restores");
+    let probe = tiny_model("churn-probe");
+    engine.register(&probe).expect("probe registers");
+    let (_, secs) = timed(|| {
+        for i in 0..ops {
+            // One removal against the big index plus one replacement of
+            // the probe: every iteration exercises tombstoning, the LSH
+            // purge, slot reuse, and a structurally shared publish.
+            engine.unregister(&format!("hub/family-{:02}/model-{:05}", i % 37, i));
+            engine.reregister(&probe).expect("probe reregisters");
+        }
+    });
+    secs * 1e6 / ops as f64
+}
+
+fn churn_half(mode: &str) -> ChurnLoop {
+    let index_models = 10_000;
+    let full_ops = if mode == "full" { 2_000 } else { 1_000 };
+    let (semantic, resource) = synthetic(index_models, 16);
+    let tag = std::process::id();
+    let path = std::env::temp_dir().join(format!("sommelier-pr8-{tag}.index.somb"));
+    persist::save_binary(&semantic, &resource, 1, &path).expect("snapshot saves");
+
+    let half_us = churn_us_per_op(&path, full_ops / 2);
+    let full_us = churn_us_per_op(&path, full_ops);
+    std::fs::remove_file(&path).ok();
+    ChurnLoop {
+        index_models,
+        half_ops: full_ops / 2,
+        full_ops,
+        half_us_per_op: half_us,
+        full_us_per_op: full_us,
+        churn_linearity: full_us / half_us,
+    }
+}
+
+/// Serialize an engine's published indices at an explicit epoch, so the
+/// identity comparison sees only index *contents*.
+fn images(engine: &Sommelier) -> (String, Vec<u8>) {
+    let snap = engine.reader().snapshot();
+    let stats = SnapshotStats::of(&snap.semantic, &snap.resource, 0);
+    let json = serde_json::to_string(&IndexSnapshot {
+        version: SNAPSHOT_VERSION,
+        stats: Some(stats),
+        semantic: snap.semantic.clone(),
+        resource: snap.resource.clone(),
+    })
+    .expect("snapshot serializes");
+    let binary = somb::encode(&snap.semantic, &snap.resource, Some(&stats));
+    (json, binary)
+}
+
+/// Half 3: churn a small real fleet, then rebuild the survivors from
+/// scratch; both serializations must agree byte for byte.
+fn identity_half() -> bool {
+    let models = fleet(3); // 15 models
+    let repo = Arc::new(InMemoryRepository::new());
+    let mut engine = Sommelier::connect(
+        Arc::clone(&repo) as Arc<dyn ModelRepository>,
+        engine_config(),
+    );
+    for m in &models {
+        engine.register(m).expect("register");
+    }
+    // Mixed churn: drop every third model, replace every fourth.
+    let mut survivors: Vec<&Model> = Vec::new();
+    for (i, m) in models.iter().enumerate() {
+        if i % 3 == 0 {
+            assert!(engine.unregister(&m.name));
+        } else {
+            if i % 4 == 0 {
+                engine.reregister(m).expect("reregister");
+            }
+            survivors.push(m);
+        }
+    }
+    let churned = images(&engine);
+
+    let fresh_repo = Arc::new(InMemoryRepository::new());
+    for m in &survivors {
+        fresh_repo.publish(&m.name, m, false).expect("publish");
+    }
+    let mut fresh = Sommelier::connect(fresh_repo as Arc<dyn ModelRepository>, engine_config());
+    fresh.index_existing().expect("bulk index");
+    let rebuilt = images(&fresh);
+    churned == rebuilt
+}
+
+fn main() {
+    let mode = std::env::var("SOMMELIER_PR8_MODE").unwrap_or_else(|_| "quick".into());
+
+    let rvr = register_vs_reindex(&mode);
+    print_table(
+        "PR 8: single-model register vs full reindex",
+        &["models", "reindex ms", "register ms", "unregister ms", "speedup"],
+        &[vec![
+            rvr.models.to_string(),
+            fmt(rvr.full_reindex_ms, 1),
+            fmt(rvr.register_one_ms, 2),
+            fmt(rvr.unregister_one_ms, 2),
+            fmt(rvr.register_speedup, 1),
+        ]],
+    );
+    println!("register speedup (gated >= 20): {}", fmt(rvr.register_speedup, 1));
+
+    let churn = churn_half(&mode);
+    print_table(
+        "PR 8: churn loop on a 10k-model index",
+        &["index", "ops", "us/op (half)", "us/op (full)", "linearity"],
+        &[vec![
+            churn.index_models.to_string(),
+            churn.full_ops.to_string(),
+            fmt(churn.half_us_per_op, 1),
+            fmt(churn.full_us_per_op, 1),
+            fmt(churn.churn_linearity, 2),
+        ]],
+    );
+    println!("churn linearity (gated <= 1.5): {}", fmt(churn.churn_linearity, 2));
+
+    let identical = identity_half();
+    println!("churned == from-scratch snapshots (gated): {identical}");
+    assert!(identical, "incremental maintenance drifted from a from-scratch build");
+
+    write_json(
+        "pr8_incremental",
+        &Bench {
+            experiment: "pr8_incremental",
+            mode,
+            register_vs_reindex: rvr,
+            churn,
+            identical,
+        },
+    );
+}

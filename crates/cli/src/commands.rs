@@ -271,6 +271,49 @@ pub fn index(args: &[String]) -> CmdResult {
     Ok(())
 }
 
+/// `sommelier apply <dir> [--add FILE]... [--remove KEY]... [--jobs N] [--cache-cap N]`
+///
+/// Batched mutation against an existing index: every `--add` and
+/// `--remove` coalesces into one [`MutationBatch`] applied as a single
+/// logical mutation — one analysis fan-out, one snapshot publication,
+/// one epoch bump — instead of a full `sommelier index` rebuild. A key
+/// named by both `--remove` and an `--add`ed model is replaced in
+/// place.
+pub fn apply(args: &[String]) -> CmdResult {
+    use sommelier_query::MutationBatch;
+    let (positional, flags) = split_flags(args)?;
+    let dir = repo_dir(&positional)?;
+    let mut batch = MutationBatch::new();
+    let mut engine_flags = Vec::new();
+    for (name, value) in &flags {
+        match *name {
+            "add" => {
+                let model = serde_model::load(Path::new(value)).map_err(fail)?;
+                batch = batch.register(model);
+            }
+            "remove" => batch = batch.unregister(*value),
+            _ => engine_flags.push((*name, *value)),
+        }
+    }
+    if batch.is_empty() {
+        println!("nothing to apply (pass --add FILE and/or --remove KEY)");
+        return Ok(());
+    }
+    let cfg = engine_config(&engine_flags)?;
+    let mut engine = load_engine(&dir, cfg)?;
+    let path = index_path(&dir);
+    let start = std::time::Instant::now();
+    let applied = engine.apply(batch).map_err(fail)?;
+    let secs = start.elapsed().as_secs_f64();
+    engine.save_indices(&path).map_err(fail)?;
+    println!(
+        "applied {applied} mutation(s) in {secs:.2}s (epoch {}) → {}",
+        engine.epoch(),
+        path.display()
+    );
+    Ok(())
+}
+
 /// `sommelier compact <dir>`
 ///
 /// Rewrite the index snapshot into the `.somb` binary format: smaller,

@@ -33,6 +33,14 @@ COMMANDS:
     show   <dir> <key>                  metadata + resource profile
     index  <dir> [--sample N] [--no-segments] [--jobs N] [--cache-cap N]
                                         build and persist the indices
+    apply  <dir> [--add FILE]... [--remove KEY]... [--jobs N] [--cache-cap N]
+                                        batched mutation of an existing
+                                        index: all adds and removes
+                                        coalesce into one analysis
+                                        fan-out and one snapshot
+                                        publication (one epoch bump);
+                                        --remove K --add FILE replaces
+                                        key K in place
     compact <dir>                       rewrite the index snapshot as
                                         sommelier.index.somb — the binary
                                         format (CRC-checked header, string
@@ -89,6 +97,7 @@ fn main() -> ExitCode {
         "list" => commands::list(rest),
         "show" => commands::show(rest),
         "index" => commands::index(rest),
+        "apply" => commands::apply(rest),
         "compact" => commands::compact(rest),
         "query" => commands::query(rest),
         "diff" => commands::diff(rest),

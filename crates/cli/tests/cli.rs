@@ -246,6 +246,67 @@ fn compact_rewrites_the_index_to_binary_and_queries_report_it() {
 }
 
 #[test]
+fn apply_coalesces_mutations_into_one_epoch_bump() {
+    let dir = temp_repo("apply");
+    let d = dir.to_str().unwrap();
+    assert!(run(&["init", d]).status.success());
+    assert!(run(&["seed", d, "--series", "1", "--seed", "9"]).status.success());
+    assert!(run(&["index", d, "--sample", "16", "--no-segments"]).status.success());
+    let listing = stdout(&run(&["list", d]));
+    let keys: Vec<String> = listing.lines().map(str::to_string).collect();
+    assert_eq!(keys.len(), 5);
+
+    // An empty batch is a no-op, not an error.
+    let out = run(&["apply", d]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("nothing to apply"), "{}", stdout(&out));
+
+    // Replace one key in place and drop another: one batch, one epoch.
+    let export = dir.join("replacement.json");
+    let stored = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .find(|e| {
+            e.file_name()
+                .to_string_lossy()
+                .starts_with(&format!("{}.", keys[0]))
+        })
+        .expect("stored model file for first key");
+    std::fs::copy(stored.path(), &export).unwrap();
+    let out = run(&[
+        "apply",
+        d,
+        "--remove",
+        &keys[0],
+        "--add",
+        export.to_str().unwrap(),
+        "--remove",
+        &keys[4],
+        "--sample",
+        "16",
+        "--no-segments",
+    ]);
+    assert!(out.status.success(), "apply failed: {}", stderr(&out));
+    let report = stdout(&out);
+    assert!(report.contains("applied 3 mutation(s)"), "{report}");
+    assert!(report.contains("epoch 2"), "one publish, one bump: {report}");
+
+    // The dropped key is gone from query results; the replaced one serves.
+    let q = format!("SELECT models 10 CORR {} WITHIN 0.9", keys[0]);
+    let out = run(&["query", d, &q, "--sample", "16", "--no-segments"]);
+    assert!(out.status.success(), "query failed: {}", stderr(&out));
+    let table = stdout(&out);
+    assert!(!table.contains(&keys[4]), "removed key still served: {table}");
+    assert!(table.contains("epoch 2"), "{table}");
+
+    // Removing an unknown key mutates nothing and keeps the epoch.
+    let out = run(&["apply", d, "--remove", "no-such-model"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("applied 0 mutation(s)"), "{}", stdout(&out));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn add_rejects_missing_file_and_duplicate_keys() {
     let dir = temp_repo("add");
     let d = dir.to_str().unwrap();

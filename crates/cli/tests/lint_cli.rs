@@ -75,7 +75,7 @@ fn write_corrupt_snapshot(dir: &Path) {
         },
         "exhaustive": false
     }"#;
-    let snapshot = format!("{{\"version\":1,\"semantic\":{semantic},\"resource\":{resource}}}");
+    let snapshot = format!("{{\"version\":2,\"semantic\":{semantic},\"resource\":{resource}}}");
     std::fs::write(dir.join("sommelier.index.json"), snapshot).expect("snapshot writes");
 }
 

@@ -98,6 +98,33 @@ impl CosineLsh {
         self.len += 1;
     }
 
+    /// Remove an id stored under a vector. The signature is recomputed
+    /// from the vector (buckets are not back-indexed by id), so the
+    /// caller must pass the same vector it inserted. Returns whether the
+    /// id was found in any table; emptied buckets are dropped so the
+    /// table never accumulates dead signatures.
+    pub fn remove(&mut self, v: &[f64], id: usize) -> bool {
+        assert_eq!(v.len(), self.dim, "vector dimensionality mismatch");
+        let mut found = false;
+        for t in 0..self.config.tables {
+            let sig = self.signature(t, v);
+            if let Some(ids) = self.buckets[t].get_mut(&sig) {
+                let before = ids.len();
+                ids.retain(|x| *x != id);
+                if ids.len() < before {
+                    found = true;
+                }
+                if ids.is_empty() {
+                    self.buckets[t].remove(&sig);
+                }
+            }
+        }
+        if found {
+            self.len -= 1;
+        }
+        found
+    }
+
     /// Candidate ids colliding with the probe in at least one table
     /// (deduplicated, ascending).
     pub fn candidates(&self, v: &[f64]) -> Vec<usize> {
@@ -364,6 +391,22 @@ mod tests {
             assert_eq!(lsh.candidates_multiprobe(&pool4, v, 2), multi);
         }
         assert!(widened > 0, "neighbor buckets recovered extra candidates");
+    }
+
+    #[test]
+    fn remove_purges_id_from_every_table() {
+        let mut lsh = CosineLsh::new(4, LshConfig::default(), 1);
+        lsh.insert(&unit(4, 0), 3);
+        lsh.insert(&unit(4, 0), 1);
+        assert!(lsh.remove(&unit(4, 0), 3));
+        assert_eq!(lsh.candidates(&unit(4, 0)), vec![1]);
+        assert_eq!(lsh.stored_ids(), vec![1]);
+        assert_eq!(lsh.len(), 1);
+        assert!(!lsh.remove(&unit(4, 0), 3), "double removal is a no-op");
+        // Removing the last id of a bucket drops the bucket itself.
+        assert!(lsh.remove(&unit(4, 0), 1));
+        assert!(lsh.is_empty());
+        assert!(lsh.buckets_audit().iter().all(|t| t.is_empty()));
     }
 
     #[test]

@@ -65,8 +65,11 @@ pub struct IndexSnapshot {
     pub resource: ResourceIndex,
 }
 
-/// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Current snapshot format version. Version 2 (incremental index
+/// maintenance) added the semantic edge table to the JSON image and
+/// canonicalized the resource sections; older snapshots are rebuilt
+/// from the repository by the engine's recovery path.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Current stats-header version (evolves independently of
 /// [`SNAPSHOT_VERSION`]; unknown versions are tolerated by readers).
@@ -451,7 +454,7 @@ mod tests {
             std::env::temp_dir().join(format!("sommelier-vers-{}.json", std::process::id()));
         save(&sem, &res, 0, &path).unwrap();
         let json = std::fs::read_to_string(&path).unwrap();
-        std::fs::write(&path, json.replacen("\"version\":1", "\"version\":9", 1)).unwrap();
+        std::fs::write(&path, json.replacen("\"version\":2", "\"version\":9", 1)).unwrap();
         let err = load(&path).unwrap_err();
         std::fs::remove_file(&path).ok();
         assert!(matches!(

@@ -8,13 +8,29 @@
 //! resource profile, those that satisfy the constraints in all dimensions
 //! will be the outputs"). An exhaustive mode (linear scan) is provided for
 //! the LSH ablation and as a correctness oracle.
+//!
+//! # Incremental maintenance
+//!
+//! Removal tombstones the slot, purges its id from the LSH buckets
+//! ([`CosineLsh::remove`]) and parks the slot on a free list that the
+//! next insertion reuses, so a churn loop neither leaks bucket ids nor
+//! grows the `f32` slab forever. Once tombstones outnumber live entries
+//! the index compacts (dense renumbering, slab shrink, LSH rebuild over
+//! the same hyperplanes). Members sit behind `Arc`s so cloning the index
+//! for snapshot publication is a handful of reference bumps; a mutation
+//! copies only the members it touches (the slab stays one contiguous
+//! allocation — the scan kernels and the zero-copy snapshot section
+//! depend on that — so its copy-on-write granularity is the whole slab,
+//! an accepted trade against the pairwise-analysis costs that dominate
+//! mutations).
 
 use crate::lsh::{CosineLsh, LshConfig};
 use serde::{Deserialize, Serialize};
 use sommelier_parallel::ThreadPool;
 use sommelier_runtime::ResourceProfile;
 use sommelier_tensor::linalg;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// Per-dimension upper bounds; `None` means unconstrained.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
@@ -73,39 +89,44 @@ pub const SLAB_STRIDE: usize = 4;
 
 /// The resource index.
 ///
-/// `slots` and `slab` are *derived* acceleration structures — rebuilt
-/// from `entries` on deserialization and maintained incrementally on
-/// mutation, never serialized. The slab holds every profile vector as a
-/// dense `f32` row ([`SLAB_STRIDE`] lanes), the linear-scan surface for
-/// the chunked scoring kernels; the slot map makes `profile_of` O(1)
-/// where it used to walk the entry table per lookup.
+/// `slots`, `slab` and `free` are *derived* acceleration structures —
+/// rebuilt from `entries` on deserialization and maintained incrementally
+/// on mutation, never serialized. The slab holds every profile vector as
+/// a dense `f32` row ([`SLAB_STRIDE`] lanes), the linear-scan surface for
+/// the chunked scoring kernels; the slot map makes `profile_of` O(1); the
+/// free list tracks tombstoned slots for reuse.
 #[derive(Clone, Debug)]
 pub struct ResourceIndex {
-    entries: Vec<(String, ResourceProfile)>,
-    /// Tombstones for removed entries (aligned with `entries`); LSH
-    /// buckets are append-only, so removal marks instead of rebuilding.
-    removed: Vec<bool>,
-    lsh: CosineLsh,
+    entries: Arc<Vec<(String, ResourceProfile)>>,
+    /// Tombstones for removed entries (aligned with `entries`).
+    removed: Arc<Vec<bool>>,
+    lsh: Arc<CosineLsh>,
     /// When true, queries linear-scan instead of probing the LSH — the
     /// correctness oracle and the ablation baseline.
     pub exhaustive: bool,
     /// Derived: key → first live slot (the entry `profile_of` serves).
-    slots: HashMap<String, u32>,
+    slots: Arc<HashMap<String, u32>>,
     /// Derived: dense `f32` profile rows, [`SLAB_STRIDE`] lanes per slot
     /// (tombstoned slots keep their row; liveness is positional).
-    slab: Vec<f32>,
+    slab: Arc<Vec<f32>>,
+    /// Derived: tombstoned slot ids, lowest first, reused by insertion.
+    free: Arc<BTreeSet<u32>>,
 }
 
-// The slot map and slab are derived state: serialization must keep the
-// exact shape the `#[derive]` produced before they existed (snapshot
-// compatibility both ways), so both impls are written out by hand and
-// deserialization rebuilds the derived structures.
+// Serialization canonicalizes through `canonical_view`: live entries in
+// sorted-key order, no tombstones, LSH ids renumbered to match — the
+// exact state a from-scratch build of the same live set produces, which
+// is what makes incremental and bulk-built snapshots byte-identical.
+// The wire shape is unchanged from the original `#[derive]` (snapshot
+// compatibility both ways) and deserialization still accepts tombstoned
+// images, rebuilding the derived structures.
 impl Serialize for ResourceIndex {
     fn to_value(&self) -> serde::Value {
+        let (entries, removed, lsh) = self.canonical_view();
         serde::Value::Map(vec![
-            ("entries".to_string(), Serialize::to_value(&self.entries)),
-            ("removed".to_string(), Serialize::to_value(&self.removed)),
-            ("lsh".to_string(), Serialize::to_value(&self.lsh)),
+            ("entries".to_string(), Serialize::to_value(&entries)),
+            ("removed".to_string(), Serialize::to_value(&removed)),
+            ("lsh".to_string(), Serialize::to_value(&lsh)),
             ("exhaustive".to_string(), Serialize::to_value(&self.exhaustive)),
         ])
     }
@@ -115,12 +136,13 @@ impl Deserialize for ResourceIndex {
     fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
         let _ = serde::expect_map(v)?;
         let mut idx = ResourceIndex {
-            entries: serde::field(v, "entries")?,
-            removed: serde::field(v, "removed")?,
-            lsh: serde::field(v, "lsh")?,
+            entries: Arc::new(serde::field(v, "entries")?),
+            removed: Arc::new(serde::field(v, "removed")?),
+            lsh: Arc::new(serde::field(v, "lsh")?),
             exhaustive: serde::field(v, "exhaustive")?,
-            slots: HashMap::new(),
-            slab: Vec::new(),
+            slots: Arc::new(HashMap::new()),
+            slab: Arc::new(Vec::new()),
+            free: Arc::new(BTreeSet::new()),
         };
         idx.rebuild_derived();
         Ok(idx)
@@ -136,12 +158,13 @@ impl ResourceIndex {
     /// Create an empty index.
     pub fn new(config: LshConfig, seed: u64) -> Self {
         ResourceIndex {
-            entries: Vec::new(),
-            removed: Vec::new(),
-            lsh: CosineLsh::new(3, config, seed),
+            entries: Arc::new(Vec::new()),
+            removed: Arc::new(Vec::new()),
+            lsh: Arc::new(CosineLsh::new(3, config, seed)),
             exhaustive: false,
-            slots: HashMap::new(),
-            slab: Vec::new(),
+            slots: Arc::new(HashMap::new()),
+            slab: Arc::new(Vec::new()),
+            free: Arc::new(BTreeSet::new()),
         }
     }
 
@@ -157,35 +180,91 @@ impl ResourceIndex {
     ) -> Self {
         assert_eq!(entries.len(), removed.len(), "tombstone vector misaligned");
         let mut idx = ResourceIndex {
-            entries,
-            removed,
-            lsh,
+            entries: Arc::new(entries),
+            removed: Arc::new(removed),
+            lsh: Arc::new(lsh),
             exhaustive,
-            slots: HashMap::new(),
-            slab: Vec::new(),
+            slots: Arc::new(HashMap::new()),
+            slab: Arc::new(Vec::new()),
+            free: Arc::new(BTreeSet::new()),
         };
         idx.rebuild_derived();
         idx
     }
 
-    /// Rebuild the derived slot map and scoring slab from the entry
-    /// table (deserialization and bulk reconstruction).
+    /// Rebuild the derived slot map, scoring slab and free list from the
+    /// entry table (deserialization and bulk reconstruction).
     fn rebuild_derived(&mut self) {
-        self.slab.clear();
-        self.slab.reserve(self.entries.len() * SLAB_STRIDE);
-        self.slots.clear();
-        self.slots.reserve(self.entries.len());
+        let mut slab = Vec::with_capacity(self.entries.len() * SLAB_STRIDE);
+        let mut slots: HashMap<String, u32> = HashMap::with_capacity(self.entries.len());
+        let mut free = BTreeSet::new();
         for (i, (k, p)) in self.entries.iter().enumerate() {
-            self.slab.extend_from_slice(&slab_row(p));
-            if !self.removed.get(i).copied().unwrap_or(false) {
-                self.slots.entry(k.clone()).or_insert(i as u32);
+            slab.extend_from_slice(&slab_row(p));
+            if self.removed.get(i).copied().unwrap_or(false) {
+                free.insert(i as u32);
+            } else {
+                slots.entry(k.clone()).or_insert(i as u32);
             }
         }
+        self.slab = Arc::new(slab);
+        self.slots = Arc::new(slots);
+        self.free = Arc::new(free);
+    }
+
+    /// The canonical (serialization) state: live entries in sorted-key
+    /// order, an all-false tombstone vector, and the LSH with ids
+    /// renumbered to the sorted order (dead ids dropped, id lists
+    /// ascending, emptied buckets omitted) — exactly what inserting the
+    /// live set into a fresh index in key order produces.
+    pub(crate) fn canonical_view(
+        &self,
+    ) -> (Vec<(String, ResourceProfile)>, Vec<bool>, CosineLsh) {
+        let mut live: Vec<usize> = (0..self.entries.len())
+            .filter(|i| !self.removed[*i])
+            .collect();
+        live.sort_by(|a, b| self.entries[*a].0.cmp(&self.entries[*b].0));
+        let remap: HashMap<usize, usize> = live
+            .iter()
+            .enumerate()
+            .map(|(new, old)| (*old, new))
+            .collect();
+        let entries: Vec<(String, ResourceProfile)> =
+            live.iter().map(|&i| self.entries[i].clone()).collect();
+        let buckets: Vec<Vec<(u64, Vec<usize>)>> = self
+            .lsh
+            .buckets_audit()
+            .iter()
+            .map(|table| {
+                table
+                    .iter()
+                    .filter_map(|(sig, ids)| {
+                        let mut mapped: Vec<usize> = ids
+                            .iter()
+                            .filter_map(|id| remap.get(id).copied())
+                            .collect();
+                        mapped.sort_unstable();
+                        if mapped.is_empty() {
+                            None
+                        } else {
+                            Some((*sig, mapped))
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let lsh = CosineLsh::from_parts(
+            self.lsh.dim(),
+            self.lsh.config(),
+            self.lsh.planes().to_vec(),
+            buckets,
+            entries.len(),
+        );
+        let removed = vec![false; entries.len()];
+        (entries, removed, lsh)
     }
 
     /// The dense `f32` scoring slab: [`SLAB_STRIDE`] lanes per slot, in
-    /// slot order, tombstones included. This is the byte-exact content
-    /// of a binary snapshot's slab section.
+    /// slot order, tombstones included.
     pub fn slab(&self) -> &[f32] {
         &self.slab
     }
@@ -199,32 +278,95 @@ impl ResourceIndex {
         self.len() == 0
     }
 
-    /// Insert a model's resource profile.
+    /// Insert a model's resource profile, reusing the lowest tombstoned
+    /// slot when one is free.
     pub fn insert(&mut self, key: impl Into<String>, profile: ResourceProfile) {
         let key = key.into();
-        let id = self.entries.len();
-        self.lsh.insert(&profile.as_vector(), id);
-        self.slab.extend_from_slice(&slab_row(&profile));
+        let vector = profile.as_vector();
+        let row = slab_row(&profile);
+        let entries = Arc::make_mut(&mut self.entries);
+        let removed = Arc::make_mut(&mut self.removed);
+        let slab = Arc::make_mut(&mut self.slab);
+        let id = match Arc::make_mut(&mut self.free).pop_first() {
+            Some(slot) => {
+                let i = slot as usize;
+                entries[i] = (key.clone(), profile);
+                removed[i] = false;
+                slab[i * SLAB_STRIDE..(i + 1) * SLAB_STRIDE].copy_from_slice(&row);
+                i
+            }
+            None => {
+                let i = entries.len();
+                entries.push((key.clone(), profile));
+                removed.push(false);
+                slab.extend_from_slice(&row);
+                i
+            }
+        };
+        Arc::make_mut(&mut self.lsh).insert(&vector, id);
         // First live slot wins, matching the old first-match scan.
-        self.slots.entry(key.clone()).or_insert(id as u32);
-        self.entries.push((key, profile));
-        self.removed.push(false);
+        Arc::make_mut(&mut self.slots).entry(key).or_insert(id as u32);
     }
 
-    /// Remove a key's profile (tombstoned; LSH buckets are append-only).
+    /// Remove a key's profile: the slot is tombstoned and freed for
+    /// reuse, and its id is purged from the LSH buckets. Compacts when
+    /// tombstones outnumber live entries.
     pub fn remove(&mut self, key: &str) -> bool {
-        let mut hit = false;
-        for (i, (k, _)) in self.entries.iter().enumerate() {
-            if k == key && !self.removed[i] {
-                self.removed[i] = true;
-                hit = true;
+        let hits: Vec<usize> = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(i, (k, _))| k == key && !self.removed[*i])
+            .map(|(i, _)| i)
+            .collect();
+        if hits.is_empty() {
+            return false;
+        }
+        {
+            let removed = Arc::make_mut(&mut self.removed);
+            let lsh = Arc::make_mut(&mut self.lsh);
+            let free = Arc::make_mut(&mut self.free);
+            for &i in &hits {
+                removed[i] = true;
+                lsh.remove(&self.entries[i].1.as_vector(), i);
+                free.insert(i as u32);
             }
         }
-        if hit {
-            // Every slot under this key is now tombstoned.
-            self.slots.remove(key);
+        Arc::make_mut(&mut self.slots).remove(key);
+        let live = self.len();
+        if self.entries.len() - live > live {
+            self.compact();
         }
-        hit
+        true
+    }
+
+    /// Drop every tombstoned slot: live entries are renumbered densely
+    /// (slot order preserved), the slab shrinks, and the LSH is rebuilt
+    /// over the same hyperplanes with the remapped ids. Runs
+    /// automatically once tombstones outnumber live entries; callable
+    /// explicitly for eager shrinking.
+    pub fn compact(&mut self) {
+        let entries: Vec<(String, ResourceProfile)> = self
+            .entries
+            .iter()
+            .zip(self.removed.iter())
+            .filter(|(_, r)| !**r)
+            .map(|(e, _)| e.clone())
+            .collect();
+        let mut lsh = CosineLsh::from_parts(
+            self.lsh.dim(),
+            self.lsh.config(),
+            self.lsh.planes().to_vec(),
+            vec![Vec::new(); self.lsh.config().tables],
+            0,
+        );
+        for (id, (_, p)) in entries.iter().enumerate() {
+            lsh.insert(&p.as_vector(), id);
+        }
+        self.removed = Arc::new(vec![false; entries.len()]);
+        self.entries = Arc::new(entries);
+        self.lsh = Arc::new(lsh);
+        self.rebuild_derived();
     }
 
     /// The stored profile for a key, if present (and not removed) —
@@ -324,18 +466,19 @@ impl ResourceIndex {
     }
 
     /// Audit view of the entry table: `(key, profile, removed)` for every
-    /// slot, tombstones included. Integrity tooling needs the raw table
-    /// (not the live view) to cross-check LSH bucket ids against slot
-    /// count and to find profiles that dangle from the repository.
+    /// slot, tombstones included. Integrity tooling needs the raw
+    /// *runtime* table (not the canonical serialization view) to
+    /// cross-check LSH bucket ids against slot liveness and to find
+    /// profiles that dangle from the repository.
     pub fn entries_audit(&self) -> Vec<(&str, &ResourceProfile, bool)> {
         self.entries
             .iter()
-            .zip(&self.removed)
+            .zip(self.removed.iter())
             .map(|((k, p), r)| (k.as_str(), p, *r))
             .collect()
     }
 
-    /// Number of slots ever allocated (live + tombstoned). LSH bucket ids
+    /// Number of slots allocated (live + tombstoned). LSH bucket ids
     /// must all be smaller than this.
     pub fn slot_count(&self) -> usize {
         self.entries.len()
@@ -353,7 +496,7 @@ impl ResourceIndex {
             .iter()
             .map(|(k, _)| k.len() + std::mem::size_of::<ResourceProfile>())
             .sum();
-        entries + self.lsh.footprint_bytes()
+        entries + self.slab.len() * std::mem::size_of::<f32>() + self.lsh.footprint_bytes()
     }
 }
 
@@ -442,6 +585,82 @@ mod tests {
         let near = idx.nearest(&profile(10.0, 1.0, 2.0), 4);
         assert!(near.iter().all(|(k, _)| k != "small"));
         assert!(!idx.remove("small"), "double removal is a no-op");
+    }
+
+    #[test]
+    fn removal_purges_lsh_ids_immediately() {
+        // The stale-id regression: before `CosineLsh::remove`, removal
+        // left dead ids in the buckets that `candidates` happily
+        // returned. Every stored id must point at a live slot.
+        let mut idx = populated(false);
+        assert!(idx.remove("small"));
+        let audit = idx.entries_audit();
+        for id in idx.lsh().stored_ids() {
+            assert!(
+                id < audit.len() && !audit[id].2,
+                "LSH id {id} dangles from a tombstoned slot"
+            );
+        }
+        assert_eq!(idx.lsh().len(), idx.len());
+    }
+
+    #[test]
+    fn freed_slots_are_reused_before_growing() {
+        let mut idx = populated(false);
+        assert_eq!(idx.slot_count(), 4);
+        assert!(idx.remove("small"));
+        idx.insert("replacement", profile(20.0, 2.0, 3.0));
+        assert_eq!(idx.slot_count(), 4, "insert grew the slab past a free slot");
+        assert!(idx.profile_of("replacement").is_some());
+        let mut got = idx.query(&ResourceConstraint::default());
+        got.sort();
+        assert_eq!(got, vec!["large", "medium", "replacement", "tiny"]);
+    }
+
+    #[test]
+    fn compaction_shrinks_slots_and_footprint() {
+        let mut idx = populated(false);
+        let before_slots = idx.slot_count();
+        let before_footprint = idx.footprint_bytes();
+        // Removing 3 of 4 trips the tombstones > live threshold.
+        for key in ["tiny", "small", "medium"] {
+            assert!(idx.remove(key));
+        }
+        assert!(idx.slot_count() < before_slots, "compaction did not run");
+        assert_eq!(idx.slot_count(), 1);
+        assert!(idx.footprint_bytes() < before_footprint);
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.slab().len(), SLAB_STRIDE);
+        assert_eq!(idx.query(&ResourceConstraint::default()), vec!["large"]);
+        for id in idx.lsh().stored_ids() {
+            assert!(id < idx.slot_count());
+        }
+    }
+
+    #[test]
+    fn serialization_is_canonical_across_mutation_histories() {
+        // A churned index must serialize byte-identically to a fresh
+        // build of the same live set (sorted-key insertion order).
+        let mut churned = ResourceIndex::new(LshConfig::default(), 3);
+        churned.insert("a", profile(1.0, 0.1, 0.5));
+        churned.insert("dropped", profile(7.0, 7.0, 7.0));
+        churned.insert("b", profile(10.0, 1.0, 2.0));
+        churned.remove("dropped");
+        churned.insert("c", profile(100.0, 10.0, 10.0));
+
+        let mut fresh = ResourceIndex::new(LshConfig::default(), 3);
+        for (k, p) in [
+            ("a", profile(1.0, 0.1, 0.5)),
+            ("b", profile(10.0, 1.0, 2.0)),
+            ("c", profile(100.0, 10.0, 10.0)),
+        ] {
+            fresh.insert(k, p);
+        }
+        assert_eq!(
+            serde_json::to_string(&churned).unwrap(),
+            serde_json::to_string(&fresh).unwrap(),
+            "serialized form depends on mutation history"
+        );
     }
 
     #[test]

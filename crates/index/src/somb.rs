@@ -24,16 +24,25 @@
 //! binary → JSON is byte-identical and both formats serve bit-equal
 //! query results.
 //!
-//! Layout (version 1, all integers little-endian):
+//! Layout (version 2, all integers little-endian):
 //!
 //! ```text
 //! header   0   magic "SOMB" | version u32 | header_len u32 | flags u32
 //!          16  epoch i64 | stats_version u32 | section_count u32
 //!          32  models i64 | candidate_records i64 | resource_entries i64
-//!          56  section table: 5 × { offset u64, len u64, crc32 u32, pad u32 }
-//!          176 header_crc32 u32        (over bytes [0, 176))
-//! sections strings | resource rows | f32 slab (64-aligned) | lsh | semantic
+//!          56  section table: 6 × { offset u64, len u64, crc32 u32, pad u32 }
+//!          200 header_crc32 u32        (over bytes [0, 200))
+//! sections strings | resource rows | f32 slab (64-aligned) | lsh
+//!          | semantic | edges
 //! ```
+//!
+//! Version 2 (incremental index maintenance) added the `edges` section —
+//! one fixed 56-byte row per attempted model pair, `(lo, hi)`-sorted:
+//! both fingerprints, a presence mask, and the four measured diffs as
+//! exact `f64` bits. The resource sections are written from the index's
+//! *canonical view* (live sorted-key entries, no tombstones, renumbered
+//! LSH ids), so a snapshot's bytes are a pure function of the surviving
+//! key set regardless of the mutation history that produced it.
 //!
 //! Versioning policy: `version` bumps on any layout change; readers
 //! reject unknown versions with a typed error (the engine then
@@ -43,18 +52,18 @@
 use crate::lsh::{CosineLsh, LshConfig};
 use crate::persist::{IndexSnapshot, PersistError, SnapshotStats, SNAPSHOT_VERSION};
 use crate::resource::{ResourceIndex, SLAB_STRIDE};
-use crate::semantic::{CandidateKind, CandidateRecord, SemanticIndex, SemanticIndexConfig};
+use crate::semantic::{CandidateKind, CandidateRecord, EdgeRow, SemanticIndex, SemanticIndexConfig};
 use sommelier_graph::Fingerprint;
 use sommelier_runtime::ResourceProfile;
 
 /// Magic bytes identifying a binary snapshot (the format sniff).
 pub const MAGIC: [u8; 4] = *b"SOMB";
 /// Current binary format version.
-pub const SOMB_VERSION: u32 = 1;
+pub const SOMB_VERSION: u32 = 2;
 
 /// Fixed header size: 56 bytes of scalars + section table + trailing CRC.
 const HEADER_LEN: usize = 56 + SECTION_COUNT * 24 + 4;
-const SECTION_COUNT: usize = 5;
+const SECTION_COUNT: usize = 6;
 
 /// Section indices in the header table.
 const SEC_STRINGS: usize = 0;
@@ -62,10 +71,19 @@ const SEC_ROWS: usize = 1;
 const SEC_SLAB: usize = 2;
 const SEC_LSH: usize = 3;
 const SEC_SEMANTIC: usize = 4;
+const SEC_EDGES: usize = 5;
 
 /// Human-readable section names (lint diagnostics).
 pub const SECTION_NAMES: [&str; SECTION_COUNT] =
-    ["strings", "resource-rows", "slab", "lsh", "semantic"];
+    ["strings", "resource-rows", "slab", "lsh", "semantic", "edges"];
+
+/// Byte size of one fixed edge row.
+const EDGE_ROW_BYTES: u32 = 56;
+/// Presence-mask bits for the four optional edge measurements.
+const EDGE_FWD: u32 = 1 << 0;
+const EDGE_REV: u32 = 1 << 1;
+const EDGE_SEG_FWD: u32 = 1 << 2;
+const EDGE_SEG_REV: u32 = 1 << 3;
 
 /// Header flag bits.
 const FLAG_STATS: u32 = 1 << 0;
@@ -346,15 +364,18 @@ pub fn encode(
     resource: &ResourceIndex,
     stats: Option<&SnapshotStats>,
 ) -> Vec<u8> {
-    // Deterministic entry orders up front.
+    // Deterministic entry orders up front. The resource side encodes its
+    // canonical view (live sorted-key entries, renumbered LSH) so the
+    // image is a pure function of the surviving key set.
     let mut sem_entries = semantic.entries_audit();
     sem_entries.sort_by_key(|(fp, _, _)| fp.0);
-    let res_entries = resource.entries_audit();
+    let (res_entries, _, res_lsh) = resource.canonical_view();
+    let edge_rows = semantic.edge_rows();
 
     let interner = Interner::build(
         res_entries
             .iter()
-            .map(|(k, _, _)| *k)
+            .map(|(k, _)| k.as_str())
             .chain(sem_entries.iter().flat_map(|(_, key, cands)| {
                 std::iter::once(*key).chain(cands.iter().flat_map(|c| {
                     std::iter::once(c.key.as_str()).chain(match &c.kind {
@@ -379,20 +400,24 @@ pub fn encode(
     assert!(res_entries.len() < u32::MAX as usize, "resource row overflow");
     put_u32(&mut rows, res_entries.len() as u32);
     put_u32(&mut rows, 32); // row byte size, a reader sanity anchor
-    for (key, p, removed) in &res_entries {
+    for (key, p) in &res_entries {
         put_u32(&mut rows, interner.id(key));
-        put_u32(&mut rows, u32::from(*removed));
+        put_u32(&mut rows, 0); // removed flag: canonical rows are all live
         put_f64(&mut rows, p.memory_mb);
         put_f64(&mut rows, p.gflops);
         put_f64(&mut rows, p.latency_ms);
     }
 
-    let mut slab = Vec::with_capacity(resource.slab().len() * 4);
-    for &v in resource.slab() {
-        put_f32(&mut slab, v);
+    // Canonical slab: one row per live entry, derived from the exact f64
+    // profiles (the same derivation the loader performs).
+    let mut slab = Vec::with_capacity(res_entries.len() * SLAB_STRIDE * 4);
+    for (_, p) in &res_entries {
+        for v in [p.memory_mb as f32, p.gflops as f32, p.latency_ms as f32, 0.0] {
+            put_f32(&mut slab, v);
+        }
     }
 
-    let lsh = resource.lsh();
+    let lsh = &res_lsh;
     let mut lsh_bytes = Vec::new();
     let cfg = lsh.config();
     put_u32(&mut lsh_bytes, lsh.dim() as u32);
@@ -449,6 +474,33 @@ pub fn encode(
         put_u32(&mut sem, interner.id(key));
     }
 
+    // Edge table: fixed rows, already (lo, hi)-sorted.
+    let mut edges = Vec::new();
+    assert!(edge_rows.len() < u32::MAX as usize, "edge row overflow");
+    put_u32(&mut edges, edge_rows.len() as u32);
+    put_u32(&mut edges, EDGE_ROW_BYTES);
+    for r in &edge_rows {
+        put_u64(&mut edges, r.lo);
+        put_u64(&mut edges, r.hi);
+        let mut mask = 0u32;
+        for (bit, v) in [
+            (EDGE_FWD, r.fwd),
+            (EDGE_REV, r.rev),
+            (EDGE_SEG_FWD, r.seg_fwd),
+            (EDGE_SEG_REV, r.seg_rev),
+        ] {
+            if v.is_some() {
+                mask |= bit;
+            }
+        }
+        put_u32(&mut edges, mask);
+        put_u32(&mut edges, 0);
+        put_f64(&mut edges, r.fwd.unwrap_or(0.0));
+        put_f64(&mut edges, r.rev.unwrap_or(0.0));
+        put_f64(&mut edges, r.seg_fwd.unwrap_or(0.0));
+        put_f64(&mut edges, r.seg_rev.unwrap_or(0.0));
+    }
+
     // Assemble: header placeholder, then sections (slab 64-aligned).
     let mut out = vec![0u8; HEADER_LEN];
     let mut sections = [(0usize, 0usize, 0u32); SECTION_COUNT];
@@ -458,6 +510,7 @@ pub fn encode(
         (SEC_SLAB, &slab, 64),
         (SEC_LSH, &lsh_bytes, 8),
         (SEC_SEMANTIC, &sem, 8),
+        (SEC_EDGES, &edges, 8),
     ];
     for (idx, payload, align) in payloads {
         align_to(&mut out, align);
@@ -848,7 +901,39 @@ fn decode_sections(bytes: &[u8], header: &Header) -> Result<IndexSnapshot, Persi
     if !c.done() {
         return Err(PersistError::Format("trailing bytes in semantic section".into()));
     }
-    let semantic = SemanticIndex::from_parts(
+    let _ = order;
+
+    // Edge table.
+    let mut c = Cursor::new(section_raw(bytes, header, SEC_EDGES));
+    let edge_count = c.u32()? as usize;
+    let edge_bytes = c.u32()?;
+    if edge_bytes != EDGE_ROW_BYTES {
+        return Err(PersistError::Format(format!(
+            "unexpected edge row size {edge_bytes}"
+        )));
+    }
+    let mut edge_rows = Vec::with_capacity(edge_count);
+    for _ in 0..edge_count {
+        // One bounds check per fixed-size row.
+        let row = c.take(EDGE_ROW_BYTES as usize)?;
+        let le_u64 = |o: usize| u64::from_le_bytes(row[o..o + 8].try_into().unwrap());
+        let le_f64 = |o: usize| f64::from_le_bytes(row[o..o + 8].try_into().unwrap());
+        let mask = u32::from_le_bytes(row[16..20].try_into().unwrap());
+        let field = |bit: u32, o: usize| (mask & bit != 0).then(|| le_f64(o));
+        edge_rows.push(EdgeRow {
+            lo: le_u64(0),
+            hi: le_u64(8),
+            fwd: field(EDGE_FWD, 24),
+            rev: field(EDGE_REV, 32),
+            seg_fwd: field(EDGE_SEG_FWD, 40),
+            seg_rev: field(EDGE_SEG_REV, 48),
+        });
+    }
+    if !c.done() {
+        return Err(PersistError::Format("trailing bytes in edge section".into()));
+    }
+
+    let semantic = SemanticIndex::from_parts_with_edges(
         SemanticIndexConfig {
             sample_size,
             segments,
@@ -856,7 +941,7 @@ fn decode_sections(bytes: &[u8], header: &Header) -> Result<IndexSnapshot, Persi
         },
         seed,
         sem_entries,
-        order,
+        edge_rows,
     );
 
     Ok(IndexSnapshot {
@@ -1038,9 +1123,14 @@ mod tests {
     fn snapshot_bytes_yields_an_aligned_zero_copy_slab() {
         let bytes = SnapshotBytes::from_vec(sample_snapshot_bytes());
         let slab = bytes.slab_f32().expect("aligned slab view");
-        assert_eq!(slab.len(), 3 * SLAB_STRIDE);
-        let (_, res) = sample_indices();
-        assert_eq!(slab, res.slab(), "file slab mirrors the derived slab");
+        // Canonical rows: only the live entries, sorted by key (the
+        // tombstoned "gamma" slot is compacted away at encode time).
+        assert_eq!(slab.len(), 2 * SLAB_STRIDE);
+        let expected: Vec<f32> = vec![
+            123.456, 7.89, 0.1, 0.0, // alpha
+            64.0, 3.5, 0.05, 0.0, // beta
+        ];
+        assert_eq!(slab, expected.as_slice(), "file slab mirrors the canonical profiles");
     }
 
     #[test]

@@ -73,6 +73,11 @@ pub mod codes {
     pub const SLAB_SHAPE_MISMATCH: &str = "SOM055";
     /// The binary resource slab holds a NaN or infinite lane.
     pub const NON_FINITE_SLAB: &str = "SOM056";
+    /// An LSH bucket id dangles from the resource slab: it references a
+    /// tombstoned (removed) slot. Incremental maintenance purges bucket
+    /// ids at removal time, so a dangling id means a removal path
+    /// skipped the LSH purge (or the snapshot was edited by hand).
+    pub const LSH_TOMBSTONED_ID: &str = "SOM057";
     /// The publication epoch is negative, or zero on a populated snapshot.
     pub const EPOCH_REGRESSION: &str = "SOM060";
     /// The header's declared version disagrees with its epoch field.
@@ -140,6 +145,7 @@ pub mod codes {
         (BINARY_SNAPSHOT_CORRUPT, "binary snapshot header/CRC mismatch"),
         (SLAB_SHAPE_MISMATCH, "slab length disagrees with row count x dim"),
         (NON_FINITE_SLAB, "binary slab holds non-finite values"),
+        (LSH_TOMBSTONED_ID, "LSH bucket id references a tombstoned slot"),
         (EPOCH_REGRESSION, "publication epoch regressed or is missing"),
         (EPOCH_HEADER_MISMATCH, "header version disagrees with its epoch"),
         (UNREGISTERED_CANDIDATE, "candidate references an unregistered key"),
@@ -415,7 +421,7 @@ mod tests {
         ] {
             assert!(seen.contains(known), "{known} missing from registry");
         }
-        assert_eq!(codes::ALL.len(), 44, "update the registry with new codes");
+        assert_eq!(codes::ALL.len(), 45, "update the registry with new codes");
     }
 
     #[test]

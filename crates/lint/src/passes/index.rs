@@ -24,8 +24,11 @@ const SCORE_EPS: f64 = 1e-9;
 
 /// Referential and ordering invariants of both indices: dangling keys
 /// (`SOM020`), unsorted candidate lists (`SOM021`), LSH buckets pointing
-/// at missing slots (`SOM022`), score/bound disagreement (`SOM025`), and
-/// indexed models without a live resource profile (`SOM026`).
+/// at missing slots (`SOM022`), score/bound disagreement (`SOM025`),
+/// indexed models without a live resource profile (`SOM026`), and LSH
+/// bucket ids left dangling at tombstoned slots (`SOM057` — incremental
+/// removal purges bucket ids eagerly, so a survivor means a removal
+/// path skipped the purge).
 pub struct IndexIntegrityPass;
 
 impl Pass for IndexIntegrityPass {
@@ -112,6 +115,11 @@ impl Pass for IndexIntegrityPass {
                 }
             }
             let slots = resource.slot_count();
+            let removed_flags: Vec<bool> = resource
+                .entries_audit()
+                .iter()
+                .map(|(_, _, removed)| *removed)
+                .collect();
             for id in resource.lsh().stored_ids() {
                 if id >= slots {
                     out.push(Diagnostic::error(
@@ -119,6 +127,21 @@ impl Pass for IndexIntegrityPass {
                         RESOURCE,
                         format!("LSH bucket references vector slot {id}, but only {slots} exist"),
                     ));
+                } else if removed_flags[id] {
+                    out.push(
+                        Diagnostic::error(
+                            codes::LSH_TOMBSTONED_ID,
+                            RESOURCE,
+                            format!(
+                                "LSH bucket id {id} dangles from the resource slab: slot {id} is \
+                                 tombstoned"
+                            ),
+                        )
+                        .with_help(
+                            "removal must purge LSH bucket ids; re-run `sommelier index` to \
+                             rebuild the snapshot",
+                        ),
+                    );
                 }
             }
         }
@@ -414,6 +437,44 @@ mod tests {
                 .iter()
                 .any(|d| d.code == codes::LSH_DANGLING_ID && d.message.contains("slot 7")),
             "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn lsh_bucket_pointing_at_a_tombstoned_slot_is_reported() {
+        let mut ctx = ctx_with_models(&["m-a", "m-b"]);
+        // Slot 1 is tombstoned but an LSH bucket still lists id 1: the
+        // removal path failed to purge the bucket (SOM057).
+        ctx.resource = Some(
+            serde_json::from_str(
+                r#"{
+                    "entries": [
+                        ["m-a", {"memory_mb": 1.0, "gflops": 1.0, "latency_ms": 1.0}],
+                        ["m-b", {"memory_mb": 2.0, "gflops": 2.0, "latency_ms": 2.0}]
+                    ],
+                    "removed": [false, true],
+                    "lsh": {
+                        "dim": 3,
+                        "config": {"bits": 2, "tables": 1},
+                        "planes": [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]],
+                        "buckets": [{"3": [0, 1]}],
+                        "len": 2
+                    },
+                    "exhaustive": false
+                }"#,
+            )
+            .expect("fixture parses"),
+        );
+        let diags = run(&IndexIntegrityPass, &ctx);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == codes::LSH_TOMBSTONED_ID && d.message.contains("slot 1")),
+            "{diags:?}"
+        );
+        assert!(
+            !diags.iter().any(|d| d.code == codes::LSH_DANGLING_ID),
+            "both ids point at existing slots: {diags:?}"
         );
     }
 

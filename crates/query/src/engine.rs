@@ -723,6 +723,43 @@ impl SommelierReader {
     }
 }
 
+/// A coalesced set of registrations and unregistrations, applied by
+/// [`Sommelier::apply`] as *one* logical mutation: one pairwise-analysis
+/// fan-out over the pool, one snapshot publication, one epoch bump —
+/// however many models it touches.
+///
+/// A key appearing in both lists is a replacement (remove + add in the
+/// same batch); the repository copy is overwritten.
+#[derive(Clone, Debug, Default)]
+pub struct MutationBatch {
+    removes: Vec<String>,
+    adds: Vec<Model>,
+}
+
+impl MutationBatch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queue a key for unregistration (the repository file stays in
+    /// place, exactly like [`Sommelier::unregister`]).
+    pub fn unregister(mut self, key: impl Into<String>) -> Self {
+        self.removes.push(key.into());
+        self
+    }
+
+    /// Queue a model for registration — or replacement, when its name is
+    /// also queued for unregistration.
+    pub fn register(mut self, model: Model) -> Self {
+        self.adds.push(model);
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.removes.is_empty() && self.adds.is_empty()
+    }
+}
+
 /// The Sommelier query engine.
 ///
 /// The engine is split along the read/write axis: mutators build the
@@ -736,6 +773,9 @@ pub struct Sommelier {
     resource: ResourceIndex,
     analyzer: EquivAnalyzer,
     default_refs: HashMap<TaskKind, String>,
+    /// Task kind per indexed key — the metadata mutations need (default
+    /// reference re-derivation) without touching the repository.
+    tasks: HashMap<String, TaskKind>,
     config: SommelierConfig,
     /// Worker pool for index construction and query execution
     /// (`config.jobs` lanes; one lane ⇒ everything runs inline).
@@ -758,17 +798,27 @@ impl Sommelier {
     pub fn connect(repo: Arc<dyn ModelRepository>, config: SommelierConfig) -> Self {
         let semantic = SemanticIndex::new(config.index, config.seed);
         let resource = ResourceIndex::new(config.lsh, config.seed);
-        Self::assemble(repo, config, semantic, resource, HashMap::new(), 0)
+        Self::assemble(
+            repo,
+            config,
+            semantic,
+            resource,
+            HashMap::new(),
+            HashMap::new(),
+            0,
+        )
     }
 
     /// Build the engine around prepared indices at a given epoch,
     /// publishing them as the initial snapshot.
+    #[allow(clippy::too_many_arguments)]
     fn assemble(
         repo: Arc<dyn ModelRepository>,
         config: SommelierConfig,
         semantic: SemanticIndex,
         resource: ResourceIndex,
         default_refs: HashMap<TaskKind, String>,
+        tasks: HashMap<String, TaskKind>,
         epoch: u64,
     ) -> Self {
         let pool = Arc::new(ThreadPool::new(sommelier_parallel::effective_jobs(
@@ -799,6 +849,7 @@ impl Sommelier {
             )
             .with_cache(Arc::clone(&cache)),
             default_refs,
+            tasks,
             repo,
             config,
             pool,
@@ -812,6 +863,10 @@ impl Sommelier {
     /// Publish the builder state as the next immutable snapshot. Every
     /// mutator ends here; in-flight queries keep their pinned epoch and
     /// new queries pick this one up — nobody ever blocks on the swap.
+    /// Cheap by construction: both indices are structurally shared
+    /// (`Arc`-backed members), so "cloning" them bumps reference counts
+    /// instead of deep-copying entry tables — a mutation pays for the
+    /// entries it touched, never for repository size.
     fn publish_snapshot(&mut self) {
         self.epoch += 1;
         self.reader.published.publish(Arc::new(EngineSnapshot {
@@ -882,6 +937,39 @@ impl Sommelier {
         self.index_model(model)
     }
 
+    /// Apply a coalesced mutation batch: one pairwise-analysis fan-out,
+    /// one snapshot publication, one epoch bump — no matter how many
+    /// models it registers, replaces, or unregisters. Additions publish
+    /// to the repository (overwriting when the same key is also queued
+    /// for removal — a replacement); removals leave the repository file
+    /// in place. A batch that changes nothing publishes nothing and
+    /// leaves the epoch untouched. Returns the number of effective
+    /// mutations applied.
+    pub fn apply(&mut self, batch: MutationBatch) -> Result<usize, QueryError> {
+        for model in &batch.adds {
+            let overwrite = batch.removes.iter().any(|k| k == &model.name);
+            self.repo.publish(&model.name, model, overwrite)?;
+        }
+        let setting = self.config.exec_setting.clone();
+        let profiles = self
+            .pool
+            .par_map(&batch.adds, |m| ResourceProfile::under(m, &setting));
+        let mut effective_removes: Vec<&str> = batch
+            .removes
+            .iter()
+            .map(String::as_str)
+            .filter(|k| self.semantic.contains(k))
+            .collect();
+        effective_removes.sort_unstable();
+        effective_removes.dedup();
+        let count = batch.adds.len() + effective_removes.len();
+        if self.apply_indexed(&batch.removes, &batch.adds, &profiles) {
+            self.publish_snapshot();
+            return Ok(count);
+        }
+        Ok(0)
+    }
+
     /// Index every repository model that is not yet indexed — the bulk
     /// build path: resource profiling and all sampled pairwise analyses
     /// fan out across the engine's pool with per-model task granularity,
@@ -905,76 +993,108 @@ impl Sommelier {
         let profiles = self
             .pool
             .par_map(&models, |m| ResourceProfile::under(m, &setting));
-        for (m, p) in models.iter().zip(profiles) {
-            self.resource.insert(&m.name, p);
+        if self.apply_indexed(&[], &models, &profiles) {
+            self.publish_snapshot();
         }
-        let repo = Arc::clone(&self.repo);
-        let resolve = move |k: &str| repo.load(k).ok();
-        self.semantic
-            .bulk_insert_with(&self.pool, &models, &resolve, &self.analyzer);
-        for m in &models {
-            self.default_refs
-                .entry(m.task)
-                .or_insert_with(|| m.name.clone());
-        }
-        self.publish_snapshot();
         Ok(models.len())
     }
 
     fn index_model(&mut self, model: &Model) -> Result<(), QueryError> {
         let profile = ResourceProfile::under(model, &self.config.exec_setting);
-        self.resource.insert(&model.name, profile);
-        let repo = Arc::clone(&self.repo);
-        let resolve = move |k: &str| repo.load(k).ok();
-        self.semantic.bulk_insert_with(
-            &self.pool,
-            std::slice::from_ref(model),
-            &resolve,
-            &self.analyzer,
-        );
-        self.default_refs
-            .entry(model.task)
-            .or_insert_with(|| model.name.clone());
-        self.publish_snapshot();
+        if self.apply_indexed(&[], std::slice::from_ref(model), &[profile]) {
+            self.publish_snapshot();
+        }
         Ok(())
     }
 
     /// Replace a model under an existing key: the old index entries are
     /// purged, the repository copy is overwritten, and the new version is
     /// re-analyzed and re-indexed (a published model update, e.g. a new
-    /// fine-tune under the same name).
+    /// fine-tune under the same name). One logical mutation: exactly one
+    /// snapshot publication and epoch bump — not the remove-then-insert
+    /// pair of publishes this path historically produced.
     pub fn reregister(&mut self, model: &Model) -> Result<(), QueryError> {
-        self.unregister(&model.name);
         self.repo.publish(&model.name, model, true)?;
-        self.index_model(model)
+        let profile = ResourceProfile::under(model, &self.config.exec_setting);
+        let removes = [model.name.clone()];
+        if self.apply_indexed(&removes, std::slice::from_ref(model), &[profile]) {
+            self.publish_snapshot();
+        }
+        Ok(())
     }
 
     /// Remove a model from both indices (the repository file is left in
     /// place; `publish` can re-register it later). Returns whether the key
     /// was indexed.
     pub fn unregister(&mut self, key: &str) -> bool {
-        let in_semantic = self.semantic.remove(key);
-        let in_resource = self.resource.remove(key);
-        // Re-derive default references only when the removed key *was*
-        // one — the common case (it was not) would otherwise reload the
-        // entire repository on every unregister, which makes a
-        // reindexing sweep quadratic in repository size.
-        let was_default = self.default_refs.values().any(|v| v == key);
-        if was_default {
-            self.default_refs.retain(|_, v| v != key);
-            for k in self.semantic.keys() {
-                if let Ok(model) = self.repo.load(k) {
-                    self.default_refs
-                        .entry(model.task)
-                        .or_insert_with(|| k.clone());
-                }
-            }
-        }
-        let removed = in_semantic || in_resource;
+        let removes = [key.to_string()];
+        let removed = self.apply_indexed(&removes, &[], &[]);
         if removed {
             self.publish_snapshot();
         }
         removed
+    }
+
+    /// Apply an already-profiled batch to the builder-side indices:
+    /// removals and insertions land in one semantic-index update (a
+    /// single analysis fan-out over the pool), default references are
+    /// maintained from indexed metadata with **zero repository reads**,
+    /// and nothing is published — callers publish exactly once per
+    /// logical mutation. Returns whether anything changed.
+    fn apply_indexed(
+        &mut self,
+        removes: &[String],
+        models: &[Model],
+        profiles: &[ResourceProfile],
+    ) -> bool {
+        debug_assert_eq!(models.len(), profiles.len());
+        let mutated = !models.is_empty()
+            || removes
+                .iter()
+                .any(|k| self.semantic.contains(k) || self.resource.profile_of(k).is_some());
+        if !mutated {
+            return false;
+        }
+        let repo = Arc::clone(&self.repo);
+        let resolve = move |k: &str| repo.load(k).ok();
+        self.semantic
+            .apply_batch_with(&self.pool, removes, models, &resolve, &self.analyzer);
+        for key in removes {
+            self.resource.remove(key);
+            self.tasks.remove(key);
+        }
+        // Default references orphaned by the removals are re-derived
+        // from the engine's own task map (lexicographically smallest
+        // surviving key per task — the same choice a repository sweep
+        // used to make, without reloading a single model).
+        let broken: Vec<TaskKind> = self
+            .default_refs
+            .iter()
+            .filter(|(_, key)| !self.tasks.contains_key(*key))
+            .map(|(task, _)| *task)
+            .collect();
+        if !broken.is_empty() {
+            self.default_refs
+                .retain(|_, key| self.tasks.contains_key(key));
+            let mut survivors: Vec<&String> = self.tasks.keys().collect();
+            survivors.sort();
+            for key in survivors {
+                let task = self.tasks[key];
+                if broken.contains(&task) {
+                    self.default_refs
+                        .entry(task)
+                        .or_insert_with(|| key.clone());
+                }
+            }
+        }
+        for (m, p) in models.iter().zip(profiles) {
+            self.resource.insert(&m.name, *p);
+            self.tasks.insert(m.name.clone(), m.task);
+            self.default_refs
+                .entry(m.task)
+                .or_insert_with(|| m.name.clone());
+        }
+        true
     }
 
     /// Override the default reference model for a task.
@@ -1088,12 +1208,14 @@ impl Sommelier {
             .unwrap_or(0);
         let (semantic, resource) = (snapshot.semantic, snapshot.resource);
         let mut default_refs = HashMap::new();
+        let mut tasks = HashMap::new();
         for key in semantic.keys() {
             if let Ok(model) = repo.load(key) {
                 default_refs.entry(model.task).or_insert_with(|| key.clone());
+                tasks.insert(key.clone(), model.task);
             }
         }
-        Self::assemble(repo, config, semantic, resource, default_refs, epoch)
+        Self::assemble(repo, config, semantic, resource, default_refs, tasks, epoch)
     }
 
     /// Connect restoring persisted indices, degrading gracefully when
@@ -1497,20 +1619,126 @@ mod tests {
     }
 
     #[test]
-    fn reindexing_hits_the_pairwise_cache() {
+    fn reindexing_is_incremental_and_publishes_once() {
         let (mut engine, names) = engine_with_variants();
         let before = engine.cache_stats();
         assert_eq!(before.hits, 0, "first build analyzes only fresh pairs");
         assert!(before.misses > 0, "analyses must register cache misses");
         assert!(before.entries > 0);
-        // Re-register an unchanged model: every pairwise analysis it
-        // needs was computed during the first build (same fingerprints,
-        // same configuration), so the rebuild is pure cache hits.
+        let epoch_before = engine.epoch();
+        // Re-register an unchanged model: the remove and the re-insert
+        // coalesce into one batch, the edge table retains every
+        // measurement for the unchanged fingerprints, so the rebuild
+        // runs zero fresh analyses — and the whole logical mutation is
+        // exactly one snapshot publication (one epoch bump), not the
+        // historical remove-publish + insert-publish pair.
         let model = engine.repo.load(&names[2]).unwrap();
         engine.reregister(&model).unwrap();
         let after = engine.cache_stats();
-        assert!(after.hits > 0, "reindexing must hit the cache");
         assert_eq!(after.misses, before.misses, "no new analyses were needed");
+        assert_eq!(
+            engine.epoch(),
+            epoch_before + 1,
+            "reregister is one logical mutation: exactly one publish"
+        );
+    }
+
+    /// A repository wrapper that counts `load` calls, so tests can
+    /// assert a mutation path touched storage exactly as often as
+    /// claimed (for unregister: never).
+    struct CountingRepository {
+        inner: InMemoryRepository,
+        loads: std::sync::atomic::AtomicUsize,
+    }
+
+    impl CountingRepository {
+        fn loads(&self) -> usize {
+            self.loads.load(std::sync::atomic::Ordering::SeqCst)
+        }
+    }
+
+    impl ModelRepository for CountingRepository {
+        fn publish(&self, key: &str, model: &Model, overwrite: bool) -> Result<(), RepoError> {
+            self.inner.publish(key, model, overwrite)
+        }
+        fn load(&self, key: &str) -> Result<Model, RepoError> {
+            self.loads
+                .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            self.inner.load(key)
+        }
+        fn try_keys(&self) -> Result<Vec<String>, RepoError> {
+            self.inner.try_keys()
+        }
+    }
+
+    #[test]
+    fn unregister_rederives_defaults_without_storage_reads() {
+        let teacher = Teacher::for_task(TaskKind::ImageRecognition, 51);
+        let bias = DatasetBias::new(&teacher, "imagenet", 0.05);
+        let repo = Arc::new(CountingRepository {
+            inner: InMemoryRepository::new(),
+            loads: std::sync::atomic::AtomicUsize::new(0),
+        });
+        let mut cfg = SommelierConfig {
+            validation_rows: 128,
+            ..SommelierConfig::default()
+        };
+        cfg.index.sample_size = 16;
+        let mut engine = Sommelier::connect(Arc::clone(&repo) as Arc<dyn ModelRepository>, cfg);
+        let mut rng = Prng::seed_from_u64(17);
+        let mut names = Vec::new();
+        for (i, scale) in [1.0, 0.8, 0.6].iter().enumerate() {
+            let mut frng = rng.fork();
+            let model = Family::Resnetish.build_scaled(
+                format!("def-{i}"),
+                &teacher,
+                &bias,
+                &FamilyScale::new(*scale, 3, 0.01),
+                &mut frng,
+            );
+            names.push(model.name.clone());
+            engine.register(&model).unwrap();
+        }
+        // "def-0" registered first, so it is the default reference.
+        let reads_before = repo.loads();
+        assert!(engine.unregister(&names[0]));
+        assert_eq!(
+            repo.loads(),
+            reads_before,
+            "unregister must derive the new default from indexed metadata, \
+             with zero repository reads"
+        );
+        // The default moved to the lexicographically smallest survivor.
+        let results = engine
+            .query("SELECT models 10 CORR TASK image-recognition WITHIN 0.0")
+            .unwrap();
+        assert!(results.iter().all(|r| r.key != names[0]));
+        assert!(!engine.unregister(&names[0]), "second removal is a no-op");
+    }
+
+    #[test]
+    fn mutation_batch_coalesces_into_one_publish() {
+        let (mut engine, names) = engine_with_variants();
+        let epoch_before = engine.epoch();
+        let replacement = engine.repo.load(&names[1]).unwrap();
+        let batch = MutationBatch::new()
+            .unregister(&names[0])
+            .unregister(&names[1])
+            .register(replacement);
+        let applied = engine.apply(batch).unwrap();
+        assert_eq!(applied, 3, "two removes and one add are three mutations");
+        assert_eq!(
+            engine.epoch(),
+            epoch_before + 1,
+            "a batch is one snapshot publication, however many mutations it holds"
+        );
+        let results = engine
+            .query("SELECT models 10 CORR TASK image-recognition WITHIN 1.0")
+            .unwrap();
+        assert!(results.iter().all(|r| r.key != names[0]));
+        // An empty batch is free: nothing published, epoch untouched.
+        assert_eq!(engine.apply(MutationBatch::new()).unwrap(), 0);
+        assert_eq!(engine.epoch(), epoch_before + 1);
     }
 
     #[test]

@@ -27,8 +27,8 @@ pub mod plancache;
 
 pub use ast::{FinalSelection, Query, RefSpec, ResourceDim, ResourcePredicate, SelectKind};
 pub use engine::{
-    BatchQueryItem, EngineSnapshot, QueryError, QueryResult, SnapshotRecovery, Sommelier,
-    SommelierConfig, SommelierReader,
+    BatchQueryItem, EngineSnapshot, MutationBatch, QueryError, QueryResult, SnapshotRecovery,
+    Sommelier, SommelierConfig, SommelierReader,
 };
 pub use parser::{parse, ParseError};
 pub use plan::{plan, plan_checked, PlanDiagnostic, QueryPlan};

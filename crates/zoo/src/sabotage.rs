@@ -49,11 +49,16 @@ pub enum Defect {
     /// flipped on disk, breaking the section CRC the way a silent media
     /// tear would. A JSON-only zoo is compacted to binary first.
     BinarySnapshotTear,
+    /// A live resource slot is tombstoned in the persisted index
+    /// without purging the LSH buckets that reference it — the bucket
+    /// id now dangles from the resource slab, the exact inconsistency a
+    /// removal path that skips the LSH purge would leave behind.
+    LshDanglingIds,
 }
 
 impl Defect {
     /// Every plantable defect, in a fixed order (the detection matrix).
-    pub const ALL: [Defect; 7] = [
+    pub const ALL: [Defect; 8] = [
         Defect::ShapeBreak,
         Defect::NonFiniteWeights,
         Defect::DeadSubgraph,
@@ -61,6 +66,7 @@ impl Defect {
         Defect::StaleIndexEntry,
         Defect::BrokenTriangle,
         Defect::BinarySnapshotTear,
+        Defect::LshDanglingIds,
     ];
 
     /// Stable snake-case name (test labels, bench output).
@@ -73,6 +79,7 @@ impl Defect {
             Defect::StaleIndexEntry => "stale_index_entry",
             Defect::BrokenTriangle => "broken_triangle",
             Defect::BinarySnapshotTear => "binary_snapshot_tear",
+            Defect::LshDanglingIds => "lsh_dangling_ids",
         }
     }
 
@@ -89,6 +96,7 @@ impl Defect {
             Defect::StaleIndexEntry => "SOM020",
             Defect::BrokenTriangle => "SOM092",
             Defect::BinarySnapshotTear => "SOM054",
+            Defect::LshDanglingIds => "SOM057",
         }
     }
 }
@@ -104,6 +112,7 @@ pub fn plant(dir: &Path, defect: Defect) -> Result<String, String> {
         Defect::StaleIndexEntry => plant_stale_index_entry(dir),
         Defect::BrokenTriangle => plant_broken_triangle(dir),
         Defect::BinarySnapshotTear => plant_binary_snapshot_tear(dir),
+        Defect::LshDanglingIds => plant_lsh_dangling_ids(dir),
     }
 }
 
@@ -358,6 +367,45 @@ fn plant_binary_snapshot_tear(dir: &Path) -> Result<String, String> {
         bin.display(),
         if len > 0 { "slab" } else { "final" }
     ))
+}
+
+/// Tombstone the first resource slot in the persisted index without
+/// purging the LSH buckets that still reference it. Incremental
+/// maintenance purges bucket ids eagerly at removal time, so a
+/// surviving id over a tombstoned slot is exactly what a buggy (or
+/// interrupted) removal path leaves behind — `SOM057`.
+fn plant_lsh_dangling_ids(dir: &Path) -> Result<String, String> {
+    let path = dir.join(INDEX_FILE);
+    if !path.exists() {
+        return Err(format!("'{}' has no persisted index to sabotage", dir.display()));
+    }
+    let mut root: Value = serde_json::from_str(&read(&path)?)
+        .map_err(|e| format!("cannot parse '{}': {e}", path.display()))?;
+    let description = {
+        let resource =
+            field_mut(&mut root, "resource").ok_or("index has no resource section")?;
+        let key = match resource.get_field("entries") {
+            Some(Value::Seq(entries)) if !entries.is_empty() => match &entries[0] {
+                Value::Seq(pair) => match pair.first() {
+                    Some(Value::Str(k)) => k.clone(),
+                    _ => return Err("resource entry 0 has no key".into()),
+                },
+                _ => return Err("resource entries are not key/profile pairs".into()),
+            },
+            _ => return Err("resource index has no entries".into()),
+        };
+        let Some(Value::Seq(removed)) = field_mut(resource, "removed") else {
+            return Err("resource index has no removed flags".into());
+        };
+        if removed.is_empty() {
+            return Err("resource index has no slots to tombstone".into());
+        }
+        removed[0] = Value::Bool(true);
+        format!("tombstoned resource slot 0 ('{key}') while LSH buckets still reference it")
+    };
+    let text = serde_json::to_string(&root).map_err(|e| e.to_string())?;
+    write(&path, &text)?;
+    Ok(description)
 }
 
 fn write_bytes(path: &Path, bytes: &[u8]) -> Result<(), String> {

@@ -2,7 +2,7 @@
 # Performance gates for the stacked PRs:
 #
 # PR 2: parallel index construction + memoized pairwise
-# cache on the reindex-twice curation workload.
+# cache on the churn-twice curation workload (drop + re-add sweeps).
 #
 # Builds the workspace in release mode, runs the `pr2_parallel_cache`
 # benchmark (baseline: --jobs 1 --cache-cap 0; tuned: --jobs 4
@@ -37,6 +37,13 @@
 # served from each), copies the JSON report to BENCH_pr7.json, and
 # enforces the ≥10× cold-open speedup bar, the ≥0.9 query-p50 parity
 # bar, and byte-identical JSON-vs-binary result sets.
+#
+# PR 8: incremental index maintenance. Runs `pr8_incremental`
+# (single-model register against a warm bulk-indexed fleet, a 1k-op
+# churn loop over a 10k-model index, and an incremental-vs-from-scratch
+# snapshot identity check), copies the JSON report to BENCH_pr8.json,
+# and enforces the ≥20× register-over-reindex bar, the ≤1.5 churn
+# per-op linearity bar, and byte-identical churned vs rebuilt snapshots.
 #
 # Usage:
 #   scripts/bench.sh              # smoke fleets
@@ -125,6 +132,30 @@ awk -v s="$p50_ratio" 'BEGIN { exit !(s >= 0.9) }' || {
 }
 grep -q '"results_identical": true' BENCH_pr7.json || {
     echo "FAIL: JSON and binary snapshots served different results" >&2
+    exit 1
+}
+echo "PASS"
+
+echo "== running pr8_incremental (${SOMMELIER_PR8_MODE:-quick}) =="
+cargo run --quiet --release -p sommelier-bench --bin pr8_incremental
+
+cp target/experiments/pr8_incremental.json BENCH_pr8.json
+echo "== wrote BENCH_pr8.json =="
+
+register_speedup=$(sed -n 's/.*"register_speedup":[[:space:]]*\([0-9.]*\).*/\1/p' BENCH_pr8.json | head -n1)
+churn_linearity=$(sed -n 's/.*"churn_linearity":[[:space:]]*\([0-9.]*\).*/\1/p' BENCH_pr8.json | head -n1)
+echo "register speedup: ${register_speedup}x (bar: >= 20.0x)"
+awk -v s="$register_speedup" 'BEGIN { exit !(s >= 20.0) }' || {
+    echo "FAIL: single-model register is below the 20x over-reindex bar" >&2
+    exit 1
+}
+echo "churn linearity: ${churn_linearity} (bar: <= 1.5)"
+awk -v s="$churn_linearity" 'BEGIN { exit !(s <= 1.5) }' || {
+    echo "FAIL: churn per-op cost grows past the 1.5x linearity bar" >&2
+    exit 1
+}
+grep -q '"identical": true' BENCH_pr8.json || {
+    echo "FAIL: churned snapshot differs from a from-scratch rebuild" >&2
     exit 1
 }
 echo "PASS"
