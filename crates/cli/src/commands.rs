@@ -517,6 +517,20 @@ pub fn query(args: &[String]) -> CmdResult {
                 })
                 .collect(),
         );
+        // Aggregate quantiles over the batch: exact nearest-rank
+        // p50/p90/p99 of the per-query latencies.
+        let mut sorted: Vec<f64> = items.iter().map(|i| i.latency_ms).collect();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let rank = |q: f64| -> f64 {
+            let i = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[i - 1]
+        };
+        let latency = Value::Map(vec![
+            ("count".to_string(), Value::UInt(sorted.len() as u64)),
+            ("p50_ms".to_string(), Value::Float(rank(0.50))),
+            ("p90_ms".to_string(), Value::Float(rank(0.90))),
+            ("p99_ms".to_string(), Value::Float(rank(0.99))),
+        ]);
         // The served snapshot's provenance rides along with the
         // answers: which on-disk encoding the engine loaded.
         let rendered = Value::Map(vec![
@@ -527,6 +541,7 @@ pub fn query(args: &[String]) -> CmdResult {
                     Value::Str(snapshot_format.to_string()),
                 )]),
             ),
+            ("latency".to_string(), latency),
             ("queries".to_string(), queries),
         ]);
         println!(
@@ -853,6 +868,121 @@ pub fn fsck(args: &[String]) -> CmdResult {
         return Err(format!(
             "fsck found {} unresolved issue(s)",
             findings - fixed
+        ));
+    }
+    Ok(())
+}
+
+/// `sommelier serve <dir> [--addr A] [--workers N] [--queue-depth D]
+/// [--tenants FILE] [--jobs N] [--cache-cap N] [--sample N]
+/// [--no-segments]`
+///
+/// Opens the repository's engine once and serves it over TCP until a
+/// `shutdown` request arrives. Prints `listening on ADDR` when ready
+/// (ADDR resolves `--addr`'s port 0 to the actual ephemeral port, so
+/// scripts can parse it).
+pub fn serve(args: &[String]) -> CmdResult {
+    let (positional, flags) = split_flags(args)?;
+    let dir = repo_dir(&positional)?;
+    let mut daemon_cfg = sommelier_serving::DaemonConfig {
+        addr: "127.0.0.1:7634".to_string(),
+        ..sommelier_serving::DaemonConfig::default()
+    };
+    let mut engine_flags = Vec::new();
+    for (name, value) in &flags {
+        match *name {
+            "addr" => daemon_cfg.addr = value.to_string(),
+            "workers" => {
+                daemon_cfg.workers = value
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n >= 1)
+                    .ok_or_else(|| format!("--workers needs a positive integer, got '{value}'"))?;
+            }
+            "queue-depth" => {
+                daemon_cfg.queue_depth = value
+                    .parse()
+                    .map_err(|_| format!("--queue-depth needs an integer, got '{value}'"))?;
+            }
+            "tenants" => daemon_cfg.tenants = Some(PathBuf::from(value)),
+            _ => engine_flags.push((*name, *value)),
+        }
+    }
+    let cfg = engine_config(&engine_flags)?;
+    let engine = load_engine(&dir, cfg)?;
+    println!(
+        "serving {} model(s) from {} (epoch {})",
+        engine.len(),
+        dir.display(),
+        engine.epoch()
+    );
+    let handle = sommelier_serving::Daemon::serve(engine, daemon_cfg)?;
+    println!("listening on {}", handle.addr());
+    // Flush eagerly: daemon smoke scripts poll stdout for the line.
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    handle.wait();
+    println!("daemon stopped");
+    Ok(())
+}
+
+/// `sommelier client <addr> <op> [args] [--auth KEY]`
+///
+/// One-shot protocol client: connects, issues a single request, prints
+/// the JSON response, and exits non-zero on error replies.
+pub fn client(args: &[String]) -> CmdResult {
+    use sommelier_serving::daemon::client::Client;
+    let (positional, flags) = split_flags(args)?;
+    let addr = positional
+        .first()
+        .ok_or("missing daemon address (host:port)")?;
+    let op = positional.get(1).copied().ok_or(
+        "missing op: ping | query <text> | batch <text>... | fsck | metrics | reload | shutdown",
+    )?;
+    let mut auth = None;
+    for (name, value) in &flags {
+        match *name {
+            "auth" => auth = Some(value.to_string()),
+            _ => return Err(format!("unknown flag --{name}")),
+        }
+    }
+    let mut client = Client::connect(addr)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    if let Some(key) = auth {
+        client = client.with_auth(key);
+    }
+    let reply = match op {
+        "ping" => client.ping(),
+        "query" => {
+            let text = positional
+                .get(2..)
+                .filter(|rest| !rest.is_empty())
+                .map(|rest| rest.join(" "))
+                .ok_or("op 'query' needs query text")?;
+            client.query(&text)
+        }
+        "batch" => {
+            let texts: Vec<String> = positional[2..].iter().map(|s| s.to_string()).collect();
+            if texts.is_empty() {
+                return Err("op 'batch' needs at least one query text".into());
+            }
+            client.query_batch(&texts)
+        }
+        "fsck" => client.fsck(),
+        "metrics" => client.metrics(),
+        "reload" => client.reload(),
+        "shutdown" => client.shutdown(),
+        other => return Err(format!("unknown op '{other}'")),
+    }
+    .map_err(|e| format!("request failed: {e}"))?;
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&reply.body).map_err(fail)?
+    );
+    if !reply.ok {
+        return Err(format!(
+            "daemon replied with error '{}'",
+            reply.error_code().unwrap_or("unknown")
         ));
     }
     Ok(())

@@ -77,6 +77,22 @@ COMMANDS:
                                         cleans temps, quarantines corrupt
                                         files, and rebuilds the index;
                                         --prune deletes quarantined files
+    serve  <dir> [--addr A] [--workers N] [--queue-depth D]
+           [--tenants FILE] [--jobs N] [--cache-cap N]
+                                        long-running TCP query daemon
+                                        (line-delimited JSON protocol):
+                                        one engine, per-connection
+                                        lock-free readers, bounded
+                                        admission with typed load-shed,
+                                        optional per-tenant token-bucket
+                                        quotas; prints `listening on
+                                        ADDR` once ready
+    client <addr> <op> [args] [--auth KEY]
+                                        one-shot protocol client; op is
+                                        ping | query <text> |
+                                        batch <text>... | fsck |
+                                        metrics | reload | shutdown;
+                                        prints the JSON reply
     help                                print this message
 
 Queries use the paper's Figure 7 syntax, e.g.:
@@ -105,6 +121,8 @@ fn main() -> ExitCode {
         "lint" => commands::lint(rest),
         "audit" => commands::audit(rest),
         "fsck" => commands::fsck(rest),
+        "serve" => commands::serve(rest),
+        "client" => commands::client(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

@@ -334,3 +334,82 @@ fn add_rejects_missing_file_and_duplicate_keys() {
     let _ = first;
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn serve_and_client_round_trip_over_tcp() {
+    use std::io::{BufRead, BufReader};
+    use std::process::Stdio;
+
+    let dir = temp_repo("serve");
+    let d = dir.to_str().unwrap();
+    assert!(run(&["init", d]).status.success());
+    assert!(run(&["seed", d, "--series", "1", "--seed", "11"]).status.success());
+    assert!(run(&["index", d, "--sample", "16", "--no-segments"]).status.success());
+    let listing = stdout(&run(&["list", d]));
+    let reference = listing.lines().next().expect("seeded").to_string();
+
+    // Port 0: the daemon prints the resolved ephemeral port.
+    let mut daemon = Command::new(bin())
+        .args([
+            "serve", d, "--addr", "127.0.0.1:0", "--workers", "2", "--queue-depth", "8",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+    let mut daemon_out = BufReader::new(daemon.stdout.take().expect("piped stdout"));
+    let addr = loop {
+        let mut line = String::new();
+        assert!(
+            daemon_out.read_line(&mut line).expect("daemon stdout") > 0,
+            "daemon exited before announcing its address"
+        );
+        if let Some(rest) = line.trim().strip_prefix("listening on ") {
+            break rest.to_string();
+        }
+    };
+
+    let q = format!("SELECT models 3 CORR {reference} WITHIN 0.2");
+    let out = run(&["client", &addr, "query", &q]);
+    assert!(out.status.success(), "client query failed: {}", stderr(&out));
+    let reply = stdout(&out);
+    assert!(reply.contains("\"results\""), "{reply}");
+    assert!(reply.contains("\"epoch\""), "{reply}");
+
+    let out = run(&["client", &addr, "metrics"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let metrics = stdout(&out);
+    for key in ["serve.accepted", "serve.shed", "serve.active_connections"] {
+        assert!(metrics.contains(key), "metrics missing {key}: {metrics}");
+    }
+
+    let out = run(&["client", &addr, "reload"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("\"reindexed\""), "{}", stdout(&out));
+
+    let out = run(&["client", &addr, "shutdown"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    let status = daemon.wait().expect("daemon exits");
+    assert!(status.success(), "daemon must exit cleanly after shutdown");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn query_json_reports_aggregate_latency_quantiles() {
+    let dir = temp_repo("latency-json");
+    let d = dir.to_str().unwrap();
+    assert!(run(&["init", d]).status.success());
+    assert!(run(&["seed", d, "--series", "1", "--seed", "13"]).status.success());
+    assert!(run(&["index", d, "--sample", "16", "--no-segments"]).status.success());
+    let listing = stdout(&run(&["list", d]));
+    let reference = listing.lines().next().expect("seeded").to_string();
+    let q = format!("SELECT models 3 CORR {reference} WITHIN 0.2");
+    let out = run(&["query", d, &q, "--repeat", "5", "--format", "json"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let json = stdout(&out);
+    for key in ["\"latency\"", "\"p50_ms\"", "\"p90_ms\"", "\"p99_ms\""] {
+        assert!(json.contains(key), "json missing {key}: {json}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

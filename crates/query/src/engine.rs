@@ -473,9 +473,13 @@ impl SommelierReader {
     /// Execute a batch of textual queries, fanned across the reader's
     /// pool. The whole batch pins *one* snapshot, so every item is
     /// served from the same epoch; per-lane latency is recorded into
-    /// the `query.batch.latency_ms` histogram (p50/p90/p99 via
-    /// [`latency::quantiles`]). Items come back in input order, and the
-    /// result sets are identical at any lane count.
+    /// the exact `query.batch.latency_ms` series (p50/p90/p99 via
+    /// [`latency::quantiles`]) and merged into the mergeable
+    /// `query.batch_ms` histogram — one batched merge, not one
+    /// registry-lock acquisition per item — so concurrent readers (the
+    /// serving daemon) aggregate tail latency without contending.
+    /// Items come back in input order, and the result sets are
+    /// identical at any lane count.
     pub fn query_batch(&self, texts: &[String]) -> Vec<BatchQueryItem> {
         let snap = self.published.pin();
         counters::set("query.snapshot_epoch", snap.epoch);
@@ -488,9 +492,12 @@ impl SommelierReader {
                 epoch: snap.epoch,
             }
         });
+        let mut local = latency::LocalRecorder::new();
         for item in &items {
             latency::record("query.batch.latency_ms", item.latency_ms);
+            local.record(item.latency_ms);
         }
+        local.flush_into(&latency::histogram("query.batch_ms"));
         items
     }
 

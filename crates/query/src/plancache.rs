@@ -256,4 +256,43 @@ mod tests {
         assert!(stats.entries <= SHARDS as u64, "capacity respected");
         assert!(stats.entries > 0);
     }
+
+    /// Regression test for republish churn: epochs key the cache, so a
+    /// long-lived process (the serving daemon) that survives thousands
+    /// of snapshot publications must not let dead-epoch entries pile
+    /// up. Stale entries become unreachable the moment the epoch
+    /// bumps; the LRU must then actually evict them instead of letting
+    /// the map grow by one generation per epoch.
+    #[test]
+    fn stale_epoch_entries_are_evicted_under_republish_churn() {
+        let capacity = 32;
+        let cache = PlanCache::new(capacity);
+        let queries: Vec<String> = (0..8).map(|i| format!("q{i}")).collect();
+        // 500 epochs × 8 queries: ~4000 insertions through a
+        // 32-entry cache. Unbounded growth across epochs would leave
+        // thousands of entries resident.
+        for epoch in 0..500u64 {
+            for q in &queries {
+                assert!(
+                    cache.get(epoch, q).is_none(),
+                    "entry from a dead epoch must not answer epoch {epoch}"
+                );
+                cache.insert(epoch, q, plan_fixture(1), Vec::new());
+            }
+        }
+        let stats = cache.stats();
+        // Shard capacity rounds up (`div_ceil`), so the hard bound is
+        // per_shard × SHARDS, not the nominal capacity.
+        let hard_bound = (capacity as u64).div_ceil(SHARDS as u64) * SHARDS as u64;
+        assert!(
+            stats.entries <= hard_bound,
+            "{} entries resident after 500 epochs (bound {hard_bound}): \
+             stale epochs are not being evicted",
+            stats.entries
+        );
+        assert_eq!(stats.hits, 0, "every probe crossed an epoch boundary");
+        // Current-epoch entries still serve hits after all that churn.
+        cache.insert(500, "fresh", plan_fixture(7), Vec::new());
+        assert_eq!(cache.get(500, "fresh").unwrap().0.limit, 7);
+    }
 }

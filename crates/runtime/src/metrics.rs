@@ -176,9 +176,23 @@ pub mod counters {
 /// The batched query path records one sample per lane here so tooling can
 /// report tail latency without threading timers through the engine. Like
 /// [`counters`], the registry is process-global observability state.
+///
+/// Two recording surfaces coexist:
+///
+/// * exact series ([`record`]/[`quantiles`]) — every sample is kept, the
+///   quantiles are exact, and every `record` takes the registry lock.
+///   Right for benches and tests, wrong for a server's per-request path.
+/// * mergeable histograms ([`Histogram`]/[`LocalRecorder`]) — each
+///   serving thread accumulates into a private fixed-size bucket array
+///   (no lock, no allocation) and periodically merges it into a shared
+///   [`Histogram`] with one relaxed atomic add per non-empty bucket.
+///   Quantiles are read from the merged buckets at bounded relative
+///   error (bucket bounds grow by √2). This is what the query daemon
+///   records per-connection latency through.
 pub mod latency {
     use std::collections::BTreeMap;
-    use std::sync::{Mutex, OnceLock};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex, OnceLock};
 
     static SERIES: OnceLock<Mutex<BTreeMap<String, Vec<f64>>>> = OnceLock::new();
 
@@ -240,12 +254,218 @@ pub mod latency {
             .collect()
     }
 
-    /// Drop every recorded sample.
+    /// Drop every recorded sample and zero every merged histogram.
+    /// Histogram handles stay valid (buckets are zeroed in place, not
+    /// replaced), mirroring [`super::counters::reset`].
     pub fn reset() {
         series()
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .clear();
+        let map = histograms().lock().unwrap_or_else(|e| e.into_inner());
+        for h in map.values() {
+            h.reset();
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Mergeable histograms
+    // -----------------------------------------------------------------
+
+    /// Bucket count of the mergeable histograms. With √2 growth per
+    /// bucket from a 1 µs base, 64 buckets span 1 µs … ~50 min.
+    pub const HIST_BUCKETS: usize = 64;
+    const HIST_BASE_MS: f64 = 1e-3;
+
+    /// The bucket a millisecond sample lands in. Non-finite and
+    /// non-positive samples clamp to bucket 0.
+    fn bucket_of(ms: f64) -> usize {
+        // NaN and non-positive samples clamp to bucket 0 (note the
+        // comparison is false for NaN).
+        if ms <= HIST_BASE_MS || ms.is_nan() {
+            return 0;
+        }
+        let idx = ((ms / HIST_BASE_MS).log2() * 2.0).floor() as i64 + 1;
+        idx.clamp(0, (HIST_BUCKETS - 1) as i64) as usize
+    }
+
+    /// Upper bound (ms) of a bucket — the value quantile reads report.
+    fn bound_ms(bucket: usize) -> f64 {
+        HIST_BASE_MS * 2f64.powf(bucket as f64 / 2.0)
+    }
+
+    /// A shared latency histogram: fixed log-scaled buckets behind
+    /// relaxed atomics. Writers either [`Histogram::record`] directly
+    /// (one atomic add) or batch through a [`LocalRecorder`] and merge.
+    pub struct Histogram {
+        buckets: [AtomicU64; HIST_BUCKETS],
+        count: AtomicU64,
+    }
+
+    impl Default for Histogram {
+        fn default() -> Self {
+            Histogram {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                count: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl Histogram {
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Record one millisecond sample (one relaxed atomic add).
+        pub fn record(&self, ms: f64) {
+            self.buckets[bucket_of(ms)].fetch_add(1, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed);
+        }
+
+        /// Fold a local recorder's buckets in: one atomic add per
+        /// non-empty bucket, however many samples it batched.
+        pub fn merge(&self, local: &LocalRecorder) {
+            for (i, &n) in local.buckets.iter().enumerate() {
+                if n > 0 {
+                    self.buckets[i].fetch_add(n, Ordering::Relaxed);
+                }
+            }
+            if local.count > 0 {
+                self.count.fetch_add(local.count, Ordering::Relaxed);
+            }
+        }
+
+        /// Total merged samples.
+        pub fn count(&self) -> u64 {
+            self.count.load(Ordering::Relaxed)
+        }
+
+        /// Zero every bucket in place.
+        pub fn reset(&self) {
+            for b in &self.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+            self.count.store(0, Ordering::Relaxed);
+        }
+
+        fn quantile(&self, counts: &[u64; HIST_BUCKETS], total: u64, q: f64) -> f64 {
+            let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+            let mut seen = 0u64;
+            for (i, &n) in counts.iter().enumerate() {
+                seen += n;
+                if seen >= rank {
+                    return bound_ms(i);
+                }
+            }
+            bound_ms(HIST_BUCKETS - 1)
+        }
+
+        /// Merged quantiles (`None` when empty). Values are bucket
+        /// upper bounds, so each quantile is within a √2 factor of the
+        /// exact statistic.
+        pub fn quantiles(&self) -> Option<LatencyQuantiles> {
+            let counts: [u64; HIST_BUCKETS] =
+                std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+            let total: u64 = counts.iter().sum();
+            if total == 0 {
+                return None;
+            }
+            Some(LatencyQuantiles {
+                count: total as usize,
+                p50: self.quantile(&counts, total, 0.50),
+                p90: self.quantile(&counts, total, 0.90),
+                p99: self.quantile(&counts, total, 0.99),
+            })
+        }
+    }
+
+    /// A thread-private recorder: a plain bucket array with no locking
+    /// and no allocation on [`LocalRecorder::record`]. Flush into a
+    /// shared [`Histogram`] at whatever cadence suits the caller (the
+    /// daemon flushes every 64 requests and on connection close).
+    #[derive(Clone)]
+    pub struct LocalRecorder {
+        buckets: [u64; HIST_BUCKETS],
+        count: u64,
+    }
+
+    impl Default for LocalRecorder {
+        fn default() -> Self {
+            LocalRecorder {
+                buckets: [0; HIST_BUCKETS],
+                count: 0,
+            }
+        }
+    }
+
+    impl LocalRecorder {
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Record one millisecond sample. No lock, no allocation.
+        pub fn record(&mut self, ms: f64) {
+            self.buckets[bucket_of(ms)] += 1;
+            self.count += 1;
+        }
+
+        /// Samples recorded since the last flush.
+        pub fn len(&self) -> u64 {
+            self.count
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.count == 0
+        }
+
+        /// Merge into `target` and clear this recorder.
+        pub fn flush_into(&mut self, target: &Histogram) {
+            if self.count == 0 {
+                return;
+            }
+            target.merge(self);
+            self.buckets = [0; HIST_BUCKETS];
+            self.count = 0;
+        }
+    }
+
+    type HistRegistry = Mutex<BTreeMap<String, Arc<Histogram>>>;
+
+    static HISTOGRAMS: OnceLock<HistRegistry> = OnceLock::new();
+
+    fn histograms() -> &'static HistRegistry {
+        HISTOGRAMS.get_or_init(|| Mutex::new(BTreeMap::new()))
+    }
+
+    /// Get (or create) the shared histogram registered under `name`.
+    /// The handle can be cached and recorded/merged into without
+    /// further registry locking.
+    pub fn histogram(name: &str) -> Arc<Histogram> {
+        let mut map = histograms().lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Quantiles of the named merged histogram (`None` if empty or
+    /// never registered).
+    pub fn histogram_quantiles(name: &str) -> Option<LatencyQuantiles> {
+        let map = histograms().lock().unwrap_or_else(|e| e.into_inner());
+        map.get(name).and_then(|h| h.quantiles())
+    }
+
+    /// All non-empty merged histograms with their quantiles, sorted by
+    /// name.
+    pub fn histogram_snapshot() -> Vec<(String, LatencyQuantiles)> {
+        let handles: Vec<(String, Arc<Histogram>)> = {
+            let map = histograms().lock().unwrap_or_else(|e| e.into_inner());
+            map.iter().map(|(k, v)| (k.clone(), Arc::clone(v))).collect()
+        };
+        handles
+            .into_iter()
+            .filter_map(|(n, h)| h.quantiles().map(|q| (n, q)))
+            .collect()
     }
 
     #[cfg(test)]
@@ -283,6 +503,81 @@ pub mod latency {
             let q = quantiles(name).unwrap();
             assert_eq!((q.p50, q.p90, q.p99), (7.5, 7.5, 7.5));
             reset();
+        }
+
+        #[test]
+        fn histogram_quantiles_within_bucket_error() {
+            let _guard = serialize();
+            let h = Histogram::new();
+            for v in 1..=1000 {
+                h.record(v as f64);
+            }
+            let q = h.quantiles().unwrap();
+            assert_eq!(q.count, 1000);
+            // Bucket bounds grow by √2, so each quantile reads the
+            // upper bound of the bucket the exact value falls in:
+            // within a factor of √2 above, never below.
+            for (approx, exact) in [(q.p50, 500.0), (q.p90, 900.0), (q.p99, 990.0)] {
+                assert!(approx >= exact, "{approx} < exact {exact}");
+                assert!(approx <= exact * 1.4143, "{approx} > √2·{exact}");
+            }
+        }
+
+        #[test]
+        fn local_recorders_merge_across_threads() {
+            let _guard = serialize();
+            let h = histogram("test.hist.merge");
+            h.reset();
+            let threads: Vec<_> = (0..4)
+                .map(|t| {
+                    let h = Arc::clone(&h);
+                    std::thread::spawn(move || {
+                        let mut local = LocalRecorder::new();
+                        for i in 0..250 {
+                            local.record((t * 250 + i) as f64 * 0.01 + 0.01);
+                            if local.len() == 64 {
+                                local.flush_into(&h);
+                            }
+                        }
+                        local.flush_into(&h);
+                        assert!(local.is_empty());
+                    })
+                })
+                .collect();
+            for t in threads {
+                t.join().unwrap();
+            }
+            let q = histogram_quantiles("test.hist.merge").unwrap();
+            assert_eq!(q.count, 1000);
+            assert!(q.p50 <= q.p90 && q.p90 <= q.p99);
+            reset();
+        }
+
+        #[test]
+        fn reset_zeroes_histograms_but_keeps_handles_live() {
+            let _guard = serialize();
+            let h = histogram("test.hist.reset");
+            h.record(5.0);
+            assert_eq!(h.count(), 1);
+            reset();
+            assert_eq!(h.count(), 0);
+            assert!(histogram_quantiles("test.hist.reset").is_none());
+            // The pre-reset handle still feeds the registered histogram.
+            h.record(2.0);
+            assert_eq!(histogram_quantiles("test.hist.reset").unwrap().count, 1);
+            reset();
+        }
+
+        #[test]
+        fn degenerate_samples_land_in_bucket_zero() {
+            let h = Histogram::new();
+            h.record(0.0);
+            h.record(-3.0);
+            h.record(f64::NAN);
+            h.record(1e-9);
+            let q = h.quantiles().unwrap();
+            assert_eq!(q.count, 4);
+            assert!(q.p99 <= 1e-3 + f64::EPSILON);
         }
     }
 }

@@ -1,0 +1,144 @@
+//! Blocking client for the daemon's wire protocol.
+//!
+//! One TCP connection, synchronous request/response: [`Client::call`]
+//! writes one frame and reads one response line. The CLI's `client`
+//! subcommand and the saturation bench are both built on this.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use serde::Value;
+
+/// A decoded response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reply {
+    /// Echoed correlation id.
+    pub id: u64,
+    /// `true` for success frames.
+    pub ok: bool,
+    /// The whole response tree (success fields or the `error` map).
+    pub body: Value,
+}
+
+impl Reply {
+    /// The error code string of a failure reply, if any.
+    pub fn error_code(&self) -> Option<&str> {
+        match self.body.get_field("error")?.get_field("code")? {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The retry hint of a shed/quota failure, if present.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self.body.get_field("error")?.get_field("retry_after_ms")? {
+            Value::UInt(n) => Some(*n),
+            Value::Int(n) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+}
+
+/// A blocking protocol client over one TCP connection.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    auth: Option<String>,
+    next_id: u64,
+}
+
+impl Client {
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            writer: stream,
+            reader,
+            auth: None,
+            next_id: 1,
+        })
+    }
+
+    /// Attach a tenant API key sent with every subsequent request.
+    pub fn with_auth(mut self, key: impl Into<String>) -> Self {
+        self.auth = Some(key.into());
+        self
+    }
+
+    /// Send one op with extra payload fields; block for the response.
+    pub fn call(&mut self, op: &str, fields: Vec<(String, Value)>) -> io::Result<Reply> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut map = vec![
+            ("id".to_string(), Value::UInt(id)),
+            ("op".to_string(), Value::Str(op.to_string())),
+        ];
+        if let Some(key) = &self.auth {
+            map.push(("auth".to_string(), Value::Str(key.clone())));
+        }
+        map.extend(fields);
+        let frame = serde_json::to_string(&Value::Map(map))
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        self.writer.write_all(frame.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            ));
+        }
+        let body: Value = serde_json::from_str(line.trim_end())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let ok = matches!(body.get_field("ok"), Some(Value::Bool(true)));
+        let reply_id = match body.get_field("id") {
+            Some(Value::UInt(n)) => *n,
+            Some(Value::Int(n)) if *n >= 0 => *n as u64,
+            _ => 0,
+        };
+        Ok(Reply {
+            id: reply_id,
+            ok,
+            body,
+        })
+    }
+
+    pub fn ping(&mut self) -> io::Result<Reply> {
+        self.call("ping", Vec::new())
+    }
+
+    pub fn query(&mut self, text: &str) -> io::Result<Reply> {
+        self.call(
+            "query",
+            vec![("text".to_string(), Value::Str(text.to_string()))],
+        )
+    }
+
+    pub fn query_batch(&mut self, texts: &[String]) -> io::Result<Reply> {
+        self.call(
+            "query_batch",
+            vec![(
+                "texts".to_string(),
+                Value::Seq(texts.iter().map(|t| Value::Str(t.clone())).collect()),
+            )],
+        )
+    }
+
+    pub fn fsck(&mut self) -> io::Result<Reply> {
+        self.call("fsck", Vec::new())
+    }
+
+    pub fn metrics(&mut self) -> io::Result<Reply> {
+        self.call("metrics", Vec::new())
+    }
+
+    pub fn reload(&mut self) -> io::Result<Reply> {
+        self.call("reload", Vec::new())
+    }
+
+    pub fn shutdown(&mut self) -> io::Result<Reply> {
+        self.call("shutdown", Vec::new())
+    }
+}

@@ -1,0 +1,274 @@
+//! Wire protocol of the query daemon: line-delimited JSON frames.
+//!
+//! One request per line, one response line per request, in order. A
+//! request is a JSON map:
+//!
+//! ```json
+//! {"id": 7, "op": "query", "auth": "key-123", "text": "SELECT ..."}
+//! ```
+//!
+//! `id` is an opaque client-chosen correlation number echoed back in
+//! the response; `auth` is the tenant API key (required only when the
+//! daemon was started with `--tenants`). Ops and their payload fields:
+//!
+//! | op            | fields              |
+//! |---------------|---------------------|
+//! | `ping`        | —                   |
+//! | `query`       | `text`              |
+//! | `query_batch` | `texts` (array)     |
+//! | `fsck`        | —                   |
+//! | `metrics`     | —                   |
+//! | `reload`      | —                   |
+//! | `shutdown`    | —                   |
+//!
+//! A response is `{"id": 7, "ok": true, ...}` on success or
+//!
+//! ```json
+//! {"id": 7, "ok": false,
+//!  "error": {"code": "overloaded", "message": "...", "retry_after_ms": 12}}
+//! ```
+//!
+//! on failure. `retry_after_ms` appears only on the retryable codes
+//! (`overloaded`, `quota_exhausted`); all other codes are terminal for
+//! the request. The error taxonomy is [`ErrorCode`].
+
+use serde::Value;
+
+/// Machine-readable failure classes of the wire protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame was not valid JSON, not a map, or missing fields.
+    BadRequest,
+    /// The query text parsed but the engine rejected it.
+    QueryFailed,
+    /// Tenant auth required and the key is missing or unknown.
+    Unauthorized,
+    /// The tenant's token bucket is empty; retry after the hint.
+    QuotaExhausted,
+    /// The admission queue is full; retry after the hint.
+    Overloaded,
+    /// The daemon is draining; the connection will close.
+    ShuttingDown,
+    /// A server-side invariant failed.
+    Internal,
+}
+
+impl ErrorCode {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::QueryFailed => "query_failed",
+            ErrorCode::Unauthorized => "unauthorized",
+            ErrorCode::QuotaExhausted => "quota_exhausted",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+/// A parsed request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client correlation id, echoed back verbatim.
+    pub id: u64,
+    /// Tenant API key, if the client sent one.
+    pub auth: Option<String>,
+    pub op: Op,
+}
+
+/// The operation a request frame asks for.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    Ping,
+    Query { text: String },
+    QueryBatch { texts: Vec<String> },
+    Fsck,
+    Metrics,
+    Reload,
+    Shutdown,
+}
+
+impl Op {
+    /// Quota cost in token-bucket tokens: one per query executed.
+    /// Control-plane ops are free (still authenticated).
+    pub fn quota_cost(&self) -> f64 {
+        match self {
+            Op::Query { .. } => 1.0,
+            Op::QueryBatch { texts } => texts.len() as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Whether the op runs queries and therefore passes admission.
+    pub fn needs_admission(&self) -> bool {
+        matches!(self, Op::Query { .. } | Op::QueryBatch { .. })
+    }
+}
+
+fn field_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::UInt(n) => Some(*n),
+        Value::Int(n) if *n >= 0 => Some(*n as u64),
+        Value::Float(f) if *f >= 0.0 && f.fract() == 0.0 => Some(*f as u64),
+        _ => None,
+    }
+}
+
+fn field_str(v: &Value) -> Option<&str> {
+    match v {
+        Value::Str(s) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// Parse one request line. `Err` carries the `bad_request` message and
+/// the request id when one could be salvaged from the frame (so the
+/// error response still correlates).
+pub fn parse_request(line: &str) -> Result<Request, (Option<u64>, String)> {
+    let value: Value = serde_json::from_str(line)
+        .map_err(|e| (None, format!("invalid JSON frame: {e}")))?;
+    let id = value.get_field("id").and_then(field_u64);
+    let fail = |msg: String| (id, msg);
+    if !matches!(value, Value::Map(_)) {
+        return Err(fail("request frame must be a JSON object".into()));
+    }
+    let id = id.ok_or_else(|| (None, "missing or non-integer 'id'".to_string()))?;
+    let op_name = value
+        .get_field("op")
+        .and_then(field_str)
+        .ok_or_else(|| fail("missing 'op'".into()))?;
+    let auth = value
+        .get_field("auth")
+        .and_then(field_str)
+        .map(str::to_string);
+    let op = match op_name {
+        "ping" => Op::Ping,
+        "query" => {
+            let text = value
+                .get_field("text")
+                .and_then(field_str)
+                .ok_or_else(|| fail("op 'query' needs a string 'text'".into()))?;
+            Op::Query {
+                text: text.to_string(),
+            }
+        }
+        "query_batch" => {
+            let texts = match value.get_field("texts") {
+                Some(Value::Seq(items)) => items
+                    .iter()
+                    .map(|v| field_str(v).map(str::to_string))
+                    .collect::<Option<Vec<_>>>()
+                    .ok_or_else(|| fail("'texts' must be an array of strings".into()))?,
+                _ => return Err(fail("op 'query_batch' needs an array 'texts'".into())),
+            };
+            if texts.is_empty() {
+                return Err(fail("'texts' must not be empty".into()));
+            }
+            Op::QueryBatch { texts }
+        }
+        "fsck" => Op::Fsck,
+        "metrics" => Op::Metrics,
+        "reload" => Op::Reload,
+        "shutdown" => Op::Shutdown,
+        other => return Err(fail(format!("unknown op '{other}'"))),
+    };
+    Ok(Request { id, auth, op })
+}
+
+/// Render a success frame: `{"id":.., "ok":true, <fields>...}`.
+pub fn ok_frame(id: u64, fields: Vec<(String, Value)>) -> String {
+    let mut map = vec![
+        ("id".to_string(), Value::UInt(id)),
+        ("ok".to_string(), Value::Bool(true)),
+    ];
+    map.extend(fields);
+    serde_json::to_string(&Value::Map(map)).expect("value trees always serialize")
+}
+
+/// Render an error frame. `id` 0 is used when the frame was too broken
+/// to carry one.
+pub fn error_frame(
+    id: Option<u64>,
+    code: ErrorCode,
+    message: &str,
+    retry_after_ms: Option<u64>,
+) -> String {
+    let mut error = vec![
+        ("code".to_string(), Value::Str(code.as_str().to_string())),
+        ("message".to_string(), Value::Str(message.to_string())),
+    ];
+    if let Some(ms) = retry_after_ms {
+        error.push(("retry_after_ms".to_string(), Value::UInt(ms)));
+    }
+    let map = vec![
+        ("id".to_string(), Value::UInt(id.unwrap_or(0))),
+        ("ok".to_string(), Value::Bool(false)),
+        ("error".to_string(), Value::Map(error)),
+    ];
+    serde_json::to_string(&Value::Map(map)).expect("value trees always serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_query_with_auth() {
+        let r = parse_request(r#"{"id": 3, "op": "query", "auth": "k1", "text": "SELECT x"}"#)
+            .unwrap();
+        assert_eq!(r.id, 3);
+        assert_eq!(r.auth.as_deref(), Some("k1"));
+        assert_eq!(
+            r.op,
+            Op::Query {
+                text: "SELECT x".into()
+            }
+        );
+        assert_eq!(r.op.quota_cost(), 1.0);
+        assert!(r.op.needs_admission());
+    }
+
+    #[test]
+    fn parses_batch_and_costs_per_query() {
+        let r = parse_request(r#"{"id": 1, "op": "query_batch", "texts": ["a", "b", "c"]}"#)
+            .unwrap();
+        assert_eq!(r.op.quota_cost(), 3.0);
+    }
+
+    #[test]
+    fn control_ops_are_free() {
+        for op in ["ping", "fsck", "metrics", "reload", "shutdown"] {
+            let r = parse_request(&format!(r#"{{"id": 1, "op": "{op}"}}"#)).unwrap();
+            assert_eq!(r.op.quota_cost(), 0.0);
+            assert!(!r.op.needs_admission());
+        }
+    }
+
+    #[test]
+    fn salvages_id_from_malformed_request() {
+        let (id, _) = parse_request(r#"{"id": 9, "op": "query"}"#).unwrap_err();
+        assert_eq!(id, Some(9));
+        let (id, _) = parse_request("not json").unwrap_err();
+        assert_eq!(id, None);
+    }
+
+    #[test]
+    fn error_frame_carries_retry_hint() {
+        let f = error_frame(Some(4), ErrorCode::Overloaded, "queue full", Some(12));
+        assert!(f.contains(r#""code": "overloaded""#) || f.contains(r#""code":"overloaded""#));
+        assert!(f.contains("retry_after_ms"));
+        assert!(f.contains(r#""ok": false"#) || f.contains(r#""ok":false"#));
+    }
+
+    #[test]
+    fn frames_round_trip_as_json() {
+        let f = ok_frame(
+            8,
+            vec![("epoch".to_string(), Value::UInt(5))],
+        );
+        let v: Value = serde_json::from_str(&f).unwrap();
+        assert_eq!(v.get_field("ok"), Some(&Value::Bool(true)));
+        assert_eq!(v.get_field("epoch"), Some(&Value::UInt(5)));
+    }
+}

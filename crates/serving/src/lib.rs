@@ -17,14 +17,20 @@
 //! * [`engine_policy`] — the closed-loop variant: a switcher holding a
 //!   live [`sommelier_query::SommelierReader`] that re-queries the
 //!   engine per request, so selection tracks the published index epoch;
-//! * [`stats`] — latency distributions and percentile extraction.
+//! * [`stats`] — latency distributions and percentile extraction;
+//! * [`daemon`] — the real thing, not a simulation: the
+//!   `sommelier serve` TCP daemon (line-delimited JSON protocol,
+//!   bounded admission, tenant quotas) serving concurrent readers off
+//!   the RCU snapshot path.
 
+pub mod daemon;
 pub mod engine_policy;
 pub mod policies;
 pub mod server;
 pub mod stats;
 pub mod workload;
 
+pub use daemon::{Daemon, DaemonConfig, DaemonHandle};
 pub use engine_policy::EngineSwitcher;
 pub use policies::{ModelChoice, Policy};
 pub use server::{simulate, simulate_with, ClusterConfig, SimResult};

@@ -1,0 +1,297 @@
+//! End-to-end tests of the query daemon over real TCP connections:
+//! protocol round trips, epoch pinning under republish, tenant
+//! auth/quota, typed load-shed, and graceful shutdown.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use serde::Value;
+use sommelier_graph::TaskKind;
+use sommelier_query::{MutationBatch, Sommelier, SommelierConfig};
+use sommelier_repo::{InMemoryRepository, ModelRepository};
+use sommelier_serving::daemon::client::Client;
+use sommelier_serving::{Daemon, DaemonConfig};
+use sommelier_tensor::Prng;
+use sommelier_zoo::families::Family;
+use sommelier_zoo::series::build_series;
+
+/// A small indexed engine plus the names of a valid reference model
+/// and a "victim" sibling the republish storm can churn.
+fn fixture() -> (Sommelier, String, String) {
+    let repo = Arc::new(InMemoryRepository::new());
+    let mut cfg = SommelierConfig {
+        validation_rows: 64,
+        ..SommelierConfig::default()
+    };
+    cfg.index.sample_size = 8;
+    let mut engine = Sommelier::connect(Arc::clone(&repo) as Arc<dyn ModelRepository>, cfg);
+    let mut rng = Prng::seed_from_u64(33);
+    let series = build_series(
+        "daemonnet",
+        Family::Resnetish,
+        TaskKind::ImageRecognition,
+        "imagenet",
+        4,
+        51,
+        0.08,
+        &mut rng,
+    );
+    for m in &series.models {
+        engine.register(m).expect("fresh model");
+    }
+    let reference = series.models[0].name.clone();
+    let victim = series.models[1].name.clone();
+    (engine, reference, victim)
+}
+
+fn start(config: DaemonConfig) -> (sommelier_serving::DaemonHandle, String, String, String) {
+    let (engine, reference, victim) = fixture();
+    let handle = Daemon::serve(engine, config).expect("daemon starts");
+    let addr = handle.addr().to_string();
+    (handle, addr, reference, victim)
+}
+
+fn query_text(reference: &str) -> String {
+    format!("SELECT models 3 CORR {reference} WITHIN 0.9 ORDER BY similarity")
+}
+
+#[test]
+fn protocol_round_trip_and_graceful_shutdown() {
+    let (handle, addr, reference, _victim) = start(DaemonConfig::default());
+    let mut client = Client::connect(&addr).expect("connect");
+
+    let pong = client.ping().unwrap();
+    assert!(pong.ok);
+    assert_eq!(pong.body.get_field("pong"), Some(&Value::Bool(true)));
+
+    let reply = client.query(&query_text(&reference)).unwrap();
+    assert!(reply.ok, "query failed: {:?}", reply.body);
+    let Some(Value::Seq(results)) = reply.body.get_field("results") else {
+        panic!("missing results: {:?}", reply.body);
+    };
+    assert!(!results.is_empty(), "reference must find equivalents");
+    assert!(matches!(
+        reply.body.get_field("epoch"),
+        Some(Value::UInt(_))
+    ));
+
+    let fsck = client.fsck().unwrap();
+    assert!(fsck.ok);
+    assert_eq!(fsck.body.get_field("consistent"), Some(&Value::Bool(true)));
+
+    let metrics = client.metrics().unwrap();
+    assert!(metrics.ok);
+    let counters = metrics.body.get_field("counters").expect("counters map");
+    for key in ["serve.accepted", "serve.shed", "serve.active_connections"] {
+        assert!(
+            counters.get_field(key).is_some(),
+            "metrics missing counter {key}: {counters:?}"
+        );
+    }
+
+    let before = match fsck.body.get_field("epoch") {
+        Some(Value::UInt(e)) => *e,
+        other => panic!("bad epoch {other:?}"),
+    };
+    // Nothing is missing from the index, so reload is a no-op that
+    // reports 0 reindexed models and leaves the epoch alone.
+    let reload = client.reload().unwrap();
+    assert!(reload.ok, "reload failed: {:?}", reload.body);
+    assert_eq!(reload.body.get_field("reindexed"), Some(&Value::UInt(0)));
+    match reload.body.get_field("epoch") {
+        Some(Value::UInt(e)) => assert_eq!(*e, before),
+        other => panic!("bad epoch {other:?}"),
+    }
+
+    let bye = client.shutdown().unwrap();
+    assert!(bye.ok);
+    handle.wait();
+    assert!(
+        Client::connect(&addr).is_err(),
+        "listener must be closed after shutdown"
+    );
+}
+
+#[test]
+fn bad_frames_get_typed_bad_request_not_disconnect() {
+    let (handle, addr, reference, _victim) = start(DaemonConfig::default());
+    let mut client = Client::connect(&addr).unwrap();
+    // An unknown op is an error *response*, not a dropped connection.
+    let reply = client.call("no_such_op", Vec::new()).unwrap();
+    assert!(!reply.ok);
+    assert_eq!(reply.error_code(), Some("bad_request"));
+    // The connection still works afterwards.
+    let reply = client.query(&query_text(&reference)).unwrap();
+    assert!(reply.ok);
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn batch_pins_one_epoch_under_republish_storm() {
+    let (handle, addr, reference, victim) = start(DaemonConfig {
+        workers: 4,
+        queue_depth: 16,
+        ..DaemonConfig::default()
+    });
+    let stop = Arc::new(AtomicBool::new(false));
+    let handle = Arc::new(handle);
+    let mutator = {
+        let handle = Arc::clone(&handle);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            // Republish as fast as possible: unregistering the victim
+            // bumps the epoch, and re-indexing it back from the
+            // repository bumps it again — each cycle swaps the
+            // snapshot twice under live readers.
+            let mut republishes = 0u64;
+            while !stop.load(Ordering::SeqCst) {
+                handle.with_engine(|engine| {
+                    let batch = MutationBatch::new().unregister(victim.clone());
+                    engine.apply(batch).expect("unregister applies");
+                    engine.index_existing().expect("reindex applies")
+                });
+                republishes += 2;
+            }
+            republishes
+        })
+    };
+
+    let mut client = Client::connect(&addr).unwrap();
+    let texts: Vec<String> = (0..8).map(|_| query_text(&reference)).collect();
+    let mut epochs_seen = std::collections::BTreeSet::new();
+    let mut mixed = 0u64;
+    for _ in 0..30 {
+        let reply = client.query_batch(&texts).expect("no protocol error");
+        assert!(reply.ok, "batch failed: {:?}", reply.body);
+        let Some(Value::Seq(items)) = reply.body.get_field("items") else {
+            panic!("missing items");
+        };
+        let mut item_epochs = std::collections::BTreeSet::new();
+        for item in items {
+            match item.get_field("epoch") {
+                Some(Value::UInt(e)) => {
+                    item_epochs.insert(*e);
+                }
+                other => panic!("item missing epoch: {other:?}"),
+            }
+            assert!(
+                item.get_field("results").is_some(),
+                "item dropped its results: {item:?}"
+            );
+        }
+        if item_epochs.len() > 1 {
+            mixed += 1;
+        }
+        epochs_seen.extend(item_epochs);
+    }
+    stop.store(true, Ordering::SeqCst);
+    let republishes = mutator.join().unwrap();
+    assert_eq!(mixed, 0, "a batch must pin exactly one snapshot epoch");
+    assert!(republishes > 0, "the storm must actually republish");
+    assert!(
+        epochs_seen.len() > 1,
+        "the batches must observe the churn ({republishes} republishes, \
+         epochs seen: {epochs_seen:?})"
+    );
+    handle.shutdown();
+    match Arc::try_unwrap(handle) {
+        Ok(h) => h.wait(),
+        Err(_) => panic!("all clones dropped"),
+    }
+}
+
+#[test]
+fn tenants_gate_auth_and_quota() {
+    let dir = std::env::temp_dir().join(format!("sommelier-daemon-tenants-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let tenants = dir.join("tenants.json");
+    // Tiny refill rate: the bucket cannot recover during the test.
+    std::fs::write(
+        &tenants,
+        r#"[{"name": "team-a", "key": "ka", "rate_per_sec": 0.001, "burst": 3.0}]"#,
+    )
+    .unwrap();
+    let (handle, addr, reference, _victim) = start(DaemonConfig {
+        tenants: Some(tenants),
+        ..DaemonConfig::default()
+    });
+
+    // No key: unauthorized, even for ping.
+    let mut anon = Client::connect(&addr).unwrap();
+    let reply = anon.ping().unwrap();
+    assert_eq!(reply.error_code(), Some("unauthorized"));
+
+    // Wrong key: unauthorized.
+    let mut wrong = Client::connect(&addr).unwrap().with_auth("nope");
+    let reply = wrong.query(&query_text(&reference)).unwrap();
+    assert_eq!(reply.error_code(), Some("unauthorized"));
+
+    // Right key: 3 tokens of burst, then typed exhaustion with a hint.
+    let mut tenant = Client::connect(&addr).unwrap().with_auth("ka");
+    for _ in 0..3 {
+        let reply = tenant.query(&query_text(&reference)).unwrap();
+        assert!(reply.ok, "within burst: {:?}", reply.body);
+    }
+    let reply = tenant.query(&query_text(&reference)).unwrap();
+    assert_eq!(reply.error_code(), Some("quota_exhausted"));
+    assert!(
+        reply.retry_after_ms().unwrap_or(0) > 0,
+        "exhaustion must carry a retry hint: {:?}",
+        reply.body
+    );
+    // Control ops stay free for an authenticated tenant.
+    let reply = tenant.metrics().unwrap();
+    assert!(reply.ok);
+
+    handle.shutdown();
+    handle.wait();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn over_admission_sheds_with_typed_retry_after() {
+    // One permit, zero queue: anything that arrives while a batch is
+    // executing is shed immediately with `overloaded`.
+    let (handle, addr, reference, _victim) = start(DaemonConfig {
+        workers: 1,
+        queue_depth: 0,
+        ..DaemonConfig::default()
+    });
+    let big_batch: Vec<String> = (0..600).map(|_| query_text(&reference)).collect();
+    let blocker = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut c = Client::connect(&addr).unwrap();
+            c.query_batch(&big_batch).unwrap()
+        })
+    };
+    // Poke until we land inside the blocker's execution window.
+    let mut shed = None;
+    let mut probe = Client::connect(&addr).unwrap();
+    for _ in 0..2000 {
+        let reply = probe.query(&query_text(&reference)).unwrap();
+        if reply.error_code() == Some("overloaded") {
+            shed = Some(reply);
+            break;
+        }
+        assert!(reply.ok, "probe must succeed or shed: {:?}", reply.body);
+    }
+    let reply = shed.expect("a probe must be shed while the batch executes");
+    assert!(
+        reply.retry_after_ms().unwrap_or(0) > 0,
+        "shed must carry retry_after_ms: {:?}",
+        reply.body
+    );
+    let blocked = blocker.join().unwrap();
+    assert!(blocked.ok, "the admitted batch still completes");
+    // The shed shows up in the metrics scrape.
+    let metrics = probe.metrics().unwrap();
+    let counters = metrics.body.get_field("counters").unwrap();
+    match counters.get_field("serve.shed") {
+        Some(Value::UInt(n)) => assert!(*n >= 1),
+        other => panic!("serve.shed missing: {other:?}"),
+    }
+    handle.shutdown();
+    handle.wait();
+}

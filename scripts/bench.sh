@@ -45,6 +45,15 @@
 # and enforces the ≥20× register-over-reindex bar, the ≤1.5 churn
 # per-op linearity bar, and byte-identical churned vs rebuilt snapshots.
 #
+# PR 9: the `sommelier serve` daemon. Runs `pr9_serve` (a 5k-model
+# synthetic zoo served over TCP: single-connection baseline vs 8
+# pipelined connections while a mutator storms apply/republish, then an
+# over-admission burst against a workers=1 queue_depth=2 gate), copies
+# the JSON report to BENCH_pr9.json, and enforces the ≥3× saturation
+# throughput bar, zero protocol errors, zero mixed-epoch batches
+# across the republish storm, and bounded-queue load-shed (≥1 typed
+# shed, max_inflight within workers + queue_depth).
+#
 # Usage:
 #   scripts/bench.sh              # smoke fleets
 #   SOMMELIER_PR2_MODE=full SOMMELIER_PR4_MODE=full scripts/bench.sh
@@ -156,6 +165,38 @@ awk -v s="$churn_linearity" 'BEGIN { exit !(s <= 1.5) }' || {
 }
 grep -q '"identical": true' BENCH_pr8.json || {
     echo "FAIL: churned snapshot differs from a from-scratch rebuild" >&2
+    exit 1
+}
+echo "PASS"
+
+echo "== running pr9_serve (${SOMMELIER_PR9_MODE:-quick}) =="
+cargo run --quiet --release -p sommelier-bench --bin pr9_serve
+
+cp target/experiments/pr9_serve.json BENCH_pr9.json
+echo "== wrote BENCH_pr9.json =="
+
+throughput_ratio=$(sed -n 's/.*"throughput_ratio":[[:space:]]*\([0-9.]*\).*/\1/p' BENCH_pr9.json | head -n1)
+shed_count=$(sed -n 's/.*"shed":[[:space:]]*\([0-9][0-9]*\).*/\1/p' BENCH_pr9.json | head -n1)
+echo "saturation throughput ratio: ${throughput_ratio}x (bar: >= 3.0x)"
+awk -v s="$throughput_ratio" 'BEGIN { exit !(s >= 3.0) }' || {
+    echo "FAIL: saturated daemon throughput is below the 3x acceptance bar" >&2
+    exit 1
+}
+grep -q '"protocol_errors": 0' BENCH_pr9.json || {
+    echo "FAIL: the daemon answered frames with protocol errors under load" >&2
+    exit 1
+}
+grep -q '"mixed_epoch_batches": 0' BENCH_pr9.json || {
+    echo "FAIL: a query batch observed more than one snapshot epoch" >&2
+    exit 1
+}
+echo "typed load-sheds: ${shed_count} (bar: >= 1)"
+awk -v s="$shed_count" 'BEGIN { exit !(s >= 1) }' || {
+    echo "FAIL: over-admission produced no typed load-shed responses" >&2
+    exit 1
+}
+grep -q '"queue_bounded": true' BENCH_pr9.json || {
+    echo "FAIL: admission concurrency escaped the workers + queue_depth bound" >&2
     exit 1
 }
 echo "PASS"
