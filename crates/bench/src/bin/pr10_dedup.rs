@@ -1,0 +1,253 @@
+//! PR 10 storage gate: family-aware delta storage.
+//!
+//! Three halves, three acceptance bars:
+//!
+//! 1. **Size cut.** Several fine-tune families (a base model plus
+//!    sparse fine-tunes carrying `metadata["base"]`) are published flat,
+//!    then migrated in place with `dedup_store`. The gate is a ≥ 3×
+//!    cut in model-storage bytes: shared chunks dedup across the
+//!    family, and each fine-tune stores only its sparse delta.
+//!
+//! 2. **Load-back identity.** Every model loaded after migration must
+//!    serialize byte-identically (via `serde_model::to_json`) to its
+//!    pre-migration flat load — chunked reconstruction is transparent.
+//!
+//! 3. **Crash sweep.** A chunked publish plus a delta publish are
+//!    crash-injected at *every* primitive storage op; after each crash
+//!    a fresh reopen must list only loadable keys, each equal to its
+//!    expected model. No crash point may tear the store.
+//!
+//! ```sh
+//! cargo run --release -p sommelier-bench --bin pr10_dedup
+//! # SOMMELIER_PR10_MODE=full for more and larger families
+//! ```
+
+use serde::Serialize;
+use sommelier_bench::{fmt, print_table, write_json};
+use sommelier_fault::{FaultPlan, FaultyStorage, StdStorage, Storage};
+use sommelier_graph::{serde_model, Model, ModelBuilder, TaskKind};
+use sommelier_repo::{dedup_store, ModelRepository, OnDiskRepository};
+use sommelier_tensor::{Prng, Shape, Tensor};
+use sommelier_zoo::families::{Family, FamilyScale};
+use sommelier_zoo::finetune::finetune_family;
+use sommelier_zoo::teacher::{DatasetBias, Teacher};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+#[derive(Serialize)]
+struct Bench {
+    experiment: &'static str,
+    mode: String,
+    families: usize,
+    models: usize,
+    full_manifests: usize,
+    delta_manifests: usize,
+    bytes_flat: u64,
+    bytes_chunked: u64,
+    /// `bytes_flat / bytes_chunked` — gated ≥ 3.0 by bench.sh.
+    size_cut_ratio: f64,
+    /// Post-migration loads serialize byte-identically to their flat
+    /// pre-migration loads — gated by bench.sh.
+    loadback_identical: bool,
+    crash_ops: usize,
+    /// Every crash point reopens to a consistent, fully loadable
+    /// store — gated by bench.sh.
+    crash_sweep_green: bool,
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sommelier-pr10-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Base models for the fine-tune families: one per architecture family,
+/// so chunks dedup within a family but not across.
+fn base_models(n: usize) -> Vec<Model> {
+    let teacher = Teacher::for_task(TaskKind::ImageRecognition, 61);
+    let bias = DatasetBias::new(&teacher, "imagenet", 0.05);
+    let mut rng = Prng::seed_from_u64(17);
+    let families = [
+        Family::Resnetish,
+        Family::Mobilenetish,
+        Family::Vggish,
+        Family::Efficientnetish,
+        Family::Bitish,
+        Family::Inceptionish,
+    ];
+    (0..n)
+        .map(|i| {
+            let fam = families[i % families.len()];
+            let mut frng = rng.fork();
+            fam.build_scaled(
+                format!("{}-base{i}", fam.slug()),
+                &teacher,
+                &bias,
+                &FamilyScale::new(0.75, 3, 0.01),
+                &mut frng,
+            )
+        })
+        .collect()
+}
+
+/// Tiny deterministic model pair for the crash sweep: a base and a
+/// one-element fine-tune of it, so each sweep iteration is cheap.
+fn sweep_pair() -> (Model, Model) {
+    let base = ModelBuilder::new("fam/base", TaskKind::Other, Shape::vector(4))
+        .dense(3, &mut Prng::seed_from_u64(23))
+        .build()
+        .unwrap();
+    let mut ft = base.renamed("fam/ft");
+    let id = ft.linear_layers()[0];
+    let mut p = ft.layer(id).params.clone();
+    let w = p.weight.as_ref().unwrap();
+    let mut data = w.as_slice().to_vec();
+    data[0] += 0.25;
+    p.weight = Some(Tensor::from_vec(w.rows(), w.cols(), data));
+    ft.set_params(id, p).unwrap();
+    (base, ft)
+}
+
+/// The crash-swept mutation: a chunked publish of a new base key plus a
+/// delta publish against it. Errors are swallowed — mid-sequence
+/// crashes are the point.
+fn sweep_mutate(dir: &Path, storage: Arc<dyn Storage>, base: &Model, ft: &Model) {
+    let Ok(repo) = OnDiskRepository::open_with(dir, Arc::clone(&storage)) else {
+        return;
+    };
+    let _ = repo.publish_chunked("fam/base", base, false);
+    let _ = repo.publish_delta("fam/ft", ft, "fam/base", false);
+}
+
+/// Crash the chunked publish path at every primitive op; after each
+/// crash the store must reopen with every listed key loadable and equal
+/// to its expected model. Returns `(ops, green)`.
+fn crash_sweep() -> (usize, bool) {
+    let (base, ft) = sweep_pair();
+    let flat = ModelBuilder::new("old/flat", TaskKind::Other, Shape::vector(4))
+        .dense(2, &mut Prng::seed_from_u64(29))
+        .build()
+        .unwrap();
+    let expected: BTreeMap<&str, &Model> =
+        [("old/flat", &flat), ("fam/base", &base), ("fam/ft", &ft)]
+            .into_iter()
+            .collect();
+
+    // Fault-free run counts the ops the sweep must cover.
+    let dir = scratch("sweep");
+    let setup = |dir: &Path| {
+        std::fs::remove_dir_all(dir).ok();
+        let repo = OnDiskRepository::open(dir).unwrap();
+        repo.publish("old/flat", &flat, false).unwrap();
+    };
+    setup(&dir);
+    let counting = Arc::new(FaultyStorage::new(StdStorage, FaultPlan::count_only()));
+    sweep_mutate(&dir, Arc::clone(&counting) as Arc<dyn Storage>, &base, &ft);
+    let total_ops = counting.ops();
+
+    let mut green = total_ops > 0;
+    for crash_op in 0..total_ops {
+        setup(&dir);
+        let faulty = Arc::new(FaultyStorage::new(
+            StdStorage,
+            FaultPlan::crash_at(11, crash_op),
+        ));
+        sweep_mutate(&dir, Arc::clone(&faulty) as Arc<dyn Storage>, &base, &ft);
+        if !faulty.is_dead() {
+            eprintln!("crash point {crash_op} did not fire");
+            green = false;
+            continue;
+        }
+        // Fresh-process reopen: every listed key loads and matches.
+        let repo = OnDiskRepository::open(&dir).unwrap();
+        let keys = match repo.try_keys() {
+            Ok(keys) => keys,
+            Err(e) => {
+                eprintln!("crash at op {crash_op}: listing failed: {e}");
+                green = false;
+                continue;
+            }
+        };
+        for key in keys {
+            match repo.load(&key) {
+                Ok(m) => {
+                    if expected.get(key.as_str()) != Some(&&m) {
+                        eprintln!("crash at op {crash_op}: '{key}' loaded wrong model");
+                        green = false;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("crash at op {crash_op}: load '{key}': {e}");
+                    green = false;
+                }
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    (total_ops as usize, green)
+}
+
+fn main() {
+    let mode = std::env::var("SOMMELIER_PR10_MODE").unwrap_or_else(|_| "quick".into());
+    let (n_families, variants) = if mode == "full" { (6, 8) } else { (3, 5) };
+
+    // Publish the families flat.
+    let dir = scratch("store");
+    let repo = OnDiskRepository::open(&dir).unwrap();
+    let mut rng = Prng::seed_from_u64(7);
+    let mut keys = Vec::new();
+    for base in base_models(n_families) {
+        for m in finetune_family(&base, variants, 0.5, 0.05, 0.05, &mut rng) {
+            repo.publish(&m.name.clone(), &m, false).unwrap();
+            keys.push(m.name.clone());
+        }
+    }
+    let flat_loads: BTreeMap<String, String> = keys
+        .iter()
+        .map(|k| (k.clone(), serde_model::to_json(&repo.load(k).unwrap())))
+        .collect();
+
+    // Migrate in place and compare load-backs.
+    let stats = dedup_store(&repo).unwrap();
+    let loadback_identical = keys
+        .iter()
+        .all(|k| serde_model::to_json(&repo.load(k).unwrap()) == flat_loads[k]);
+    let size_cut_ratio = stats.size_cut();
+
+    let (crash_ops, crash_sweep_green) = crash_sweep();
+
+    let bench = Bench {
+        experiment: "pr10_dedup",
+        mode: mode.clone(),
+        families: n_families,
+        models: stats.models,
+        full_manifests: stats.full,
+        delta_manifests: stats.delta,
+        bytes_flat: stats.bytes_before,
+        bytes_chunked: stats.bytes_after,
+        size_cut_ratio,
+        loadback_identical,
+        crash_ops,
+        crash_sweep_green,
+    };
+
+    print_table(
+        "PR 10: family-aware delta storage",
+        &["metric", "value"],
+        &[
+            vec!["models".into(), bench.models.to_string()],
+            vec!["full manifests".into(), bench.full_manifests.to_string()],
+            vec!["delta manifests".into(), bench.delta_manifests.to_string()],
+            vec!["flat bytes".into(), bench.bytes_flat.to_string()],
+            vec!["chunked bytes".into(), bench.bytes_chunked.to_string()],
+            vec!["size cut".into(), format!("{}x", fmt(size_cut_ratio, 2))],
+            vec!["load-back identical".into(), loadback_identical.to_string()],
+            vec!["crash ops swept".into(), crash_ops.to_string()],
+            vec!["crash sweep green".into(), crash_sweep_green.to_string()],
+        ],
+    );
+    write_json("pr10_dedup", &bench);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -7,7 +7,11 @@ use sommelier_fault::{StdStorage, Storage};
 use sommelier_graph::{serde_model, TaskKind};
 use sommelier_lint::DenySpec;
 use sommelier_query::{SnapshotRecovery, Sommelier, SommelierConfig};
-use sommelier_repo::{decode_key, ModelRepository, OnDiskRepository};
+use sommelier_repo::{
+    chunk_hash, decode_key, dedup_store, is_chunk_name, Manifest, ModelRepository,
+    OnDiskRepository, CHUNK_DIR, CHUNK_SUFFIX, MANIFEST_SUFFIX,
+};
+use std::collections::BTreeSet;
 use sommelier_runtime::ResourceProfile;
 use sommelier_tensor::{Prng, Tensor};
 use sommelier_zoo::series::build_series;
@@ -743,13 +747,17 @@ pub fn audit(args: &[String]) -> CmdResult {
 /// `sommelier fsck <dir> [--repair] [--prune]`
 ///
 /// Walks the store directory and checks every artifact the durability
-/// layer manages: model files must carry canonical key encodings and
-/// parse; the index snapshot must parse; quarantined (`*.corrupt-*`)
-/// and orphaned temp (`*.tmp-*`) files are reported. Without flags the
+/// layer manages: model and manifest files must carry canonical key
+/// encodings and parse; manifests must reference only chunks that
+/// exist; chunks must hash-verify and be referenced by some manifest;
+/// the index snapshot must parse; quarantined (`*.corrupt-*`) and
+/// orphaned temp (`*.tmp-*`) files are reported. Without flags the
 /// command only reports, failing (for scripting) if anything is found.
-/// `--repair` deletes orphaned temps, quarantines unparseable files,
-/// and rebuilds + re-persists the index from the repository. `--prune`
-/// additionally deletes quarantined files once you are done with them.
+/// `--repair` deletes orphaned temps and orphaned chunks, quarantines
+/// unparseable or dangling-reference artifacts, and rebuilds +
+/// re-persists the index from the repository. `--prune` deletes
+/// quarantined files; it works on its own — without `--repair` it
+/// prunes quarantines left by earlier runs but fixes nothing else.
 pub fn fsck(args: &[String]) -> CmdResult {
     let (positional, flags) = split_flags(args)?;
     let dir = repo_dir(&positional)?;
@@ -770,6 +778,7 @@ pub fn fsck(args: &[String]) -> CmdResult {
     let mut findings = 0usize;
     let mut fixed = 0usize;
     let mut index_broken = false;
+    let mut manifests: Vec<(String, Manifest)> = Vec::new();
     for name in &names {
         let path = dir.join(name);
         if is_quarantine_name(name) {
@@ -789,6 +798,40 @@ pub fn fsck(args: &[String]) -> CmdResult {
                 println!("removed orphaned temp {name}");
             } else {
                 println!("orphaned temp file: {name} (remove with --repair)");
+            }
+        } else if let Some(stem) = name.strip_suffix(MANIFEST_SUFFIX) {
+            if decode_key(stem).is_none() {
+                findings += 1;
+                println!("non-canonical manifest file name: {name} (republish via the API)");
+                continue;
+            }
+            let parsed = storage
+                .read(&path)
+                .map_err(fail)
+                .and_then(|bytes| String::from_utf8(bytes).map_err(fail))
+                .and_then(|text| Manifest::from_json(&text));
+            match parsed {
+                Ok(manifest) => manifests.push((name.clone(), manifest)),
+                Err(e) => {
+                    findings += 1;
+                    if repair {
+                        let q = sommelier_fault::quarantine(&storage, &path).map_err(fail)?;
+                        fixed += 1;
+                        println!(
+                            "quarantined unreadable manifest {name} → {}",
+                            q.file_name().and_then(|n| n.to_str()).unwrap_or("?")
+                        );
+                        if prune {
+                            storage.remove(&q).map_err(fail)?;
+                            println!(
+                                "pruned quarantined file {}",
+                                q.file_name().and_then(|n| n.to_str()).unwrap_or("?")
+                            );
+                        }
+                    } else {
+                        println!("unreadable manifest file: {name}: {e}");
+                    }
+                }
             }
         } else if let Some(stem) = name.strip_suffix(".model.json") {
             if decode_key(stem).is_none() {
@@ -827,6 +870,120 @@ pub fn fsck(args: &[String]) -> CmdResult {
                     println!("unreadable index snapshot: {name}: {e}");
                 }
             }
+        }
+    }
+    // Chunk hygiene: every chunk must hash-verify and be referenced by
+    // some manifest; every manifest reference must resolve to a chunk.
+    let chunk_dir = dir.join(CHUNK_DIR);
+    let chunk_names = storage.list(&chunk_dir).unwrap_or_default();
+    let mut present: BTreeSet<String> = BTreeSet::new();
+    for cname in &chunk_names {
+        let path = chunk_dir.join(cname);
+        if is_quarantine_name(cname) {
+            findings += 1;
+            if prune {
+                storage.remove(&path).map_err(fail)?;
+                fixed += 1;
+                println!("pruned quarantined chunk {cname}");
+            } else {
+                println!("quarantined chunk: {cname} (remove with --prune)");
+            }
+        } else if is_temp_name(cname) {
+            findings += 1;
+            if repair {
+                storage.remove(&path).map_err(fail)?;
+                fixed += 1;
+                println!("removed orphaned temp chunk {cname}");
+            } else {
+                println!("orphaned temp chunk: {cname} (remove with --repair)");
+            }
+        } else if !is_chunk_name(cname) {
+            findings += 1;
+            if repair {
+                storage.remove(&path).map_err(fail)?;
+                fixed += 1;
+                println!("removed stray file in chunk dir: {cname}");
+            } else {
+                println!("stray file in chunk dir: {cname} (remove with --repair)");
+            }
+        } else {
+            let stem = cname.strip_suffix(CHUNK_SUFFIX).unwrap_or(cname);
+            let bytes = storage.read(&path).map_err(fail)?;
+            if chunk_hash(&bytes) == stem {
+                present.insert(stem.to_string());
+            } else {
+                // Corrupt chunks never count as present: manifests that
+                // reference one are unreconstructable and show up as
+                // dangling below.
+                findings += 1;
+                if repair {
+                    let q = sommelier_fault::quarantine(&storage, &path).map_err(fail)?;
+                    fixed += 1;
+                    println!(
+                        "quarantined corrupt chunk {cname} → {}",
+                        q.file_name().and_then(|n| n.to_str()).unwrap_or("?")
+                    );
+                    if prune {
+                        storage.remove(&q).map_err(fail)?;
+                        println!(
+                            "pruned quarantined file {}",
+                            q.file_name().and_then(|n| n.to_str()).unwrap_or("?")
+                        );
+                    }
+                } else {
+                    println!("corrupt chunk: {cname} (content does not match its hash)");
+                }
+            }
+        }
+    }
+    let referenced: BTreeSet<&str> = manifests
+        .iter()
+        .flat_map(|(_, m)| m.chunk_refs())
+        .collect();
+    for hash in &present {
+        if !referenced.contains(hash.as_str()) {
+            findings += 1;
+            let cname = format!("{hash}{CHUNK_SUFFIX}");
+            if repair {
+                storage.remove(&chunk_dir.join(&cname)).map_err(fail)?;
+                fixed += 1;
+                println!("removed orphaned chunk {cname}");
+            } else {
+                println!("orphaned chunk: {cname} (referenced by no manifest; remove with --repair)");
+            }
+        }
+    }
+    for (name, manifest) in &manifests {
+        let missing: Vec<&str> = manifest
+            .chunk_refs()
+            .into_iter()
+            .filter(|h| !present.contains(*h))
+            .collect();
+        if missing.is_empty() {
+            continue;
+        }
+        findings += 1;
+        if repair {
+            let q = sommelier_fault::quarantine(&storage, &dir.join(name)).map_err(fail)?;
+            fixed += 1;
+            println!(
+                "quarantined manifest {name} with {} dangling chunk ref(s) → {}",
+                missing.len(),
+                q.file_name().and_then(|n| n.to_str()).unwrap_or("?")
+            );
+            if prune {
+                storage.remove(&q).map_err(fail)?;
+                println!(
+                    "pruned quarantined file {}",
+                    q.file_name().and_then(|n| n.to_str()).unwrap_or("?")
+                );
+            }
+        } else {
+            println!(
+                "dangling chunk reference(s) in manifest {name}: {} missing (first: {})",
+                missing.len(),
+                missing[0]
+            );
         }
     }
     // Repairing an unreadable snapshot = the engine's own recovery path:
@@ -870,6 +1027,41 @@ pub fn fsck(args: &[String]) -> CmdResult {
             findings - fixed
         ));
     }
+    Ok(())
+}
+
+/// `sommelier dedup <dir>`
+///
+/// Migrates a flat store to chunked delta storage in place. Every model
+/// becomes a manifest over content-addressed tensor chunks; models that
+/// carry a `base` metadata hint naming another stored model become
+/// sparse deltas against that base (dangling or cyclic hints degrade to
+/// full manifests). Each key cuts over atomically — the flat file is
+/// removed only after its manifest and chunks are durable, and a crash
+/// mid-migration leaves every model loadable from one format or the
+/// other. Running it again is a no-op for already-chunked keys.
+pub fn dedup(args: &[String]) -> CmdResult {
+    let (positional, flags) = split_flags(args)?;
+    if let Some((name, _)) = flags.first() {
+        return Err(format!("unknown flag --{name}"));
+    }
+    let dir = repo_dir(&positional)?;
+    let repo = open_repo(&dir)?;
+    let stats = dedup_store(&repo).map_err(fail)?;
+    println!(
+        "{}: {} model(s) — {} full manifest(s), {} delta(s), {} already chunked",
+        dir.display(),
+        stats.models,
+        stats.full,
+        stats.delta,
+        stats.skipped
+    );
+    println!(
+        "model storage {} → {} bytes ({:.2}x size cut)",
+        stats.bytes_before,
+        stats.bytes_after,
+        stats.size_cut()
+    );
     Ok(())
 }
 

@@ -73,10 +73,21 @@ COMMANDS:
                                         findings from a prior JSON run
     fsck   <dir> [--repair] [--prune]   check store integrity: torn or
                                         mis-named files, orphaned temps,
-                                        quarantined artifacts; --repair
-                                        cleans temps, quarantines corrupt
-                                        files, and rebuilds the index;
+                                        quarantined artifacts, dangling
+                                        or orphaned tensor chunks;
+                                        --repair cleans temps, quarantines
+                                        corrupt files, deletes orphaned
+                                        chunks, and rebuilds the index;
                                         --prune deletes quarantined files
+                                        (works on its own: without
+                                        --repair it only prunes an
+                                        earlier run's quarantines)
+    dedup  <dir>                        migrate a flat store to chunked
+                                        delta storage in place: models
+                                        become manifests over content-
+                                        addressed chunks, fine-tunes
+                                        (metadata key 'base') become
+                                        sparse deltas against their base
     serve  <dir> [--addr A] [--workers N] [--queue-depth D]
            [--tenants FILE] [--jobs N] [--cache-cap N]
                                         long-running TCP query daemon
@@ -121,6 +132,7 @@ fn main() -> ExitCode {
         "lint" => commands::lint(rest),
         "audit" => commands::audit(rest),
         "fsck" => commands::fsck(rest),
+        "dedup" => commands::dedup(rest),
         "serve" => commands::serve(rest),
         "client" => commands::client(rest),
         "help" | "--help" | "-h" => {

@@ -336,6 +336,66 @@ fn add_rejects_missing_file_and_duplicate_keys() {
 }
 
 #[test]
+fn dedup_migrates_in_place_and_fsck_checks_chunks() {
+    let dir = temp_repo("dedup");
+    let d = dir.to_str().unwrap();
+    assert!(run(&["init", d]).status.success());
+    assert!(run(&["seed", d, "--series", "1", "--seed", "7"]).status.success());
+    let listing = stdout(&run(&["list", d]));
+    let keys: Vec<String> = listing.lines().map(String::from).collect();
+    assert!(!keys.is_empty());
+    let shown_before = stdout(&run(&["show", d, &keys[0]]));
+
+    // Migrate to chunked storage: flat files disappear, chunks appear,
+    // and the store still fscks clean and serves the same models.
+    let out = run(&["dedup", d]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("size cut"), "{}", stdout(&out));
+    assert!(dir.join("chunks").is_dir());
+    let flat_left = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".model.json"))
+        .count();
+    assert_eq!(flat_left, 0, "all models should be chunked");
+    let out = run(&["fsck", d]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert_eq!(shown_before, stdout(&run(&["show", d, &keys[0]])));
+
+    // A second pass is a no-op.
+    let out = run(&["dedup", d]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("already chunked"), "{}", stdout(&out));
+
+    // Chunk damage: delete one chunk (dangling manifest ref), plant a
+    // stray file. Plain fsck reports both and fails.
+    let chunk_dir = dir.join("chunks");
+    let victim = std::fs::read_dir(&chunk_dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .find(|e| e.file_name().to_string_lossy().ends_with(".chunk"))
+        .expect("chunks exist");
+    std::fs::remove_file(victim.path()).unwrap();
+    std::fs::write(chunk_dir.join("stray.txt"), b"junk").unwrap();
+    let out = run(&["fsck", d]);
+    assert!(!out.status.success());
+    let report = stdout(&out);
+    assert!(report.contains("dangling chunk reference"), "{report}");
+    assert!(report.contains("stray file in chunk dir"), "{report}");
+
+    // --repair --prune quarantines the broken manifest, removes the
+    // stray, and (after the follow-up orphan sweep) leaves the store
+    // clean again.
+    let out = run(&["fsck", d, "--repair", "--prune"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let out = run(&["fsck", d, "--repair", "--prune"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let out = run(&["fsck", d]);
+    assert!(out.status.success(), "{}", stdout(&out));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn serve_and_client_round_trip_over_tcp() {
     use std::io::{BufRead, BufReader};
     use std::process::Stdio;

@@ -388,6 +388,55 @@ impl Model {
         Ok(())
     }
 
+    /// Split the model into a parameter-free *skeleton* plus the
+    /// extracted `(layer, params)` pairs, in layer order. This is the
+    /// storage shape of `sommelier-repo`'s chunked manifests: the
+    /// skeleton travels inline in the manifest while the parameter
+    /// tensors travel as content-addressed chunks. The skeleton is not
+    /// a valid executable model (its linear layers are bare) and exists
+    /// only to be rehydrated by [`Model::attach_params`].
+    pub fn strip_params(&self) -> (Model, Vec<(LayerId, Params)>) {
+        let mut skeleton = self.clone();
+        let mut extracted = Vec::new();
+        for (i, layer) in skeleton.layers.iter_mut().enumerate() {
+            if layer.params.count() != 0 {
+                let params = std::mem::replace(&mut layer.params, Params::none());
+                extracted.push((LayerId(i), params));
+            }
+        }
+        (skeleton, extracted)
+    }
+
+    /// Rehydrate a skeleton produced by [`Model::strip_params`]:
+    /// reattach every extracted parameter set, revalidating shapes,
+    /// then re-check the whole graph so a parameterized operator left
+    /// bare (a truncated manifest) is rejected rather than producing a
+    /// model that fails at execution time.
+    pub fn attach_params(
+        skeleton: &Model,
+        params: impl IntoIterator<Item = (LayerId, Params)>,
+    ) -> Result<Model, ModelError> {
+        let mut model = skeleton.clone();
+        for (id, p) in params {
+            if id.index() >= model.layers.len() {
+                return Err(ModelError::BadParams {
+                    layer: id.index(),
+                    detail: format!("no such layer (model has {})", model.layers.len()),
+                });
+            }
+            model.set_params(id, p)?;
+        }
+        for (i, layer) in model.layers.iter().enumerate() {
+            let in_widths: Vec<usize> = layer
+                .inputs
+                .iter()
+                .map(|x| model.widths[x.index()])
+                .collect();
+            Self::check_params(i, layer, &in_widths)?;
+        }
+        Ok(model)
+    }
+
     /// A copy of this model under a new name (same structure and weights).
     pub fn renamed(&self, name: impl Into<String>) -> Model {
         let mut m = self.clone();
@@ -534,6 +583,34 @@ mod tests {
         );
         assert!(ok.is_ok());
         assert_eq!(m.layer(id).params.weight.as_ref().unwrap().max_abs(), 0.0);
+    }
+
+    #[test]
+    fn strip_then_attach_round_trips() {
+        let m = tiny_model();
+        let (skeleton, params) = m.strip_params();
+        assert_eq!(skeleton.param_count(), 0);
+        assert_eq!(skeleton.op_tags(), m.op_tags());
+        assert_eq!(params.len(), 2);
+        let back = Model::attach_params(&skeleton, params).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn attach_rejects_bare_parameterized_layers() {
+        let m = tiny_model();
+        let (skeleton, mut params) = m.strip_params();
+        params.pop(); // lose the last dense layer's weights
+        let err = Model::attach_params(&skeleton, params).unwrap_err();
+        assert!(matches!(err, ModelError::BadParams { .. }));
+    }
+
+    #[test]
+    fn attach_rejects_out_of_range_layer() {
+        let m = tiny_model();
+        let (skeleton, mut params) = m.strip_params();
+        params.push((LayerId(99), Params::with_weight(Tensor::zeros(1, 1))));
+        assert!(Model::attach_params(&skeleton, params).is_err());
     }
 
     #[test]

@@ -92,6 +92,13 @@ pub mod codes {
     pub const NON_CANONICAL_MODEL_FILE: &str = "SOM072";
     /// The store directory could not be listed at all.
     pub const STORE_LISTING_FAILED: &str = "SOM073";
+    /// A manifest references a chunk absent from the chunk store.
+    pub const DANGLING_CHUNK: &str = "SOM074";
+    /// A chunk no manifest references (refcount zero), or a stray
+    /// non-chunk file inside the chunk namespace.
+    pub const ORPHANED_CHUNK: &str = "SOM075";
+    /// A delta manifest whose base chain is missing or cyclic.
+    pub const BROKEN_DELTA_BASE: &str = "SOM076";
     /// A recomputed layer width disagrees with the stored graph.
     pub const SHAPE_INCOMPATIBLE: &str = "SOM080";
     /// A parameter tensor contains NaN or infinite values.
@@ -153,6 +160,9 @@ pub mod codes {
         (ORPHANED_TEMP, "orphaned temp file from an interrupted write"),
         (NON_CANONICAL_MODEL_FILE, "model file name is not a canonical key"),
         (STORE_LISTING_FAILED, "store directory could not be listed"),
+        (DANGLING_CHUNK, "manifest references a missing chunk"),
+        (ORPHANED_CHUNK, "chunk is referenced by no manifest"),
+        (BROKEN_DELTA_BASE, "delta manifest base missing or cyclic"),
         (SHAPE_INCOMPATIBLE, "recomputed layer width disagrees with graph"),
         (NONFINITE_WEIGHTS, "parameter tensor contains NaN/Inf values"),
         (UNREACHABLE_SUBGRAPH, "subgraph can never reach the output"),
@@ -401,6 +411,50 @@ mod tests {
         assert_eq!(report.diagnostics, vec![new]);
     }
 
+    fn is_sorted_and_deduped(report: &LintReport) -> bool {
+        report.diagnostics.windows(2).all(|w| {
+            (&w[0].code, &w[0].target, w[0].layer, &w[0].message)
+                < (&w[1].code, &w[1].target, w[1].layer, &w[1].message)
+        })
+    }
+
+    #[test]
+    fn baseline_with_duplicate_findings_subtracts_once_cleanly() {
+        // A hand-edited or concatenated baseline may repeat an entry;
+        // subtraction must treat it as a set, not consume one
+        // occurrence per repeat.
+        let known = Diagnostic::error(codes::DANGLING_KEY, "semantic-index", "known");
+        let kept = Diagnostic::warn(codes::DEAD_LAYER, "model 'm'", "kept");
+        let mut report = LintReport::from_diagnostics(vec![known.clone(), kept.clone()]);
+        report.subtract(&[known.clone(), known.clone(), known]);
+        assert_eq!(report.diagnostics, vec![kept]);
+        assert!(is_sorted_and_deduped(&report));
+    }
+
+    #[test]
+    fn baseline_superset_of_current_empties_the_report() {
+        let a = Diagnostic::error(codes::DANGLING_KEY, "semantic-index", "a");
+        let b = Diagnostic::warn(codes::DEAD_LAYER, "model 'm'", "b");
+        let extra = Diagnostic::info(codes::COST_OUTLIER, "model 'x'", "never seen");
+        let mut report = LintReport::from_diagnostics(vec![a.clone(), b.clone()]);
+        report.subtract(&[extra, b, a]);
+        assert!(report.is_clean());
+        assert_eq!(report.max_severity(), None);
+    }
+
+    #[test]
+    fn empty_report_survives_subtraction() {
+        let mut report = LintReport::default();
+        report.subtract(&[Diagnostic::error(codes::DANGLING_KEY, "t", "m")]);
+        assert!(report.is_clean());
+        // And subtracting an empty baseline is the identity.
+        let d = Diagnostic::warn(codes::DEAD_LAYER, "model 'm'", "kept").with_layer(1);
+        let mut report = LintReport::from_diagnostics(vec![d.clone(), d.clone()]);
+        report.subtract(&[]);
+        assert_eq!(report.diagnostics, vec![d]);
+        assert!(is_sorted_and_deduped(&report));
+    }
+
     #[test]
     fn registry_covers_every_constant() {
         // The registry must list each code exactly once, in order.
@@ -421,7 +475,7 @@ mod tests {
         ] {
             assert!(seen.contains(known), "{known} missing from registry");
         }
-        assert_eq!(codes::ALL.len(), 45, "update the registry with new codes");
+        assert_eq!(codes::ALL.len(), 48, "update the registry with new codes");
     }
 
     #[test]

@@ -33,8 +33,11 @@
 //!   never registered (`SOM060`–`SOM062`);
 //! * **store hygiene** ([`passes::store`]) — quarantined artifacts,
 //!   orphaned temp files from interrupted atomic writes, model files
-//!   whose names are not canonical key encodings, and unlistable store
-//!   directories (`SOM070`–`SOM073`).
+//!   whose names are not canonical key encodings, unlistable store
+//!   directories, and chunk-store hygiene: manifests referencing
+//!   missing chunks, chunks no manifest references, and delta
+//!   manifests with missing or cyclic base chains
+//!   (`SOM070`–`SOM076`).
 //!
 //! On top of the shallow families sits the *deep audit*: an
 //! abstract-interpretation [`dataflow`] engine feeding the
@@ -100,6 +103,12 @@ pub struct LintContext {
     pub model_mtimes: Vec<(String, SystemTime)>,
     /// Raw file names of the store directory (for hygiene lints).
     pub store_files: Vec<String>,
+    /// Raw file names inside the store's `chunks/` namespace.
+    pub chunk_files: Vec<String>,
+    /// Parsed chunk manifests as `(file name, manifest)` — the
+    /// store-hygiene pass checks chunk references and delta base
+    /// chains against these.
+    pub manifests: Vec<(String, sommelier_repo::Manifest)>,
     /// Queries to lint statically (parsed ASTs).
     pub queries: Vec<Query>,
     /// Findings produced while *loading* the context (unreadable model
@@ -148,25 +157,59 @@ impl LintContext {
         // Raw directory listing: store-hygiene fodder plus model-file
         // mtimes, decoded back to the repository keys they store.
         if let Ok(entries) = std::fs::read_dir(dir) {
+            let mut mtimes = std::collections::BTreeMap::new();
             for entry in entries.flatten() {
                 let name = entry.file_name();
                 let Some(name) = name.to_str() else { continue };
+                if entry.path().is_dir() {
+                    continue; // the chunks/ namespace is listed below
+                }
                 ctx.store_files.push(name.to_string());
+                // Both representations count as "the model file" for
+                // freshness: a republished manifest must stale the
+                // index exactly like a republished flat file.
                 let Some(key) = name
-                    .strip_suffix(".model.json")
+                    .strip_suffix(sommelier_repo::MODEL_SUFFIX)
+                    .or_else(|| name.strip_suffix(sommelier_repo::MANIFEST_SUFFIX))
                     .and_then(sommelier_repo::decode_key)
                 else {
                     continue;
                 };
                 if let Ok(meta) = entry.metadata() {
                     if let Ok(mtime) = meta.modified() {
-                        ctx.model_mtimes.push((key, mtime));
+                        let slot = mtimes.entry(key).or_insert(mtime);
+                        if mtime > *slot {
+                            *slot = mtime;
+                        }
+                    }
+                }
+            }
+            ctx.model_mtimes = mtimes.into_iter().collect();
+        }
+        ctx.store_files.sort();
+        // Parse every manifest for chunk-hygiene checks. Unparseable
+        // ones already surfaced as MODEL_UNREADABLE through the
+        // key-loading loop above.
+        for name in &ctx.store_files {
+            if !name.ends_with(sommelier_repo::MANIFEST_SUFFIX) {
+                continue;
+            }
+            if let Ok(bytes) = std::fs::read(dir.join(name)) {
+                if let Ok(json) = String::from_utf8(bytes) {
+                    if let Ok(manifest) = sommelier_repo::Manifest::from_json(&json) {
+                        ctx.manifests.push((name.clone(), manifest));
                     }
                 }
             }
         }
-        ctx.store_files.sort();
-        ctx.model_mtimes.sort_by(|a, b| a.0.cmp(&b.0));
+        if let Ok(entries) = std::fs::read_dir(dir.join(sommelier_repo::CHUNK_DIR)) {
+            for entry in entries.flatten() {
+                if let Some(name) = entry.file_name().to_str() {
+                    ctx.chunk_files.push(name.to_string());
+                }
+            }
+        }
+        ctx.chunk_files.sort();
         // Binary snapshot wins over JSON when both exist (CLI order).
         let bin_path = dir.join(INDEX_FILE_BIN);
         let json_path = dir.join(INDEX_FILE);

@@ -18,19 +18,34 @@
 //!   [`sommelier_repo::encode_key`] spelling. The repository will never
 //!   surface it as a key, so it is effectively invisible data;
 //! * **listing failures** (`SOM073`, error) — the directory itself
-//!   could not be enumerated, so every other store check is blind.
+//!   could not be enumerated, so every other store check is blind;
+//! * **dangling chunk references** (`SOM074`, error) — a manifest
+//!   names a chunk the `chunks/` namespace does not hold, so the model
+//!   it describes cannot be reconstructed;
+//! * **orphaned chunks** (`SOM075`, warn) — a chunk (or a stray
+//!   non-chunk file in the chunk namespace) that no manifest
+//!   references: refcount zero, wasted bytes, prunable
+//!   (`sommelier fsck --repair`);
+//! * **broken delta bases** (`SOM076`, error) — a delta manifest whose
+//!   base key is not stored, or whose base chain cycles.
 //!
-//! The pass works off [`crate::LintContext::store_files`], the raw file
-//! names captured at context-load time, so it stays execution-free like
+//! The pass works off [`crate::LintContext::store_files`],
+//! [`crate::LintContext::chunk_files`], and
+//! [`crate::LintContext::manifests`] — raw names and parsed manifests
+//! captured at context-load time — so it stays execution-free like
 //! every other pass.
 
 use crate::diagnostics::{codes, Diagnostic};
 use crate::{LintContext, Pass};
 use sommelier_fault::storage::{is_quarantine_name, is_temp_name};
-use sommelier_repo::decode_key;
+use sommelier_repo::{decode_key, is_chunk_name};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// File-name suffix of stored models (mirrors the repository layout).
 const MODEL_SUFFIX: &str = ".model.json";
+
+/// File-name suffix of chunk manifests.
+const MANIFEST_SUFFIX: &str = ".manifest.json";
 
 /// Reports quarantined, orphaned, and mis-named files in the store.
 pub struct StoreHygienePass;
@@ -60,7 +75,10 @@ impl Pass for StoreHygienePass {
                     )
                     .with_help("safe to delete: `sommelier fsck --repair`"),
                 );
-            } else if let Some(stem) = name.strip_suffix(MODEL_SUFFIX) {
+            } else if let Some(stem) = name
+                .strip_suffix(MODEL_SUFFIX)
+                .or_else(|| name.strip_suffix(MANIFEST_SUFFIX))
+            {
                 if decode_key(stem).is_none() {
                     out.push(
                         Diagnostic::warn(
@@ -74,6 +92,161 @@ impl Pass for StoreHygienePass {
                         ),
                     );
                 }
+            }
+        }
+        Self::check_chunks(ctx, out);
+        Self::check_delta_bases(ctx, out);
+    }
+}
+
+impl StoreHygienePass {
+    /// `SOM074`/`SOM075`: cross-check manifest chunk references against
+    /// the chunk namespace in both directions.
+    fn check_chunks(ctx: &LintContext, out: &mut Vec<Diagnostic>) {
+        let present: BTreeSet<&str> = ctx
+            .chunk_files
+            .iter()
+            .filter(|n| is_chunk_name(n))
+            .filter_map(|n| n.strip_suffix(".chunk"))
+            .collect();
+        let mut referenced: BTreeSet<&str> = BTreeSet::new();
+        for (file, manifest) in &ctx.manifests {
+            let mut missing: Vec<&str> = Vec::new();
+            for hash in manifest.chunk_refs() {
+                referenced.insert(hash);
+                if !present.contains(hash) {
+                    missing.push(hash);
+                }
+            }
+            missing.sort();
+            missing.dedup();
+            if !missing.is_empty() {
+                out.push(
+                    Diagnostic::error(
+                        codes::DANGLING_CHUNK,
+                        format!("file '{file}'"),
+                        format!(
+                            "manifest references {} chunk(s) absent from chunks/ \
+                             (first: {}); the model cannot be reconstructed",
+                            missing.len(),
+                            missing[0]
+                        ),
+                    )
+                    .with_help("restore the chunks or quarantine the manifest: `sommelier fsck --repair`"),
+                );
+            }
+        }
+        for name in &ctx.chunk_files {
+            if is_temp_name(name) {
+                out.push(
+                    Diagnostic::warn(
+                        codes::ORPHANED_TEMP,
+                        format!("file 'chunks/{name}'"),
+                        "orphaned temp file from an interrupted chunk write",
+                    )
+                    .with_help("safe to delete: `sommelier fsck --repair`"),
+                );
+            } else if is_quarantine_name(name) {
+                out.push(
+                    Diagnostic::warn(
+                        codes::QUARANTINED_FILE,
+                        format!("file 'chunks/{name}'"),
+                        "quarantined chunk is still on disk",
+                    )
+                    .with_help("inspect it, then remove it with `sommelier fsck --prune`"),
+                );
+            } else if !is_chunk_name(name) {
+                out.push(
+                    Diagnostic::warn(
+                        codes::ORPHANED_CHUNK,
+                        format!("file 'chunks/{name}'"),
+                        "stray file in the chunk namespace is not a content-addressed chunk",
+                    )
+                    .with_help("no manifest can reference it; delete it"),
+                );
+            } else if !referenced.contains(name.trim_end_matches(".chunk")) {
+                out.push(
+                    Diagnostic::warn(
+                        codes::ORPHANED_CHUNK,
+                        format!("file 'chunks/{name}'"),
+                        "chunk is referenced by no manifest (refcount zero)",
+                    )
+                    .with_help("reclaim the bytes: `sommelier fsck --repair`"),
+                );
+            }
+        }
+    }
+
+    /// `SOM076`: every delta manifest's base chain must resolve to a
+    /// stored key and terminate.
+    fn check_delta_bases(ctx: &LintContext, out: &mut Vec<Diagnostic>) {
+        // Keys stored in either representation.
+        let stored: BTreeSet<String> = ctx
+            .store_files
+            .iter()
+            .filter_map(|n| {
+                n.strip_suffix(MODEL_SUFFIX)
+                    .or_else(|| n.strip_suffix(MANIFEST_SUFFIX))
+                    .and_then(decode_key)
+            })
+            .collect();
+        // Keys with a flat file: the flat representation wins on load,
+        // so a chain passing through one terminates there.
+        let flat: BTreeSet<String> = ctx
+            .store_files
+            .iter()
+            .filter_map(|n| n.strip_suffix(MODEL_SUFFIX).and_then(decode_key))
+            .collect();
+        // key -> base, for manifests that delta.
+        let bases: BTreeMap<String, &str> = ctx
+            .manifests
+            .iter()
+            .filter_map(|(file, m)| {
+                let key = file.strip_suffix(MANIFEST_SUFFIX).and_then(decode_key)?;
+                Some((key, m.base.as_deref()?))
+            })
+            .collect();
+        for (file, manifest) in &ctx.manifests {
+            let Some(base) = manifest.base.as_deref() else {
+                continue;
+            };
+            if !stored.contains(base) {
+                out.push(
+                    Diagnostic::error(
+                        codes::BROKEN_DELTA_BASE,
+                        format!("file '{file}'"),
+                        format!("delta manifest's base '{base}' is not stored"),
+                    )
+                    .with_help("restore the base model or republish this key as a full manifest"),
+                );
+                continue;
+            }
+            let Some(key) = file.strip_suffix(MANIFEST_SUFFIX).and_then(decode_key) else {
+                continue;
+            };
+            let mut seen = BTreeSet::new();
+            let mut cur = key;
+            let cyclic = loop {
+                if !seen.insert(cur.clone()) {
+                    break true;
+                }
+                if flat.contains(&cur) {
+                    break false; // the flat file wins: the chain ends here
+                }
+                match bases.get(&cur) {
+                    Some(next) => cur = (*next).to_string(),
+                    None => break false,
+                }
+            };
+            if cyclic {
+                out.push(
+                    Diagnostic::error(
+                        codes::BROKEN_DELTA_BASE,
+                        format!("file '{file}'"),
+                        "delta manifest's base chain cycles; the model cannot be reconstructed",
+                    )
+                    .with_help("republish one member of the cycle as a full manifest"),
+                );
             }
         }
     }
@@ -121,6 +294,101 @@ mod tests {
         let out = run(&ctx);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].code, codes::ORPHANED_TEMP);
+    }
+
+    fn manifest_for(base: Option<&str>, chunks: &[&str]) -> sommelier_repo::Manifest {
+        use sommelier_graph::{ModelBuilder, TaskKind};
+        use sommelier_tensor::{Prng, Shape};
+        let mut rng = Prng::seed_from_u64(1);
+        let model = ModelBuilder::new("m", TaskKind::Other, Shape::vector(2))
+            .dense(2, &mut rng)
+            .build()
+            .unwrap();
+        let (skeleton, _) = model.strip_params();
+        sommelier_repo::Manifest {
+            format_version: 1,
+            base: base.map(String::from),
+            skeleton,
+            layers: vec![sommelier_repo::chunks::LayerDelta {
+                layer: 1,
+                replace: true,
+                weight: Some(sommelier_repo::chunks::TensorRef {
+                    rows: 2,
+                    cols: 2,
+                    chunks: chunks.iter().map(|s| s.to_string()).collect(),
+                    sparse: None,
+                }),
+                bias: None,
+            }],
+        }
+    }
+
+    fn hex(fill: char) -> String {
+        fill.to_string().repeat(32)
+    }
+
+    #[test]
+    fn dangling_chunk_reference_errors() {
+        let mut ctx = ctx_with_files(&["m.manifest.json"]);
+        let present = hex('a');
+        let missing = hex('b');
+        ctx.chunk_files = vec![format!("{present}.chunk")];
+        ctx.manifests = vec![(
+            "m.manifest.json".into(),
+            manifest_for(None, &[&present, &missing]),
+        )];
+        let out = run(&ctx);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].code, codes::DANGLING_CHUNK);
+        assert_eq!(out[0].severity, Severity::Error);
+        assert!(out[0].message.contains(&missing));
+    }
+
+    #[test]
+    fn orphaned_and_stray_chunks_warn() {
+        let mut ctx = ctx_with_files(&["m.manifest.json"]);
+        let used = hex('a');
+        let orphan = hex('c');
+        ctx.chunk_files = vec![
+            format!("{used}.chunk"),
+            format!("{orphan}.chunk"),
+            "notes.txt".into(),
+            format!("{used}.chunk.tmp-1-1"),
+        ];
+        ctx.manifests = vec![("m.manifest.json".into(), manifest_for(None, &[&used]))];
+        let out = run(&ctx);
+        let orphans: Vec<_> = out
+            .iter()
+            .filter(|d| d.code == codes::ORPHANED_CHUNK)
+            .collect();
+        assert_eq!(orphans.len(), 2, "{out:?}"); // refcount-zero + stray
+        assert!(orphans.iter().all(|d| d.severity == Severity::Warn));
+        assert!(out.iter().any(|d| d.code == codes::ORPHANED_TEMP));
+    }
+
+    #[test]
+    fn missing_and_cyclic_delta_bases_error() {
+        // "a" deltas on a key nobody stores.
+        let mut ctx = ctx_with_files(&["a.manifest.json"]);
+        ctx.manifests = vec![("a.manifest.json".into(), manifest_for(Some("ghost"), &[]))];
+        let out = run(&ctx);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].code, codes::BROKEN_DELTA_BASE);
+
+        // a -> b -> a cycle, both stored as manifests.
+        let mut ctx = ctx_with_files(&["a.manifest.json", "b.manifest.json"]);
+        ctx.manifests = vec![
+            ("a.manifest.json".into(), manifest_for(Some("b"), &[])),
+            ("b.manifest.json".into(), manifest_for(Some("a"), &[])),
+        ];
+        let out = run(&ctx);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out.iter().all(|d| d.code == codes::BROKEN_DELTA_BASE));
+
+        // A healthy delta (base stored flat) is silent.
+        let mut ctx = ctx_with_files(&["base.model.json", "v1.manifest.json"]);
+        ctx.manifests = vec![("v1.manifest.json".into(), manifest_for(Some("base"), &[]))];
+        assert!(run(&ctx).is_empty());
     }
 
     #[test]

@@ -10,10 +10,19 @@
 //!
 //! Two backends are provided: in-memory (the default for experiments) and
 //! on-disk (models serialized through `sommelier-graph::serde_model`,
-//! mirroring TF-Hub's file downloads).
+//! mirroring TF-Hub's file downloads). The on-disk backend additionally
+//! supports family-aware delta storage ([`chunks`]): a model may be kept
+//! as a manifest over content-addressed tensor chunks — full, or a delta
+//! against a base model — and is reconstructed transparently on load, so
+//! the repository's callers never see the difference.
 
+pub mod chunks;
 pub mod store;
 
+pub use chunks::{
+    chunk_hash, is_chunk_name, ChunkStore, Manifest, CHUNK_DIR, CHUNK_SUFFIX, MANIFEST_SUFFIX,
+};
 pub use store::{
-    decode_key, encode_key, InMemoryRepository, ModelRepository, OnDiskRepository, RepoError,
+    decode_key, dedup_store, encode_key, DedupStats, InMemoryRepository, ModelRepository,
+    OnDiskRepository, RepoError, StoredFormat, MODEL_SUFFIX,
 };

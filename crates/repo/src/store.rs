@@ -1,10 +1,11 @@
 //! Publish/load model storage.
 
+use crate::chunks::{self, ChunkStore, Manifest, CHUNK_DIR, MANIFEST_SUFFIX};
 use parking_lot::RwLock;
 use sommelier_fault::{StdStorage, Storage};
 use sommelier_graph::serde_model;
 use sommelier_graph::Model;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -119,8 +120,8 @@ impl ModelRepository for InMemoryRepository {
     }
 }
 
-/// Suffix every stored model file carries.
-const MODEL_SUFFIX: &str = ".model.json";
+/// Suffix every flat (standalone JSON) model file carries.
+pub const MODEL_SUFFIX: &str = ".model.json";
 
 /// Bytes that survive key encoding verbatim. Everything else —
 /// crucially `%`, `/`, and whitespace — is percent-escaped, which makes
@@ -196,7 +197,8 @@ impl OnDiskRepository {
     /// Open a repository over an explicit storage backend (the
     /// fault-injection hook).
     pub fn open_with(root: &Path, storage: Arc<dyn Storage>) -> Result<Self, RepoError> {
-        std::fs::create_dir_all(root).map_err(|e| RepoError::Storage(e.to_string()))?;
+        std::fs::create_dir_all(root.join(CHUNK_DIR))
+            .map_err(|e| RepoError::Storage(e.to_string()))?;
         Ok(OnDiskRepository {
             root: root.into(),
             storage,
@@ -205,6 +207,31 @@ impl OnDiskRepository {
 
     fn path_for(&self, key: &str) -> PathBuf {
         self.root.join(format!("{}{MODEL_SUFFIX}", encode_key(key)))
+    }
+
+    fn manifest_path_for(&self, key: &str) -> PathBuf {
+        self.root
+            .join(format!("{}{MANIFEST_SUFFIX}", encode_key(key)))
+    }
+
+    /// The repository's content-addressed chunk namespace.
+    pub fn chunk_store(&self) -> ChunkStore {
+        ChunkStore::new(&self.root, Arc::clone(&self.storage))
+    }
+
+    /// How `key` is currently stored, or `None` when absent. During a
+    /// migration window a key may briefly have both representations;
+    /// the flat file wins (it is what [`ModelRepository::load`]
+    /// serves), so that is what this reports. Advisory only — racing
+    /// publishes are arbitrated by the storage layer, not by this.
+    pub fn stored_format(&self, key: &str) -> Option<StoredFormat> {
+        if self.storage.exists(&self.path_for(key)) {
+            Some(StoredFormat::Flat)
+        } else if self.storage.exists(&self.manifest_path_for(key)) {
+            Some(StoredFormat::Chunked)
+        } else {
+            None
+        }
     }
 
     fn storage_err(key: Option<&str>, e: io::Error) -> RepoError {
@@ -216,6 +243,263 @@ impl OnDiskRepository {
             _ => RepoError::Storage(e.to_string()),
         }
     }
+
+    fn read_manifest(&self, key: &str) -> Result<Manifest, RepoError> {
+        let bytes = self
+            .storage
+            .read(&self.manifest_path_for(key))
+            .map_err(|e| Self::storage_err(Some(key), e))?;
+        let json = String::from_utf8(bytes).map_err(|e| RepoError::Storage(e.to_string()))?;
+        Manifest::from_json(&json)
+            .map_err(|e| RepoError::Storage(format!("manifest for '{key}': {e}")))
+    }
+
+    /// Publish a manifest under `key` and, for overwrites, retire the
+    /// flat file. The ordering is the crash-safety argument: chunks
+    /// are immutable and already durable, the manifest lands via one
+    /// atomic rename/link, and — because [`ModelRepository::load`]
+    /// prefers the flat file — removing it is the single atomic
+    /// visibility flip from the old representation to the new one.
+    fn publish_manifest(
+        &self,
+        key: &str,
+        manifest: &Manifest,
+        overwrite: bool,
+    ) -> Result<(), RepoError> {
+        let path = self.manifest_path_for(key);
+        let json = manifest.to_json();
+        if overwrite {
+            self.storage
+                .write_atomic(&path, json.as_bytes())
+                .map_err(|e| Self::storage_err(Some(key), e))?;
+            match self.storage.remove(&self.path_for(key)) {
+                Ok(()) => Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+                Err(e) => Err(Self::storage_err(Some(key), e)),
+            }
+        } else {
+            if self.storage.exists(&self.path_for(key)) {
+                return Err(RepoError::AlreadyExists { key: key.into() });
+            }
+            self.storage
+                .create_exclusive(&path, json.as_bytes())
+                .map_err(|e| Self::storage_err(Some(key), e))
+        }
+    }
+
+    /// Store a model as a full manifest over content-addressed chunks.
+    /// Load-back is byte-exact; callers of [`ModelRepository::load`]
+    /// cannot tell the difference.
+    pub fn publish_chunked(
+        &self,
+        key: &str,
+        model: &Model,
+        overwrite: bool,
+    ) -> Result<(), RepoError> {
+        let store = self.chunk_store();
+        let manifest = chunks::encode_full(model, &store)
+            .map_err(|e| Self::storage_err(Some(key), e))?;
+        self.publish_manifest(key, &manifest, overwrite)
+    }
+
+    /// Store a model as a delta manifest against the already-stored
+    /// `base_key`: only layers that differ from the base are written
+    /// (sparsely, when few elements changed). Falls back to a full
+    /// manifest when the two models are not structurally aligned.
+    /// Fails if the base is absent or if deltaing against it would
+    /// create a base-chain cycle through `key`.
+    pub fn publish_delta(
+        &self,
+        key: &str,
+        model: &Model,
+        base_key: &str,
+        overwrite: bool,
+    ) -> Result<(), RepoError> {
+        // Walk the base chain before writing anything: a manifest
+        // whose chain loops through `key` would make `key`
+        // unloadable.
+        let mut chain = base_key.to_string();
+        let mut seen = BTreeSet::new();
+        loop {
+            if chain == key || !seen.insert(chain.clone()) {
+                return Err(RepoError::Storage(format!(
+                    "publishing '{key}' with base '{base_key}' would create a delta cycle"
+                )));
+            }
+            if self.storage.exists(&self.path_for(&chain)) {
+                break; // flat models never have a base
+            }
+            match self.read_manifest(&chain).map(|m| m.base)? {
+                Some(next) => chain = next,
+                None => break,
+            }
+        }
+        let base = self.load(base_key)?;
+        let store = self.chunk_store();
+        let manifest = chunks::encode_delta(model, base_key, &base, &store)
+            .map_err(|e| Self::storage_err(Some(key), e))?;
+        self.publish_manifest(key, &manifest, overwrite)
+    }
+
+    fn load_chain(&self, key: &str, visiting: &mut BTreeSet<String>) -> Result<Model, RepoError> {
+        // The flat file wins: during migration it is the still-current
+        // representation, and its removal is the atomic cutover.
+        match self.storage.read(&self.path_for(key)) {
+            Ok(bytes) => {
+                let json =
+                    String::from_utf8(bytes).map_err(|e| RepoError::Storage(e.to_string()))?;
+                return serde_model::from_json(&json)
+                    .map_err(|e| RepoError::Storage(e.to_string()));
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(Self::storage_err(Some(key), e)),
+        }
+        if !visiting.insert(key.to_string()) {
+            return Err(RepoError::Storage(format!(
+                "delta base chain cycles through '{key}'"
+            )));
+        }
+        let manifest = self.read_manifest(key)?;
+        let base = match &manifest.base {
+            Some(base_key) => Some(self.load_chain(base_key, visiting).map_err(|e| match e {
+                RepoError::NotFound { key: missing } => RepoError::Storage(format!(
+                    "delta base '{missing}' of '{key}' is missing"
+                )),
+                other => other,
+            })?),
+            None => None,
+        };
+        let store = self.chunk_store();
+        chunks::reconstruct(&manifest, base.as_ref(), &store)
+            .map_err(|e| RepoError::Storage(format!("reconstructing '{key}': {e}")))
+    }
+
+    /// Total bytes of model storage: flat files, manifests, and
+    /// chunks. Index snapshots and stray files don't count — this is
+    /// the quantity family-aware dedup is meant to shrink.
+    pub fn model_bytes(&self) -> io::Result<u64> {
+        let mut total = 0u64;
+        for name in self.storage.list(&self.root)? {
+            if name.ends_with(MODEL_SUFFIX) || name.ends_with(MANIFEST_SUFFIX) {
+                total += std::fs::metadata(self.root.join(&name))?.len();
+            }
+        }
+        let chunk_dir = self.root.join(CHUNK_DIR);
+        match self.storage.list(&chunk_dir) {
+            Ok(names) => {
+                for name in names {
+                    total += std::fs::metadata(chunk_dir.join(&name))?.len();
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        Ok(total)
+    }
+}
+
+/// The on-disk representation of one key (see
+/// [`OnDiskRepository::stored_format`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoredFormat {
+    /// Standalone `.model.json` file.
+    Flat,
+    /// `.manifest.json` over content-addressed chunks.
+    Chunked,
+}
+
+/// Outcome of [`dedup_store`].
+#[derive(Clone, Debug, Default)]
+pub struct DedupStats {
+    /// Keys in the repository.
+    pub models: usize,
+    /// Keys migrated to full manifests.
+    pub full: usize,
+    /// Keys migrated to delta manifests.
+    pub delta: usize,
+    /// Keys that were already chunked (left untouched).
+    pub skipped: usize,
+    /// Model-storage bytes before and after migration.
+    pub bytes_before: u64,
+    pub bytes_after: u64,
+}
+
+impl DedupStats {
+    /// Size-cut ratio (≥ 1.0 when migration helped).
+    pub fn size_cut(&self) -> f64 {
+        if self.bytes_after == 0 {
+            1.0
+        } else {
+            self.bytes_before as f64 / self.bytes_after as f64
+        }
+    }
+}
+
+/// Migrate a flat store to chunked/delta storage in place (the
+/// `sommelier dedup` engine). Models carrying a `base` metadata hint
+/// that names another stored key become delta manifests against it;
+/// everything else becomes a full manifest. Hints that dangle or form
+/// cycles degrade to full manifests rather than failing the migration.
+/// Each key cuts over atomically (manifest published, then the flat
+/// file removed), so a crash mid-migration leaves every key loadable.
+pub fn dedup_store(repo: &OnDiskRepository) -> Result<DedupStats, RepoError> {
+    let keys = repo.try_keys()?;
+    let mut stats = DedupStats {
+        models: keys.len(),
+        bytes_before: repo.model_bytes().map_err(|e| RepoError::Storage(e.to_string()))?,
+        ..DedupStats::default()
+    };
+    let key_set: BTreeSet<&String> = keys.iter().collect();
+    // Resolve base hints up front, degrading dangling or cyclic hints
+    // to "no base" (full manifest).
+    let mut hints: BTreeMap<String, Option<String>> = BTreeMap::new();
+    for key in &keys {
+        let hint = repo
+            .load(key)
+            .ok()
+            .and_then(|m| m.metadata.get("base").cloned())
+            .filter(|b| b != key && key_set.contains(b));
+        hints.insert(key.clone(), hint);
+    }
+    let mut cyclic = Vec::new();
+    for key in &keys {
+        let mut seen = BTreeSet::new();
+        let mut cur = key.clone();
+        loop {
+            if !seen.insert(cur.clone()) {
+                cyclic.push(key.clone());
+                break;
+            }
+            match hints.get(&cur).and_then(Clone::clone) {
+                Some(next) => cur = next,
+                None => break,
+            }
+        }
+    }
+    for key in cyclic {
+        hints.insert(key, None);
+    }
+    for key in &keys {
+        if repo.stored_format(key) == Some(StoredFormat::Chunked) {
+            stats.skipped += 1;
+            continue;
+        }
+        let model = repo.load(key)?;
+        match hints.get(key).and_then(Clone::clone) {
+            Some(base) => {
+                repo.publish_delta(key, &model, &base, true)?;
+                stats.delta += 1;
+            }
+            None => {
+                repo.publish_chunked(key, &model, true)?;
+                stats.full += 1;
+            }
+        }
+    }
+    stats.bytes_after = repo
+        .model_bytes()
+        .map_err(|e| RepoError::Storage(e.to_string()))?;
+    Ok(stats)
 }
 
 impl ModelRepository for OnDiskRepository {
@@ -230,20 +514,30 @@ impl ModelRepository for OnDiskRepository {
         let result = if overwrite {
             self.storage.write_atomic(&path, json.as_bytes())
         } else {
+            // Advisory cross-format probe: an existing manifest also
+            // means "this key is taken". Same-format races are still
+            // arbitrated by the link below.
+            if self.storage.exists(&self.manifest_path_for(key)) {
+                return Err(RepoError::AlreadyExists { key: key.into() });
+            }
             self.storage.create_exclusive(&path, json.as_bytes())
         };
-        result.map_err(|e| Self::storage_err(Some(key), e))
+        result.map_err(|e| Self::storage_err(Some(key), e))?;
+        if overwrite {
+            // The flat file now wins on load; a stale manifest from a
+            // prior chunked representation is retired as cleanup (its
+            // chunks become prunable orphans).
+            match self.storage.remove(&self.manifest_path_for(key)) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(Self::storage_err(Some(key), e)),
+            }
+        }
+        Ok(())
     }
 
     fn load(&self, key: &str) -> Result<Model, RepoError> {
-        let path = self.path_for(key);
-        let bytes = self
-            .storage
-            .read(&path)
-            .map_err(|e| Self::storage_err(Some(key), e))?;
-        let json =
-            String::from_utf8(bytes).map_err(|e| RepoError::Storage(e.to_string()))?;
-        serde_model::from_json(&json).map_err(|e| RepoError::Storage(e.to_string()))
+        self.load_chain(key, &mut BTreeSet::new())
     }
 
     fn try_keys(&self) -> Result<Vec<String>, RepoError> {
@@ -251,32 +545,30 @@ impl ModelRepository for OnDiskRepository {
             .storage
             .list(&self.root)
             .map_err(|e| Self::storage_err(None, e))?;
-        let mut out = Vec::new();
+        let mut out = BTreeSet::new();
         for name in names {
-            if let Some(stem) = name.strip_suffix(MODEL_SUFFIX) {
+            // A key stored flat *and* chunked (a migration window)
+            // must still list once — hence the set.
+            if let Some(stem) = name
+                .strip_suffix(MODEL_SUFFIX)
+                .or_else(|| name.strip_suffix(MANIFEST_SUFFIX))
+            {
                 // Non-canonical stems are not repository entries (we
                 // never write them); lint reports them as hygiene
                 // findings rather than keys() inventing a key.
                 if let Some(key) = decode_key(stem) {
-                    out.push(key);
+                    out.insert(key);
                 }
             }
         }
-        out.sort();
-        Ok(out)
+        Ok(out.into_iter().collect())
     }
 
-    /// One directory pass, no sort, no decode allocation kept — the
-    /// count matches what [`ModelRepository::try_keys`] would return.
+    /// One directory pass — the count matches what
+    /// [`ModelRepository::try_keys`] would return.
     fn len(&self) -> usize {
-        match self.storage.list(&self.root) {
-            Ok(names) => names
-                .iter()
-                .filter(|n| {
-                    n.strip_suffix(MODEL_SUFFIX)
-                        .is_some_and(|stem| decode_key(stem).is_some())
-                })
-                .count(),
+        match self.try_keys() {
+            Ok(keys) => keys.len(),
             Err(_) => 0,
         }
     }
@@ -442,6 +734,173 @@ mod tests {
         // Whoever won, the stored file is whole and parseable.
         let stored = repo.load("the-key").unwrap();
         assert!(stored.name.starts_with("contender-"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn perturbed(base: &Model, name: &str, delta: f32) -> Model {
+        let mut m = base.renamed(name);
+        let id = m.linear_layers()[0];
+        let mut p = m.layer(id).params.clone();
+        let w = p.weight.as_ref().unwrap();
+        let mut data = w.as_slice().to_vec();
+        data[0] += delta;
+        p.weight = Some(sommelier_tensor::Tensor::from_vec(w.rows(), w.cols(), data));
+        m.set_params(id, p).unwrap();
+        m
+    }
+
+    #[test]
+    fn chunked_publish_is_transparent_to_load() {
+        let dir = temp_dir("chunked");
+        let repo = OnDiskRepository::open(&dir).unwrap();
+        let m = model("chunky");
+        repo.publish_chunked("chunky", &m, false).unwrap();
+        assert_eq!(repo.stored_format("chunky"), Some(StoredFormat::Chunked));
+        assert_eq!(repo.load("chunky").unwrap(), m);
+        assert_eq!(repo.try_keys().unwrap(), vec!["chunky"]);
+        assert_eq!(repo.len(), 1);
+        // Byte-identical: the reconstructed model serializes to the
+        // same JSON the flat representation would have stored.
+        assert_eq!(
+            serde_model::to_json(&repo.load("chunky").unwrap()),
+            serde_model::to_json(&m)
+        );
+        assert!(matches!(
+            repo.publish_chunked("chunky", &m, false),
+            Err(RepoError::AlreadyExists { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn delta_publish_reconstructs_through_base_chain() {
+        let dir = temp_dir("delta");
+        let repo = OnDiskRepository::open(&dir).unwrap();
+        let base = model("fam-base");
+        let v1 = perturbed(&base, "fam-v1", 0.5);
+        let v2 = perturbed(&v1, "fam-v2", -0.25);
+        repo.publish_chunked("fam-base", &base, false).unwrap();
+        repo.publish_delta("fam-v1", &v1, "fam-base", false).unwrap();
+        // Chained delta: v2 deltas against v1, itself a delta.
+        repo.publish_delta("fam-v2", &v2, "fam-v1", false).unwrap();
+        assert_eq!(repo.load("fam-v1").unwrap(), v1);
+        assert_eq!(repo.load("fam-v2").unwrap(), v2);
+        assert_eq!(repo.len(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn delta_against_missing_or_cyclic_base_fails() {
+        let dir = temp_dir("deltabad");
+        let repo = OnDiskRepository::open(&dir).unwrap();
+        let m = model("solo");
+        assert!(repo.publish_delta("solo", &m, "ghost", false).is_err());
+        assert!(matches!(
+            repo.publish_delta("solo", &m, "solo", false),
+            Err(RepoError::Storage(_))
+        ));
+        // a -> b stored; republishing a as a delta on b would cycle.
+        let a = model("a");
+        let b = perturbed(&a, "b", 0.1);
+        repo.publish_chunked("a", &a, false).unwrap();
+        repo.publish_delta("b", &b, "a", false).unwrap();
+        assert!(matches!(
+            repo.publish_delta("a", &a, "b", true),
+            Err(RepoError::Storage(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flat_file_wins_during_migration_window() {
+        let dir = temp_dir("window");
+        let repo = OnDiskRepository::open(&dir).unwrap();
+        let old = model("old");
+        let new = perturbed(&old, "new", 1.0);
+        repo.publish("k", &old, false).unwrap();
+        // Simulate a crash after the manifest landed but before the
+        // flat file was removed: write the manifest out-of-band.
+        let cs = repo.chunk_store();
+        let manifest = crate::chunks::encode_full(&new, &cs).unwrap();
+        std::fs::write(dir.join("k.manifest.json"), manifest.to_json()).unwrap();
+        // The old flat representation is still what loads, and the key
+        // lists exactly once.
+        assert_eq!(repo.load("k").unwrap(), old);
+        assert_eq!(repo.try_keys().unwrap(), vec!["k"]);
+        assert_eq!(repo.len(), 1);
+        // Completing the migration (removing the flat file) flips
+        // visibility to the chunked representation.
+        std::fs::remove_file(dir.join(format!("k{MODEL_SUFFIX}"))).unwrap();
+        assert_eq!(repo.load("k").unwrap(), new);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flat_overwrite_retires_stale_manifest() {
+        let dir = temp_dir("retire");
+        let repo = OnDiskRepository::open(&dir).unwrap();
+        let m1 = model("m1");
+        let m2 = perturbed(&m1, "m2", 2.0);
+        repo.publish_chunked("k", &m1, false).unwrap();
+        repo.publish("k", &m2, true).unwrap();
+        assert_eq!(repo.stored_format("k"), Some(StoredFormat::Flat));
+        assert_eq!(repo.load("k").unwrap(), m2);
+        assert!(!dir.join("k.manifest.json").exists());
+        // And the exclusive flat publish refuses a chunked key.
+        repo.publish_chunked("other", &m1, false).unwrap();
+        assert!(matches!(
+            repo.publish("other", &m1, false),
+            Err(RepoError::AlreadyExists { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dedup_store_migrates_in_place() {
+        let dir = temp_dir("dedup");
+        let repo = OnDiskRepository::open(&dir).unwrap();
+        let mut base = model("family-base");
+        base.metadata.insert("self".into(), "noise".into());
+        let mut v1 = perturbed(&base, "family-v1", 0.5);
+        v1.metadata.insert("base".into(), "family-base".into());
+        let mut loner = model("loner");
+        loner.metadata.insert("base".into(), "nonexistent".into());
+        repo.publish("family-base", &base, false).unwrap();
+        repo.publish("family-v1", &v1, false).unwrap();
+        repo.publish("loner", &loner, false).unwrap();
+
+        let stats = dedup_store(&repo).unwrap();
+        assert_eq!(stats.models, 3);
+        assert_eq!(stats.delta, 1);
+        assert_eq!(stats.full, 2); // base + dangling-hint loner
+        assert_eq!(stats.skipped, 0);
+        assert!(stats.bytes_after < stats.bytes_before);
+        for (key, want) in [("family-base", &base), ("family-v1", &v1), ("loner", &loner)] {
+            assert_eq!(repo.stored_format(key), Some(StoredFormat::Chunked));
+            assert_eq!(&repo.load(key).unwrap(), want);
+        }
+        // Idempotent: a second run skips everything.
+        let again = dedup_store(&repo).unwrap();
+        assert_eq!(again.skipped, 3);
+        assert_eq!(again.bytes_before, again.bytes_after);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dedup_store_degrades_hint_cycles_to_full() {
+        let dir = temp_dir("dedupcycle");
+        let repo = OnDiskRepository::open(&dir).unwrap();
+        let mut a = model("a");
+        a.metadata.insert("base".into(), "b".into());
+        let mut b = perturbed(&a, "b", 0.5);
+        b.metadata.insert("base".into(), "a".into());
+        repo.publish("a", &a, false).unwrap();
+        repo.publish("b", &b, false).unwrap();
+        let stats = dedup_store(&repo).unwrap();
+        assert_eq!(stats.full, 2);
+        assert_eq!(stats.delta, 0);
+        assert_eq!(repo.load("a").unwrap(), a);
+        assert_eq!(repo.load("b").unwrap(), b);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -19,6 +19,10 @@ use std::time::Instant;
 const EWMA_ALPHA: f64 = 0.2;
 /// Retry hint when nothing has completed yet (no EWMA signal).
 const DEFAULT_RETRY_MS: u64 = 10;
+/// Floor for a computed retry hint. A shed reply with `retry_after_ms:
+/// 0` reads as "retry immediately" and turns a cold-start burst into a
+/// busy-loop against the gate; every hint we hand out is at least this.
+const MIN_RETRY_MS: u64 = 1;
 
 #[derive(Debug)]
 struct GateState {
@@ -115,8 +119,12 @@ impl AdmissionGate {
             // new arrival, drained through `workers` permits.
             let backlog = (s.waiting + 1) as f64 / self.workers as f64;
             let est = s.ewma_ms * backlog;
-            let retry_after_ms = if est > 0.0 {
-                est.ceil() as u64
+            // Cold start: before any request has completed the EWMA is
+            // still 0.0 and `est` carries no signal — fall back to the
+            // default hint rather than telling the client "0ms". Any
+            // computed hint is likewise clamped to a nonzero floor.
+            let retry_after_ms = if est.is_finite() && est > 0.0 {
+                (est.ceil() as u64).max(MIN_RETRY_MS)
             } else {
                 DEFAULT_RETRY_MS
             };
@@ -244,6 +252,28 @@ mod tests {
         assert_eq!(stats.shed, 1);
         assert_eq!(stats.accepted, 2);
         assert!(stats.max_inflight <= 1);
+    }
+
+    #[test]
+    fn cold_start_shed_hint_is_never_zero() {
+        // No request has ever completed, so the EWMA is still 0.0 and
+        // the backlog estimate carries no signal. The shed hint must
+        // still be a nonzero backoff, not "retry immediately".
+        let gate = AdmissionGate::new(1, 0);
+        let permit = match gate.admit() {
+            Decision::Admitted(p) => p,
+            _ => panic!("first admit must succeed"),
+        };
+        for _ in 0..3 {
+            match gate.admit() {
+                Decision::Shed { retry_after_ms } => {
+                    assert!(retry_after_ms >= MIN_RETRY_MS);
+                    assert_eq!(retry_after_ms, DEFAULT_RETRY_MS);
+                }
+                _ => panic!("expected cold-start shed"),
+            }
+        }
+        drop(permit);
     }
 
     #[test]

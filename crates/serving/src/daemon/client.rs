@@ -29,11 +29,17 @@ impl Reply {
         }
     }
 
-    /// The retry hint of a shed/quota failure, if present.
+    /// The retry hint of a shed/quota failure, if present. Accepts any
+    /// non-negative numeric: the daemon emits an integer, but a JSON
+    /// number that merely *looks* fractional (or was re-encoded by an
+    /// intermediary as `10.0`) parses as a float, and dropping the hint
+    /// on the floor made clients retry immediately — exactly what the
+    /// hint exists to prevent. Fractional values round up.
     pub fn retry_after_ms(&self) -> Option<u64> {
         match self.body.get_field("error")?.get_field("retry_after_ms")? {
             Value::UInt(n) => Some(*n),
             Value::Int(n) if *n >= 0 => Some(*n as u64),
+            Value::Float(f) if f.is_finite() && *f >= 0.0 => Some(f.ceil() as u64),
             _ => None,
         }
     }
@@ -140,5 +146,60 @@ impl Client {
 
     pub fn shutdown(&mut self) -> io::Result<Reply> {
         self.call("shutdown", Vec::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::protocol::{error_frame, ErrorCode};
+
+    /// Decode one response line exactly the way [`Client::call`] does.
+    fn decode(line: &str) -> Reply {
+        let body: Value = serde_json::from_str(line.trim_end()).expect("frame parses");
+        let ok = matches!(body.get_field("ok"), Some(Value::Bool(true)));
+        let id = match body.get_field("id") {
+            Some(Value::UInt(n)) => *n,
+            Some(Value::Int(n)) if *n >= 0 => *n as u64,
+            _ => 0,
+        };
+        Reply { id, ok, body }
+    }
+
+    #[test]
+    fn error_frame_round_trips_through_client_decode() {
+        // The daemon-rendered error frame parses back to the same id,
+        // code, and retry hint the server put in.
+        let frame = error_frame(Some(7), ErrorCode::Overloaded, "queue full", Some(12));
+        let reply = decode(&frame);
+        assert!(!reply.ok);
+        assert_eq!(reply.id, 7);
+        assert_eq!(reply.error_code(), Some("overloaded"));
+        assert_eq!(reply.retry_after_ms(), Some(12));
+        // A frame without the hint yields None, not 0.
+        let bare = decode(&error_frame(Some(8), ErrorCode::BadRequest, "nope", None));
+        assert_eq!(bare.error_code(), Some("bad_request"));
+        assert_eq!(bare.retry_after_ms(), None);
+    }
+
+    #[test]
+    fn retry_hint_accepts_any_non_negative_numeric() {
+        // JSON has one number type; an intermediary that re-encodes the
+        // frame may legally turn 10 into 10.0. All spellings must parse.
+        for (raw, want) in [
+            ("10", Some(10)),
+            ("0", Some(0)),
+            ("10.0", Some(10)),
+            ("9.25", Some(10)), // fractional hints round up
+            ("-3", None),
+            ("-0.5", None),
+            (r#""10""#, None), // strings are not numbers
+        ] {
+            let frame = format!(
+                r#"{{"id": 1, "ok": false, "error": {{"code": "overloaded", "message": "m", "retry_after_ms": {raw}}}}}"#
+            );
+            let reply = decode(&frame);
+            assert_eq!(reply.retry_after_ms(), want, "raw hint {raw}");
+        }
     }
 }

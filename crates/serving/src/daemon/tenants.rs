@@ -154,9 +154,14 @@ impl TenantBook {
             return TenantDecision::Unauthorized;
         };
         let now = Instant::now();
-        let dt = now.duration_since(bucket.last).as_secs_f64();
+        // `saturating_duration_since` guards against a clock that reads
+        // earlier than `last` (Instant is monotonic per the docs, but
+        // platform bugs and suspend/resume have violated that in
+        // practice) — a backwards step refills nothing instead of
+        // panicking or draining the bucket.
+        let dt = now.saturating_duration_since(bucket.last).as_secs_f64();
         bucket.last = now;
-        bucket.tokens = (bucket.tokens + bucket.rate * dt).min(bucket.burst);
+        bucket.tokens = refill(bucket.tokens, bucket.rate, bucket.burst, dt);
         if bucket.tokens >= cost {
             bucket.tokens -= cost;
             return TenantDecision::Ok(Some(bucket.name.clone()));
@@ -164,6 +169,24 @@ impl TenantBook {
         let deficit = cost - bucket.tokens;
         let retry_after_ms = ((deficit / bucket.rate) * 1e3).ceil().max(1.0) as u64;
         TenantDecision::Exhausted { retry_after_ms }
+    }
+}
+
+/// Pure refill step: add `rate * dt` tokens, saturating at `burst`.
+/// Defensive about degenerate elapsed times: zero or negative `dt`
+/// refills nothing, and an overflowing accumulation (huge `dt`, e.g. a
+/// bucket untouched for months on a suspend-happy laptop) clamps to a
+/// full bucket instead of propagating a non-finite token count that
+/// would poison every later comparison.
+fn refill(tokens: f64, rate: f64, burst: f64, dt: f64) -> f64 {
+    if dt.is_nan() || dt <= 0.0 {
+        return tokens.min(burst);
+    }
+    let refilled = tokens + rate * dt;
+    if refilled.is_finite() {
+        refilled.min(burst)
+    } else {
+        burst
     }
 }
 
@@ -234,6 +257,25 @@ mod tests {
         // Bucket is now empty, but zero-cost checks still pass.
         assert_eq!(book.check(Some("ka"), 0.0), TenantDecision::Ok(Some("a".into())));
         assert_eq!(book.check(Some("xx"), 0.0), TenantDecision::Unauthorized);
+    }
+
+    #[test]
+    fn refill_is_monotonic_clock_safe() {
+        // Zero elapsed time adds nothing.
+        assert_eq!(refill(3.0, 10.0, 5.0, 0.0), 3.0);
+        // A backwards/negative step (clock anomaly) adds nothing either.
+        assert_eq!(refill(3.0, 10.0, 5.0, -4.0), 3.0);
+        // NaN elapsed time is treated as "no time passed".
+        assert_eq!(refill(3.0, 10.0, 5.0, f64::NAN), 3.0);
+        // Normal refill accumulates at `rate`.
+        assert_eq!(refill(1.0, 2.0, 100.0, 3.0), 7.0);
+        // Accumulation saturates at `burst` ...
+        assert_eq!(refill(1.0, 10.0, 5.0, 60.0), 5.0);
+        // ... even when the product overflows to infinity.
+        assert_eq!(refill(1.0, f64::MAX, 5.0, f64::MAX), 5.0);
+        // Tokens above burst (e.g. after a config reload that shrank
+        // the bucket) clamp back down rather than persisting.
+        assert_eq!(refill(9.0, 1.0, 5.0, 0.0), 5.0);
     }
 
     #[test]

@@ -161,7 +161,12 @@ fn batch_pins_one_epoch_under_republish_storm() {
     let texts: Vec<String> = (0..8).map(|_| query_text(&reference)).collect();
     let mut epochs_seen = std::collections::BTreeSet::new();
     let mut mixed = 0u64;
-    for _ in 0..30 {
+    // At least 30 batches, then keep going (bounded) until the batches
+    // have straddled at least one republish — on a loaded machine a
+    // fixed count can finish before the mutator thread is scheduled.
+    let mut rounds = 0u32;
+    while rounds < 30 || (epochs_seen.len() < 2 && rounds < 600) {
+        rounds += 1;
         let reply = client.query_batch(&texts).expect("no protocol error");
         assert!(reply.ok, "batch failed: {:?}", reply.body);
         let Some(Value::Seq(items)) = reply.body.get_field("items") else {

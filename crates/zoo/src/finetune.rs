@@ -51,6 +51,75 @@ pub fn perturb_suffix(model: &Model, fraction: f64, level: f64, rng: &mut Prng) 
     perturb_layers(model, &linear[start..], level, rng)
 }
 
+/// Sparse fine-tune: perturb only a `density` fraction of the elements
+/// of the last `fraction` of linear layers, leaving every other element
+/// (and the whole frozen prefix) bit-identical to the base. This is the
+/// regime delta storage exploits — a realistic "last-layers, light
+/// touch" fine-tune where most weights survive verbatim.
+pub fn perturb_sparse(
+    model: &Model,
+    fraction: f64,
+    level: f64,
+    density: f64,
+    rng: &mut Prng,
+) -> Model {
+    let mut out = model.clone();
+    if level == 0.0 || density <= 0.0 {
+        return out;
+    }
+    let linear = model.linear_layers();
+    let f = fraction.clamp(0.0, 1.0);
+    let tuned = ((linear.len() as f64) * f).round() as usize;
+    let start = linear.len() - tuned;
+    let density = density.min(1.0);
+    for &id in &linear[start..] {
+        let mut params = model.layer(id).params.clone();
+        for slot in [&mut params.weight, &mut params.bias] {
+            if let Some(t) = slot.as_mut() {
+                *t = sparse_noised(t, level, density, rng);
+            }
+        }
+        out.set_params(id, params)
+            .expect("sparse perturbation preserves shapes");
+    }
+    out
+}
+
+/// Build a fine-tune family: the base model followed by `variants`
+/// sparse fine-tunes of it, named `<base>-ft1…`, each carrying its
+/// provenance in `metadata["base"]` — the hint `sommelier dedup` uses
+/// to pick delta bases when migrating a flat store.
+pub fn finetune_family(
+    base: &Model,
+    variants: usize,
+    fraction: f64,
+    level: f64,
+    density: f64,
+    rng: &mut Prng,
+) -> Vec<Model> {
+    let mut out = Vec::with_capacity(variants + 1);
+    out.push(base.clone());
+    for i in 0..variants {
+        let mut v = perturb_sparse(base, fraction, level, density, rng);
+        v.name = format!("{}-ft{}", base.name, i + 1);
+        v.metadata.insert("base".to_string(), base.name.clone());
+        out.push(v);
+    }
+    out
+}
+
+fn sparse_noised(t: &Tensor, level: f64, density: f64, rng: &mut Prng) -> Tensor {
+    let n = t.len().max(1);
+    let std = level * t.frobenius_norm() / (n as f64).sqrt();
+    let mut data = t.as_slice().to_vec();
+    for v in &mut data {
+        if rng.flip(density) {
+            *v += (rng.gaussian() * std) as f32;
+        }
+    }
+    Tensor::from_vec(t.rows(), t.cols(), data)
+}
+
 fn noised(t: &Tensor, level: f64, rng: &mut Prng) -> Tensor {
     let n = t.len().max(1);
     let std = level * t.frobenius_norm() / (n as f64).sqrt();
@@ -137,6 +206,63 @@ mod tests {
         let heavy = agree_at(0.8);
         assert!(light > heavy, "light={light} heavy={heavy}");
         assert!(light > 0.9);
+    }
+
+    #[test]
+    fn sparse_perturbation_touches_few_elements() {
+        let m = base_model();
+        let mut rng = Prng::seed_from_u64(9);
+        let tuned = perturb_sparse(&m, 0.5, 0.1, 0.05, &mut rng);
+        assert_eq!(m.op_tags(), tuned.op_tags());
+        assert_ne!(m, tuned);
+        let linear = m.linear_layers();
+        let boundary = linear.len() - linear.len() / 2;
+        let mut total = 0usize;
+        let mut changed = 0usize;
+        for (i, &id) in linear.iter().enumerate() {
+            let before = m.layer(id).params.weight.as_ref().unwrap();
+            let after = tuned.layer(id).params.weight.as_ref().unwrap();
+            let diff = before
+                .as_slice()
+                .iter()
+                .zip(after.as_slice())
+                .filter(|(a, b)| a.to_bits() != b.to_bits())
+                .count();
+            if i < boundary {
+                assert_eq!(diff, 0, "frozen layer {i} was modified");
+            } else {
+                total += before.len();
+                changed += diff;
+            }
+        }
+        assert!(changed > 0);
+        // ~5% density: comfortably under a quarter of the elements.
+        assert!(
+            (changed as f64) < (total as f64) * 0.25,
+            "{changed}/{total} changed"
+        );
+    }
+
+    #[test]
+    fn sparse_zero_density_is_identity() {
+        let m = base_model();
+        let mut rng = Prng::seed_from_u64(10);
+        assert_eq!(m, perturb_sparse(&m, 1.0, 0.1, 0.0, &mut rng));
+        assert_eq!(m, perturb_sparse(&m, 1.0, 0.0, 0.5, &mut rng));
+    }
+
+    #[test]
+    fn finetune_family_records_provenance() {
+        let m = base_model();
+        let mut rng = Prng::seed_from_u64(11);
+        let family = finetune_family(&m, 3, 0.5, 0.05, 0.05, &mut rng);
+        assert_eq!(family.len(), 4);
+        assert_eq!(family[0], m);
+        for (i, v) in family.iter().enumerate().skip(1) {
+            assert_eq!(v.name, format!("base-ft{i}"));
+            assert_eq!(v.metadata.get("base").map(String::as_str), Some("base"));
+            assert_eq!(v.op_tags(), m.op_tags());
+        }
     }
 
     #[test]

@@ -200,3 +200,25 @@ grep -q '"queue_bounded": true' BENCH_pr9.json || {
     exit 1
 }
 echo "PASS"
+
+echo "== running pr10_dedup (${SOMMELIER_PR10_MODE:-quick}) =="
+cargo run --quiet --release -p sommelier-bench --bin pr10_dedup
+
+cp target/experiments/pr10_dedup.json BENCH_pr10.json
+echo "== wrote BENCH_pr10.json =="
+
+size_cut=$(sed -n 's/.*"size_cut_ratio":[[:space:]]*\([0-9.]*\).*/\1/p' BENCH_pr10.json | head -n1)
+echo "delta-storage size cut: ${size_cut}x (bar: >= 3.0x)"
+awk -v s="$size_cut" 'BEGIN { exit !(s >= 3.0) }' || {
+    echo "FAIL: chunked delta storage is below the 3x size-cut bar" >&2
+    exit 1
+}
+grep -q '"loadback_identical": true' BENCH_pr10.json || {
+    echo "FAIL: a model loaded after dedup differs from its flat original" >&2
+    exit 1
+}
+grep -q '"crash_sweep_green": true' BENCH_pr10.json || {
+    echo "FAIL: a crash point tore the chunked publish path" >&2
+    exit 1
+}
+echo "PASS"

@@ -82,17 +82,36 @@ fn setup_base(dir: &Path, models: &[Model]) {
 }
 
 /// The mutation whose every crash point the sweep exercises: an
-/// overwriting publish, an exclusive publish, a JSON snapshot save, and
-/// a binary (`.somb`) snapshot publish — both snapshot formats go
-/// through the same atomic-write protocol, so both must survive a crash
-/// at any primitive op. Errors are swallowed — mid-sequence crashes are
-/// the whole point.
+/// overwriting publish, an exclusive publish, a chunked publish plus a
+/// delta publish through the content-addressed chunk store, a JSON
+/// snapshot save, and a binary (`.somb`) snapshot publish — every write
+/// path goes through the same atomic-write protocol, so all must
+/// survive a crash at any primitive op. Errors are swallowed —
+/// mid-sequence crashes are the whole point.
 fn mutate(dir: &Path, storage: Arc<dyn Storage>, alpha_v2: &Model, gamma: &Model) {
     let Ok(repo) = OnDiskRepository::open_with(dir, Arc::clone(&storage)) else {
         return;
     };
     let _ = repo.publish("series/alpha", alpha_v2, true);
     let _ = repo.publish("gamma", gamma, false);
+    // Chunked-path coverage: a tiny fine-tune pair lands through the
+    // chunk store — a full manifest, then a sparse delta against it.
+    // Both under new keys, so the "old files never disappear"
+    // invariant is unaffected; tiny tensors keep the op count sane.
+    let fam_base = ModelBuilder::new("fam/base", TaskKind::Other, Shape::vector(4))
+        .dense(2, &mut Prng::seed_from_u64(41))
+        .build()
+        .unwrap();
+    let mut fam_ft = fam_base.renamed("fam/ft");
+    let id = fam_ft.linear_layers()[0];
+    let mut p = fam_ft.layer(id).params.clone();
+    let w = p.weight.as_ref().unwrap();
+    let mut data = w.as_slice().to_vec();
+    data[0] += 0.5;
+    p.weight = Some(Tensor::from_vec(w.rows(), w.cols(), data));
+    fam_ft.set_params(id, p).unwrap();
+    let _ = repo.publish_chunked("fam/base", &fam_base, false);
+    let _ = repo.publish_delta("fam/ft", &fam_ft, "fam/base", false);
     // Re-persist the snapshot (same indices, bumped epoch): content is
     // irrelevant here, the write protocol under the crash is.
     let Ok(snapshot) = persist::read_snapshot(&dir.join(INDEX_FILE)) else {
@@ -114,24 +133,38 @@ fn mutate(dir: &Path, storage: Arc<dyn Storage>, alpha_v2: &Model, gamma: &Model
     );
 }
 
+/// Recursive snapshot of the store, keyed by `/`-separated relative
+/// path — the chunk store lives in a `chunks/` subdirectory.
 fn capture(dir: &Path) -> BTreeMap<String, Vec<u8>> {
-    std::fs::read_dir(dir)
-        .unwrap()
-        .flatten()
-        .map(|e| {
-            (
-                e.file_name().to_string_lossy().into_owned(),
-                std::fs::read(e.path()).unwrap(),
-            )
-        })
-        .collect()
+    fn walk(root: &Path, prefix: &str, out: &mut BTreeMap<String, Vec<u8>>) {
+        for e in std::fs::read_dir(root).unwrap().flatten() {
+            let name = e.file_name().to_string_lossy().into_owned();
+            let rel = if prefix.is_empty() {
+                name
+            } else {
+                format!("{prefix}/{name}")
+            };
+            if e.path().is_dir() {
+                walk(&e.path(), &rel, out);
+            } else {
+                out.insert(rel, std::fs::read(e.path()).unwrap());
+            }
+        }
+    }
+    let mut out = BTreeMap::new();
+    walk(dir, "", &mut out);
+    out
 }
 
 fn copy_dir(src: &Path, dst: &Path) {
     std::fs::remove_dir_all(dst).ok();
     std::fs::create_dir_all(dst).unwrap();
     for e in std::fs::read_dir(src).unwrap().flatten() {
-        std::fs::copy(e.path(), dst.join(e.file_name())).unwrap();
+        if e.path().is_dir() {
+            copy_dir(&e.path(), &dst.join(e.file_name()));
+        } else {
+            std::fs::copy(e.path(), dst.join(e.file_name())).unwrap();
+        }
     }
 }
 
@@ -173,6 +206,12 @@ fn reopen_after_crash_at_every_op_sees_old_or_new_state_never_torn() {
         new_state.contains_key(INDEX_FILE_BIN),
         "fault-free run must publish the binary snapshot"
     );
+    assert!(new_state.contains_key("fam%2Fbase.manifest.json"));
+    assert!(new_state.contains_key("fam%2Fft.manifest.json"));
+    assert!(
+        new_state.keys().any(|k| k.starts_with("chunks/")),
+        "chunked publish must write content-addressed chunks"
+    );
 
     let work = scratch("work");
     for crash_op in 0..total_ops {
@@ -193,8 +232,10 @@ fn reopen_after_crash_at_every_op_sees_old_or_new_state_never_torn() {
         let after = capture(&work);
         for (name, bytes) in &after {
             // Stranded temps are expected crash debris (fsck's job),
-            // never part of the visible store state.
-            if is_temp_name(name) || is_quarantine_name(name) {
+            // never part of the visible store state. Keys are relative
+            // paths now; the debris pattern is on the file name.
+            let file = name.rsplit('/').next().unwrap_or(name);
+            if is_temp_name(file) || is_quarantine_name(file) {
                 continue;
             }
             let old = old_state.get(name);
